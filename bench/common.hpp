@@ -1,0 +1,119 @@
+// Shared plumbing for the bench binaries.  Every bench regenerates one
+// table or figure of the paper and prints the same rows/series the paper
+// reports (see EXPERIMENTS.md for the side-by-side comparison).
+//
+// Environment knobs:
+//   RANGERPP_TRIALS  — trials per input for small models (default 1000;
+//                      large ImageNet-scale models get a quarter of this).
+//   RANGERPP_INPUTS  — FI inputs per model (default 8; paper uses 10).
+//   RANGERPP_SEED    — campaign seed (default 2021).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/range_profiler.hpp"
+#include "core/ranger_transform.hpp"
+#include "fi/campaign.hpp"
+#include "models/workload.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace rangerpp::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (!v) return fallback;
+  const long parsed = std::strtol(v, nullptr, 10);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+struct BenchConfig {
+  std::size_t trials_small = env_size("RANGERPP_TRIALS", 1000);
+  std::size_t inputs = env_size("RANGERPP_INPUTS", 8);
+  std::uint64_t seed = env_size("RANGERPP_SEED", 2021);
+
+  std::size_t trials_for(models::ModelId id) const {
+    // ImageNet-scale models are ~10x the inference cost; the paper
+    // likewise reduces their trial count (3000 vs 5000).
+    switch (id) {
+      case models::ModelId::kVgg16:
+      case models::ModelId::kResNet18:
+      case models::ModelId::kSqueezeNet:
+        return std::max<std::size_t>(100, trials_small / 4);
+      default:
+        return trials_small;
+    }
+  }
+};
+
+// Builds the workload + its Ranger-protected twin with 100th-percentile
+// (conservative) bounds.
+struct ProtectedWorkload {
+  models::Workload base;
+  core::Bounds bounds;
+  graph::Graph protected_graph;
+  core::TransformStats transform_stats;
+  double profiling_seconds = 0.0;
+};
+
+inline ProtectedWorkload make_protected(models::ModelId id,
+                                        const BenchConfig& cfg,
+                                        ops::OpKind act = ops::OpKind::kInput,
+                                        double percentile = 100.0) {
+  ProtectedWorkload pw;
+  models::WorkloadOptions wo;
+  wo.act = act;
+  wo.eval_inputs = cfg.inputs;
+  wo.seed = cfg.seed;
+  pw.base = models::make_workload(id, wo);
+
+  util::Timer timer;
+  core::ProfileOptions po;
+  po.percentile = percentile;
+  pw.bounds = core::RangeProfiler{po}.derive_bounds(pw.base.graph,
+                                                    pw.base.profile_feeds);
+  pw.profiling_seconds = timer.elapsed_seconds();
+
+  core::RangerTransform transform;
+  pw.protected_graph = transform.apply(pw.base.graph, pw.bounds);
+  pw.transform_stats = transform.last_stats();
+  return pw;
+}
+
+// Runs the standard judges on both graphs and returns
+// {original results, ranger results} (one entry per judge).
+struct SdcComparison {
+  std::vector<fi::CampaignResult> original;
+  std::vector<fi::CampaignResult> ranger;
+};
+
+inline SdcComparison compare_sdc(const ProtectedWorkload& pw,
+                                 const BenchConfig& cfg,
+                                 tensor::DType dtype, int n_bits = 1) {
+  fi::CampaignConfig cc;
+  cc.dtype = dtype;
+  cc.n_bits = n_bits;
+  cc.trials_per_input = cfg.trials_for(pw.base.id);
+  cc.seed = cfg.seed;
+  const fi::Campaign campaign(cc);
+  const auto judges = models::default_judges(pw.base.id);
+  SdcComparison out;
+  out.original = campaign.run_multi(pw.base.graph, pw.base.eval_feeds, judges);
+  out.ranger =
+      campaign.run_multi(pw.protected_graph, pw.base.eval_feeds, judges);
+  return out;
+}
+
+inline std::string pct_pm(const fi::CampaignResult& r) {
+  return util::Table::fmt(r.sdc_rate_pct(), 2) + " ±" +
+         util::Table::fmt(r.ci95_pct(), 2);
+}
+
+inline void print_header(const char* experiment, const char* paper_ref) {
+  std::printf("\n=== %s ===\n(reproduces %s)\n\n", experiment, paper_ref);
+}
+
+}  // namespace rangerpp::bench

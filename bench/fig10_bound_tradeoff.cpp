@@ -1,0 +1,70 @@
+// Fig 10 + Table V (§VI-A): accuracy/resilience trade-off of the
+// restriction-bound percentile on the retrained degrees-output Dave model.
+// Paper: the 99.9th-percentile bound cuts the SDC rate 7.7x relative to
+// the 100th-percentile bound at marginal accuracy cost; lower percentiles
+// trade more accuracy for more resilience.
+#include "bench/common.hpp"
+
+using namespace rangerpp;
+
+int main() {
+  const bench::BenchConfig cfg;
+  bench::print_header(
+      "Dave-degrees: restriction-bound percentile sweep", "Fig. 10 + Table V");
+
+  models::WorkloadOptions wo;
+  wo.eval_inputs = cfg.inputs;
+  wo.seed = cfg.seed;
+  const models::Workload w =
+      models::make_workload(models::ModelId::kDaveDegrees, wo);
+
+  // One profiling pass; bounds re-derived per percentile.
+  const core::RangeProfile profile =
+      core::RangeProfiler{}.profile(w.graph, w.profile_feeds);
+
+  fi::CampaignConfig cc;
+  cc.dtype = tensor::DType::kFixed32;
+  cc.trials_per_input = cfg.trials_for(w.id);
+  cc.seed = cfg.seed;
+  const fi::Campaign campaign(cc);
+  const auto judges = models::default_judges(w.id);
+
+  // Baseline (unprotected) row.
+  const auto base = campaign.run_multi(w.graph, w.eval_feeds, judges);
+  const models::SteeringMetrics base_acc =
+      models::steering_metrics(w.graph, w.input_name, w.validation, false);
+
+  util::Table sdc_table({"config", "thr=15", "thr=30", "thr=60", "thr=120"});
+  util::Table acc_table({"config", "RMSE (deg)", "Avg. deviation (deg)"});
+  sdc_table.add_row({"Original", bench::pct_pm(base[0]),
+                     bench::pct_pm(base[1]), bench::pct_pm(base[2]),
+                     bench::pct_pm(base[3])});
+  acc_table.add_row({"Original", util::Table::fmt(base_acc.rmse, 3),
+                     util::Table::fmt(base_acc.avg_deviation, 3)});
+
+  for (const double pct : {100.0, 99.9, 99.0, 98.0}) {
+    const core::Bounds bounds = profile.bounds(pct);
+    const graph::Graph protected_g =
+        core::RangerTransform{}.apply(w.graph, bounds);
+    const auto r = campaign.run_multi(protected_g, w.eval_feeds, judges);
+    const models::SteeringMetrics acc = models::steering_metrics(
+        protected_g, w.input_name, w.validation, false);
+    const std::string label = "Bound-" + util::Table::fmt(pct, 1) + "%";
+    sdc_table.add_row({label, bench::pct_pm(r[0]), bench::pct_pm(r[1]),
+                       bench::pct_pm(r[2]), bench::pct_pm(r[3])});
+    acc_table.add_row({label, util::Table::fmt(acc.rmse, 3),
+                       util::Table::fmt(acc.avg_deviation, 3)});
+  }
+
+  std::printf("SDC rates (Fig. 10):\n");
+  sdc_table.print();
+  std::printf(
+      "Paper: 100%% bound 6.80/5.26/3.67/2.23%%; 99.9%% bound "
+      "5.65/4.04/1.65/0.27%%; lower bounds push SDC to ~0 at thr>=60.\n\n");
+  std::printf("Fault-free accuracy (Table V):\n");
+  acc_table.print();
+  std::printf(
+      "Paper: RMSE 6.069 (original, 100%% bound) -> 8.57 (99.9%%) -> "
+      "12.37 (99%%) -> 13.94 (98%%).\n");
+  return 0;
+}

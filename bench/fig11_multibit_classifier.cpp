@@ -1,0 +1,41 @@
+// Fig 11 (§VI-B): multi-bit-flip fault model (2-5 independent bit flips)
+// on the classifier models LeNet and ResNet-18, original vs Ranger.
+// Paper: original SDC rates grow with the flip count; with Ranger they
+// stay near zero (47.55% -> 0.87% average, 55x).
+#include "bench/common.hpp"
+
+using namespace rangerpp;
+
+int main() {
+  const bench::BenchConfig cfg;
+  bench::print_header("Multi-bit flips, classifier models", "Fig. 11");
+
+  util::Table table({"model", "bits", "SDC orig (%)", "SDC Ranger (%)"});
+  double sum_orig = 0.0, sum_ranger = 0.0;
+  std::size_t rows = 0;
+  for (const models::ModelId id :
+       {models::ModelId::kLeNet, models::ModelId::kResNet18}) {
+    const bench::ProtectedWorkload pw = bench::make_protected(id, cfg);
+    for (int bits = 2; bits <= 5; ++bits) {
+      const bench::SdcComparison r =
+          bench::compare_sdc(pw, cfg, tensor::DType::kFixed32, bits);
+      const auto labels = models::judge_labels(id);
+      for (std::size_t j = 0; j < labels.size(); ++j) {
+        sum_orig += r.original[j].sdc_rate_pct();
+        sum_ranger += r.ranger[j].sdc_rate_pct();
+        ++rows;
+        table.add_row({labels[j], std::to_string(bits),
+                       bench::pct_pm(r.original[j]),
+                       bench::pct_pm(r.ranger[j])});
+      }
+    }
+  }
+  table.add_row({"Average", "2-5", util::Table::fmt(sum_orig / rows, 2),
+                 util::Table::fmt(sum_ranger / rows, 2)});
+  table.print();
+  std::printf(
+      "Paper: LeNet 40.2-61.6%% -> 0.0%%; ResNet-18 (top-1) 32.9-57.3%% -> "
+      "1.2-1.4%%; classifier SDC under Ranger stays flat in the flip "
+      "count.\n");
+  return 0;
+}

@@ -1,0 +1,213 @@
+// Table VI: comparison of Ranger with the existing protection techniques,
+// all re-implemented (src/baselines/) and evaluated under the *identical*
+// fault-injection campaign.  Coverage = fraction of would-be-SDC trials
+// that a technique corrects or detects; overhead = FLOPs relative to the
+// unprotected model.
+//
+// Paper's cited operating points: TMR 100%/200%; selective duplication
+// ~60%/30%; symptom-based detector 99.5%/74.48%; ML-based corrector
+// 66.95%/0.95%; Hong et al. 31.54%/0%; ABFT 29.98%/<8%; Ranger
+// 97.05%/0.53%.
+#include <memory>
+
+#include "baselines/abft.hpp"
+#include "baselines/duplication.hpp"
+#include "baselines/ml_corrector.hpp"
+#include "baselines/symptom.hpp"
+#include "baselines/tmr.hpp"
+#include "bench/common.hpp"
+#include "core/flops_profiler.hpp"
+#include "util/threadpool.hpp"
+
+using namespace rangerpp;
+
+namespace {
+
+struct Row {
+  std::string name;
+  double coverage_sum = 0.0;
+  double overhead_sum = 0.0;
+  std::size_t count = 0;
+};
+
+// Evaluates one technique on one workload: replays the campaign's fault
+// sets; for trials whose unprotected run is an SDC, counts the trial
+// covered when the technique's output is not an SDC or the fault was
+// detected (detection triggers out-of-band recovery).
+void eval_technique(baselines::Technique& tech,
+                    const models::Workload& w,
+                    const bench::BenchConfig& cfg, Row& row) {
+  tech.prepare(w.graph, w.profile_feeds);
+
+  const tensor::DType dtype = tensor::DType::kFixed32;
+  const graph::Executor exec({dtype});
+  const fi::SiteSpace sites(w.graph, dtype);
+  const auto judges = models::default_judges(w.id);
+
+  std::vector<tensor::Tensor> golden;
+  for (const fi::Feeds& f : w.eval_feeds) golden.push_back(exec.run(w.graph, f));
+
+  const std::size_t trials = cfg.trials_for(w.id) / 2;
+  const std::size_t total = trials * w.eval_feeds.size();
+  std::vector<unsigned char> sdc_flags(total, 0), covered_flags(total, 0);
+  util::parallel_for(total, [&](std::size_t t) {
+    const std::size_t input_idx = t / trials;
+    util::Rng rng(util::derive_seed(cfg.seed, t));
+    const fi::FaultSet faults = sites.sample(rng, 1);
+
+    const tensor::Tensor plain =
+        exec.run(w.graph, w.eval_feeds[input_idx],
+                 fi::make_injection_hook(w.graph, dtype, faults));
+    bool sdc = false;
+    for (const auto& j : judges)
+      if (j->is_sdc(golden[input_idx], plain)) sdc = true;
+    if (!sdc) return;
+    sdc_flags[t] = 1;
+
+    const baselines::TrialOutcome o =
+        tech.run_trial(w.graph, w.eval_feeds[input_idx], faults, dtype);
+    bool still_sdc = false;
+    for (const auto& j : judges)
+      if (j->is_sdc(golden[input_idx], o.output)) still_sdc = true;
+    if (!still_sdc || o.detected) covered_flags[t] = 1;
+  });
+
+  std::size_t sdcs = 0, covered = 0;
+  for (std::size_t t = 0; t < total; ++t) {
+    sdcs += sdc_flags[t];
+    covered += covered_flags[t];
+  }
+  if (sdcs > 0) {
+    row.coverage_sum += 100.0 * static_cast<double>(covered) /
+                        static_cast<double>(sdcs);
+    row.overhead_sum += tech.overhead_pct(w.graph);
+    ++row.count;
+  }
+}
+
+// Ranger expressed in the same interface: correction via the protected
+// graph, no detection signal.
+class RangerTechnique final : public baselines::Technique {
+ public:
+  std::string name() const override { return "Ranger (this work)"; }
+  void prepare(const graph::Graph& g,
+               const std::vector<fi::Feeds>& profile) override {
+    const core::Bounds bounds =
+        core::RangeProfiler{}.derive_bounds(g, profile);
+    core::RangerTransform transform;
+    protected_ = transform.apply(g, bounds);
+  }
+  baselines::TrialOutcome run_trial(const graph::Graph&,
+                                    const fi::Feeds& feeds,
+                                    const fi::FaultSet& faults,
+                                    tensor::DType dtype) const override {
+    const graph::Executor exec({dtype});
+    return {exec.run(protected_, feeds,
+                     fi::make_injection_hook(protected_, dtype, faults)),
+            false};
+  }
+  double overhead_pct(const graph::Graph& g) const override {
+    return core::flops_overhead_pct(g, protected_);
+  }
+
+ private:
+  graph::Graph protected_;
+};
+
+// Hong et al.'s defense is a *model substitution* (swap every activation
+// to Tanh), so unlike the in-place techniques it cannot be judged against
+// the original model's golden output.  Its coverage is the relative SDC
+// reduction of the Tanh variant over the base model — the same metric the
+// paper uses in Fig 8 and cites in Table VI.
+double hong_coverage_pct(models::ModelId id, const bench::BenchConfig& cfg) {
+  const auto sdc_of = [&](ops::OpKind act) {
+    models::WorkloadOptions wo;
+    wo.act = act;
+    wo.eval_inputs = cfg.inputs;
+    wo.seed = cfg.seed;
+    const models::Workload w = models::make_workload(id, wo);
+    fi::CampaignConfig cc;
+    cc.dtype = tensor::DType::kFixed32;
+    cc.trials_per_input = cfg.trials_for(id) / 2;
+    cc.seed = cfg.seed;
+    const auto judges = models::default_judges(id);
+    const auto results =
+        fi::Campaign(cc).run_multi(w.graph, w.eval_feeds, judges);
+    double sum = 0.0;
+    for (const auto& r : results) sum += r.sdc_rate();
+    return sum / static_cast<double>(results.size());
+  };
+  const double base = sdc_of(ops::OpKind::kRelu);
+  const double tanh = sdc_of(ops::OpKind::kTanh);
+  if (base <= 0.0) return 0.0;
+  return 100.0 * (base - tanh) / base;
+}
+
+}  // namespace
+
+int main() {
+  const bench::BenchConfig cfg;
+  bench::print_header(
+      "Protection-technique comparison (coverage vs overhead)", "Table VI");
+
+  // Representative workloads spanning a classifier, an LRN-bearing
+  // classifier and a steering model (full 8-model sweeps of every
+  // technique would multiply runtime ~7x for no additional insight).
+  const models::ModelId ids[] = {models::ModelId::kLeNet,
+                                 models::ModelId::kAlexNet,
+                                 models::ModelId::kComma};
+
+  std::vector<Row> rows;
+  rows.reserve(16);  // references below must stay valid across add() calls
+  auto add = [&](const std::string& name) -> Row& {
+    rows.push_back(Row{name, 0, 0, 0});
+    return rows.back();
+  };
+
+  Row& tmr_row = add("Triple Modular Redundancy");
+  Row& dup_row = add("Selective duplication [16]");
+  Row& sym_row = add("Symptom-based detector [12]");
+  Row& ml_row = add("ML-based error corrector [14]");
+  Row& hong_row = add("Hong et al. [19]");
+  Row& abft_row = add("ABFT-based approach [17]");
+  Row& ranger_row = add("Ranger (Ours)");
+
+  for (const models::ModelId id : ids) {
+    models::WorkloadOptions wo;
+    wo.eval_inputs = cfg.inputs;
+    wo.seed = cfg.seed;
+    const models::Workload w = models::make_workload(id, wo);
+
+    baselines::Tmr tmr;
+    baselines::SelectiveDuplication dup(30.0);
+    baselines::SymptomDetector sym(1.1);
+    baselines::MlCorrector ml(200, cfg.seed);
+    baselines::AbftConv abft;
+    RangerTechnique ranger;
+
+    eval_technique(tmr, w, cfg, tmr_row);
+    eval_technique(dup, w, cfg, dup_row);
+    eval_technique(sym, w, cfg, sym_row);
+    eval_technique(ml, w, cfg, ml_row);
+    eval_technique(abft, w, cfg, abft_row);
+    eval_technique(ranger, w, cfg, ranger_row);
+
+    hong_row.coverage_sum += hong_coverage_pct(id, cfg);
+    hong_row.overhead_sum += 0.0;  // architecture change, no runtime cost
+    ++hong_row.count;
+  }
+
+  util::Table table({"technique", "SDC coverage", "overhead"});
+  for (const Row& r : rows) {
+    const double n = r.count ? static_cast<double>(r.count) : 1.0;
+    table.add_row({r.name, util::Table::pct(r.coverage_sum / n, 2),
+                   util::Table::pct(r.overhead_sum / n, 2)});
+  }
+  table.print();
+  std::printf(
+      "Paper: TMR 100/200; dup ~60/30; symptom 99.5/74.48; ML 66.95/0.95; "
+      "Hong 31.54/0; ABFT 29.98/<8; Ranger 97.05/0.53.\n"
+      "(Hong et al. coverage here can be negative: the untrained Tanh swap "
+      "sometimes hurts; see EXPERIMENTS.md.)\n");
+  return 0;
+}

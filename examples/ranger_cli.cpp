@@ -1,0 +1,183 @@
+// Command-line driver: protect any zoo model with Ranger and run a
+// fault-injection campaign against it.
+//
+//   ranger_cli --model lenet --dtype fixed32 --trials 1000 --bits 1 \
+//              --percentile 100 --policy clamp [--dot out.dot]
+//
+// Prints the unprotected and protected SDC rates for the model's default
+// judges, and optionally dumps the protected graph in Graphviz DOT form.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "core/range_profiler.hpp"
+#include "core/ranger_transform.hpp"
+#include "fi/campaign.hpp"
+#include "graph/dot_export.hpp"
+#include "models/workload.hpp"
+
+using namespace rangerpp;
+
+namespace {
+
+struct Args {
+  models::ModelId model = models::ModelId::kLeNet;
+  tensor::DType dtype = tensor::DType::kFixed32;
+  std::size_t trials = 1000;
+  int bits = 1;
+  bool consecutive = false;
+  double percentile = 100.0;
+  core::RestrictionPolicy policy = core::RestrictionPolicy::kClamp;
+  std::optional<std::string> dot_path;
+  std::uint64_t seed = 2021;
+};
+
+std::optional<models::ModelId> parse_model(const std::string& s) {
+  if (s == "lenet") return models::ModelId::kLeNet;
+  if (s == "alexnet") return models::ModelId::kAlexNet;
+  if (s == "vgg11") return models::ModelId::kVgg11;
+  if (s == "vgg16") return models::ModelId::kVgg16;
+  if (s == "resnet18") return models::ModelId::kResNet18;
+  if (s == "squeezenet") return models::ModelId::kSqueezeNet;
+  if (s == "dave") return models::ModelId::kDave;
+  if (s == "dave-degrees") return models::ModelId::kDaveDegrees;
+  if (s == "comma") return models::ModelId::kComma;
+  return std::nullopt;
+}
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--model lenet|alexnet|vgg11|vgg16|resnet18|squeezenet|"
+      "dave|dave-degrees|comma]\n"
+      "          [--dtype float32|fixed32|fixed16] [--trials N] "
+      "[--bits 1-5] [--consecutive]\n"
+      "          [--percentile P] [--policy clamp|zero|random] "
+      "[--dot FILE] [--seed S]\n",
+      argv0);
+}
+
+std::optional<Args> parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    if (flag == "--model") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      const auto m = parse_model(*v);
+      if (!m) {
+        std::fprintf(stderr, "unknown model '%s'\n", v->c_str());
+        return std::nullopt;
+      }
+      a.model = *m;
+    } else if (flag == "--dtype") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      if (*v == "float32") a.dtype = tensor::DType::kFloat32;
+      else if (*v == "fixed32") a.dtype = tensor::DType::kFixed32;
+      else if (*v == "fixed16") a.dtype = tensor::DType::kFixed16;
+      else return std::nullopt;
+    } else if (flag == "--trials") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      a.trials = static_cast<std::size_t>(std::strtoul(v->c_str(), nullptr,
+                                                       10));
+    } else if (flag == "--bits") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      a.bits = std::atoi(v->c_str());
+    } else if (flag == "--consecutive") {
+      a.consecutive = true;
+    } else if (flag == "--percentile") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      a.percentile = std::atof(v->c_str());
+    } else if (flag == "--policy") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      if (*v == "clamp") a.policy = core::RestrictionPolicy::kClamp;
+      else if (*v == "zero") a.policy = core::RestrictionPolicy::kZero;
+      else if (*v == "random") a.policy = core::RestrictionPolicy::kRandom;
+      else return std::nullopt;
+    } else if (flag == "--dot") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      a.dot_path = *v;
+    } else if (flag == "--seed") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      a.seed = std::strtoull(v->c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+      return std::nullopt;
+    }
+  }
+  if (a.bits < 1 || a.bits > 8) {
+    std::fprintf(stderr, "--bits must be 1-8\n");
+    return std::nullopt;
+  }
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::optional<Args> args = parse(argc, argv);
+  if (!args) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::printf("model=%s dtype=%s trials=%zu bits=%d%s percentile=%.1f\n",
+              models::model_name(args->model).c_str(),
+              std::string(tensor::dtype_name(args->dtype)).c_str(),
+              args->trials, args->bits,
+              args->consecutive ? " (consecutive)" : "",
+              args->percentile);
+
+  models::WorkloadOptions wo;
+  wo.seed = args->seed;
+  const models::Workload w = models::make_workload(args->model, wo);
+
+  core::ProfileOptions po;
+  po.percentile = args->percentile;
+  const core::Bounds bounds =
+      core::RangeProfiler{po}.derive_bounds(w.graph, w.profile_feeds);
+  core::TransformOptions to;
+  to.policy = args->policy;
+  to.seed = args->seed;
+  const graph::Graph protected_g =
+      core::RangerTransform{to}.apply(w.graph, bounds);
+
+  if (args->dot_path) {
+    std::ofstream out(*args->dot_path);
+    out << graph::to_dot(protected_g);
+    std::printf("wrote protected graph to %s\n", args->dot_path->c_str());
+  }
+
+  fi::CampaignConfig cc;
+  cc.dtype = args->dtype;
+  cc.n_bits = args->bits;
+  cc.consecutive_bits = args->consecutive;
+  cc.trials_per_input = args->trials;
+  cc.seed = args->seed;
+  const fi::Campaign campaign(cc);
+  const auto judges = models::default_judges(args->model);
+  const auto labels = models::judge_labels(args->model);
+
+  const auto orig = campaign.run_multi(w.graph, w.eval_feeds, judges);
+  const auto prot = campaign.run_multi(protected_g, w.eval_feeds, judges);
+  for (std::size_t j = 0; j < judges.size(); ++j) {
+    std::printf("%-20s  orig %6.2f%% (+-%.2f)   ranger %6.2f%% (+-%.2f)\n",
+                labels[j].c_str(), orig[j].sdc_rate_pct(),
+                orig[j].ci95_pct(), prot[j].sdc_rate_pct(),
+                prot[j].ci95_pct());
+  }
+  return 0;
+}

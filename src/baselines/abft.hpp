@@ -1,0 +1,34 @@
+// Algorithm-based fault tolerance for convolution layers (Zhao et al.):
+// a checksum over each Conv2D output is verified against the checksum
+// predicted from the layer's inputs; a mismatch flags the fault.  Faults
+// outside convolution layers are invisible to the scheme — the coverage
+// limitation the paper calls out (Table VI note 3).
+#pragma once
+
+#include "baselines/technique.hpp"
+
+namespace rangerpp::baselines {
+
+class AbftConv final : public Technique {
+ public:
+  // Tolerance is relative to the checksum magnitude; sized to sit above
+  // fixed-point quantisation noise (resolution 2^-10 for fixed32).
+  explicit AbftConv(double rel_tolerance = 1e-4)
+      : rel_tol_(rel_tolerance) {}
+
+  std::string name() const override { return "ABFT (conv checksums)"; }
+
+  void prepare(const graph::Graph&,
+               const std::vector<fi::Feeds>&) override {}
+
+  TrialOutcome run_trial(const graph::Graph& g, const fi::Feeds& feeds,
+                         const fi::FaultSet& faults,
+                         tensor::DType dtype) const override;
+
+  double overhead_pct(const graph::Graph& g) const override;
+
+ private:
+  double rel_tol_;
+};
+
+}  // namespace rangerpp::baselines

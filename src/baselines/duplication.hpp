@@ -1,0 +1,48 @@
+// Selective duplication (Mahmoud et al., HarDNN): duplicate the most
+// vulnerable computations and compare the two copies; a mismatch flags the
+// fault for recovery.  Vulnerability here follows HarDNN's premise that
+// per-op vulnerability is proportional to its share of corruptible state:
+// the duplication set is chosen greedily by (output elements / FLOPs) until
+// a FLOPs budget (default 30%, the operating point in the paper's
+// Table VI) is exhausted.
+//
+// Under the output-value fault model, duplicate-and-compare detects every
+// fault whose injection site lies in a duplicated op, so coverage equals
+// the duplicated share of site mass — ~60% for the 30% budget, matching
+// the paper's characterisation.
+#pragma once
+
+#include <unordered_set>
+
+#include "baselines/technique.hpp"
+
+namespace rangerpp::baselines {
+
+class SelectiveDuplication final : public Technique {
+ public:
+  explicit SelectiveDuplication(double flops_budget_pct = 30.0)
+      : budget_pct_(flops_budget_pct) {}
+
+  std::string name() const override { return "Selective duplication"; }
+
+  void prepare(const graph::Graph& g,
+               const std::vector<fi::Feeds>& profile_feeds) override;
+
+  TrialOutcome run_trial(const graph::Graph& g, const fi::Feeds& feeds,
+                         const fi::FaultSet& faults,
+                         tensor::DType dtype) const override;
+
+  double overhead_pct(const graph::Graph& g) const override;
+
+  // Exposed for tests.
+  const std::unordered_set<std::string>& duplicated() const {
+    return duplicated_;
+  }
+
+ private:
+  double budget_pct_;
+  std::unordered_set<std::string> duplicated_;
+  double selected_flops_pct_ = 0.0;
+};
+
+}  // namespace rangerpp::baselines

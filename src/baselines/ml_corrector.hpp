@@ -1,0 +1,52 @@
+// ML-based error detector/corrector (Schorn et al., SAFECOMP'18),
+// simplified: a per-layer classifier over activation statistics decides
+// whether a layer's output is corrupted, and the flagged layer is repaired
+// in place.
+//
+// Schorn et al. train a supervised model on extensive fault-injection
+// data; this reimplementation keeps the structure (per-layer feature ->
+// classify -> correct) but calibrates the per-layer decision thresholds
+// from a small FI calibration run: for each activation layer, the maximum
+// |value| observed fault-free defines the feature scale, and the threshold
+// is placed at the calibration quantile that best separates faulty from
+// fault-free layer outputs.  Correction clamps the flagged layer's values
+// into its fault-free range (their "error correction" step).
+#pragma once
+
+#include <map>
+
+#include "baselines/technique.hpp"
+
+namespace rangerpp::baselines {
+
+class MlCorrector final : public Technique {
+ public:
+  // calibration_trials: FI runs used to fit the per-layer thresholds.
+  explicit MlCorrector(std::size_t calibration_trials = 200,
+                       std::uint64_t seed = 77)
+      : calibration_trials_(calibration_trials), seed_(seed) {}
+
+  std::string name() const override { return "ML-based error corrector"; }
+
+  void prepare(const graph::Graph& g,
+               const std::vector<fi::Feeds>& profile_feeds) override;
+
+  TrialOutcome run_trial(const graph::Graph& g, const fi::Feeds& feeds,
+                         const fi::FaultSet& faults,
+                         tensor::DType dtype) const override;
+
+  double overhead_pct(const graph::Graph& g) const override;
+
+ private:
+  struct LayerModel {
+    float min_value = 0.0f;
+    float max_value = 0.0f;
+    float threshold = 0.0f;  // |value| above this => layer flagged
+  };
+
+  std::size_t calibration_trials_;
+  std::uint64_t seed_;
+  std::map<std::string, LayerModel> layers_;
+};
+
+}  // namespace rangerpp::baselines

@@ -1,0 +1,36 @@
+// Symptom-based detector (Li et al., SC'17): transient faults that matter
+// produce unusually large activation values; the detector profiles each
+// operator's fault-free value range and flags an inference when any
+// operator output exceeds its profiled maximum by a slack factor.
+// Detection triggers re-execution (the recovery mechanism the paper charges
+// the technique's overhead to).
+#pragma once
+
+#include <map>
+
+#include "baselines/technique.hpp"
+
+namespace rangerpp::baselines {
+
+class SymptomDetector final : public Technique {
+ public:
+  explicit SymptomDetector(double slack = 1.1) : slack_(slack) {}
+
+  std::string name() const override { return "Symptom-based detector"; }
+
+  void prepare(const graph::Graph& g,
+               const std::vector<fi::Feeds>& profile_feeds) override;
+
+  TrialOutcome run_trial(const graph::Graph& g, const fi::Feeds& feeds,
+                         const fi::FaultSet& faults,
+                         tensor::DType dtype) const override;
+
+  double overhead_pct(const graph::Graph& g) const override;
+
+ private:
+  double slack_;
+  // Per-op absolute-value ceiling observed fault-free.
+  std::map<std::string, float> max_abs_;
+};
+
+}  // namespace rangerpp::baselines

@@ -1,0 +1,59 @@
+// Common interface for the protection techniques compared in Table VI of
+// the paper.  Each technique is a good-faith simplified reimplementation of
+// the cited idea, evaluated under the identical fault-injection campaign as
+// Ranger (see EXPERIMENTS.md for the paper-vs-ours comparison):
+//
+//   TMR                       — triple execution + elementwise majority vote
+//   Selective duplication     — HarDNN-style duplicate-and-compare on the
+//                               most vulnerable ops (Mahmoud et al.)
+//   Symptom-based detector    — per-layer value-spike detection (Li et al.)
+//   ML-based error corrector  — per-layer activation-statistics classifier
+//                               with targeted correction (Schorn et al.)
+//   ABFT conv checksums       — checksum verification of convolution
+//                               outputs (Zhao et al.)
+//
+// A technique observes one faulty inference and reports whether the fault
+// was corrected (output repaired in place) and/or detected (flagged for
+// re-execution).  Coverage for Table VI counts a would-be-SDC trial as
+// covered when the technique corrected or detected it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fi/campaign.hpp"
+#include "fi/fault_model.hpp"
+#include "graph/graph.hpp"
+
+namespace rangerpp::baselines {
+
+struct TrialOutcome {
+  tensor::Tensor output;  // possibly corrected output
+  bool detected = false;  // flagged for (out-of-band) recovery
+};
+
+class Technique {
+ public:
+  virtual ~Technique() = default;
+
+  virtual std::string name() const = 0;
+
+  // One-time setup with fault-free profiling data (threshold derivation,
+  // duplication-set selection, ...).
+  virtual void prepare(const graph::Graph& g,
+                       const std::vector<fi::Feeds>& profile_feeds) = 0;
+
+  // Runs one inference with `faults` injected, under this technique.
+  virtual TrialOutcome run_trial(const graph::Graph& g,
+                                 const fi::Feeds& feeds,
+                                 const fi::FaultSet& faults,
+                                 tensor::DType dtype) const = 0;
+
+  // FLOPs overhead relative to the unprotected graph, in percent.
+  virtual double overhead_pct(const graph::Graph& g) const = 0;
+};
+
+using TechniquePtr = std::unique_ptr<Technique>;
+
+}  // namespace rangerpp::baselines

@@ -1,0 +1,30 @@
+#include "baselines/tmr.hpp"
+
+#include "graph/executor.hpp"
+
+namespace rangerpp::baselines {
+
+TrialOutcome Tmr::run_trial(const graph::Graph& g, const fi::Feeds& feeds,
+                            const fi::FaultSet& faults,
+                            tensor::DType dtype) const {
+  const graph::Executor exec({dtype});
+  // The transient fault hits exactly one of the three replicas.
+  const tensor::Tensor faulty =
+      exec.run(g, feeds, fi::make_injection_hook(g, dtype, faults));
+  const tensor::Tensor clean_a = exec.run(g, feeds);
+  const tensor::Tensor clean_b = exec.run(g, feeds);
+
+  // Elementwise majority vote.
+  tensor::Tensor voted = faulty.clone();
+  std::span<float> out = voted.mutable_values();
+  std::span<const float> a = clean_a.values();
+  std::span<const float> b = clean_b.values();
+  bool mismatch = false;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i] != a[i] || out[i] != b[i]) mismatch = true;
+    if (out[i] != a[i] && a[i] == b[i]) out[i] = a[i];
+  }
+  return TrialOutcome{std::move(voted), mismatch};
+}
+
+}  // namespace rangerpp::baselines

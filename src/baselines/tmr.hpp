@@ -1,0 +1,25 @@
+// Triple Modular Redundancy: run the inference three times and take an
+// elementwise majority vote.  Under the single-fault-per-execution model,
+// at most one replica is corrupted, so the vote always restores the
+// fault-free output — 100% coverage at 200% overhead (Table VI row 1).
+#pragma once
+
+#include "baselines/technique.hpp"
+
+namespace rangerpp::baselines {
+
+class Tmr final : public Technique {
+ public:
+  std::string name() const override { return "Triple Modular Redundancy"; }
+
+  void prepare(const graph::Graph&,
+               const std::vector<fi::Feeds>&) override {}
+
+  TrialOutcome run_trial(const graph::Graph& g, const fi::Feeds& feeds,
+                         const fi::FaultSet& faults,
+                         tensor::DType dtype) const override;
+
+  double overhead_pct(const graph::Graph&) const override { return 200.0; }
+};
+
+}  // namespace rangerpp::baselines

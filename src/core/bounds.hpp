@@ -1,0 +1,21 @@
+// Restriction bounds: per-activation-layer (low, up) pairs derived from
+// profiling (paper §III-C step 1).  Keyed by node name so bounds derived on
+// an unprotected graph apply to any graph that preserves names (the Ranger
+// transform does).
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace rangerpp::core {
+
+struct Bound {
+  float low = 0.0f;
+  float up = 0.0f;
+};
+
+// Ordered map so iteration (e.g. in Fig 4's per-layer output) follows a
+// stable order.
+using Bounds = std::map<std::string, Bound>;
+
+}  // namespace rangerpp::core

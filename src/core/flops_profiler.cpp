@@ -1,0 +1,29 @@
+#include "core/flops_profiler.hpp"
+
+namespace rangerpp::core {
+
+FlopsReport profile_flops(const graph::Graph& g) {
+  FlopsReport report;
+  const std::vector<tensor::Shape> shapes = g.infer_shapes();
+  std::vector<tensor::Shape> in_shapes;
+  for (const graph::Node& n : g.nodes()) {
+    in_shapes.clear();
+    for (graph::NodeId in : n.inputs)
+      in_shapes.push_back(shapes[static_cast<std::size_t>(in)]);
+    const std::uint64_t f = n.op->flops(in_shapes);
+    report.total += f;
+    report.by_kind[std::string(n.op->kind_name())] += f;
+  }
+  return report;
+}
+
+double flops_overhead_pct(const graph::Graph& baseline,
+                          const graph::Graph& with_ranger) {
+  const std::uint64_t base = profile_flops(baseline).total;
+  const std::uint64_t prot = profile_flops(with_ranger).total;
+  if (base == 0) return 0.0;
+  return 100.0 * (static_cast<double>(prot) - static_cast<double>(base)) /
+         static_cast<double>(base);
+}
+
+}  // namespace rangerpp::core

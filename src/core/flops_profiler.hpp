@@ -1,0 +1,26 @@
+// FLOPs profiler: the platform-independent overhead metric of Table IV.
+// Mirrors the TensorFlow profiler the paper used: per-op FLOP counts are
+// summed over the graph given the declared input shapes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace rangerpp::core {
+
+struct FlopsReport {
+  std::uint64_t total = 0;
+  // Per op-kind totals, e.g. "Conv2D" -> FLOPs; useful for ablations.
+  std::map<std::string, std::uint64_t> by_kind;
+};
+
+FlopsReport profile_flops(const graph::Graph& g);
+
+// Relative overhead of `with_ranger` over `baseline` in percent.
+double flops_overhead_pct(const graph::Graph& baseline,
+                          const graph::Graph& with_ranger);
+
+}  // namespace rangerpp::core

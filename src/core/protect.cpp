@@ -1,0 +1,48 @@
+#include "core/protect.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rangerpp::core {
+
+ProtectResult protect(const graph::Graph& g,
+                      const std::vector<fi::Feeds>& samples,
+                      const ProtectOptions& options) {
+  ProtectResult result;
+  result.bounds =
+      RangeProfiler{options.profile}.derive_bounds(g, samples);
+  RangerTransform transform{options.transform};
+  result.protected_graph = transform.apply(g, result.bounds);
+  result.stats = transform.last_stats();
+  return result;
+}
+
+void save_bounds(const Bounds& bounds, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_bounds: cannot open " + path);
+  out.precision(9);
+  for (const auto& [name, b] : bounds)
+    out << name << ' ' << b.low << ' ' << b.up << '\n';
+  if (!out) throw std::runtime_error("save_bounds: write failed " + path);
+}
+
+bool load_bounds(Bounds& bounds, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  Bounds loaded;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string name;
+    Bound b;
+    if (!(row >> name >> b.low >> b.up)) return false;
+    if (b.low > b.up) return false;
+    loaded.emplace(std::move(name), b);
+  }
+  bounds = std::move(loaded);
+  return true;
+}
+
+}  // namespace rangerpp::core

@@ -1,0 +1,34 @@
+// One-call convenience API: profile + transform, plus (de)serialisation of
+// restriction bounds so a deployment can ship profiled bounds as a small
+// sidecar file instead of re-profiling (the paper's step-1 artifact).
+#pragma once
+
+#include <string>
+
+#include "core/range_profiler.hpp"
+#include "core/ranger_transform.hpp"
+
+namespace rangerpp::core {
+
+struct ProtectOptions {
+  ProfileOptions profile;
+  TransformOptions transform;
+};
+
+struct ProtectResult {
+  graph::Graph protected_graph;
+  Bounds bounds;
+  TransformStats stats;
+};
+
+// Profiles `g` on `samples` and returns the Ranger-protected graph.
+ProtectResult protect(const graph::Graph& g,
+                      const std::vector<fi::Feeds>& samples,
+                      const ProtectOptions& options = {});
+
+// Bounds sidecar file: one "<name> <low> <up>" line per layer (text, so
+// bounds are diffable and auditable — they are a safety artifact).
+void save_bounds(const Bounds& bounds, const std::string& path);
+bool load_bounds(Bounds& bounds, const std::string& path);
+
+}  // namespace rangerpp::core

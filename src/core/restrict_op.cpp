@@ -1,0 +1,65 @@
+#include "core/restrict_op.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace rangerpp::core {
+
+namespace {
+
+void check_bounds(float low, float high) {
+  if (low > high)
+    throw std::invalid_argument("restriction op: low > high");
+}
+
+tensor::Shape unary_shape(std::span<const tensor::Shape> in) {
+  if (in.size() != 1)
+    throw std::invalid_argument("restriction op: wrong arity");
+  return in[0];
+}
+
+}  // namespace
+
+ZeroResetOp::ZeroResetOp(float low, float high) : low_(low), high_(high) {
+  check_bounds(low, high);
+}
+
+tensor::Shape ZeroResetOp::infer_shape(
+    std::span<const tensor::Shape> in) const {
+  return unary_shape(in);
+}
+
+tensor::Tensor ZeroResetOp::compute(
+    std::span<const tensor::Tensor> in) const {
+  tensor::Tensor y = in[0].clone();
+  for (float& v : y.mutable_values())
+    if (v < low_ || v > high_ || std::isnan(v)) v = 0.0f;
+  return y;
+}
+
+RandomReplaceOp::RandomReplaceOp(float low, float high, std::uint64_t seed)
+    : low_(low), high_(high), seed_(seed) {
+  check_bounds(low, high);
+}
+
+tensor::Shape RandomReplaceOp::infer_shape(
+    std::span<const tensor::Shape> in) const {
+  return unary_shape(in);
+}
+
+tensor::Tensor RandomReplaceOp::compute(
+    std::span<const tensor::Tensor> in) const {
+  tensor::Tensor y = in[0].clone();
+  std::span<float> v = y.mutable_values();
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] < low_ || v[i] > high_ || std::isnan(v[i])) {
+      util::Rng rng(util::derive_seed(seed_, i));
+      v[i] = static_cast<float>(rng.uniform(low_, high_));
+    }
+  }
+  return y;
+}
+
+}  // namespace rangerpp::core

@@ -1,0 +1,52 @@
+// Range-restriction operator variants for the §VI-C design alternatives.
+// The default Ranger policy (clamp) uses ops::ClampOp; the zero-reset and
+// random-replacement alternatives live here.
+#pragma once
+
+#include <cstdint>
+
+#include "ops/op.hpp"
+
+namespace rangerpp::core {
+
+// Resets every out-of-bound value to 0 (the Minerva-style alternative the
+// paper shows destroys accuracy).
+class ZeroResetOp final : public ops::Op {
+ public:
+  ZeroResetOp(float low, float high);
+
+  ops::OpKind kind() const override { return ops::OpKind::kClamp; }
+  tensor::Tensor compute(
+      std::span<const tensor::Tensor> in) const override;
+  tensor::Shape infer_shape(
+      std::span<const tensor::Shape> in) const override;
+  std::uint64_t flops(std::span<const tensor::Shape> in) const override {
+    return 2 * in[0].elements();
+  }
+
+ private:
+  float low_, high_;
+};
+
+// Replaces every out-of-bound value with a uniform draw from [low, high].
+// Deterministic given (seed, element index) so repeated executions of the
+// same graph are reproducible.
+class RandomReplaceOp final : public ops::Op {
+ public:
+  RandomReplaceOp(float low, float high, std::uint64_t seed);
+
+  ops::OpKind kind() const override { return ops::OpKind::kClamp; }
+  tensor::Tensor compute(
+      std::span<const tensor::Tensor> in) const override;
+  tensor::Shape infer_shape(
+      std::span<const tensor::Shape> in) const override;
+  std::uint64_t flops(std::span<const tensor::Shape> in) const override {
+    return 2 * in[0].elements();
+  }
+
+ private:
+  float low_, high_;
+  std::uint64_t seed_;
+};
+
+}  // namespace rangerpp::core

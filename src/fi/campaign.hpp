@@ -1,0 +1,93 @@
+// Fault-injection campaign runner (the TensorFI-equivalent experiment
+// driver).  A campaign runs N independent trials per input; each trial
+// samples a fault set, executes the graph with the injection hook, and
+// judges SDC against the golden (fault-free) output under the *same*
+// datatype.  Trials are distributed over a thread pool and are
+// deterministic given the campaign seed.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "fi/fault_model.hpp"
+#include "fi/sdc.hpp"
+#include "graph/executor.hpp"
+#include "util/stats.hpp"
+
+namespace rangerpp::fi {
+
+struct CampaignConfig {
+  tensor::DType dtype = tensor::DType::kFixed32;
+  int n_bits = 1;                   // flips per trial (multi-bit: 2-5)
+  // Multi-bit mode: false = independent flips in independently chosen
+  // values (the paper's conservative default, §VI-B); true = a burst of
+  // adjacent bits within one value (Yang et al. [58]).
+  bool consecutive_bits = false;
+  std::size_t trials_per_input = 1000;
+  std::uint64_t seed = 42;
+  unsigned threads = 0;             // 0 = hardware concurrency
+};
+
+using Feeds = std::unordered_map<std::string, tensor::Tensor>;
+
+struct CampaignResult {
+  std::size_t trials = 0;
+  std::size_t sdcs = 0;
+
+  double sdc_rate() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(sdcs) /
+                             static_cast<double>(trials);
+  }
+  double sdc_rate_pct() const { return 100.0 * sdc_rate(); }
+  // 95% CI half-width, in percent (the paper's error bars).
+  double ci95_pct() const {
+    return 100.0 * util::ci95_proportion(sdcs, trials);
+  }
+};
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignConfig config) : config_(config) {}
+
+  // Runs the campaign on `g` for every input in `inputs`.
+  CampaignResult run(const graph::Graph& g,
+                     const std::vector<Feeds>& inputs,
+                     const SdcJudge& judge) const;
+
+  // As `run`, but evaluates several judges on the same trials (e.g. the
+  // four steering-deviation thresholds of Fig 7, or top-1 and top-5 for
+  // the ImageNet models) — one execution per trial instead of one per
+  // judge.  Returns one result per judge.
+  std::vector<CampaignResult> run_multi(
+      const graph::Graph& g, const std::vector<Feeds>& inputs,
+      const std::vector<JudgePtr>& judges) const;
+
+  // Paired run: evaluates the same sampled fault sets on both graphs
+  // (matched by node name), returning per-trial outcomes.  Used for the
+  // technique-comparison experiment (Table VI), where coverage is the
+  // fraction of baseline-SDC trials that the protected/detected variant
+  // rectifies or flags.
+  struct PairedOutcome {
+    bool sdc_unprotected = false;
+    bool sdc_protected = false;
+    bool detected = false;  // set when a detector hook is supplied
+  };
+  // `detector` (optional) runs on the protected graph and returns whether
+  // the fault was detected for that trial.
+  using DetectorFactory = std::function<std::function<bool(
+      const graph::Graph&, const Feeds&, const FaultSet&)>()>;
+  std::vector<PairedOutcome> run_paired(
+      const graph::Graph& unprotected, const graph::Graph& protected_g,
+      const std::vector<Feeds>& inputs, const SdcJudge& judge,
+      const std::function<bool(const graph::Graph&, const Feeds&,
+                               const FaultSet&)>& detector = nullptr) const;
+
+  const CampaignConfig& config() const { return config_; }
+
+ private:
+  CampaignConfig config_;
+};
+
+}  // namespace rangerpp::fi

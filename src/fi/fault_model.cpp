@@ -1,0 +1,88 @@
+#include "fi/fault_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace rangerpp::fi {
+
+SiteSpace::SiteSpace(const graph::Graph& g, tensor::DType dtype)
+    : dtype_bits_(tensor::dtype_bits(dtype)) {
+  const std::vector<tensor::Shape> shapes = g.infer_shapes();
+  for (const graph::Node& n : g.nodes()) {
+    if (!n.injectable) continue;
+    const std::size_t elems =
+        shapes[static_cast<std::size_t>(n.id)].elements();
+    if (elems == 0) continue;
+    total_ += elems;
+    nodes_.push_back(Entry{n.name, elems, total_});
+  }
+  if (total_ == 0)
+    throw std::invalid_argument("SiteSpace: graph has no injectable sites");
+}
+
+FaultSet SiteSpace::sample(util::Rng& rng, int n_bits) const {
+  if (n_bits < 1) throw std::invalid_argument("SiteSpace::sample: n_bits");
+  FaultSet faults;
+  faults.reserve(static_cast<std::size_t>(n_bits));
+  for (int i = 0; i < n_bits; ++i) {
+    const std::size_t pick = rng.uniform_index(total_);
+    // Binary search the cumulative ranges.
+    const auto it = std::lower_bound(
+        nodes_.begin(), nodes_.end(), pick,
+        [](const Entry& e, std::size_t v) { return e.cumulative <= v; });
+    const Entry& e = *it;
+    const std::size_t offset = pick - (e.cumulative - e.elements);
+    faults.push_back(FaultPoint{
+        e.name, offset,
+        static_cast<int>(rng.uniform_index(
+            static_cast<std::uint64_t>(dtype_bits_)))});
+  }
+  return faults;
+}
+
+FaultSet SiteSpace::sample_consecutive(util::Rng& rng, int n_bits) const {
+  if (n_bits < 1 || n_bits > dtype_bits_)
+    throw std::invalid_argument("SiteSpace::sample_consecutive: n_bits");
+  // One value, a run of adjacent bits.
+  FaultSet one = sample(rng, 1);
+  const int start = static_cast<int>(rng.uniform_index(
+      static_cast<std::uint64_t>(dtype_bits_ - n_bits + 1)));
+  FaultSet faults;
+  faults.reserve(static_cast<std::size_t>(n_bits));
+  for (int i = 0; i < n_bits; ++i)
+    faults.push_back(
+        FaultPoint{one[0].node_name, one[0].element, start + i});
+  return faults;
+}
+
+std::size_t SiteSpace::elements_of(const std::string& node_name) const {
+  for (const Entry& e : nodes_)
+    if (e.name == node_name) return e.elements;
+  return 0;
+}
+
+graph::PostOpHook make_injection_hook(const graph::Graph& g,
+                                      tensor::DType dtype,
+                                      const FaultSet& faults) {
+  // Resolve names to node ids once; group fault points per node.
+  auto by_node = std::make_shared<
+      std::unordered_map<graph::NodeId, std::vector<FaultPoint>>>();
+  for (const FaultPoint& f : faults) {
+    const graph::NodeId id = g.find(f.node_name);
+    if (id == graph::kInvalidNode) continue;
+    (*by_node)[id].push_back(f);
+  }
+  return [by_node, dtype](const graph::Node& node, tensor::Tensor& out) {
+    const auto it = by_node->find(node.id);
+    if (it == by_node->end()) return;
+    for (const FaultPoint& f : it->second) {
+      if (f.element >= out.elements()) continue;  // defensive; cannot happen
+      const float faulty =
+          tensor::dtype_flip_value(dtype, out.at(f.element), f.bit);
+      out.set(f.element, faulty);
+    }
+  };
+}
+
+}  // namespace rangerpp::fi

@@ -1,0 +1,80 @@
+// Fault model (paper §II-C):
+//  * transient hardware faults in the processor datapath, manifesting as
+//    bit flips in the output value of one operator instance per inference;
+//  * memory / caches / register file are ECC-protected, so weights (Const
+//    nodes) and program inputs are never corrupted;
+//  * single-bit flips by default; the multi-bit mode (§VI-B) flips 2-5 bits
+//    in independently chosen values;
+//  * the last FC layer (and anything after it) is excluded from injection —
+//    model builders mark those nodes non-injectable (§V-B).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/executor.hpp"
+#include "graph/graph.hpp"
+#include "tensor/dtype.hpp"
+#include "util/rng.hpp"
+
+namespace rangerpp::fi {
+
+// One bit flip at one element of one operator's output.  Nodes are
+// addressed by *name* so a fault planned on an unprotected graph can be
+// replayed on its Ranger-transformed twin (names are preserved by the
+// transform).
+struct FaultPoint {
+  std::string node_name;
+  std::size_t element = 0;
+  int bit = 0;
+};
+
+// The set of flips applied during one inference (size 1 under the default
+// single-bit model, 2-5 under the multi-bit model).
+using FaultSet = std::vector<FaultPoint>;
+
+// Enumerates the injectable sites of a graph: every element of every
+// injectable node's output.  Sampling is uniform over *elements* (matching
+// TensorFI), so larger layers absorb proportionally more faults.
+class SiteSpace {
+ public:
+  // Shapes are obtained from Graph::infer_shapes (no execution needed).
+  SiteSpace(const graph::Graph& g, tensor::DType dtype);
+
+  // Uniformly samples `n_bits` independent fault points (the paper's
+  // default multi-bit model: multiple independent values corrupted).
+  FaultSet sample(util::Rng& rng, int n_bits) const;
+
+  // Samples one value and flips `n_bits` *consecutive* bit positions in it
+  // (the alternative burst model of §VI-B, after Yang et al. [58]).
+  FaultSet sample_consecutive(util::Rng& rng, int n_bits) const;
+
+  std::size_t total_elements() const { return total_; }
+  std::size_t injectable_nodes() const { return nodes_.size(); }
+
+  // Element count of a node's output (0 when not injectable); keyed by
+  // name, for tests and for baselines that weight coverage by site mass.
+  std::size_t elements_of(const std::string& node_name) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::size_t elements;
+    std::size_t cumulative;  // inclusive upper bound of this node's range
+  };
+  std::vector<Entry> nodes_;
+  std::size_t total_ = 0;
+  int dtype_bits_ = 32;
+};
+
+// Builds an executor hook that applies `faults` (resolved against `g` by
+// node name) by flipping bits of the datatype representation.  Fault
+// points naming nodes absent from the graph are ignored (they cannot occur
+// when the SiteSpace came from the same graph; during cross-graph replay
+// every original node name still exists by construction).
+graph::PostOpHook make_injection_hook(const graph::Graph& g,
+                                      tensor::DType dtype,
+                                      const FaultSet& faults);
+
+}  // namespace rangerpp::fi

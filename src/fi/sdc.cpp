@@ -1,0 +1,44 @@
+#include "fi/sdc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "graph/executor.hpp"
+
+namespace rangerpp::fi {
+
+bool Top1Judge::is_sdc(const tensor::Tensor& golden,
+                       const tensor::Tensor& faulty) const {
+  return graph::argmax(golden) != graph::argmax(faulty);
+}
+
+bool Top5Judge::is_sdc(const tensor::Tensor& golden,
+                       const tensor::Tensor& faulty) const {
+  const int label = graph::argmax(golden);
+  const std::vector<int> top5 = graph::top_k(faulty, 5);
+  return std::find(top5.begin(), top5.end(), label) == top5.end();
+}
+
+SteeringJudge::SteeringJudge(double threshold_degrees, bool output_in_radians)
+    : threshold_degrees_(threshold_degrees), radians_(output_in_radians) {
+  if (threshold_degrees <= 0.0)
+    throw std::invalid_argument("SteeringJudge: non-positive threshold");
+}
+
+bool SteeringJudge::is_sdc(const tensor::Tensor& golden,
+                           const tensor::Tensor& faulty) const {
+  double g = golden.at(0);
+  double f = faulty.at(0);
+  if (radians_) {
+    g *= 180.0 / std::numbers::pi;
+    f *= 180.0 / std::numbers::pi;
+  }
+  const double dev = std::abs(g - f);
+  // A NaN output (possible under float32 faults) is always corrupt.
+  if (std::isnan(dev)) return true;
+  return dev > threshold_degrees_;
+}
+
+}  // namespace rangerpp::fi

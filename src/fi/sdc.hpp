@@ -1,0 +1,50 @@
+// SDC (silent data corruption) judges: decide whether a faulty output
+// constitutes an SDC relative to the fault-free golden output of the same
+// model and input (the paper's definition, §III-A).
+#pragma once
+
+#include <memory>
+
+#include "tensor/tensor.hpp"
+
+namespace rangerpp::fi {
+
+class SdcJudge {
+ public:
+  virtual ~SdcJudge() = default;
+  virtual bool is_sdc(const tensor::Tensor& golden,
+                      const tensor::Tensor& faulty) const = 0;
+};
+
+// Classifier, top-1: SDC iff argmax changes.
+class Top1Judge final : public SdcJudge {
+ public:
+  bool is_sdc(const tensor::Tensor& golden,
+              const tensor::Tensor& faulty) const override;
+};
+
+// Classifier, top-5: SDC iff the fault-free top-1 label leaves the faulty
+// top-5 set (the paper's ImageNet top-5 metric).
+class Top5Judge final : public SdcJudge {
+ public:
+  bool is_sdc(const tensor::Tensor& golden,
+              const tensor::Tensor& faulty) const override;
+};
+
+// Steering model: SDC iff the steering-angle deviation exceeds
+// `threshold_degrees`.  When `output_in_radians` is set (Nvidia Dave), the
+// scalar outputs are converted to degrees before comparison.
+class SteeringJudge final : public SdcJudge {
+ public:
+  SteeringJudge(double threshold_degrees, bool output_in_radians);
+  bool is_sdc(const tensor::Tensor& golden,
+              const tensor::Tensor& faulty) const override;
+
+ private:
+  double threshold_degrees_;
+  bool radians_;
+};
+
+using JudgePtr = std::shared_ptr<const SdcJudge>;
+
+}  // namespace rangerpp::fi

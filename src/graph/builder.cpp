@@ -1,0 +1,167 @@
+#include "graph/builder.hpp"
+
+#include <stdexcept>
+
+namespace rangerpp::graph {
+
+ops::OpKind GraphBuilder::require_current(const char* what) const {
+  if (current_ == kInvalidNode)
+    throw std::logic_error(std::string("GraphBuilder: no current node for ") +
+                           what);
+  return g_.node(current_).op->kind();
+}
+
+NodeId GraphBuilder::input(const std::string& name, tensor::Shape shape) {
+  current_ = g_.add(name, std::make_shared<ops::InputOp>(shape), {});
+  return current_;
+}
+
+NodeId GraphBuilder::constant(const std::string& name, tensor::Tensor value) {
+  return g_.add(name, std::make_shared<ops::ConstOp>(std::move(value)), {});
+}
+
+NodeId GraphBuilder::conv2d(const std::string& name, tensor::Tensor filter,
+                            tensor::Tensor bias, ops::Conv2DParams params) {
+  require_current("conv2d");
+  const NodeId f = constant(name + "/filter", std::move(filter));
+  const NodeId conv = g_.add(
+      name, std::make_shared<ops::Conv2DOp>(params), {current_, f});
+  const NodeId b = constant(name + "/bias", std::move(bias));
+  current_ = g_.add(name + "/bias_add", std::make_shared<ops::BiasAddOp>(),
+                    {conv, b});
+  return current_;
+}
+
+NodeId GraphBuilder::dense(const std::string& name, tensor::Tensor weights,
+                           tensor::Tensor bias, bool injectable) {
+  require_current("dense");
+  const NodeId w = constant(name + "/weights", std::move(weights));
+  const NodeId mm = g_.add(name, std::make_shared<ops::MatMulOp>(),
+                           {current_, w}, injectable);
+  const NodeId b = constant(name + "/bias", std::move(bias));
+  current_ = g_.add(name + "/bias_add", std::make_shared<ops::BiasAddOp>(),
+                    {mm, b}, injectable);
+  return current_;
+}
+
+NodeId GraphBuilder::activation(const std::string& name, ops::OpKind kind) {
+  require_current("activation");
+  ops::OpPtr op;
+  switch (kind) {
+    case ops::OpKind::kRelu: op = std::make_shared<ops::ReluOp>(); break;
+    case ops::OpKind::kRelu6: op = std::make_shared<ops::Relu6Op>(); break;
+    case ops::OpKind::kTanh: op = std::make_shared<ops::TanhOp>(); break;
+    case ops::OpKind::kSigmoid:
+      op = std::make_shared<ops::SigmoidOp>();
+      break;
+    case ops::OpKind::kElu: op = std::make_shared<ops::EluOp>(); break;
+    default:
+      throw std::invalid_argument("GraphBuilder::activation: not an ACT op");
+  }
+  current_ = g_.add(name, std::move(op), {current_});
+  return current_;
+}
+
+NodeId GraphBuilder::max_pool(const std::string& name,
+                              ops::PoolParams params) {
+  require_current("max_pool");
+  current_ =
+      g_.add(name, std::make_shared<ops::MaxPoolOp>(params), {current_});
+  return current_;
+}
+
+NodeId GraphBuilder::avg_pool(const std::string& name,
+                              ops::PoolParams params) {
+  require_current("avg_pool");
+  current_ =
+      g_.add(name, std::make_shared<ops::AvgPoolOp>(params), {current_});
+  return current_;
+}
+
+NodeId GraphBuilder::global_avg_pool(const std::string& name) {
+  require_current("global_avg_pool");
+  current_ =
+      g_.add(name, std::make_shared<ops::GlobalAvgPoolOp>(), {current_});
+  return current_;
+}
+
+NodeId GraphBuilder::lrn(const std::string& name, ops::LrnParams params) {
+  require_current("lrn");
+  current_ = g_.add(name, std::make_shared<ops::LrnOp>(params), {current_});
+  return current_;
+}
+
+NodeId GraphBuilder::batch_norm(const std::string& name,
+                                std::vector<float> scale,
+                                std::vector<float> shift) {
+  require_current("batch_norm");
+  current_ = g_.add(
+      name,
+      std::make_shared<ops::BatchNormOp>(std::move(scale), std::move(shift)),
+      {current_});
+  return current_;
+}
+
+NodeId GraphBuilder::flatten(const std::string& name) {
+  require_current("flatten");
+  current_ = g_.add(name, std::make_shared<ops::FlattenOp>(), {current_});
+  return current_;
+}
+
+NodeId GraphBuilder::reshape(const std::string& name, tensor::Shape target) {
+  require_current("reshape");
+  current_ =
+      g_.add(name, std::make_shared<ops::ReshapeOp>(target), {current_});
+  return current_;
+}
+
+NodeId GraphBuilder::softmax(const std::string& name, bool injectable) {
+  require_current("softmax");
+  current_ = g_.add(name, std::make_shared<ops::SoftmaxOp>(), {current_},
+                    injectable);
+  return current_;
+}
+
+NodeId GraphBuilder::atan(const std::string& name, bool injectable) {
+  require_current("atan");
+  current_ =
+      g_.add(name, std::make_shared<ops::AtanOp>(), {current_}, injectable);
+  return current_;
+}
+
+NodeId GraphBuilder::scale(const std::string& name, float factor,
+                           bool injectable) {
+  require_current("scale");
+  current_ = g_.add(name, std::make_shared<ops::ScaleOp>(factor), {current_},
+                    injectable);
+  return current_;
+}
+
+NodeId GraphBuilder::dropout(const std::string& name) {
+  require_current("dropout");
+  current_ = g_.add(name, std::make_shared<ops::DropoutOp>(), {current_});
+  return current_;
+}
+
+NodeId GraphBuilder::add(const std::string& name, NodeId a, NodeId b) {
+  current_ = g_.add(name, std::make_shared<ops::AddOp>(), {a, b});
+  return current_;
+}
+
+NodeId GraphBuilder::concat(const std::string& name, NodeId a, NodeId b) {
+  current_ = g_.add(name, std::make_shared<ops::ConcatOp>(), {a, b});
+  return current_;
+}
+
+NodeId GraphBuilder::append(const std::string& name, ops::OpPtr op,
+                            std::vector<NodeId> inputs, bool injectable) {
+  current_ = g_.add(name, std::move(op), std::move(inputs), injectable);
+  return current_;
+}
+
+Graph GraphBuilder::finish() {
+  if (current_ != kInvalidNode) g_.set_output(current_);
+  return std::move(g_);
+}
+
+}  // namespace rangerpp::graph

@@ -1,0 +1,70 @@
+// Fluent helper for assembling model graphs.  Thin sugar over Graph::add
+// that tracks the "current" node so sequential model code reads like the
+// layer list in the papers the models come from.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+#include "ops/activation_ops.hpp"
+#include "ops/basic_ops.hpp"
+#include "ops/elementwise_ops.hpp"
+#include "ops/nn_ops.hpp"
+#include "ops/norm_ops.hpp"
+#include "ops/pool_ops.hpp"
+#include "ops/shape_ops.hpp"
+
+namespace rangerpp::graph {
+
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  // Adds an input placeholder and makes it current.
+  NodeId input(const std::string& name, tensor::Shape shape);
+
+  // Adds a constant (weights).  Does not change the current node.
+  NodeId constant(const std::string& name, tensor::Tensor value);
+
+  // Each of the following appends an op consuming the current node (plus
+  // any constants) and makes the result current.  Returns the new node id.
+  NodeId conv2d(const std::string& name, tensor::Tensor filter,
+                tensor::Tensor bias, ops::Conv2DParams params);
+  NodeId dense(const std::string& name, tensor::Tensor weights,
+               tensor::Tensor bias, bool injectable = true);
+  NodeId activation(const std::string& name, ops::OpKind kind);
+  NodeId max_pool(const std::string& name, ops::PoolParams params);
+  NodeId avg_pool(const std::string& name, ops::PoolParams params);
+  NodeId global_avg_pool(const std::string& name);
+  NodeId lrn(const std::string& name, ops::LrnParams params = {});
+  NodeId batch_norm(const std::string& name, std::vector<float> scale,
+                    std::vector<float> shift);
+  NodeId flatten(const std::string& name);
+  NodeId reshape(const std::string& name, tensor::Shape target);
+  NodeId softmax(const std::string& name, bool injectable = true);
+  NodeId atan(const std::string& name, bool injectable = true);
+  NodeId scale(const std::string& name, float factor, bool injectable = true);
+  NodeId dropout(const std::string& name);
+
+  // Non-sequential plumbing.
+  NodeId add(const std::string& name, NodeId a, NodeId b);
+  NodeId concat(const std::string& name, NodeId a, NodeId b);
+  NodeId append(const std::string& name, ops::OpPtr op,
+                std::vector<NodeId> inputs, bool injectable = true);
+
+  NodeId current() const { return current_; }
+  void set_current(NodeId id) { current_ = id; }
+
+  // Finalises and returns the graph (current node becomes the output
+  // unless set_output was called on the underlying graph).
+  Graph finish();
+  Graph& graph() { return g_; }
+
+ private:
+  ops::OpKind require_current(const char* what) const;
+
+  Graph g_;
+  NodeId current_ = kInvalidNode;
+};
+
+}  // namespace rangerpp::graph

@@ -1,0 +1,59 @@
+#include "graph/dot_export.hpp"
+
+#include <sstream>
+
+namespace rangerpp::graph {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+const char* color_of(const Node& n) {
+  switch (n.op->kind()) {
+    case ops::OpKind::kClamp:
+      return "palegreen";  // Ranger restriction ops stand out
+    case ops::OpKind::kInput:
+      return "lightblue";
+    case ops::OpKind::kConv2D:
+    case ops::OpKind::kMatMul:
+      return "lightyellow";
+    default:
+      return "white";
+  }
+}
+
+}  // namespace
+
+std::string to_dot(const Graph& g, const DotOptions& options) {
+  std::ostringstream out;
+  out << "digraph rangerpp {\n  rankdir=TB;\n  node [shape=box, "
+         "style=filled];\n";
+  std::vector<bool> hidden(g.size(), false);
+  for (const Node& n : g.nodes()) {
+    if (options.hide_constants && n.op->kind() == ops::OpKind::kConst) {
+      hidden[static_cast<std::size_t>(n.id)] = true;
+      continue;
+    }
+    out << "  n" << n.id << " [label=\"" << escape(n.name) << "\\n("
+        << n.op->kind_name() << ")\", fillcolor=" << color_of(n) << "];\n";
+  }
+  for (const Node& n : g.nodes()) {
+    if (hidden[static_cast<std::size_t>(n.id)]) continue;
+    for (NodeId in : n.inputs) {
+      if (hidden[static_cast<std::size_t>(in)]) continue;
+      out << "  n" << in << " -> n" << n.id << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace rangerpp::graph

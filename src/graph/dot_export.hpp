@@ -1,0 +1,19 @@
+// Graphviz DOT export of a dataflow graph.  Useful for inspecting where
+// the Ranger transform spliced its restriction ops (render with
+// `dot -Tpng model.dot -o model.png`).
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace rangerpp::graph {
+
+struct DotOptions {
+  // Omit Const (weight) nodes, which dominate real models visually.
+  bool hide_constants = true;
+};
+
+std::string to_dot(const Graph& g, const DotOptions& options = {});
+
+}  // namespace rangerpp::graph

@@ -1,0 +1,83 @@
+#include "graph/executor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ops/basic_ops.hpp"
+
+namespace rangerpp::graph {
+
+namespace {
+
+void quantize_tensor(tensor::DType d, tensor::Tensor& t) {
+  if (d == tensor::DType::kFloat32) return;
+  for (float& v : t.mutable_values()) v = tensor::dtype_quantize(d, v);
+}
+
+}  // namespace
+
+tensor::Tensor Executor::run_all(
+    const Graph& g,
+    const std::unordered_map<std::string, tensor::Tensor>& feeds,
+    std::vector<tensor::Tensor>& all_outputs, const PostOpHook& hook) const {
+  all_outputs.assign(g.size(), tensor::Tensor{});
+  std::vector<tensor::Tensor> input_buf;
+  for (const Node& n : g.nodes()) {
+    tensor::Tensor out;
+    if (n.op->kind() == ops::OpKind::kInput) {
+      const auto it = feeds.find(n.name);
+      if (it == feeds.end())
+        throw std::invalid_argument("Executor: missing feed for input '" +
+                                    n.name + "'");
+      const auto* input_op = static_cast<const ops::InputOp*>(n.op.get());
+      if (it->second.shape() != input_op->shape())
+        throw std::invalid_argument("Executor: feed shape mismatch for '" +
+                                    n.name + "'");
+      out = it->second.clone();
+      quantize_tensor(options_.dtype, out);
+    } else if (n.op->kind() == ops::OpKind::kConst) {
+      out = n.op->compute({});
+      // Weights live in ECC-protected memory under the paper's fault model
+      // but are still read in the inference datatype.
+      quantize_tensor(options_.dtype, out);
+    } else {
+      input_buf.clear();
+      input_buf.reserve(n.inputs.size());
+      for (NodeId in : n.inputs)
+        input_buf.push_back(all_outputs[static_cast<std::size_t>(in)]);
+      out = n.op->compute(input_buf);
+      quantize_tensor(options_.dtype, out);
+      if (hook) hook(n, out);
+    }
+    all_outputs[static_cast<std::size_t>(n.id)] = std::move(out);
+  }
+  return all_outputs[static_cast<std::size_t>(g.output())];
+}
+
+tensor::Tensor Executor::run(
+    const Graph& g,
+    const std::unordered_map<std::string, tensor::Tensor>& feeds,
+    const PostOpHook& hook) const {
+  std::vector<tensor::Tensor> outputs;
+  return run_all(g, feeds, outputs, hook);
+}
+
+int argmax(const tensor::Tensor& t) {
+  const auto v = t.values();
+  if (v.empty()) throw std::invalid_argument("argmax: empty tensor");
+  return static_cast<int>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+std::vector<int> top_k(const tensor::Tensor& t, int k) {
+  const auto v = t.values();
+  std::vector<int> idx(v.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<int>(i);
+  const int kk = std::min<int>(k, static_cast<int>(idx.size()));
+  std::partial_sort(idx.begin(), idx.begin() + kk, idx.end(),
+                    [&](int a, int b) { return v[a] > v[b]; });
+  idx.resize(static_cast<std::size_t>(kk));
+  return idx;
+}
+
+}  // namespace rangerpp::graph

@@ -1,0 +1,65 @@
+// Graph executor.
+//
+// Evaluates nodes in append (= topological) order.  Two features matter for
+// the reproduction:
+//  * every operator output is quantised through the active inference
+//    datatype codec (float32 / fixed32 / fixed16), so stored values are
+//    exactly representable and bit flips act on the true representation;
+//  * a post-op hook observes (and may corrupt) each node's output tensor —
+//    the fault injector, the range profiler and the detection baselines all
+//    attach here.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "graph/graph.hpp"
+#include "tensor/dtype.hpp"
+
+namespace rangerpp::graph {
+
+struct ExecOptions {
+  tensor::DType dtype = tensor::DType::kFloat32;
+};
+
+// Called after a node's output is computed and quantised.  May mutate the
+// tensor in place (mutations are re-quantised by the caller via the hook
+// contract: hooks that write values are expected to write representable
+// values — the fault injector flips bits of the encoded representation, so
+// this holds by construction).
+using PostOpHook =
+    std::function<void(const Node& node, tensor::Tensor& output)>;
+
+class Executor {
+ public:
+  explicit Executor(ExecOptions options = {}) : options_(options) {}
+
+  // Runs the graph with `feeds` bound to Input nodes (keyed by node name).
+  // Returns the designated output node's tensor.
+  tensor::Tensor run(const Graph& g,
+                     const std::unordered_map<std::string, tensor::Tensor>&
+                         feeds,
+                     const PostOpHook& hook = nullptr) const;
+
+  // As `run`, but also exposes every node's output (indexed by NodeId) via
+  // `all_outputs`; used by the profiler and by detection baselines that
+  // need intermediate activations.
+  tensor::Tensor run_all(const Graph& g,
+                         const std::unordered_map<std::string,
+                                                  tensor::Tensor>& feeds,
+                         std::vector<tensor::Tensor>& all_outputs,
+                         const PostOpHook& hook = nullptr) const;
+
+  const ExecOptions& options() const { return options_; }
+
+ private:
+  ExecOptions options_;
+};
+
+// Argmax over the output tensor — predicted class id for classifiers.
+int argmax(const tensor::Tensor& t);
+
+// Indices of the k largest values, descending (top-5 metric).
+std::vector<int> top_k(const tensor::Tensor& t, int k);
+
+}  // namespace rangerpp::graph

@@ -1,0 +1,99 @@
+#include "graph/graph.hpp"
+
+#include <stdexcept>
+
+namespace rangerpp::graph {
+
+NodeId Graph::add(std::string name, ops::OpPtr op, std::vector<NodeId> inputs,
+                  bool injectable) {
+  if (!op) throw std::invalid_argument("Graph::add: null op");
+  if (name.empty()) throw std::invalid_argument("Graph::add: empty name");
+  if (by_name_.contains(name))
+    throw std::invalid_argument("Graph::add: duplicate node name '" + name +
+                                "'");
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  for (NodeId in : inputs) {
+    if (in < 0 || in >= id)
+      throw std::invalid_argument(
+          "Graph::add: input must reference an existing node (append-only "
+          "graph)");
+  }
+  const ops::OpKind k = op->kind();
+  if (k == ops::OpKind::kInput || k == ops::OpKind::kConst) injectable = false;
+  by_name_.emplace(name, id);
+  nodes_.push_back(Node{id, std::move(name), std::move(op),
+                        std::move(inputs), injectable});
+  return id;
+}
+
+const Node& Graph::node(NodeId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size())
+    throw std::out_of_range("Graph::node: bad id");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+NodeId Graph::find(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kInvalidNode : it->second;
+}
+
+NodeId Graph::output() const {
+  if (output_ != kInvalidNode) return output_;
+  if (nodes_.empty()) throw std::logic_error("Graph::output: empty graph");
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Graph::set_output(NodeId id) {
+  node(id);  // validate
+  output_ = id;
+}
+
+std::vector<NodeId> Graph::consumers(NodeId id) const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_)
+    for (NodeId in : n.inputs)
+      if (in == id) {
+        out.push_back(n.id);
+        break;
+      }
+  return out;
+}
+
+std::vector<tensor::Shape> Graph::infer_shapes() const {
+  std::vector<tensor::Shape> shapes(nodes_.size());
+  std::vector<tensor::Shape> in_shapes;
+  for (const Node& n : nodes_) {
+    in_shapes.clear();
+    for (NodeId in : n.inputs)
+      in_shapes.push_back(shapes[static_cast<std::size_t>(in)]);
+    shapes[static_cast<std::size_t>(n.id)] = n.op->infer_shape(in_shapes);
+  }
+  return shapes;
+}
+
+Graph Graph::import_with_remap(const PostCopyHook& post_copy) const {
+  Graph dst;
+  // Maps a source node id to the destination node its consumers should use.
+  std::vector<NodeId> remap(nodes_.size(), kInvalidNode);
+  for (const Node& n : nodes_) {
+    std::vector<NodeId> new_inputs;
+    new_inputs.reserve(n.inputs.size());
+    for (NodeId in : n.inputs)
+      new_inputs.push_back(remap[static_cast<std::size_t>(in)]);
+    const NodeId copied =
+        dst.add(n.name, n.op, std::move(new_inputs), n.injectable);
+    NodeId effective = copied;
+    if (post_copy) {
+      if (const auto replacement = post_copy(n, copied, dst))
+        effective = *replacement;
+    }
+    remap[static_cast<std::size_t>(n.id)] = effective;
+  }
+  if (output_ != kInvalidNode)
+    dst.set_output(remap[static_cast<std::size_t>(output_)]);
+  return dst;
+}
+
+Graph Graph::clone() const { return import_with_remap(nullptr); }
+
+}  // namespace rangerpp::graph

@@ -1,0 +1,80 @@
+// Static dataflow graph, modelled on TensorFlow's GraphDef semantics:
+//  * nodes are appended and never mutated (the paper's Ranger insertion
+//    relies on this append-only property and duplicates the graph, Fig 3);
+//  * a node's inputs must already exist, so node order is topological;
+//  * nodes are addressable by unique string names.
+//
+// Graph transformation (Ranger insertion) is performed by
+// `Graph::import_with_remap`, the analogue of TensorFlow's
+// `import_graph_def(..., input_map=...)`: it copies nodes of a source graph
+// into a new graph while an `InputRemap` callback may splice new operators
+// (the range-restriction clamps) between a producer and its consumers.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ops/op.hpp"
+
+namespace rangerpp::graph {
+
+using NodeId = int;
+inline constexpr NodeId kInvalidNode = -1;
+
+struct Node {
+  NodeId id = kInvalidNode;
+  std::string name;
+  ops::OpPtr op;
+  std::vector<NodeId> inputs;
+  // Whether the fault injector may target this node's output.  Model
+  // builders clear this for the last FC layer and everything after it
+  // (paper §V-B) — Input/Const nodes are never injectable regardless.
+  bool injectable = true;
+};
+
+class Graph {
+ public:
+  NodeId add(std::string name, ops::OpPtr op, std::vector<NodeId> inputs,
+             bool injectable = true);
+
+  const Node& node(NodeId id) const;
+  std::size_t size() const { return nodes_.size(); }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  // Looks up a node by name; returns kInvalidNode when absent.
+  NodeId find(std::string_view name) const;
+
+  // The graph's designated output (defaults to the last added node).
+  NodeId output() const;
+  void set_output(NodeId id);
+
+  // Node ids of all consumers of `id`.
+  std::vector<NodeId> consumers(NodeId id) const;
+
+  // Output shape of every node given the declared InputOp shapes.
+  std::vector<tensor::Shape> infer_shapes() const;
+
+  // --- Transformation support -------------------------------------------
+  //
+  // Copies this graph into a fresh one.  After each node is copied,
+  // `post_copy` may append extra nodes (e.g. a Clamp) to the destination
+  // and return the id consumers of the original node should be rewired to;
+  // returning nullopt keeps the direct copy.  This mirrors the
+  // duplicate-and-remap flow of the paper's TensorFlow implementation.
+  using PostCopyHook = std::function<std::optional<NodeId>(
+      const Node& src_node, NodeId copied_id, Graph& dst)>;
+  Graph import_with_remap(const PostCopyHook& post_copy) const;
+
+  // Plain structural clone.
+  Graph clone() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::unordered_map<std::string, NodeId> by_name_;
+  NodeId output_ = kInvalidNode;
+};
+
+}  // namespace rangerpp::graph

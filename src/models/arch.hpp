@@ -1,0 +1,97 @@
+// Sequential architecture description shared by the graph builder
+// (models/) and the trainer (train/).  The branching models (ResNet-18,
+// SqueezeNet) are assembled directly with GraphBuilder in their own
+// translation units; everything the paper *retrains* (LeNet, Dave, Comma
+// and the Tanh variants for the Hong-et-al. comparison) is sequential, so
+// one Arch definition drives both training and inference-graph
+// construction and the two cannot drift apart.
+#pragma once
+
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ops/nn_ops.hpp"
+#include "ops/norm_ops.hpp"
+#include "ops/op.hpp"
+#include "ops/pool_ops.hpp"
+#include "tensor/shape.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rangerpp::models {
+
+struct ConvDef {
+  std::string name;
+  int kh = 3, kw = 3;
+  int out_channels = 0;
+  int stride = 1;
+  ops::Padding padding = ops::Padding::kSame;
+};
+
+struct DenseDef {
+  std::string name;
+  int units = 0;
+  // The paper excludes the last FC layer from fault injection (§V-B);
+  // zoo definitions set this to false on the output head.
+  bool injectable = true;
+};
+
+struct ActDef {
+  std::string name;
+  ops::OpKind kind = ops::OpKind::kRelu;  // kRelu/kTanh/kSigmoid/kElu
+};
+
+struct PoolDef {
+  std::string name;
+  bool max = true;  // false = average pooling
+  ops::PoolParams params;
+};
+
+struct FlattenDef {
+  std::string name;
+};
+
+struct LrnDef {
+  std::string name;
+  ops::LrnParams params;
+};
+
+struct DropoutDef {
+  std::string name;
+};
+
+struct SoftmaxDef {
+  std::string name;  // classifier head; never injectable
+};
+
+// Steering head of the Nvidia Dave model: y = scale * atan(x).  Never
+// injectable (it follows the last FC layer).
+struct AtanDef {
+  std::string name;
+  float scale = 2.0f;
+};
+
+// Fixed linear output scaling y = factor * x (not trainable).  Never
+// injectable (used only after the last FC layer).
+struct ScaleDef {
+  std::string name;
+  float factor = 1.0f;
+};
+
+using LayerDef = std::variant<ConvDef, DenseDef, ActDef, PoolDef, FlattenDef,
+                              LrnDef, DropoutDef, SoftmaxDef, AtanDef,
+                              ScaleDef>;
+
+struct Arch {
+  std::string model_name;
+  tensor::Shape input_shape;  // NHWC with N = 1
+  std::string input_name = "input";
+  std::vector<LayerDef> layers;
+};
+
+// Trained / initialised parameters, keyed "<layer>/filter", "<layer>/bias",
+// "<layer>/weights".
+using Weights = std::map<std::string, tensor::Tensor>;
+
+}  // namespace rangerpp::models

@@ -1,0 +1,65 @@
+#include "models/build.hpp"
+
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace rangerpp::models {
+
+namespace {
+
+const tensor::Tensor& require_weight(const Weights& w,
+                                     const std::string& key) {
+  const auto it = w.find(key);
+  if (it == w.end())
+    throw std::invalid_argument("build_sequential_graph: missing weight '" +
+                                key + "'");
+  return it->second;
+}
+
+}  // namespace
+
+graph::Graph build_sequential_graph(const Arch& arch,
+                                    const Weights& weights) {
+  graph::GraphBuilder b;
+  b.input(arch.input_name, arch.input_shape);
+
+  for (const LayerDef& def : arch.layers) {
+    if (const auto* c = std::get_if<ConvDef>(&def)) {
+      b.conv2d(c->name, require_weight(weights, c->name + "/filter").clone(),
+               require_weight(weights, c->name + "/bias").clone(),
+               ops::Conv2DParams{c->stride, c->stride, c->padding});
+    } else if (const auto* d = std::get_if<DenseDef>(&def)) {
+      b.dense(d->name, require_weight(weights, d->name + "/weights").clone(),
+              require_weight(weights, d->name + "/bias").clone(),
+              d->injectable);
+    } else if (const auto* a = std::get_if<ActDef>(&def)) {
+      b.activation(a->name, a->kind);
+    } else if (const auto* p = std::get_if<PoolDef>(&def)) {
+      if (p->max) {
+        b.max_pool(p->name, p->params);
+      } else {
+        b.avg_pool(p->name, p->params);
+      }
+    } else if (const auto* f = std::get_if<FlattenDef>(&def)) {
+      b.flatten(f->name);
+    } else if (const auto* l = std::get_if<LrnDef>(&def)) {
+      b.lrn(l->name, l->params);
+    } else if (const auto* dr = std::get_if<DropoutDef>(&def)) {
+      b.dropout(dr->name);
+    } else if (const auto* s = std::get_if<SoftmaxDef>(&def)) {
+      b.softmax(s->name, /*injectable=*/false);
+    } else if (const auto* at = std::get_if<AtanDef>(&def)) {
+      b.atan(at->name, /*injectable=*/false);
+      if (at->scale != 1.0f)
+        b.scale(at->name + "/scale", at->scale, /*injectable=*/false);
+    } else if (const auto* sc = std::get_if<ScaleDef>(&def)) {
+      b.scale(sc->name, sc->factor, /*injectable=*/false);
+    } else {
+      throw std::logic_error("build_sequential_graph: unhandled layer kind");
+    }
+  }
+  return b.finish();
+}
+
+}  // namespace rangerpp::models

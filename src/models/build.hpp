@@ -1,0 +1,11 @@
+// Builds an inference graph from a sequential Arch plus Weights.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "models/arch.hpp"
+
+namespace rangerpp::models {
+
+graph::Graph build_sequential_graph(const Arch& arch, const Weights& weights);
+
+}  // namespace rangerpp::models

@@ -1,0 +1,54 @@
+// Classifier-head calibration for the models that are too expensive to
+// train end-to-end offline (AlexNet with LRN, and the ImageNet-scale
+// VGG16 / ResNet-18 / SqueezeNet).
+//
+// Why this exists: the paper evaluates *pretrained* networks, whose
+// correct-class logit margins are large; a purely He-initialised network
+// has near-tie logits, which inflates the residual SDC rate under Ranger
+// (any tiny surviving deviation flips the argmax).  Training only the
+// final linear layer — a softmax regression on the frozen random features
+// — restores realistic margins at a fraction of the cost of full
+// training, while leaving every hidden layer (and hence Ranger's bounds
+// and the fault-propagation behaviour) untouched.  DESIGN.md §3 documents
+// this substitution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.hpp"
+#include "graph/graph.hpp"
+#include "models/arch.hpp"
+
+namespace rangerpp::models {
+
+struct HeadCalibrationOptions {
+  int epochs = 15;
+  double learning_rate = 0.2;
+  double momentum = 0.9;
+  std::uint64_t seed = 31;
+  // Reduce rank-4 features to per-channel spatial means before the
+  // regression (for convolutional heads like SqueezeNet's conv10, whose
+  // 1x1-conv + global-average-pool classifier is linear in the channel
+  // means).
+  bool gap_features = false;
+};
+
+// Trains a softmax-regression head on the activations of `feature_node`
+// (flattened, batch 1) against the sample labels, and returns
+// {weights [features, classes], bias [classes]}.  Features are scaled by a
+// single constant (their mean L2 norm) during training and the scale is
+// folded back into the returned weights, so the head drops into the graph
+// as plain Const weights.
+struct CalibratedHead {
+  tensor::Tensor weights;
+  tensor::Tensor bias;
+};
+CalibratedHead calibrate_softmax_head(const graph::Graph& g,
+                                      const std::string& input_name,
+                                      const std::string& feature_node,
+                                      int classes,
+                                      const data::Dataset& train_set,
+                                      const HeadCalibrationOptions& options);
+
+}  // namespace rangerpp::models

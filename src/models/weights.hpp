@@ -1,0 +1,40 @@
+// Weight initialisation and binary weight-cache IO.
+//
+// The paper evaluates *pretrained* networks.  Offline, the reproduction
+// obtains weights two ways (see DESIGN.md §3):
+//  * He-initialised deterministic weights for the large classifiers, which
+//    give realistic activation-magnitude growth across layers (what fault
+//    propagation and range profiling exercise);
+//  * genuinely trained weights (train/) for LeNet, Dave and Comma, cached
+//    on disk so training cost is paid once per machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "models/arch.hpp"
+#include "util/rng.hpp"
+
+namespace rangerpp::models {
+
+// He-normal initialisation for every Conv/Dense layer of `arch`
+// (fan_in-scaled); biases start at zero.  Deterministic in `seed`.
+Weights he_init(const Arch& arch, std::uint64_t seed);
+
+// Single-tensor initialisers for the hand-built (branching) models.
+tensor::Tensor he_filter(int kh, int kw, int in_c, int out_c,
+                         util::Rng& rng);
+tensor::Tensor he_matrix(int in_dim, int out_dim, util::Rng& rng);
+tensor::Tensor zero_bias(int n);
+
+// Binary (de)serialisation of a Weights map.  Format: u32 count, then per
+// entry: u32 name length, name bytes, u32 rank, u32 dims..., f32 data.
+void save_weights(const Weights& w, const std::string& path);
+bool load_weights(Weights& w, const std::string& path);  // false if absent
+
+// Directory used by the pretrained-model cache; created on demand.
+// Defaults to "./rangerpp_weights", overridable via the
+// RANGERPP_WEIGHTS_DIR environment variable.
+std::string weight_cache_dir();
+
+}  // namespace rangerpp::models

@@ -1,0 +1,66 @@
+// Workload = model graph + datasets + evaluation metadata, the unit every
+// bench binary iterates over.  make_workload() assembles the synthetic
+// datasets, obtains pretrained weights (training the trainable models once
+// and caching them on disk), and builds the unprotected inference graph.
+#pragma once
+
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "fi/sdc.hpp"
+#include "models/zoo.hpp"
+
+namespace rangerpp::models {
+
+struct WorkloadOptions {
+  // Activation override; kInput (sentinel) = the model's published one.
+  ops::OpKind act = ops::OpKind::kInput;
+  std::size_t profile_samples = 200;  // bound-derivation sample count
+  std::size_t eval_inputs = 10;       // FI inputs (paper: 10 per model)
+  std::size_t validation_samples = 200;
+  bool trained = true;                // train (or load cached) weights
+  std::uint64_t seed = 2021;
+};
+
+struct Workload {
+  ModelId id{};
+  ops::OpKind act{};
+  graph::Graph graph;  // unprotected
+  std::string input_name;
+
+  // 20%-of-training-stream sample used to derive restriction bounds.
+  std::vector<fi::Feeds> profile_feeds;
+  // Inputs used for fault injection (fault-free-correct where possible).
+  std::vector<fi::Feeds> eval_feeds;
+  // Held-out validation set for the accuracy experiments.
+  data::Dataset validation;
+
+  Weights weights;  // the graph's parameters (for rebuilt variants)
+};
+
+Workload make_workload(ModelId id, const WorkloadOptions& options = {});
+
+// SDC judges appropriate for a model: {top1} for small classifiers,
+// {top1, top5} for the ImageNet-scale ones, or the four steering-deviation
+// thresholds {15, 30, 60, 120} degrees.
+std::vector<fi::JudgePtr> default_judges(ModelId id);
+std::vector<std::string> judge_labels(ModelId id);
+
+// Fault-free accuracy of `g` on `validation`:
+//  * classifiers: top-1 accuracy in [0, 1] (`top5_accuracy` for top-5);
+//  * steering: negative; use steering_metrics instead.
+double top1_accuracy(const graph::Graph& g, const std::string& input_name,
+                     const data::Dataset& validation);
+double top5_accuracy(const graph::Graph& g, const std::string& input_name,
+                     const data::Dataset& validation);
+
+struct SteeringMetrics {
+  double rmse = 0.0;
+  double avg_deviation = 0.0;  // mean |pred - target| per frame, degrees
+};
+SteeringMetrics steering_metrics(const graph::Graph& g,
+                                 const std::string& input_name,
+                                 const data::Dataset& validation,
+                                 bool outputs_radians);
+
+}  // namespace rangerpp::models

@@ -1,0 +1,428 @@
+#include "models/zoo.hpp"
+
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "models/build.hpp"
+#include "models/weights.hpp"
+
+namespace rangerpp::models {
+
+namespace {
+
+using ops::OpKind;
+using ops::Padding;
+using ops::PoolParams;
+
+PoolParams pool2() { return PoolParams{2, 2, 2, 2, Padding::kValid}; }
+PoolParams pool3s2() { return PoolParams{3, 3, 2, 2, Padding::kSame}; }
+
+// ---- Sequential architecture definitions --------------------------------
+
+Arch lenet_arch(OpKind act) {
+  Arch a{"lenet", tensor::Shape{1, 28, 28, 1}, "input", {}};
+  a.layers = {
+      ConvDef{"conv1", 5, 5, 6, 1, Padding::kSame},
+      ActDef{"act1", act},
+      PoolDef{"pool1", true, pool2()},
+      ConvDef{"conv2", 5, 5, 16, 1, Padding::kValid},
+      ActDef{"act2", act},
+      PoolDef{"pool2", true, pool2()},
+      FlattenDef{"flatten"},
+      DenseDef{"fc1", 120},
+      ActDef{"act3", act},
+      DenseDef{"fc2", 84},
+      ActDef{"act4", act},
+      DenseDef{"fc3", 10, /*injectable=*/false},  // last FC excluded (§V-B)
+      SoftmaxDef{"softmax"},
+  };
+  return a;
+}
+
+Arch alexnet_arch(OpKind act) {
+  // CIFAR-scale AlexNet (conv-pool-LRN x2 + conv + 3 FC), channels scaled
+  // for CPU-tractable FI campaigns.
+  Arch a{"alexnet", tensor::Shape{1, 32, 32, 3}, "input", {}};
+  a.layers = {
+      ConvDef{"conv1", 5, 5, 24, 1, Padding::kSame},
+      ActDef{"act1", act},
+      PoolDef{"pool1", true, pool3s2()},
+      LrnDef{"lrn1", {}},
+      ConvDef{"conv2", 5, 5, 32, 1, Padding::kSame},
+      ActDef{"act2", act},
+      LrnDef{"lrn2", {}},
+      PoolDef{"pool2", true, pool3s2()},
+      FlattenDef{"flatten"},
+      DenseDef{"fc1", 256},
+      ActDef{"act3", act},
+      DenseDef{"fc2", 128},
+      ActDef{"act4", act},
+      DenseDef{"fc3", 10, /*injectable=*/false},
+      SoftmaxDef{"softmax"},
+  };
+  return a;
+}
+
+void push_vgg_block(Arch& a, int index, int channels, int convs,
+                    OpKind act) {
+  for (int i = 0; i < convs; ++i) {
+    const std::string tag =
+        "conv" + std::to_string(index) + "_" + std::to_string(i + 1);
+    a.layers.push_back(ConvDef{tag, 3, 3, channels, 1, Padding::kSame});
+    a.layers.push_back(ActDef{"act_" + tag, act});
+  }
+  a.layers.push_back(
+      PoolDef{"pool" + std::to_string(index), true, pool2()});
+}
+
+Arch vgg11_arch(OpKind act) {
+  // VGG-A topology; channels scaled 1/4 (16..128), GTSRB's 43 classes.
+  Arch a{"vgg11", tensor::Shape{1, 32, 32, 3}, "input", {}};
+  push_vgg_block(a, 1, 16, 1, act);
+  push_vgg_block(a, 2, 32, 1, act);
+  push_vgg_block(a, 3, 64, 2, act);
+  push_vgg_block(a, 4, 128, 2, act);
+  push_vgg_block(a, 5, 128, 2, act);
+  a.layers.push_back(FlattenDef{"flatten"});
+  a.layers.push_back(DenseDef{"fc1", 256});
+  a.layers.push_back(ActDef{"act_fc1", act});
+  a.layers.push_back(DenseDef{"fc2", 256});
+  a.layers.push_back(ActDef{"act_fc2", act});
+  a.layers.push_back(DenseDef{"fc3", 43, /*injectable=*/false});
+  a.layers.push_back(SoftmaxDef{"softmax"});
+  return a;
+}
+
+Arch vgg16_arch(OpKind act) {
+  // VGG-D topology: 13 conv (ReLU) layers, the configuration whose 13 ACT
+  // layers Fig 4 profiles; channels scaled 1/4, 1000 classes.
+  Arch a{"vgg16", tensor::Shape{1, 32, 32, 3}, "input", {}};
+  push_vgg_block(a, 1, 16, 2, act);
+  push_vgg_block(a, 2, 32, 2, act);
+  push_vgg_block(a, 3, 64, 3, act);
+  push_vgg_block(a, 4, 128, 3, act);
+  push_vgg_block(a, 5, 128, 3, act);
+  a.layers.push_back(FlattenDef{"flatten"});
+  a.layers.push_back(DenseDef{"fc1", 256});
+  a.layers.push_back(ActDef{"act_fc1", act});
+  a.layers.push_back(DenseDef{"fc2", 256});
+  a.layers.push_back(ActDef{"act_fc2", act});
+  a.layers.push_back(DenseDef{"fc3", 1000, /*injectable=*/false});
+  a.layers.push_back(SoftmaxDef{"softmax"});
+  return a;
+}
+
+Arch dave_arch(OpKind act, bool radians) {
+  // Nvidia Dave-2 (5 conv + 4 FC).  Input halved in width (66x100),
+  // channels halved; strides follow the published model.  The radians
+  // variant ends in the 2*atan(x) head of the reference TensorFlow
+  // implementation; the degrees variant (§VI-A retrain) is linear.
+  Arch a{radians ? "dave" : "dave_degrees",
+         tensor::Shape{1, 66, 100, 3},
+         "input",
+         {}};
+  a.layers = {
+      ConvDef{"conv1", 5, 5, 12, 2, Padding::kValid},
+      ActDef{"act1", act},
+      ConvDef{"conv2", 5, 5, 18, 2, Padding::kValid},
+      ActDef{"act2", act},
+      ConvDef{"conv3", 5, 5, 24, 2, Padding::kValid},
+      ActDef{"act3", act},
+      ConvDef{"conv4", 3, 3, 32, 1, Padding::kValid},
+      ActDef{"act4", act},
+      ConvDef{"conv5", 3, 3, 32, 1, Padding::kValid},
+      ActDef{"act5", act},
+      FlattenDef{"flatten"},
+      DenseDef{"fc1", 100},
+      ActDef{"act6", act},
+      DenseDef{"fc2", 50},
+      ActDef{"act7", act},
+      DenseDef{"fc3", 10},
+      ActDef{"act8", act},
+      DenseDef{"fc4", 1, /*injectable=*/false},
+  };
+  if (radians) {
+    a.layers.push_back(AtanDef{"atan", 2.0f});
+  } else {
+    // Degrees-output variant: linear head with a fixed output gain so the
+    // trained FC stack works in a well-conditioned ±1 range.
+    a.layers.push_back(ScaleDef{"out_scale", 60.0f});
+  }
+  return a;
+}
+
+Arch comma_arch(OpKind act) {
+  // comma.ai steering model (3 conv + 2 FC, ELU), scaled input 33x80.
+  Arch a{"comma", tensor::Shape{1, 33, 80, 3}, "input", {}};
+  a.layers = {
+      ConvDef{"conv1", 8, 8, 16, 4, Padding::kSame},
+      ActDef{"act1", act},
+      ConvDef{"conv2", 5, 5, 32, 2, Padding::kSame},
+      ActDef{"act2", act},
+      ConvDef{"conv3", 5, 5, 48, 2, Padding::kSame},
+      ActDef{"act3", act},
+      FlattenDef{"flatten"},
+      DenseDef{"fc1", 128},
+      ActDef{"act4", act},
+      DenseDef{"fc2", 1, /*injectable=*/false},
+      ScaleDef{"out_scale", 60.0f},
+  };
+  return a;
+}
+
+// ---- Branching models (hand-assembled graphs) ----------------------------
+
+// ResNet-18 at CIFAR scale: stem 3x3, four stages of two basic blocks,
+// channels {8, 16, 32, 64}, folded BatchNorm, global average pool, FC.
+// Returns the override from `w` when present, else the fallback.
+tensor::Tensor weight_or(const Weights& w, const std::string& key,
+                         tensor::Tensor fallback) {
+  const auto it = w.find(key);
+  return it == w.end() ? std::move(fallback) : it->second.clone();
+}
+
+graph::Graph build_resnet18(OpKind act, const Weights& w,
+                            std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::GraphBuilder b;
+  b.input("input", tensor::Shape{1, 32, 32, 3});
+
+  auto bn_identity = [](int c) {
+    // Folded inference BN with near-identity scale jitter: emulates a
+    // trained network's per-channel normalisation.
+    return std::pair(std::vector<float>(static_cast<std::size_t>(c), 1.0f),
+                     std::vector<float>(static_cast<std::size_t>(c), 0.0f));
+  };
+
+  auto conv_bn = [&](const std::string& name, int in_c, int out_c, int k,
+                     int stride) {
+    b.conv2d(name, he_filter(k, k, in_c, out_c, rng), zero_bias(out_c),
+             ops::Conv2DParams{stride, stride, Padding::kSame});
+    auto [scale, shift] = bn_identity(out_c);
+    b.batch_norm(name + "/bn", std::move(scale), std::move(shift));
+  };
+
+  int in_c = 3;
+  conv_bn("stem", in_c, 8, 3, 1);
+  b.activation("stem/act", act);
+  in_c = 8;
+
+  const int stage_channels[4] = {8, 16, 32, 64};
+  for (int s = 0; s < 4; ++s) {
+    const int out_c = stage_channels[s];
+    for (int blk = 0; blk < 2; ++blk) {
+      const std::string tag =
+          "stage" + std::to_string(s + 1) + "_block" + std::to_string(blk + 1);
+      const int stride = (s > 0 && blk == 0) ? 2 : 1;
+      const graph::NodeId shortcut_src = b.current();
+
+      conv_bn(tag + "/conv1", in_c, out_c, 3, stride);
+      b.activation(tag + "/act1", act);
+      conv_bn(tag + "/conv2", out_c, out_c, 3, 1);
+      const graph::NodeId main_path = b.current();
+
+      graph::NodeId shortcut = shortcut_src;
+      if (stride != 1 || in_c != out_c) {
+        b.set_current(shortcut_src);
+        conv_bn(tag + "/proj", in_c, out_c, 1, stride);
+        shortcut = b.current();
+      }
+      b.add(tag + "/add", main_path, shortcut);
+      b.activation(tag + "/act2", act);
+      in_c = out_c;
+    }
+  }
+
+  b.global_avg_pool("gap");
+  b.flatten("flatten");
+  // Last FC layer: excluded from injection (§V-B); uses the calibrated
+  // head when one is supplied.
+  b.dense("fc", weight_or(w, "fc/weights", he_matrix(64, 1000, rng)),
+          weight_or(w, "fc/bias", zero_bias(1000)),
+          /*injectable=*/false);
+  b.softmax("softmax", /*injectable=*/false);
+  return b.finish();
+}
+
+// SqueezeNet v1.0 at CIFAR scale: stem conv, two pool-separated pairs of
+// fire modules (squeeze 1x1 -> expand 1x1 + 3x3, channel concat — the
+// Concatenate case of Algorithm 1), conv classifier, global average pool.
+graph::Graph build_squeezenet(OpKind act, const Weights& w,
+                              std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::GraphBuilder b;
+  b.input("input", tensor::Shape{1, 32, 32, 3});
+
+  auto conv_act = [&](const std::string& name, int in_c, int out_c, int k,
+                      int stride) {
+    b.conv2d(name, he_filter(k, k, in_c, out_c, rng), zero_bias(out_c),
+             ops::Conv2DParams{stride, stride, Padding::kSame});
+    b.activation(name + "/act", act);
+  };
+
+  auto fire = [&](const std::string& name, int in_c, int squeeze_c,
+                  int expand_c) {
+    conv_act(name + "/squeeze", in_c, squeeze_c, 1, 1);
+    const graph::NodeId squeezed = b.current();
+    conv_act(name + "/expand1x1", squeeze_c, expand_c, 1, 1);
+    const graph::NodeId e1 = b.current();
+    b.set_current(squeezed);
+    conv_act(name + "/expand3x3", squeeze_c, expand_c, 3, 1);
+    const graph::NodeId e3 = b.current();
+    b.concat(name + "/concat", e1, e3);
+    return 2 * expand_c;
+  };
+
+  conv_act("stem", 3, 24, 3, 2);                       // 16x16x24
+  b.max_pool("pool1", pool3s2());                      // 8x8x24
+  int c = fire("fire2", 24, 8, 16);                    // 8x8x32
+  c = fire("fire3", c, 8, 16);                         // 8x8x32
+  b.max_pool("pool2", pool3s2());                      // 4x4x32
+  c = fire("fire4", c, 16, 24);                        // 4x4x48
+  c = fire("fire5", c, 16, 24);                        // 4x4x48
+  // Classifier: 1x1 conv to 1000 maps, then global average pooling; uses
+  // the calibrated head when one is supplied.
+  b.conv2d("conv10",
+           weight_or(w, "conv10/filter", he_filter(1, 1, c, 1000, rng)),
+           weight_or(w, "conv10/bias", zero_bias(1000)),
+           ops::Conv2DParams{1, 1, Padding::kSame});
+  b.activation("conv10/act", act);
+  b.global_avg_pool("gap");
+  b.flatten("flatten");
+  b.softmax("softmax", /*injectable=*/false);
+  return b.finish();
+}
+
+}  // namespace
+
+std::string model_name(ModelId id) {
+  switch (id) {
+    case ModelId::kLeNet: return "LeNet";
+    case ModelId::kAlexNet: return "AlexNet";
+    case ModelId::kVgg11: return "VGG11";
+    case ModelId::kVgg16: return "VGG16";
+    case ModelId::kResNet18: return "ResNet-18";
+    case ModelId::kSqueezeNet: return "SqueezeNet";
+    case ModelId::kDave: return "Dave";
+    case ModelId::kDaveDegrees: return "Dave-degrees";
+    case ModelId::kComma: return "Comma";
+  }
+  return "?";
+}
+
+bool reports_top5(ModelId id) {
+  return id == ModelId::kVgg16 || id == ModelId::kResNet18 ||
+         id == ModelId::kSqueezeNet;
+}
+
+bool is_steering(ModelId id) {
+  return id == ModelId::kDave || id == ModelId::kDaveDegrees ||
+         id == ModelId::kComma;
+}
+
+bool outputs_radians(ModelId id) { return id == ModelId::kDave; }
+
+int num_classes(ModelId id) {
+  switch (id) {
+    case ModelId::kLeNet:
+    case ModelId::kAlexNet:
+      return 10;
+    case ModelId::kVgg11:
+      return 43;
+    case ModelId::kVgg16:
+    case ModelId::kResNet18:
+    case ModelId::kSqueezeNet:
+      return 1000;
+    default:
+      return 0;
+  }
+}
+
+ops::OpKind default_act(ModelId id) {
+  return id == ModelId::kComma ? OpKind::kElu : OpKind::kRelu;
+}
+
+Arch make_arch(ModelId id, ops::OpKind act) {
+  switch (id) {
+    case ModelId::kLeNet: return lenet_arch(act);
+    case ModelId::kAlexNet: return alexnet_arch(act);
+    case ModelId::kVgg11: return vgg11_arch(act);
+    case ModelId::kVgg16: return vgg16_arch(act);
+    case ModelId::kDave: return dave_arch(act, /*radians=*/true);
+    case ModelId::kDaveDegrees: return dave_arch(act, /*radians=*/false);
+    case ModelId::kComma: return comma_arch(act);
+    case ModelId::kResNet18:
+    case ModelId::kSqueezeNet:
+      throw std::invalid_argument(
+          "make_arch: " + model_name(id) +
+          " is a branching model with no sequential Arch");
+  }
+  throw std::invalid_argument("make_arch: bad model id");
+}
+
+Arch make_arch(ModelId id) { return make_arch(id, default_act(id)); }
+
+bool is_trainable(ModelId id) {
+  switch (id) {
+    case ModelId::kLeNet:
+    case ModelId::kVgg11:
+    case ModelId::kDave:
+    case ModelId::kDaveDegrees:
+    case ModelId::kComma:
+      return true;
+    default:
+      // AlexNet's LRN has no backward pass and the ImageNet-scale
+      // classifiers are too costly to train end-to-end; they get
+      // head calibration instead (DESIGN.md §3, head_calibration.hpp).
+      return false;
+  }
+}
+
+bool has_calibrated_head(ModelId id) {
+  switch (id) {
+    case ModelId::kAlexNet:
+    case ModelId::kVgg16:
+    case ModelId::kResNet18:
+    case ModelId::kSqueezeNet:
+      return true;
+    default:
+      return false;
+  }
+}
+
+HeadSpec head_spec(ModelId id) {
+  switch (id) {
+    case ModelId::kAlexNet:
+      return {"act4", "fc3/weights", "fc3/bias", false};
+    case ModelId::kVgg16:
+      return {"act_fc2", "fc3/weights", "fc3/bias", false};
+    case ModelId::kResNet18:
+      return {"flatten", "fc/weights", "fc/bias", false};
+    case ModelId::kSqueezeNet:
+      // conv10 is a 1x1-conv classifier followed by global average
+      // pooling: linear in the per-channel spatial means of fire5.
+      return {"fire5/concat", "conv10/filter", "conv10/bias", true};
+    default:
+      throw std::invalid_argument("head_spec: " + model_name(id) +
+                                  " has no calibratable head");
+  }
+}
+
+Weights init_weights(ModelId id, ops::OpKind act, std::uint64_t seed) {
+  if (id == ModelId::kResNet18 || id == ModelId::kSqueezeNet)
+    return {};  // weights are generated inside the graph builder
+  return he_init(make_arch(id, act), seed);
+}
+
+graph::Graph build_model(ModelId id, ops::OpKind act, const Weights& w) {
+  switch (id) {
+    case ModelId::kResNet18:
+      return build_resnet18(act, w, /*seed=*/0x5e5eed1);
+    case ModelId::kSqueezeNet:
+      return build_squeezenet(act, w, /*seed=*/0x5e5eed2);
+    default:
+      return build_sequential_graph(make_arch(id, act), w);
+  }
+}
+
+}  // namespace rangerpp::models

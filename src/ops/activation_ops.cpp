@@ -1,0 +1,87 @@
+#include "ops/activation_ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rangerpp::ops {
+
+tensor::Tensor UnaryElementwiseOp::compute(
+    std::span<const tensor::Tensor> in) const {
+  if (in.size() != 1)
+    throw std::invalid_argument("unary op: wrong input arity");
+  tensor::Tensor y = in[0].clone();
+  for (float& v : y.mutable_values()) v = apply(v);
+  return y;
+}
+
+tensor::Shape UnaryElementwiseOp::infer_shape(
+    std::span<const tensor::Shape> in) const {
+  if (in.size() != 1)
+    throw std::invalid_argument("unary op: wrong input arity");
+  return in[0];
+}
+
+std::uint64_t UnaryElementwiseOp::flops(
+    std::span<const tensor::Shape> in) const {
+  return flops_per_element() * in[0].elements();
+}
+
+float ReluOp::apply(float x) const { return x > 0.0f ? x : 0.0f; }
+
+float Relu6Op::apply(float x) const {
+  if (x < 0.0f) return 0.0f;
+  return x > 6.0f ? 6.0f : x;
+}
+
+float TanhOp::apply(float x) const { return std::tanh(x); }
+
+float SigmoidOp::apply(float x) const { return 1.0f / (1.0f + std::exp(-x)); }
+
+float EluOp::apply(float x) const {
+  return x >= 0.0f ? x : std::expm1(x);
+}
+
+float AtanOp::apply(float x) const { return std::atan(x); }
+
+tensor::Shape SoftmaxOp::infer_shape(std::span<const tensor::Shape> in) const {
+  if (in.size() != 1) throw std::invalid_argument("Softmax: arity");
+  return in[0];
+}
+
+tensor::Tensor SoftmaxOp::compute(std::span<const tensor::Tensor> in) const {
+  if (in.size() != 1) throw std::invalid_argument("Softmax: arity");
+  tensor::Tensor y = in[0].clone();
+  std::span<float> v = y.mutable_values();
+  if (v.empty()) return y;
+  float max = v[0];
+  for (float x : v) max = std::max(max, x);
+  double sum = 0.0;
+  for (float& x : v) {
+    x = std::exp(x - max);
+    sum += x;
+  }
+  const float inv = sum > 0.0 ? static_cast<float>(1.0 / sum) : 0.0f;
+  for (float& x : v) x *= inv;
+  return y;
+}
+
+std::uint64_t SoftmaxOp::flops(std::span<const tensor::Shape> in) const {
+  return 5 * in[0].elements();
+}
+
+ClampOp::ClampOp(float low, float high) : low_(low), high_(high) {
+  if (low > high) throw std::invalid_argument("ClampOp: low > high");
+}
+
+float ClampOp::apply(float x) const {
+  if (x < low_) return low_;
+  if (x > high_) return high_;
+  // NaN (possible under float32 bit flips in the exponent/mantissa) fails
+  // both comparisons and would propagate; restrict it to the lower bound,
+  // matching tf.minimum/tf.maximum's NaN-suppressing composition order used
+  // by the reference implementation.
+  if (std::isnan(x)) return low_;
+  return x;
+}
+
+}  // namespace rangerpp::ops

@@ -1,0 +1,139 @@
+// Pointwise activation / transfer functions, plus Softmax.  These are the
+// layers Ranger instruments directly.  All satisfy the monotone property
+// the paper's analysis relies on (§III-B); property tests in
+// tests/ops/activation_test.cpp assert it.
+#pragma once
+
+#include "ops/op.hpp"
+
+namespace rangerpp::ops {
+
+// Shared base for unary elementwise ops.
+class UnaryElementwiseOp : public Op {
+ public:
+  tensor::Tensor compute(std::span<const tensor::Tensor> in) const final;
+  tensor::Shape infer_shape(std::span<const tensor::Shape> in) const final;
+  std::uint64_t flops(std::span<const tensor::Shape> in) const override;
+
+ protected:
+  virtual float apply(float x) const = 0;
+  // Approximate FLOPs per element (1 for comparisons, more for
+  // transcendentals, following the TensorFlow profiler's convention).
+  virtual std::uint64_t flops_per_element() const { return 1; }
+};
+
+class ReluOp final : public UnaryElementwiseOp {
+ public:
+  OpKind kind() const override { return OpKind::kRelu; }
+
+ protected:
+  float apply(float x) const override;
+};
+
+class Relu6Op final : public UnaryElementwiseOp {
+ public:
+  OpKind kind() const override { return OpKind::kRelu6; }
+
+ protected:
+  float apply(float x) const override;
+};
+
+class TanhOp final : public UnaryElementwiseOp {
+ public:
+  OpKind kind() const override { return OpKind::kTanh; }
+
+ protected:
+  float apply(float x) const override;
+  std::uint64_t flops_per_element() const override { return 4; }
+};
+
+class SigmoidOp final : public UnaryElementwiseOp {
+ public:
+  OpKind kind() const override { return OpKind::kSigmoid; }
+
+ protected:
+  float apply(float x) const override;
+  std::uint64_t flops_per_element() const override { return 4; }
+};
+
+class EluOp final : public UnaryElementwiseOp {
+ public:
+  OpKind kind() const override { return OpKind::kElu; }
+
+ protected:
+  float apply(float x) const override;
+  std::uint64_t flops_per_element() const override { return 2; }
+};
+
+// Arc-tangent: the Dave steering model's radians output conversion.  Its
+// horizontal asymptote at ±π/2 is why the paper finds Ranger less effective
+// on the radians-output Dave model (§V-B).
+class AtanOp final : public UnaryElementwiseOp {
+ public:
+  OpKind kind() const override { return OpKind::kAtan; }
+
+ protected:
+  float apply(float x) const override;
+  std::uint64_t flops_per_element() const override { return 4; }
+};
+
+// y = scale * x (used e.g. to convert atan output to the 2*atan(x) radians
+// convention of the Nvidia Dave reference implementation).
+class ScaleOp final : public UnaryElementwiseOp {
+ public:
+  explicit ScaleOp(float scale) : scale_(scale) {}
+  OpKind kind() const override { return OpKind::kScale; }
+  float scale() const { return scale_; }
+
+ protected:
+  float apply(float x) const override { return scale_ * x; }
+
+ private:
+  float scale_;
+};
+
+// Identity at inference time (kept in graphs for topology fidelity with the
+// published models).
+class DropoutOp final : public UnaryElementwiseOp {
+ public:
+  OpKind kind() const override { return OpKind::kDropout; }
+  std::uint64_t flops(std::span<const tensor::Shape>) const override {
+    return 0;
+  }
+
+ protected:
+  float apply(float x) const override { return x; }
+};
+
+// Numerically-stable softmax over the last axis.
+class SoftmaxOp final : public Op {
+ public:
+  OpKind kind() const override { return OpKind::kSoftmax; }
+  tensor::Tensor compute(std::span<const tensor::Tensor> in) const override;
+  tensor::Shape infer_shape(std::span<const tensor::Shape> in) const override;
+  std::uint64_t flops(std::span<const tensor::Shape> in) const override;
+};
+
+// The Ranger restriction operator: clamps every element into [low, high].
+// Inserted by core::RangerTransform; equivalent to the pair of
+// tf.minimum/tf.maximum operators the paper adds to the TensorFlow graph.
+class ClampOp final : public UnaryElementwiseOp {
+ public:
+  ClampOp(float low, float high);
+  OpKind kind() const override { return OpKind::kClamp; }
+  float low() const { return low_; }
+  float high() const { return high_; }
+  std::uint64_t flops(std::span<const tensor::Shape> in) const override {
+    // One min plus one max comparison per element.
+    return 2 * in[0].elements();
+  }
+
+ protected:
+  float apply(float x) const override;
+
+ private:
+  float low_;
+  float high_;
+};
+
+}  // namespace rangerpp::ops

@@ -1,0 +1,16 @@
+#include "ops/basic_ops.hpp"
+
+#include <stdexcept>
+
+namespace rangerpp::ops {
+
+tensor::Tensor InputOp::compute(std::span<const tensor::Tensor>) const {
+  throw std::logic_error("InputOp::compute: inputs must be fed");
+}
+
+tensor::Shape InputOp::infer_shape(std::span<const tensor::Shape> in) const {
+  if (!in.empty()) throw std::invalid_argument("InputOp takes no inputs");
+  return shape_;
+}
+
+}  // namespace rangerpp::ops

@@ -1,0 +1,49 @@
+// Graph sources: Input placeholders and Const (weight) nodes.
+#pragma once
+
+#include "ops/op.hpp"
+
+namespace rangerpp::ops {
+
+// Placeholder fed at execution time.  `compute` is never called; the
+// executor substitutes the fed tensor.
+class InputOp final : public Op {
+ public:
+  explicit InputOp(tensor::Shape shape) : shape_(shape) {}
+
+  OpKind kind() const override { return OpKind::kInput; }
+  tensor::Tensor compute(std::span<const tensor::Tensor>) const override;
+  tensor::Shape infer_shape(std::span<const tensor::Shape>) const override;
+  std::uint64_t flops(std::span<const tensor::Shape>) const override {
+    return 0;
+  }
+
+  const tensor::Shape& shape() const { return shape_; }
+
+ private:
+  tensor::Shape shape_;
+};
+
+// Constant tensor baked into the graph (weights, biases, bounds).
+class ConstOp final : public Op {
+ public:
+  explicit ConstOp(tensor::Tensor value) : value_(std::move(value)) {}
+
+  OpKind kind() const override { return OpKind::kConst; }
+  tensor::Tensor compute(std::span<const tensor::Tensor>) const override {
+    return value_;
+  }
+  tensor::Shape infer_shape(std::span<const tensor::Shape>) const override {
+    return value_.shape();
+  }
+  std::uint64_t flops(std::span<const tensor::Shape>) const override {
+    return 0;
+  }
+
+  const tensor::Tensor& value() const { return value_; }
+
+ private:
+  tensor::Tensor value_;
+};
+
+}  // namespace rangerpp::ops

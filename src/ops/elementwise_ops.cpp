@@ -1,0 +1,27 @@
+#include "ops/elementwise_ops.hpp"
+
+#include <stdexcept>
+
+namespace rangerpp::ops {
+
+tensor::Shape BinaryElementwiseOp::infer_shape(
+    std::span<const tensor::Shape> in) const {
+  if (in.size() != 2) throw std::invalid_argument("binary op: arity");
+  if (in[0] != in[1])
+    throw std::invalid_argument("binary op: shape mismatch " +
+                                in[0].to_string() + " vs " +
+                                in[1].to_string());
+  return in[0];
+}
+
+tensor::Tensor BinaryElementwiseOp::compute(
+    std::span<const tensor::Tensor> in) const {
+  infer_shape(std::array{in[0].shape(), in[1].shape()});
+  tensor::Tensor y = in[0].clone();
+  std::span<float> yv = y.mutable_values();
+  std::span<const float> bv = in[1].values();
+  for (std::size_t i = 0; i < yv.size(); ++i) yv[i] = apply(yv[i], bv[i]);
+  return y;
+}
+
+}  // namespace rangerpp::ops

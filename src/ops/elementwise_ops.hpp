@@ -1,0 +1,36 @@
+// Binary elementwise operators (residual Add for ResNet, Mul).
+#pragma once
+
+#include "ops/op.hpp"
+
+namespace rangerpp::ops {
+
+class BinaryElementwiseOp : public Op {
+ public:
+  tensor::Tensor compute(std::span<const tensor::Tensor> in) const final;
+  tensor::Shape infer_shape(std::span<const tensor::Shape> in) const final;
+  std::uint64_t flops(std::span<const tensor::Shape> in) const final {
+    return in[0].elements();
+  }
+
+ protected:
+  virtual float apply(float a, float b) const = 0;
+};
+
+class AddOp final : public BinaryElementwiseOp {
+ public:
+  OpKind kind() const override { return OpKind::kAdd; }
+
+ protected:
+  float apply(float a, float b) const override { return a + b; }
+};
+
+class MulOp final : public BinaryElementwiseOp {
+ public:
+  OpKind kind() const override { return OpKind::kMul; }
+
+ protected:
+  float apply(float a, float b) const override { return a * b; }
+};
+
+}  // namespace rangerpp::ops

@@ -1,0 +1,172 @@
+#include "ops/nn_ops.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <vector>
+
+namespace rangerpp::ops {
+
+namespace {
+
+void require_arity(std::size_t got, std::size_t want, const char* op) {
+  if (got != want)
+    throw std::invalid_argument(std::string(op) + ": wrong input arity");
+}
+
+int padded_out_dim(int in, int k, int stride, Padding p) {
+  if (p == Padding::kSame) return (in + stride - 1) / stride;
+  return (in - k) / stride + 1;
+}
+
+}  // namespace
+
+tensor::Shape Conv2DOp::out_shape(const tensor::Shape& x,
+                                  const tensor::Shape& f) const {
+  if (x.rank() != 4 || f.rank() != 4)
+    throw std::invalid_argument("Conv2D: input and filter must be rank 4");
+  if (x.c() != f.dim(2))
+    throw std::invalid_argument("Conv2D: channel mismatch (input " +
+                                x.to_string() + " filter " + f.to_string() +
+                                ")");
+  const int oh = padded_out_dim(x.h(), f.dim(0), params_.stride_h,
+                                params_.padding);
+  const int ow = padded_out_dim(x.w(), f.dim(1), params_.stride_w,
+                                params_.padding);
+  if (oh <= 0 || ow <= 0)
+    throw std::invalid_argument("Conv2D: filter larger than input");
+  return tensor::Shape{x.n(), oh, ow, f.dim(3)};
+}
+
+tensor::Shape Conv2DOp::infer_shape(std::span<const tensor::Shape> in) const {
+  require_arity(in.size(), 2, "Conv2D");
+  return out_shape(in[0], in[1]);
+}
+
+tensor::Tensor Conv2DOp::compute(std::span<const tensor::Tensor> in) const {
+  require_arity(in.size(), 2, "Conv2D");
+  const tensor::Tensor& x = in[0];
+  const tensor::Tensor& f = in[1];
+  const tensor::Shape os = out_shape(x.shape(), f.shape());
+  const int kh = f.shape().dim(0), kw = f.shape().dim(1);
+  const int ic = f.shape().dim(2), oc = f.shape().dim(3);
+  const int ih = x.shape().h(), iw = x.shape().w();
+
+  // SAME padding offsets (TensorFlow convention).
+  int pad_top = 0, pad_left = 0;
+  if (params_.padding == Padding::kSame) {
+    const int pad_h =
+        std::max(0, (os.h() - 1) * params_.stride_h + kh - ih);
+    const int pad_w =
+        std::max(0, (os.w() - 1) * params_.stride_w + kw - iw);
+    pad_top = pad_h / 2;
+    pad_left = pad_w / 2;
+  }
+
+  tensor::Tensor y(os);
+  std::span<float> yv = y.mutable_values();
+  std::span<const float> xv = x.values();
+  std::span<const float> fv = f.values();
+
+  // Accumulate over output channels in the inner loop: the filter layout
+  // [kh, kw, ic, oc] is contiguous in oc, so this vectorises well and is
+  // the hot loop of every fault-injection campaign.
+  std::vector<float> acc(static_cast<std::size_t>(oc));
+  for (int n = 0; n < os.n(); ++n) {
+    for (int oy = 0; oy < os.h(); ++oy) {
+      for (int ox = 0; ox < os.w(); ++ox) {
+        const int base_y = oy * params_.stride_h - pad_top;
+        const int base_x = ox * params_.stride_w - pad_left;
+        std::fill(acc.begin(), acc.end(), 0.0f);
+        for (int ky = 0; ky < kh; ++ky) {
+          const int sy = base_y + ky;
+          if (sy < 0 || sy >= ih) continue;
+          for (int kx = 0; kx < kw; ++kx) {
+            const int sx = base_x + kx;
+            if (sx < 0 || sx >= iw) continue;
+            const float* xp =
+                &xv[((static_cast<std::size_t>(n) * ih + sy) * iw + sx) * ic];
+            const float* fp =
+                &fv[((static_cast<std::size_t>(ky) * kw + kx) * ic) *
+                    static_cast<std::size_t>(oc)];
+            for (int ci = 0; ci < ic; ++ci) {
+              const float x = xp[ci];
+              const float* frow = fp + static_cast<std::size_t>(ci) * oc;
+              for (int co = 0; co < oc; ++co) acc[co] += x * frow[co];
+            }
+          }
+        }
+        float* yrow =
+            &yv[((static_cast<std::size_t>(n) * os.h() + oy) * os.w() + ox) *
+                oc];
+        for (int co = 0; co < oc; ++co) yrow[co] = acc[co];
+      }
+    }
+  }
+  return y;
+}
+
+std::uint64_t Conv2DOp::flops(std::span<const tensor::Shape> in) const {
+  const tensor::Shape os = out_shape(in[0], in[1]);
+  const std::uint64_t macs = os.elements() *
+                             static_cast<std::uint64_t>(in[1].dim(0)) *
+                             in[1].dim(1) * in[1].dim(2);
+  return 2 * macs;
+}
+
+tensor::Shape MatMulOp::infer_shape(std::span<const tensor::Shape> in) const {
+  require_arity(in.size(), 2, "MatMul");
+  const tensor::Shape& x = in[0];
+  const tensor::Shape& w = in[1];
+  if (w.rank() != 2) throw std::invalid_argument("MatMul: weight not rank 2");
+  const int k = x.rank() == 2 ? x.dim(1) : x.dim(0);
+  if (x.rank() > 2 || k != w.dim(0))
+    throw std::invalid_argument("MatMul: inner dimension mismatch");
+  return tensor::Shape{1, w.dim(1)};
+}
+
+tensor::Tensor MatMulOp::compute(std::span<const tensor::Tensor> in) const {
+  const tensor::Shape os = infer_shape(
+      std::array{in[0].shape(), in[1].shape()});
+  const int k = in[1].shape().dim(0);
+  const int n = in[1].shape().dim(1);
+  tensor::Tensor y(os);
+  std::span<float> yv = y.mutable_values();
+  std::span<const float> xv = in[0].values();
+  std::span<const float> wv = in[1].values();
+  for (int j = 0; j < n; ++j) {
+    float acc = 0.0f;
+    for (int i = 0; i < k; ++i)
+      acc += xv[i] * wv[static_cast<std::size_t>(i) * n + j];
+    yv[j] = acc;
+  }
+  return y;
+}
+
+std::uint64_t MatMulOp::flops(std::span<const tensor::Shape> in) const {
+  return 2ULL * in[1].dim(0) * in[1].dim(1);
+}
+
+tensor::Shape BiasAddOp::infer_shape(std::span<const tensor::Shape> in) const {
+  require_arity(in.size(), 2, "BiasAdd");
+  const int channels = in[0].dim(in[0].rank() - 1);
+  if (in[1].rank() != 1 || in[1].dim(0) != channels)
+    throw std::invalid_argument("BiasAdd: bias must be [channels]");
+  return in[0];
+}
+
+tensor::Tensor BiasAddOp::compute(std::span<const tensor::Tensor> in) const {
+  infer_shape(std::array{in[0].shape(), in[1].shape()});
+  tensor::Tensor y = in[0].clone();
+  std::span<float> yv = y.mutable_values();
+  std::span<const float> bv = in[1].values();
+  const std::size_t c = bv.size();
+  for (std::size_t i = 0; i < yv.size(); ++i) yv[i] += bv[i % c];
+  return y;
+}
+
+std::uint64_t BiasAddOp::flops(std::span<const tensor::Shape> in) const {
+  return in[0].elements();
+}
+
+}  // namespace rangerpp::ops

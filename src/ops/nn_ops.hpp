@@ -1,0 +1,55 @@
+// Heavy compute kernels: 2-D convolution and fully-connected (MatMul),
+// plus BiasAdd.  Layout is NHWC; filter layout is [kh, kw, in_c, out_c].
+#pragma once
+
+#include "ops/op.hpp"
+
+namespace rangerpp::ops {
+
+enum class Padding { kSame, kValid };
+
+struct Conv2DParams {
+  int stride_h = 1;
+  int stride_w = 1;
+  Padding padding = Padding::kSame;
+};
+
+// Conv2D(input NHWC, filter [kh,kw,ic,oc]) -> NHWC.  The filter is a graph
+// input (normally a Const node) so that weight tensors live in the graph,
+// mirroring TensorFlow.
+class Conv2DOp final : public Op {
+ public:
+  explicit Conv2DOp(Conv2DParams params) : params_(params) {}
+
+  OpKind kind() const override { return OpKind::kConv2D; }
+  tensor::Tensor compute(std::span<const tensor::Tensor> in) const override;
+  tensor::Shape infer_shape(std::span<const tensor::Shape> in) const override;
+  std::uint64_t flops(std::span<const tensor::Shape> in) const override;
+
+  const Conv2DParams& params() const { return params_; }
+
+ private:
+  tensor::Shape out_shape(const tensor::Shape& x,
+                          const tensor::Shape& f) const;
+  Conv2DParams params_;
+};
+
+// MatMul(x [1,k] or [k], w [k,n]) -> [1,n].
+class MatMulOp final : public Op {
+ public:
+  OpKind kind() const override { return OpKind::kMatMul; }
+  tensor::Tensor compute(std::span<const tensor::Tensor> in) const override;
+  tensor::Shape infer_shape(std::span<const tensor::Shape> in) const override;
+  std::uint64_t flops(std::span<const tensor::Shape> in) const override;
+};
+
+// BiasAdd(x, b): adds b along the last (channel) axis.
+class BiasAddOp final : public Op {
+ public:
+  OpKind kind() const override { return OpKind::kBiasAdd; }
+  tensor::Tensor compute(std::span<const tensor::Tensor> in) const override;
+  tensor::Shape infer_shape(std::span<const tensor::Shape> in) const override;
+  std::uint64_t flops(std::span<const tensor::Shape> in) const override;
+};
+
+}  // namespace rangerpp::ops

@@ -1,0 +1,71 @@
+#include "ops/norm_ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rangerpp::ops {
+
+tensor::Shape LrnOp::infer_shape(std::span<const tensor::Shape> in) const {
+  if (in.size() != 1 || in[0].rank() != 4)
+    throw std::invalid_argument("LRN: rank-4 input required");
+  return in[0];
+}
+
+tensor::Tensor LrnOp::compute(std::span<const tensor::Tensor> in) const {
+  const tensor::Shape& s = in[0].shape();
+  infer_shape(std::array{s});
+  tensor::Tensor y(s);
+  for (int n = 0; n < s.n(); ++n)
+    for (int h = 0; h < s.h(); ++h)
+      for (int w = 0; w < s.w(); ++w)
+        for (int c = 0; c < s.c(); ++c) {
+          float sum_sq = 0.0f;
+          const int lo = std::max(0, c - params_.depth_radius);
+          const int hi = std::min(s.c() - 1, c + params_.depth_radius);
+          for (int cc = lo; cc <= hi; ++cc) {
+            const float v = in[0].at4(n, h, w, cc);
+            sum_sq += v * v;
+          }
+          const float denom =
+              std::pow(params_.bias + params_.alpha * sum_sq, params_.beta);
+          y.set4(n, h, w, c, in[0].at4(n, h, w, c) / denom);
+        }
+  return y;
+}
+
+std::uint64_t LrnOp::flops(std::span<const tensor::Shape> in) const {
+  return in[0].elements() *
+         (2ULL * (2 * params_.depth_radius + 1) + 3);
+}
+
+BatchNormOp::BatchNormOp(std::vector<float> scale, std::vector<float> shift)
+    : scale_(std::move(scale)), shift_(std::move(shift)) {
+  if (scale_.size() != shift_.size() || scale_.empty())
+    throw std::invalid_argument("BatchNorm: scale/shift size mismatch");
+}
+
+tensor::Shape BatchNormOp::infer_shape(
+    std::span<const tensor::Shape> in) const {
+  if (in.size() != 1) throw std::invalid_argument("BatchNorm: arity");
+  const int c = in[0].dim(in[0].rank() - 1);
+  if (static_cast<std::size_t>(c) != scale_.size())
+    throw std::invalid_argument("BatchNorm: channel mismatch");
+  return in[0];
+}
+
+tensor::Tensor BatchNormOp::compute(
+    std::span<const tensor::Tensor> in) const {
+  infer_shape(std::array{in[0].shape()});
+  tensor::Tensor y = in[0].clone();
+  std::span<float> v = y.mutable_values();
+  const std::size_t c = scale_.size();
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = v[i] * scale_[i % c] + shift_[i % c];
+  return y;
+}
+
+std::uint64_t BatchNormOp::flops(std::span<const tensor::Shape> in) const {
+  return 2 * in[0].elements();
+}
+
+}  // namespace rangerpp::ops

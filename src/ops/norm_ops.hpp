@@ -1,0 +1,50 @@
+// Normalisation layers: local response normalisation (AlexNet) and folded
+// inference-time batch normalisation (ResNet-18).
+#pragma once
+
+#include <vector>
+
+#include "ops/op.hpp"
+
+namespace rangerpp::ops {
+
+struct LrnParams {
+  int depth_radius = 2;
+  float bias = 1.0f;
+  float alpha = 1e-4f;
+  float beta = 0.75f;
+};
+
+// Local response normalisation across channels (TensorFlow tf.nn.lrn
+// semantics): y_c = x_c / (bias + alpha * sum_{c'=c-r..c+r} x_{c'}^2)^beta.
+class LrnOp final : public Op {
+ public:
+  explicit LrnOp(LrnParams params) : params_(params) {}
+
+  OpKind kind() const override { return OpKind::kLrn; }
+  tensor::Tensor compute(std::span<const tensor::Tensor> in) const override;
+  tensor::Shape infer_shape(std::span<const tensor::Shape> in) const override;
+  std::uint64_t flops(std::span<const tensor::Shape> in) const override;
+
+ private:
+  LrnParams params_;
+};
+
+// Inference-time batch normalisation folded into per-channel scale and
+// shift: y = scale[c] * x + shift[c], where scale = gamma/sqrt(var+eps)
+// and shift = beta - mean*scale were precomputed at model build time.
+class BatchNormOp final : public Op {
+ public:
+  BatchNormOp(std::vector<float> scale, std::vector<float> shift);
+
+  OpKind kind() const override { return OpKind::kBatchNorm; }
+  tensor::Tensor compute(std::span<const tensor::Tensor> in) const override;
+  tensor::Shape infer_shape(std::span<const tensor::Shape> in) const override;
+  std::uint64_t flops(std::span<const tensor::Shape> in) const override;
+
+ private:
+  std::vector<float> scale_;
+  std::vector<float> shift_;
+};
+
+}  // namespace rangerpp::ops

@@ -1,0 +1,117 @@
+#include "ops/pool_ops.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace rangerpp::ops {
+
+tensor::Shape PoolOpBase::infer_shape(
+    std::span<const tensor::Shape> in) const {
+  if (in.size() != 1) throw std::invalid_argument("pool: arity");
+  const tensor::Shape& x = in[0];
+  if (x.rank() != 4) throw std::invalid_argument("pool: input must be rank 4");
+  int oh, ow;
+  if (params_.padding == Padding::kSame) {
+    oh = (x.h() + params_.stride_h - 1) / params_.stride_h;
+    ow = (x.w() + params_.stride_w - 1) / params_.stride_w;
+  } else {
+    oh = (x.h() - params_.window_h) / params_.stride_h + 1;
+    ow = (x.w() - params_.window_w) / params_.stride_w + 1;
+  }
+  if (oh <= 0 || ow <= 0)
+    throw std::invalid_argument("pool: window larger than input");
+  return tensor::Shape{x.n(), oh, ow, x.c()};
+}
+
+tensor::Tensor PoolOpBase::compute(std::span<const tensor::Tensor> in) const {
+  const tensor::Shape os = infer_shape(std::array{in[0].shape()});
+  const tensor::Shape& xs = in[0].shape();
+  const tensor::Tensor& x = in[0];
+
+  int pad_top = 0, pad_left = 0;
+  if (params_.padding == Padding::kSame) {
+    const int pad_h =
+        std::max(0, (os.h() - 1) * params_.stride_h + params_.window_h -
+                        xs.h());
+    const int pad_w =
+        std::max(0, (os.w() - 1) * params_.stride_w + params_.window_w -
+                        xs.w());
+    pad_top = pad_h / 2;
+    pad_left = pad_w / 2;
+  }
+
+  tensor::Tensor y(os);
+  std::vector<float> window;
+  window.reserve(static_cast<std::size_t>(params_.window_h) *
+                 params_.window_w);
+  for (int n = 0; n < os.n(); ++n) {
+    for (int oy = 0; oy < os.h(); ++oy) {
+      for (int ox = 0; ox < os.w(); ++ox) {
+        for (int c = 0; c < os.c(); ++c) {
+          window.clear();
+          for (int ky = 0; ky < params_.window_h; ++ky) {
+            const int sy = oy * params_.stride_h - pad_top + ky;
+            if (sy < 0 || sy >= xs.h()) continue;
+            for (int kx = 0; kx < params_.window_w; ++kx) {
+              const int sx = ox * params_.stride_w - pad_left + kx;
+              if (sx < 0 || sx >= xs.w()) continue;
+              window.push_back(x.at4(n, sy, sx, c));
+            }
+          }
+          y.set4(n, oy, ox, c,
+                 window.empty() ? 0.0f : reduce(window));
+        }
+      }
+    }
+  }
+  return y;
+}
+
+std::uint64_t PoolOpBase::flops(std::span<const tensor::Shape> in) const {
+  const tensor::Shape os = infer_shape(in);
+  return os.elements() *
+         static_cast<std::uint64_t>(params_.window_h) * params_.window_w;
+}
+
+float MaxPoolOp::reduce(std::span<const float> window) const {
+  float m = window[0];
+  for (float v : window) m = std::max(m, v);
+  return m;
+}
+
+float AvgPoolOp::reduce(std::span<const float> window) const {
+  float s = 0.0f;
+  for (float v : window) s += v;
+  return s / static_cast<float>(window.size());
+}
+
+tensor::Shape GlobalAvgPoolOp::infer_shape(
+    std::span<const tensor::Shape> in) const {
+  if (in.size() != 1 || in[0].rank() != 4)
+    throw std::invalid_argument("GlobalAvgPool: rank-4 input required");
+  return tensor::Shape{in[0].n(), 1, 1, in[0].c()};
+}
+
+tensor::Tensor GlobalAvgPoolOp::compute(
+    std::span<const tensor::Tensor> in) const {
+  const tensor::Shape os = infer_shape(std::array{in[0].shape()});
+  const tensor::Shape& xs = in[0].shape();
+  tensor::Tensor y(os);
+  const float inv = 1.0f / static_cast<float>(xs.h() * xs.w());
+  for (int n = 0; n < xs.n(); ++n) {
+    for (int c = 0; c < xs.c(); ++c) {
+      float s = 0.0f;
+      for (int h = 0; h < xs.h(); ++h)
+        for (int w = 0; w < xs.w(); ++w) s += in[0].at4(n, h, w, c);
+      y.set4(n, 0, 0, c, s * inv);
+    }
+  }
+  return y;
+}
+
+std::uint64_t GlobalAvgPoolOp::flops(
+    std::span<const tensor::Shape> in) const {
+  return in[0].elements();
+}
+
+}  // namespace rangerpp::ops

@@ -1,0 +1,63 @@
+// Spatial pooling operators (NHWC).
+#pragma once
+
+#include "ops/nn_ops.hpp"  // Padding
+#include "ops/op.hpp"
+
+namespace rangerpp::ops {
+
+struct PoolParams {
+  int window_h = 2;
+  int window_w = 2;
+  int stride_h = 2;
+  int stride_w = 2;
+  Padding padding = Padding::kValid;
+};
+
+class PoolOpBase : public Op {
+ public:
+  explicit PoolOpBase(PoolParams params) : params_(params) {}
+
+  tensor::Tensor compute(std::span<const tensor::Tensor> in) const final;
+  tensor::Shape infer_shape(std::span<const tensor::Shape> in) const final;
+  std::uint64_t flops(std::span<const tensor::Shape> in) const final;
+
+  const PoolParams& params() const { return params_; }
+
+ protected:
+  // Combines window values: max for MaxPool, mean for AvgPool.
+  virtual float reduce(std::span<const float> window) const = 0;
+
+ private:
+  PoolParams params_;
+};
+
+class MaxPoolOp final : public PoolOpBase {
+ public:
+  using PoolOpBase::PoolOpBase;
+  OpKind kind() const override { return OpKind::kMaxPool; }
+
+ protected:
+  float reduce(std::span<const float> window) const override;
+};
+
+class AvgPoolOp final : public PoolOpBase {
+ public:
+  using PoolOpBase::PoolOpBase;
+  OpKind kind() const override { return OpKind::kAvgPool; }
+
+ protected:
+  float reduce(std::span<const float> window) const override;
+};
+
+// Global average pooling: collapses H and W entirely (used by SqueezeNet's
+// classifier head).  Output shape [N, 1, 1, C].
+class GlobalAvgPoolOp final : public Op {
+ public:
+  OpKind kind() const override { return OpKind::kGlobalAvgPool; }
+  tensor::Tensor compute(std::span<const tensor::Tensor> in) const override;
+  tensor::Shape infer_shape(std::span<const tensor::Shape> in) const override;
+  std::uint64_t flops(std::span<const tensor::Shape> in) const override;
+};
+
+}  // namespace rangerpp::ops

@@ -1,0 +1,62 @@
+#include "ops/shape_ops.hpp"
+
+#include <stdexcept>
+
+namespace rangerpp::ops {
+
+tensor::Shape ReshapeOp::infer_shape(
+    std::span<const tensor::Shape> in) const {
+  if (in.size() != 1) throw std::invalid_argument("Reshape: arity");
+  if (in[0].elements() != target_.elements())
+    throw std::invalid_argument("Reshape: element count mismatch");
+  return target_;
+}
+
+tensor::Tensor ReshapeOp::compute(std::span<const tensor::Tensor> in) const {
+  infer_shape(std::array{in[0].shape()});
+  // clone() rather than a view: operator outputs are distinct fault-
+  // injection sites, matching TensorFI's treatment of Reshape as an op
+  // whose output can be corrupted independently of its input.
+  return in[0].clone().reshaped(target_);
+}
+
+tensor::Shape FlattenOp::infer_shape(
+    std::span<const tensor::Shape> in) const {
+  if (in.size() != 1) throw std::invalid_argument("Flatten: arity");
+  return tensor::Shape{static_cast<int>(in[0].elements())};
+}
+
+tensor::Tensor FlattenOp::compute(std::span<const tensor::Tensor> in) const {
+  return in[0].clone().reshaped(
+      tensor::Shape{static_cast<int>(in[0].elements())});
+}
+
+tensor::Shape ConcatOp::infer_shape(
+    std::span<const tensor::Shape> in) const {
+  if (in.size() != 2) throw std::invalid_argument("Concat: arity 2 required");
+  const tensor::Shape& a = in[0];
+  const tensor::Shape& b = in[1];
+  if (a.rank() != 4 || b.rank() != 4)
+    throw std::invalid_argument("Concat: rank-4 inputs required");
+  if (a.n() != b.n() || a.h() != b.h() || a.w() != b.w())
+    throw std::invalid_argument("Concat: N/H/W mismatch");
+  return tensor::Shape{a.n(), a.h(), a.w(), a.c() + b.c()};
+}
+
+tensor::Tensor ConcatOp::compute(std::span<const tensor::Tensor> in) const {
+  const tensor::Shape os =
+      infer_shape(std::array{in[0].shape(), in[1].shape()});
+  tensor::Tensor y(os);
+  const int ca = in[0].shape().c();
+  for (int n = 0; n < os.n(); ++n)
+    for (int h = 0; h < os.h(); ++h)
+      for (int w = 0; w < os.w(); ++w) {
+        for (int c = 0; c < ca; ++c)
+          y.set4(n, h, w, c, in[0].at4(n, h, w, c));
+        for (int c = ca; c < os.c(); ++c)
+          y.set4(n, h, w, c, in[1].at4(n, h, w, c - ca));
+      }
+  return y;
+}
+
+}  // namespace rangerpp::ops

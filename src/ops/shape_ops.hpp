@@ -1,0 +1,50 @@
+// Shape-manipulation operators: Reshape, Flatten, Concat.  These are the
+// "bound-transparent" operators of Algorithm 1 — the value set passes
+// through unchanged (Reshape/Flatten) or is the union of the inputs
+// (Concat), so an upstream activation's restriction bound stays valid.
+#pragma once
+
+#include "ops/op.hpp"
+
+namespace rangerpp::ops {
+
+class ReshapeOp final : public Op {
+ public:
+  explicit ReshapeOp(tensor::Shape target) : target_(target) {}
+
+  OpKind kind() const override { return OpKind::kReshape; }
+  tensor::Tensor compute(std::span<const tensor::Tensor> in) const override;
+  tensor::Shape infer_shape(std::span<const tensor::Shape> in) const override;
+  std::uint64_t flops(std::span<const tensor::Shape>) const override {
+    return 0;
+  }
+
+ private:
+  tensor::Shape target_;
+};
+
+// Collapses any input to rank 1: [elements].
+class FlattenOp final : public Op {
+ public:
+  OpKind kind() const override { return OpKind::kFlatten; }
+  tensor::Tensor compute(std::span<const tensor::Tensor> in) const override;
+  tensor::Shape infer_shape(std::span<const tensor::Shape> in) const override;
+  std::uint64_t flops(std::span<const tensor::Shape>) const override {
+    return 0;
+  }
+};
+
+// Channel-axis concatenation of two rank-4 NHWC tensors with identical
+// N/H/W (the SqueezeNet fire-module merge the paper's Algorithm 1 treats
+// specially).
+class ConcatOp final : public Op {
+ public:
+  OpKind kind() const override { return OpKind::kConcat; }
+  tensor::Tensor compute(std::span<const tensor::Tensor> in) const override;
+  tensor::Shape infer_shape(std::span<const tensor::Shape> in) const override;
+  std::uint64_t flops(std::span<const tensor::Shape>) const override {
+    return 0;
+  }
+};
+
+}  // namespace rangerpp::ops

@@ -1,0 +1,130 @@
+#include "tensor/dtype.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace rangerpp::tensor {
+
+namespace {
+
+constexpr FixedPointFormat kFixed32{32, 10};
+constexpr FixedPointFormat kFixed16{16, 2};
+
+// Encodes into two's-complement fixed point with saturation.
+std::uint64_t fixed_encode(const FixedPointFormat& f, float value) {
+  const double scaled = std::llround(static_cast<double>(value) *
+                                     static_cast<double>(1LL << f.frac_bits));
+  const std::int64_t max_raw = (1LL << (f.total_bits - 1)) - 1;
+  const std::int64_t min_raw = -(1LL << (f.total_bits - 1));
+  std::int64_t raw;
+  if (std::isnan(value)) {
+    raw = 0;
+  } else if (scaled >= static_cast<double>(max_raw)) {
+    raw = max_raw;
+  } else if (scaled <= static_cast<double>(min_raw)) {
+    raw = min_raw;
+  } else {
+    raw = static_cast<std::int64_t>(scaled);
+  }
+  const std::uint64_t mask =
+      f.total_bits == 64 ? ~0ULL : ((1ULL << f.total_bits) - 1);
+  return static_cast<std::uint64_t>(raw) & mask;
+}
+
+float fixed_decode(const FixedPointFormat& f, std::uint64_t bits) {
+  const std::uint64_t mask =
+      f.total_bits == 64 ? ~0ULL : ((1ULL << f.total_bits) - 1);
+  std::uint64_t raw = bits & mask;
+  // Sign-extend.
+  const std::uint64_t sign_bit = 1ULL << (f.total_bits - 1);
+  std::int64_t value;
+  if (raw & sign_bit) {
+    value = static_cast<std::int64_t>(raw | ~mask);
+  } else {
+    value = static_cast<std::int64_t>(raw);
+  }
+  return static_cast<float>(static_cast<double>(value) /
+                            static_cast<double>(1LL << f.frac_bits));
+}
+
+}  // namespace
+
+double FixedPointFormat::max_value() const {
+  return static_cast<double>((1LL << (total_bits - 1)) - 1) /
+         static_cast<double>(1LL << frac_bits);
+}
+
+double FixedPointFormat::min_value() const {
+  return -static_cast<double>(1LL << (total_bits - 1)) /
+         static_cast<double>(1LL << frac_bits);
+}
+
+double FixedPointFormat::resolution() const {
+  return 1.0 / static_cast<double>(1LL << frac_bits);
+}
+
+FixedPointFormat fixed32_format() { return kFixed32; }
+FixedPointFormat fixed16_format() { return kFixed16; }
+
+std::string_view dtype_name(DType d) {
+  switch (d) {
+    case DType::kFloat32:
+      return "float32";
+    case DType::kFixed32:
+      return "fixed32(Q21.10)";
+    case DType::kFixed16:
+      return "fixed16(Q13.2)";
+  }
+  return "unknown";
+}
+
+int dtype_bits(DType d) {
+  switch (d) {
+    case DType::kFloat32:
+      return 32;
+    case DType::kFixed32:
+      return 32;
+    case DType::kFixed16:
+      return 16;
+  }
+  return 0;
+}
+
+std::uint64_t dtype_encode(DType d, float value) {
+  switch (d) {
+    case DType::kFloat32:
+      return std::bit_cast<std::uint32_t>(value);
+    case DType::kFixed32:
+      return fixed_encode(kFixed32, value);
+    case DType::kFixed16:
+      return fixed_encode(kFixed16, value);
+  }
+  throw std::invalid_argument("dtype_encode: bad dtype");
+}
+
+float dtype_decode(DType d, std::uint64_t bits) {
+  switch (d) {
+    case DType::kFloat32:
+      return std::bit_cast<float>(static_cast<std::uint32_t>(bits));
+    case DType::kFixed32:
+      return fixed_decode(kFixed32, bits);
+    case DType::kFixed16:
+      return fixed_decode(kFixed16, bits);
+  }
+  throw std::invalid_argument("dtype_decode: bad dtype");
+}
+
+std::uint64_t dtype_flip_bit(DType d, std::uint64_t bits, int bit) {
+  const int width = dtype_bits(d);
+  if (bit < 0 || bit >= width)
+    throw std::out_of_range("dtype_flip_bit: bit out of range");
+  return bits ^ (1ULL << bit);
+}
+
+float dtype_flip_value(DType d, float value, int bit) {
+  const std::uint64_t bits = dtype_encode(d, value);
+  return dtype_decode(d, dtype_flip_bit(d, bits, bit));
+}
+
+}  // namespace rangerpp::tensor

@@ -1,0 +1,70 @@
+// Inference datatypes and their bit-level codecs.
+//
+// The paper evaluates DNNs running on 32-bit fixed point (RQ1-3) and 16-bit
+// fixed point (RQ4); faults are single bit flips in the binary
+// representation of operator output values.  Kernels in rangerpp compute in
+// IEEE float and every operator output is *quantised through the active
+// datatype codec*, so stored values are exactly representable in the chosen
+// datatype, and a bit flip is performed on the true bit pattern:
+//
+//   float value --encode--> bits --flip bit k--> bits' --decode--> float
+//
+// This reproduces the fault-magnitude distribution of each datatype — the
+// property Ranger's analysis (critical faults = high-order-bit flips)
+// depends on — while keeping a single float kernel implementation.
+//
+// Formats:
+//  * Float32     — IEEE-754 binary32, pass-through quantisation.
+//  * Fixed32     — two's-complement Q21.10 (1 sign, 21 integer, 10
+//                  fractional bits), the layout used by BinFI/TensorFI
+//                  experiments.
+//  * Fixed16     — two's-complement Q13.2 (1 sign, 13 integer, 2 fractional
+//                  bits); the paper's "14 bits for the integer and 2 for the
+//                  fractional part".
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rangerpp::tensor {
+
+enum class DType { kFloat32, kFixed32, kFixed16 };
+
+std::string_view dtype_name(DType d);
+
+// Number of bits in the storage representation (bit-flip positions are
+// drawn uniformly from [0, bits)).
+int dtype_bits(DType d);
+
+// Encodes a float into the datatype's storage bits (widened to u64 so all
+// formats share one interface).  Fixed-point encodings saturate at the
+// format's representable range, matching hardware behaviour.
+std::uint64_t dtype_encode(DType d, float value);
+
+// Decodes storage bits back into a float.
+float dtype_decode(DType d, std::uint64_t bits);
+
+// Round-trips a value through the datatype (identity for Float32).
+inline float dtype_quantize(DType d, float value) {
+  if (d == DType::kFloat32) return value;
+  return dtype_decode(d, dtype_encode(d, value));
+}
+
+// Flips bit `bit` (0 = LSB) of `bits` within the datatype's width.
+std::uint64_t dtype_flip_bit(DType d, std::uint64_t bits, int bit);
+
+// Convenience: quantise + flip + decode in one step.
+float dtype_flip_value(DType d, float value, int bit);
+
+// Parameters of the fixed-point formats, exposed for tests and docs.
+struct FixedPointFormat {
+  int total_bits;  // including sign
+  int frac_bits;
+  double max_value() const;  // largest representable value
+  double min_value() const;  // most negative representable value
+  double resolution() const;
+};
+FixedPointFormat fixed32_format();
+FixedPointFormat fixed16_format();
+
+}  // namespace rangerpp::tensor

@@ -1,0 +1,49 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace rangerpp::tensor {
+
+Shape::Shape(std::initializer_list<int> dims) {
+  if (dims.size() > static_cast<std::size_t>(kMaxRank))
+    throw std::invalid_argument("Shape: rank > 4 not supported");
+  rank_ = static_cast<int>(dims.size());
+  int i = 0;
+  for (int d : dims) {
+    if (d <= 0) throw std::invalid_argument("Shape: non-positive dimension");
+    dims_[i++] = d;
+  }
+}
+
+int Shape::dim(int i) const {
+  if (i < 0 || i >= rank_) throw std::out_of_range("Shape::dim");
+  return dims_[static_cast<std::size_t>(i)];
+}
+
+std::size_t Shape::elements() const {
+  if (rank_ == 0) return 0;
+  std::size_t n = 1;
+  for (int i = 0; i < rank_; ++i) n *= static_cast<std::size_t>(dims_[i]);
+  return n;
+}
+
+bool Shape::operator==(const Shape& other) const {
+  if (rank_ != other.rank_) return false;
+  for (int i = 0; i < rank_; ++i)
+    if (dims_[i] != other.dims_[i]) return false;
+  return true;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream out;
+  out << '[';
+  for (int i = 0; i < rank_; ++i) {
+    if (i) out << ',';
+    out << dims_[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace rangerpp::tensor

@@ -1,0 +1,41 @@
+// Tensor shapes.  rangerpp uses NHWC layout for 4-D activations (batch is
+// always 1 during inference experiments) and plain row-major layout for
+// lower ranks.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace rangerpp::tensor {
+
+class Shape {
+ public:
+  static constexpr int kMaxRank = 4;
+
+  Shape() = default;
+  Shape(std::initializer_list<int> dims);
+
+  int rank() const { return rank_; }
+  int dim(int i) const;
+  std::size_t elements() const;
+
+  // NHWC accessors for rank-4 shapes (checked).
+  int n() const { return dim(0); }
+  int h() const { return dim(1); }
+  int w() const { return dim(2); }
+  int c() const { return dim(3); }
+
+  bool operator==(const Shape& other) const;
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  std::string to_string() const;
+
+ private:
+  int rank_ = 0;
+  std::array<int, kMaxRank> dims_{};
+};
+
+}  // namespace rangerpp::tensor

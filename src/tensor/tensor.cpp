@@ -1,0 +1,91 @@
+#include "tensor/tensor.hpp"
+
+#include <stdexcept>
+
+namespace rangerpp::tensor {
+
+Tensor::Tensor(Shape shape)
+    : shape_(shape),
+      data_(std::make_shared<std::vector<float>>(shape.elements(), 0.0f)) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values) : shape_(shape) {
+  if (values.size() != shape.elements())
+    throw std::invalid_argument("Tensor: value count does not match shape " +
+                                shape.to_string());
+  data_ = std::make_shared<std::vector<float>>(std::move(values));
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(shape);
+  for (auto& v : *t.data_) v = value;
+  return t;
+}
+
+Tensor Tensor::scalar(float value) {
+  return Tensor(Shape{1}, std::vector<float>{value});
+}
+
+std::span<const float> Tensor::values() const {
+  if (!data_) return {};
+  return {data_->data(), data_->size()};
+}
+
+void Tensor::ensure_unique() {
+  if (data_ && data_.use_count() > 1)
+    data_ = std::make_shared<std::vector<float>>(*data_);
+}
+
+std::span<float> Tensor::mutable_values() {
+  if (!data_) return {};
+  ensure_unique();
+  return {data_->data(), data_->size()};
+}
+
+float Tensor::at(std::size_t i) const {
+  if (!data_ || i >= data_->size()) throw std::out_of_range("Tensor::at");
+  return (*data_)[i];
+}
+
+void Tensor::set(std::size_t i, float v) {
+  if (!data_ || i >= data_->size()) throw std::out_of_range("Tensor::set");
+  ensure_unique();
+  (*data_)[i] = v;
+}
+
+std::size_t Tensor::index4(int n, int h, int w, int c) const {
+  if (shape_.rank() != 4) throw std::logic_error("Tensor: not rank 4");
+  if (n < 0 || n >= shape_.n() || h < 0 || h >= shape_.h() || w < 0 ||
+      w >= shape_.w() || c < 0 || c >= shape_.c())
+    throw std::out_of_range("Tensor: NHWC index");
+  return ((static_cast<std::size_t>(n) * shape_.h() + h) * shape_.w() + w) *
+             shape_.c() +
+         c;
+}
+
+float Tensor::at4(int n, int h, int w, int c) const {
+  return (*data_)[index4(n, h, w, c)];
+}
+
+void Tensor::set4(int n, int h, int w, int c, float v) {
+  const std::size_t i = index4(n, h, w, c);
+  ensure_unique();
+  (*data_)[i] = v;
+}
+
+Tensor Tensor::clone() const {
+  Tensor t;
+  t.shape_ = shape_;
+  if (data_) t.data_ = std::make_shared<std::vector<float>>(*data_);
+  return t;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (new_shape.elements() != shape_.elements())
+    throw std::invalid_argument("Tensor::reshaped: element count mismatch");
+  Tensor t;
+  t.shape_ = new_shape;
+  t.data_ = data_;
+  return t;
+}
+
+}  // namespace rangerpp::tensor

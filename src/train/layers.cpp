@@ -1,0 +1,373 @@
+#include "train/layers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rangerpp::train {
+
+namespace {
+
+// SAME-padding offsets for the given geometry (TensorFlow convention,
+// matching ops::Conv2DOp / PoolOpBase).
+struct Pad {
+  int top = 0, left = 0;
+};
+
+Pad same_pad(int ih, int iw, int oh, int ow, int kh, int kw, int sh, int sw) {
+  Pad p;
+  p.top = std::max(0, ((oh - 1) * sh + kh - ih)) / 2;
+  p.left = std::max(0, ((ow - 1) * sw + kw - iw)) / 2;
+  return p;
+}
+
+}  // namespace
+
+void Layer::zero_grads() {
+  for (tensor::Tensor* g : grads())
+    for (float& v : g->mutable_values()) v = 0.0f;
+}
+
+// --------------------------------------------------------------------------
+// ConvLayer
+
+ConvLayer::ConvLayer(tensor::Tensor filter, tensor::Tensor bias,
+                     ops::Conv2DParams params)
+    : filter_(std::move(filter)),
+      bias_(std::move(bias)),
+      dfilter_(filter_.shape()),
+      dbias_(bias_.shape()),
+      p_(params) {
+  if (filter_.shape().rank() != 4)
+    throw std::invalid_argument("ConvLayer: filter must be rank 4");
+}
+
+tensor::Tensor ConvLayer::forward(const tensor::Tensor& x) {
+  cached_x_ = x;
+  const ops::Conv2DOp op(p_);
+  std::array inputs{x, filter_};
+  tensor::Tensor y = op.compute(inputs);
+  std::span<float> yv = y.mutable_values();
+  std::span<const float> bv = bias_.values();
+  for (std::size_t i = 0; i < yv.size(); ++i) yv[i] += bv[i % bv.size()];
+  return y;
+}
+
+tensor::Tensor ConvLayer::backward(const tensor::Tensor& grad_out) {
+  const tensor::Shape& xs = cached_x_.shape();
+  const tensor::Shape& fs = filter_.shape();
+  const tensor::Shape& os = grad_out.shape();
+  const int kh = fs.dim(0), kw = fs.dim(1), ic = fs.dim(2), oc = fs.dim(3);
+  const Pad pad = p_.padding == ops::Padding::kSame
+                      ? same_pad(xs.h(), xs.w(), os.h(), os.w(), kh, kw,
+                                 p_.stride_h, p_.stride_w)
+                      : Pad{};
+
+  tensor::Tensor grad_in(xs);
+  std::span<float> gx = grad_in.mutable_values();
+  std::span<float> gf = dfilter_.mutable_values();
+  std::span<float> gb = dbias_.mutable_values();
+  std::span<const float> go = grad_out.values();
+  std::span<const float> xv = cached_x_.values();
+  std::span<const float> fv = filter_.values();
+
+  for (int oy = 0; oy < os.h(); ++oy) {
+    for (int ox = 0; ox < os.w(); ++ox) {
+      const int base_y = oy * p_.stride_h - pad.top;
+      const int base_x = ox * p_.stride_w - pad.left;
+      const float* gorow =
+          &go[(static_cast<std::size_t>(oy) * os.w() + ox) * oc];
+      for (int co = 0; co < oc; ++co) gb[co] += gorow[co];
+      for (int ky = 0; ky < kh; ++ky) {
+        const int sy = base_y + ky;
+        if (sy < 0 || sy >= xs.h()) continue;
+        for (int kx = 0; kx < kw; ++kx) {
+          const int sx = base_x + kx;
+          if (sx < 0 || sx >= xs.w()) continue;
+          const std::size_t xbase =
+              (static_cast<std::size_t>(sy) * xs.w() + sx) * ic;
+          const std::size_t fbase =
+              (static_cast<std::size_t>(ky) * kw + kx) *
+              static_cast<std::size_t>(ic) * oc;
+          for (int ci = 0; ci < ic; ++ci) {
+            const float xval = xv[xbase + ci];
+            const float* frow = &fv[fbase + static_cast<std::size_t>(ci) * oc];
+            float* gfrow = &gf[fbase + static_cast<std::size_t>(ci) * oc];
+            float acc = 0.0f;
+            for (int co = 0; co < oc; ++co) {
+              const float g = gorow[co];
+              gfrow[co] += xval * g;
+              acc += frow[co] * g;
+            }
+            gx[xbase + ci] += acc;
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<tensor::Tensor*> ConvLayer::params() {
+  return {&filter_, &bias_};
+}
+std::vector<tensor::Tensor*> ConvLayer::grads() {
+  return {&dfilter_, &dbias_};
+}
+
+std::unique_ptr<Layer> ConvLayer::clone() const {
+  return std::make_unique<ConvLayer>(filter_.clone(), bias_.clone(), p_);
+}
+
+// --------------------------------------------------------------------------
+// DenseLayer
+
+DenseLayer::DenseLayer(tensor::Tensor weights, tensor::Tensor bias)
+    : weights_(std::move(weights)),
+      bias_(std::move(bias)),
+      dweights_(weights_.shape()),
+      dbias_(bias_.shape()) {
+  if (weights_.shape().rank() != 2)
+    throw std::invalid_argument("DenseLayer: weights must be rank 2");
+}
+
+tensor::Tensor DenseLayer::forward(const tensor::Tensor& x) {
+  cached_x_ = x;
+  const int k = weights_.shape().dim(0);
+  const int n = weights_.shape().dim(1);
+  if (static_cast<int>(x.elements()) != k)
+    throw std::invalid_argument("DenseLayer: input size mismatch");
+  tensor::Tensor y(tensor::Shape{1, n});
+  std::span<float> yv = y.mutable_values();
+  std::span<const float> xv = x.values();
+  std::span<const float> wv = weights_.values();
+  std::span<const float> bv = bias_.values();
+  for (int j = 0; j < n; ++j) yv[j] = bv[j];
+  for (int i = 0; i < k; ++i) {
+    const float xi = xv[i];
+    const float* wrow = &wv[static_cast<std::size_t>(i) * n];
+    for (int j = 0; j < n; ++j) yv[j] += xi * wrow[j];
+  }
+  return y;
+}
+
+tensor::Tensor DenseLayer::backward(const tensor::Tensor& grad_out) {
+  const int k = weights_.shape().dim(0);
+  const int n = weights_.shape().dim(1);
+  tensor::Tensor grad_in(cached_x_.shape());
+  std::span<float> gx = grad_in.mutable_values();
+  std::span<float> gw = dweights_.mutable_values();
+  std::span<float> gb = dbias_.mutable_values();
+  std::span<const float> go = grad_out.values();
+  std::span<const float> xv = cached_x_.values();
+  std::span<const float> wv = weights_.values();
+  for (int j = 0; j < n; ++j) gb[j] += go[j];
+  for (int i = 0; i < k; ++i) {
+    const float xi = xv[i];
+    const float* wrow = &wv[static_cast<std::size_t>(i) * n];
+    float* gwrow = &gw[static_cast<std::size_t>(i) * n];
+    float acc = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      gwrow[j] += xi * go[j];
+      acc += wrow[j] * go[j];
+    }
+    gx[i] = acc;
+  }
+  return grad_in;
+}
+
+std::vector<tensor::Tensor*> DenseLayer::params() {
+  return {&weights_, &bias_};
+}
+std::vector<tensor::Tensor*> DenseLayer::grads() {
+  return {&dweights_, &dbias_};
+}
+
+std::unique_ptr<Layer> DenseLayer::clone() const {
+  return std::make_unique<DenseLayer>(weights_.clone(), bias_.clone());
+}
+
+// --------------------------------------------------------------------------
+// ActivationLayer
+
+ActivationLayer::ActivationLayer(ops::OpKind kind) : kind_(kind) {
+  switch (kind) {
+    case ops::OpKind::kRelu:
+    case ops::OpKind::kTanh:
+    case ops::OpKind::kSigmoid:
+    case ops::OpKind::kElu:
+      break;
+    default:
+      throw std::invalid_argument("ActivationLayer: unsupported kind");
+  }
+}
+
+tensor::Tensor ActivationLayer::forward(const tensor::Tensor& x) {
+  cached_x_ = x;
+  tensor::Tensor y = x.clone();
+  for (float& v : y.mutable_values()) {
+    switch (kind_) {
+      case ops::OpKind::kRelu: v = v > 0.0f ? v : 0.0f; break;
+      case ops::OpKind::kTanh: v = std::tanh(v); break;
+      case ops::OpKind::kSigmoid: v = 1.0f / (1.0f + std::exp(-v)); break;
+      case ops::OpKind::kElu: v = v >= 0.0f ? v : std::expm1(v); break;
+      default: break;
+    }
+  }
+  cached_y_ = y;
+  return y;
+}
+
+tensor::Tensor ActivationLayer::backward(const tensor::Tensor& grad_out) {
+  tensor::Tensor grad_in = grad_out.clone();
+  std::span<float> g = grad_in.mutable_values();
+  std::span<const float> xv = cached_x_.values();
+  std::span<const float> yv = cached_y_.values();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    switch (kind_) {
+      case ops::OpKind::kRelu:
+        g[i] *= xv[i] > 0.0f ? 1.0f : 0.0f;
+        break;
+      case ops::OpKind::kTanh:
+        g[i] *= 1.0f - yv[i] * yv[i];
+        break;
+      case ops::OpKind::kSigmoid:
+        g[i] *= yv[i] * (1.0f - yv[i]);
+        break;
+      case ops::OpKind::kElu:
+        g[i] *= xv[i] >= 0.0f ? 1.0f : (yv[i] + 1.0f);
+        break;
+      default:
+        break;
+    }
+  }
+  return grad_in;
+}
+
+std::unique_ptr<Layer> ActivationLayer::clone() const {
+  return std::make_unique<ActivationLayer>(kind_);
+}
+
+// --------------------------------------------------------------------------
+// MaxPoolLayer
+
+MaxPoolLayer::MaxPoolLayer(ops::PoolParams params) : p_(params) {}
+
+tensor::Tensor MaxPoolLayer::forward(const tensor::Tensor& x) {
+  in_shape_ = x.shape();
+  const ops::MaxPoolOp op(p_);
+  std::array shapes{x.shape()};
+  const tensor::Shape os = op.infer_shape(shapes);
+
+  int pad_top = 0, pad_left = 0;
+  if (p_.padding == ops::Padding::kSame) {
+    pad_top = std::max(0, (os.h() - 1) * p_.stride_h + p_.window_h -
+                              in_shape_.h()) /
+              2;
+    pad_left = std::max(0, (os.w() - 1) * p_.stride_w + p_.window_w -
+                               in_shape_.w()) /
+               2;
+  }
+
+  tensor::Tensor y(os);
+  argmax_.assign(os.elements(), 0);
+  std::size_t out_i = 0;
+  for (int oy = 0; oy < os.h(); ++oy)
+    for (int ox = 0; ox < os.w(); ++ox)
+      for (int c = 0; c < os.c(); ++c) {
+        float best = -std::numeric_limits<float>::infinity();
+        std::size_t best_idx = 0;
+        for (int ky = 0; ky < p_.window_h; ++ky) {
+          const int sy = oy * p_.stride_h - pad_top + ky;
+          if (sy < 0 || sy >= in_shape_.h()) continue;
+          for (int kx = 0; kx < p_.window_w; ++kx) {
+            const int sx = ox * p_.stride_w - pad_left + kx;
+            if (sx < 0 || sx >= in_shape_.w()) continue;
+            const float v = x.at4(0, sy, sx, c);
+            if (v > best) {
+              best = v;
+              best_idx = (static_cast<std::size_t>(sy) * in_shape_.w() + sx) *
+                             in_shape_.c() +
+                         c;
+            }
+          }
+        }
+        // Recompute the flat output index to match NHWC storage.
+        out_i = (static_cast<std::size_t>(oy) * os.w() + ox) * os.c() + c;
+        y.set(out_i, best);
+        argmax_[out_i] = best_idx;
+      }
+  return y;
+}
+
+tensor::Tensor MaxPoolLayer::backward(const tensor::Tensor& grad_out) {
+  tensor::Tensor grad_in(in_shape_);
+  std::span<float> g = grad_in.mutable_values();
+  std::span<const float> go = grad_out.values();
+  for (std::size_t i = 0; i < go.size(); ++i) g[argmax_[i]] += go[i];
+  return grad_in;
+}
+
+std::unique_ptr<Layer> MaxPoolLayer::clone() const {
+  return std::make_unique<MaxPoolLayer>(p_);
+}
+
+// --------------------------------------------------------------------------
+// FlattenLayer
+
+tensor::Tensor FlattenLayer::forward(const tensor::Tensor& x) {
+  in_shape_ = x.shape();
+  return x.clone().reshaped(
+      tensor::Shape{1, static_cast<int>(x.elements())});
+}
+
+tensor::Tensor FlattenLayer::backward(const tensor::Tensor& grad_out) {
+  return grad_out.clone().reshaped(in_shape_);
+}
+
+std::unique_ptr<Layer> FlattenLayer::clone() const {
+  return std::make_unique<FlattenLayer>();
+}
+
+// --------------------------------------------------------------------------
+// ScaleLayer
+
+tensor::Tensor ScaleLayer::forward(const tensor::Tensor& x) {
+  tensor::Tensor y = x.clone();
+  for (float& v : y.mutable_values()) v *= factor_;
+  return y;
+}
+
+tensor::Tensor ScaleLayer::backward(const tensor::Tensor& grad_out) {
+  tensor::Tensor g = grad_out.clone();
+  for (float& v : g.mutable_values()) v *= factor_;
+  return g;
+}
+
+std::unique_ptr<Layer> ScaleLayer::clone() const {
+  return std::make_unique<ScaleLayer>(factor_);
+}
+
+// --------------------------------------------------------------------------
+// AtanLayer
+
+tensor::Tensor AtanLayer::forward(const tensor::Tensor& x) {
+  cached_x_ = x;
+  tensor::Tensor y = x.clone();
+  for (float& v : y.mutable_values()) v = scale_ * std::atan(v);
+  return y;
+}
+
+tensor::Tensor AtanLayer::backward(const tensor::Tensor& grad_out) {
+  tensor::Tensor grad_in = grad_out.clone();
+  std::span<float> g = grad_in.mutable_values();
+  std::span<const float> xv = cached_x_.values();
+  for (std::size_t i = 0; i < g.size(); ++i)
+    g[i] *= scale_ / (1.0f + xv[i] * xv[i]);
+  return grad_in;
+}
+
+std::unique_ptr<Layer> AtanLayer::clone() const {
+  return std::make_unique<AtanLayer>(scale_);
+}
+
+}  // namespace rangerpp::train

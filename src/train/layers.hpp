@@ -1,0 +1,147 @@
+// Training-time layers with reverse-mode gradients.
+//
+// The paper retrains several models (the degrees-output Dave variant of
+// §VI-A, and the Tanh-activation variants for the Hong-et-al. comparison
+// of Fig 8), and the accuracy experiments (Tables II and V) need genuinely
+// trained weights.  No training framework is available offline, so this is
+// a small, self-contained backprop engine for the sequential architectures
+// in models/arch.hpp.  It is deliberately independent of the inference
+// graph: training runs in float32 on mutable layer objects; trained
+// parameters are exported as models::Weights and baked into inference
+// graphs as Const nodes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ops/nn_ops.hpp"
+#include "ops/pool_ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rangerpp::train {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // Forward pass; caches whatever backward() needs.
+  virtual tensor::Tensor forward(const tensor::Tensor& x) = 0;
+  // Backward pass: takes dL/dy, accumulates parameter gradients, returns
+  // dL/dx.  Must be called after forward() on the same instance.
+  virtual tensor::Tensor backward(const tensor::Tensor& grad_out) = 0;
+
+  // Parameter / gradient views (same order); empty for stateless layers.
+  virtual std::vector<tensor::Tensor*> params() { return {}; }
+  virtual std::vector<tensor::Tensor*> grads() { return {}; }
+  virtual void zero_grads();
+
+  // Deep copy (for per-thread replicas in data-parallel training).
+  virtual std::unique_ptr<Layer> clone() const = 0;
+};
+
+class ConvLayer final : public Layer {
+ public:
+  ConvLayer(tensor::Tensor filter, tensor::Tensor bias,
+            ops::Conv2DParams params);
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::vector<tensor::Tensor*> params() override;
+  std::vector<tensor::Tensor*> grads() override;
+  std::unique_ptr<Layer> clone() const override;
+
+  const tensor::Tensor& filter() const { return filter_; }
+  const tensor::Tensor& bias() const { return bias_; }
+
+ private:
+  tensor::Tensor filter_, bias_;
+  tensor::Tensor dfilter_, dbias_;
+  ops::Conv2DParams p_;
+  tensor::Tensor cached_x_;
+};
+
+class DenseLayer final : public Layer {
+ public:
+  DenseLayer(tensor::Tensor weights, tensor::Tensor bias);
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::vector<tensor::Tensor*> params() override;
+  std::vector<tensor::Tensor*> grads() override;
+  std::unique_ptr<Layer> clone() const override;
+
+  const tensor::Tensor& weights() const { return weights_; }
+  const tensor::Tensor& bias() const { return bias_; }
+
+ private:
+  tensor::Tensor weights_, bias_;
+  tensor::Tensor dweights_, dbias_;
+  tensor::Tensor cached_x_;
+};
+
+// ReLU / Tanh / Sigmoid / ELU.
+class ActivationLayer final : public Layer {
+ public:
+  explicit ActivationLayer(ops::OpKind kind);
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  ops::OpKind kind_;
+  tensor::Tensor cached_x_, cached_y_;
+};
+
+class MaxPoolLayer final : public Layer {
+ public:
+  explicit MaxPoolLayer(ops::PoolParams params);
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  ops::PoolParams p_;
+  tensor::Shape in_shape_;
+  std::vector<std::size_t> argmax_;  // flat input index per output element
+};
+
+class FlattenLayer final : public Layer {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  tensor::Shape in_shape_;
+};
+
+// Fixed linear scaling y = factor * x (not trainable).
+class ScaleLayer final : public Layer {
+ public:
+  explicit ScaleLayer(float factor) : factor_(factor) {}
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  float factor_;
+};
+
+// y = scale * atan(x); the Dave radians head.
+class AtanLayer final : public Layer {
+ public:
+  explicit AtanLayer(float scale) : scale_(scale) {}
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  float scale_;
+  tensor::Tensor cached_x_;
+};
+
+}  // namespace rangerpp::train

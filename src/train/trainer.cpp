@@ -1,0 +1,271 @@
+#include "train/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/threadpool.hpp"
+
+namespace rangerpp::train {
+
+namespace {
+
+const tensor::Tensor& require_weight(const models::Weights& w,
+                                     const std::string& key) {
+  const auto it = w.find(key);
+  if (it == w.end())
+    throw std::invalid_argument("Sequential: missing weight '" + key + "'");
+  return it->second;
+}
+
+}  // namespace
+
+Sequential::Sequential(const models::Arch& arch,
+                       const models::Weights& weights) {
+  for (const models::LayerDef& def : arch.layers) {
+    if (const auto* c = std::get_if<models::ConvDef>(&def)) {
+      layers_.push_back(std::make_unique<ConvLayer>(
+          require_weight(weights, c->name + "/filter").clone(),
+          require_weight(weights, c->name + "/bias").clone(),
+          ops::Conv2DParams{c->stride, c->stride, c->padding}));
+      param_keys_.push_back(c->name + "/filter");
+      param_keys_.push_back(c->name + "/bias");
+    } else if (const auto* d = std::get_if<models::DenseDef>(&def)) {
+      layers_.push_back(std::make_unique<DenseLayer>(
+          require_weight(weights, d->name + "/weights").clone(),
+          require_weight(weights, d->name + "/bias").clone()));
+      param_keys_.push_back(d->name + "/weights");
+      param_keys_.push_back(d->name + "/bias");
+    } else if (const auto* a = std::get_if<models::ActDef>(&def)) {
+      layers_.push_back(std::make_unique<ActivationLayer>(a->kind));
+    } else if (const auto* p = std::get_if<models::PoolDef>(&def)) {
+      if (!p->max)
+        throw std::invalid_argument(
+            "Sequential: average pooling has no training support");
+      layers_.push_back(std::make_unique<MaxPoolLayer>(p->params));
+    } else if (std::get_if<models::FlattenDef>(&def)) {
+      layers_.push_back(std::make_unique<FlattenLayer>());
+    } else if (const auto* at = std::get_if<models::AtanDef>(&def)) {
+      layers_.push_back(std::make_unique<AtanLayer>(at->scale));
+    } else if (const auto* sc = std::get_if<models::ScaleDef>(&def)) {
+      layers_.push_back(std::make_unique<ScaleLayer>(sc->factor));
+    } else if (std::get_if<models::DropoutDef>(&def) ||
+               std::get_if<models::SoftmaxDef>(&def)) {
+      // Dropout is identity at our training scale; Softmax folds into the
+      // cross-entropy loss.
+      continue;
+    } else {
+      throw std::invalid_argument(
+          "Sequential: layer kind has no training support");
+    }
+  }
+}
+
+tensor::Tensor Sequential::forward(const tensor::Tensor& x) {
+  tensor::Tensor y = x;
+  for (auto& l : layers_) y = l->forward(y);
+  return y;
+}
+
+void Sequential::backward(const tensor::Tensor& grad_loss) {
+  tensor::Tensor g = grad_loss;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+}
+
+std::vector<tensor::Tensor*> Sequential::params() {
+  std::vector<tensor::Tensor*> out;
+  for (auto& l : layers_)
+    for (tensor::Tensor* p : l->params()) out.push_back(p);
+  return out;
+}
+
+std::vector<tensor::Tensor*> Sequential::grads() {
+  std::vector<tensor::Tensor*> out;
+  for (auto& l : layers_)
+    for (tensor::Tensor* g : l->grads()) out.push_back(g);
+  return out;
+}
+
+void Sequential::zero_grads() {
+  for (auto& l : layers_) l->zero_grads();
+}
+
+Sequential Sequential::clone() const {
+  Sequential copy;
+  copy.param_keys_ = param_keys_;
+  for (const auto& l : layers_) copy.layers_.push_back(l->clone());
+  return copy;
+}
+
+void Sequential::export_weights(models::Weights& weights) {
+  std::size_t i = 0;
+  for (auto& l : layers_)
+    for (tensor::Tensor* p : l->params())
+      weights[param_keys_[i++]] = p->clone();
+}
+
+double softmax_cross_entropy(const tensor::Tensor& logits, int label,
+                             tensor::Tensor& grad) {
+  const auto v = logits.values();
+  if (label < 0 || static_cast<std::size_t>(label) >= v.size())
+    throw std::invalid_argument("softmax_cross_entropy: bad label");
+  float max = v[0];
+  for (float x : v) max = std::max(max, x);
+  double sum = 0.0;
+  std::vector<double> e(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    e[i] = std::exp(static_cast<double>(v[i]) - max);
+    sum += e[i];
+  }
+  grad = tensor::Tensor(logits.shape());
+  std::span<float> g = grad.mutable_values();
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double p = e[i] / sum;
+    g[i] = static_cast<float>(p) -
+           (static_cast<int>(i) == label ? 1.0f : 0.0f);
+  }
+  const double p_label = e[static_cast<std::size_t>(label)] / sum;
+  return -std::log(std::max(p_label, 1e-12));
+}
+
+double mse(const tensor::Tensor& pred, float target, tensor::Tensor& grad) {
+  const float y = pred.at(0);
+  const float d = y - target;
+  grad = tensor::Tensor(pred.shape());
+  grad.set(0, 2.0f * d);
+  return static_cast<double>(d) * d;
+}
+
+FitReport fit(const models::Arch& arch, models::Weights& weights,
+              const data::Dataset& train_set, const FitOptions& options) {
+  if (train_set.samples.empty())
+    throw std::invalid_argument("fit: empty training set");
+
+  Sequential master(arch, weights);
+  std::vector<tensor::Tensor*> params = master.params();
+
+  // Momentum buffers.
+  std::vector<tensor::Tensor> velocity;
+  velocity.reserve(params.size());
+  for (tensor::Tensor* p : params) velocity.emplace_back(p->shape());
+
+  const unsigned threads = std::max(
+      1u, options.threads == 0 ? util::default_thread_count()
+                               : options.threads);
+  std::vector<Sequential> replicas;
+  for (unsigned t = 0; t < threads; ++t) replicas.push_back(master.clone());
+
+  std::vector<std::size_t> order(train_set.samples.size());
+  std::iota(order.begin(), order.end(), 0);
+  util::Rng shuffle_rng(options.seed);
+
+  FitReport report;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), shuffle_rng.engine());
+    double epoch_loss = 0.0;
+    std::size_t seen = 0;
+
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(options.batch_size)) {
+      const std::size_t end = std::min(
+          order.size(), start + static_cast<std::size_t>(options.batch_size));
+      const std::size_t batch = end - start;
+
+      // Sync replica parameters with the master and clear gradients.
+      for (Sequential& r : replicas) {
+        std::vector<tensor::Tensor*> rp = r.params();
+        for (std::size_t i = 0; i < rp.size(); ++i) {
+          std::span<float> dst = rp[i]->mutable_values();
+          std::span<const float> src = params[i]->values();
+          std::copy(src.begin(), src.end(), dst.begin());
+        }
+        r.zero_grads();
+      }
+
+      // Each worker accumulates gradients for a contiguous share of the
+      // batch into its own replica.
+      std::vector<double> losses(threads, 0.0);
+      util::parallel_for(
+          threads,
+          [&](std::size_t t) {
+            Sequential& net = replicas[t];
+            for (std::size_t k = start + t; k < end; k += threads) {
+              const data::Sample& s = train_set.samples[order[k]];
+              const tensor::Tensor out = net.forward(s.image);
+              tensor::Tensor grad;
+              if (options.regression) {
+                float target = s.angle;
+                if (options.targets_in_radians)
+                  target *= static_cast<float>(std::numbers::pi / 180.0);
+                losses[t] += mse(out, target, grad);
+                if (options.output_scale != 1.0) {
+                  const float inv_s2 = static_cast<float>(
+                      1.0 / (options.output_scale * options.output_scale));
+                  grad.set(0, grad.at(0) * inv_s2);
+                }
+              } else {
+                losses[t] += softmax_cross_entropy(out, s.label, grad);
+              }
+              net.backward(grad);
+            }
+          },
+          threads);
+
+      // Reduce replica gradients into replica 0.
+      const double scale = 1.0 / static_cast<double>(batch);
+      double sq_norm = 0.0;
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        std::span<float> gsum = replicas[0].grads()[i]->mutable_values();
+        for (unsigned t = 1; t < threads; ++t) {
+          std::span<const float> g = replicas[t].grads()[i]->values();
+          for (std::size_t j = 0; j < gsum.size(); ++j) gsum[j] += g[j];
+        }
+        for (float g : gsum) {
+          const double gs = static_cast<double>(g) * scale;
+          sq_norm += gs * gs;
+        }
+      }
+
+      // Global-norm gradient clipping.
+      double clip = 1.0;
+      if (options.clip_norm > 0.0) {
+        const double norm = std::sqrt(sq_norm);
+        if (norm > options.clip_norm) clip = options.clip_norm / norm;
+      }
+
+      // SGD with momentum on the master parameters.
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        std::span<const float> gsum = replicas[0].grads()[i]->values();
+        std::span<float> p = params[i]->mutable_values();
+        std::span<float> vel = velocity[i].mutable_values();
+        for (std::size_t j = 0; j < p.size(); ++j) {
+          const float g = static_cast<float>(gsum[j] * scale * clip);
+          vel[j] = static_cast<float>(options.momentum) * vel[j] -
+                   static_cast<float>(options.learning_rate) * g;
+          p[j] += vel[j];
+        }
+      }
+
+      for (double l : losses) epoch_loss += l;
+      seen += batch;
+    }
+
+    report.epoch_loss.push_back(epoch_loss /
+                                static_cast<double>(std::max<std::size_t>(
+                                    seen, 1)));
+    if (options.verbose)
+      std::fprintf(stderr, "[train %s] epoch %d loss %.4f\n",
+                   arch.model_name.c_str(), epoch + 1,
+                   report.epoch_loss.back());
+  }
+
+  master.export_weights(weights);
+  return report;
+}
+
+}  // namespace rangerpp::train

@@ -1,0 +1,76 @@
+// Sequential network assembly from models::Arch, loss functions, and a
+// data-parallel minibatch SGD training loop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "models/arch.hpp"
+#include "train/layers.hpp"
+
+namespace rangerpp::train {
+
+class Sequential {
+ public:
+  // Builds trainable layers from `arch`, initialising parameters from
+  // `weights` (keys as in models::Weights).  SoftmaxDef is skipped — the
+  // cross-entropy loss consumes logits directly.  Throws on layers with no
+  // training support (LRN), which none of the trained models use.
+  Sequential(const models::Arch& arch, const models::Weights& weights);
+
+  tensor::Tensor forward(const tensor::Tensor& x);
+  void backward(const tensor::Tensor& grad_loss);
+
+  std::vector<tensor::Tensor*> params();
+  std::vector<tensor::Tensor*> grads();
+  void zero_grads();
+
+  Sequential clone() const;
+
+  // Writes current parameters back into `weights` (same keys).
+  void export_weights(models::Weights& weights);
+
+ private:
+  Sequential() = default;
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<std::string> param_keys_;  // weights-map key per param tensor
+};
+
+// Loss gradients.  Both return the loss value and write dL/dlogits.
+double softmax_cross_entropy(const tensor::Tensor& logits, int label,
+                             tensor::Tensor& grad);
+double mse(const tensor::Tensor& pred, float target, tensor::Tensor& grad);
+
+struct FitOptions {
+  int epochs = 3;
+  int batch_size = 32;
+  double learning_rate = 0.01;
+  double momentum = 0.9;
+  unsigned threads = 0;      // data-parallel replicas; 0 = hardware
+  std::uint64_t seed = 99;
+  bool regression = false;   // false: classification (label), true: angle
+  // Regression targets are transformed before the loss: identity for
+  // degrees-output models, deg->radians for the radians-output Dave.
+  bool targets_in_radians = false;
+  // Normalisation applied inside the regression loss: MSE is computed on
+  // (pred/output_scale, target/output_scale).  Keeps gradients well
+  // conditioned for degree-valued outputs (magnitudes up to ±60).
+  double output_scale = 1.0;
+  // Global L2 gradient-norm clip (0 disables).  Gradient clipping is the
+  // standard truncation the paper's §VII survey cites for training; it is
+  // what keeps the conv stacks stable under MSE losses here.
+  double clip_norm = 5.0;
+  bool verbose = false;
+};
+
+struct FitReport {
+  std::vector<double> epoch_loss;
+};
+
+// Trains `weights` in place on `train_set`.
+FitReport fit(const models::Arch& arch, models::Weights& weights,
+              const data::Dataset& train_set, const FitOptions& options);
+
+}  // namespace rangerpp::train

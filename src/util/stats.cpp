@@ -1,0 +1,118 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+namespace rangerpp::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double rmse(std::span<const double> pred, std::span<const double> target) {
+  if (pred.size() != target.size())
+    throw std::invalid_argument("rmse: size mismatch");
+  if (pred.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - target[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(pred.size()));
+}
+
+double avg_abs_deviation(std::span<const double> pred,
+                         std::span<const double> target) {
+  if (pred.size() != target.size())
+    throw std::invalid_argument("avg_abs_deviation: size mismatch");
+  if (pred.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i)
+    s += std::abs(pred[i] - target[i]);
+  return s / static_cast<double>(pred.size());
+}
+
+double ci95_proportion(std::size_t successes, std::size_t trials) {
+  if (trials == 0) return 0.0;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  return 1.959964 * std::sqrt(p * (1.0 - p) / n);
+}
+
+Interval wilson95(std::size_t successes, std::size_t trials) {
+  if (trials == 0) return {};
+  const double z = 1.959964;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  return {center, half};
+}
+
+double percentile(std::span<const float> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty sample");
+  std::vector<float> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (q <= 0.0) return sorted.front();
+  if (q >= 100.0) return sorted.back();
+  const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+void RunningRange::merge(const RunningRange& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  min_value = std::min(min_value, other.min_value);
+  max_value = std::max(max_value, other.max_value);
+  count += other.count;
+}
+
+Reservoir::Reservoir(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), state_(seed ^ 0x9e3779b97f4a7c15ULL) {
+  if (capacity_ == 0) throw std::invalid_argument("Reservoir: capacity 0");
+  sample_.reserve(capacity_);
+}
+
+std::uint64_t Reservoir::next_u64() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void Reservoir::observe(float v) {
+  ++seen_;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(v);
+    return;
+  }
+  // Vitter's Algorithm R.
+  const std::uint64_t j = next_u64() % seen_;
+  if (j < capacity_) sample_[j] = v;
+}
+
+}  // namespace rangerpp::util

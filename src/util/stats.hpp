@@ -1,0 +1,78 @@
+// Summary statistics used throughout the evaluation harness: means,
+// standard errors, 95% confidence intervals for proportions (the paper's
+// error bars), RMSE / average deviation for the steering models, and
+// percentiles for restriction-bound selection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rangerpp::util {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // sample variance (n-1)
+double stddev(std::span<const double> xs);
+
+// Root mean square error between predictions and targets (steering accuracy
+// metric in Table II / V of the paper).  Spans must be the same length.
+double rmse(std::span<const double> pred, std::span<const double> target);
+
+// Mean absolute deviation per frame (the paper's "Avg. Dev." metric).
+double avg_abs_deviation(std::span<const double> pred,
+                         std::span<const double> target);
+
+// Half-width of the 95% normal-approximation confidence interval for a
+// binomial proportion with `successes` out of `trials`.
+double ci95_proportion(std::size_t successes, std::size_t trials);
+
+// Wilson score interval centre/half-width; better behaved for p near 0,
+// which matters because Ranger drives SDC rates toward 0.
+struct Interval {
+  double center = 0.0;
+  double half_width = 0.0;
+};
+Interval wilson95(std::size_t successes, std::size_t trials);
+
+// Linear-interpolated percentile of an *unsorted* sample, q in [0, 100].
+// Copies and sorts internally.
+double percentile(std::span<const float> xs, double q);
+
+// Running min/max/count accumulator used by the range profiler.
+struct RunningRange {
+  float min_value = 0.0f;
+  float max_value = 0.0f;
+  std::size_t count = 0;
+
+  void observe(float v) {
+    if (count == 0) {
+      min_value = max_value = v;
+    } else {
+      if (v < min_value) min_value = v;
+      if (v > max_value) max_value = v;
+    }
+    ++count;
+  }
+  void merge(const RunningRange& other);
+};
+
+// Fixed-capacity uniform reservoir sample; used to estimate percentiles of
+// per-layer activation distributions without storing every value.
+class Reservoir {
+ public:
+  explicit Reservoir(std::size_t capacity, std::uint64_t seed);
+
+  void observe(float v);
+  std::span<const float> values() const { return sample_; }
+  std::size_t seen() const { return seen_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t seen_ = 0;
+  std::vector<float> sample_;
+  std::uint64_t state_;
+  std::uint64_t next_u64();
+};
+
+}  // namespace rangerpp::util

@@ -1,0 +1,30 @@
+// Console table printer.  Every bench binary renders its results as the
+// same rows/series layout as the corresponding table or figure in the
+// paper, so outputs can be compared side by side.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rangerpp::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with aligned columns, a header separator, and a trailing blank
+  // line.  Cells wider than their column are never truncated.
+  std::string to_string() const;
+  void print() const;  // to stdout
+
+  static std::string fmt(double v, int precision = 2);
+  static std::string pct(double v, int precision = 2);  // value already in %
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rangerpp::util

@@ -1,0 +1,27 @@
+// Minimal work-stealing-free thread pool used to parallelise independent
+// fault-injection trials across cores.  Tasks are indexed [0, n) and the
+// pool guarantees every index is executed exactly once; results are written
+// by the caller into pre-sized buffers, so no synchronisation beyond the
+// atomic cursor is needed.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace rangerpp::util {
+
+// Runs `fn(i)` for every i in [0, n) on up to `threads` workers.  Blocks
+// until all indices complete.  `fn` must be safe to call concurrently for
+// distinct indices.  Exceptions thrown by `fn` terminate the process (tasks
+// are expected to be noexcept in practice); keeping the contract simple
+// avoids cross-thread exception marshalling in the hot path.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  unsigned threads = 0);
+
+// Number of workers parallel_for will use by default.
+unsigned default_thread_count();
+
+}  // namespace rangerpp::util

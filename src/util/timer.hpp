@@ -1,0 +1,25 @@
+// Wall-clock timing helper for the instrumentation-time and inference-time
+// measurements (Tables III / IV of the paper).
+#pragma once
+
+#include <chrono>
+
+namespace rangerpp::util {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rangerpp::util

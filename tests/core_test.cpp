@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/flops_profiler.hpp"
+#include "core/range_profiler.hpp"
+#include "core/ranger_transform.hpp"
+#include "core/restrict_op.hpp"
+#include "fi/campaign.hpp"
+#include "graph/builder.hpp"
+
+namespace rangerpp::core {
+namespace {
+
+using graph::GraphBuilder;
+using tensor::Shape;
+using tensor::Tensor;
+
+// relu -> maxpool -> flatten net exercising Algorithm 1's extension rules.
+graph::Graph relu_pool_net() {
+  GraphBuilder b;
+  b.input("input", Shape{1, 4, 4, 1});
+  b.conv2d("conv", Tensor::full(Shape{3, 3, 1, 2}, 0.3f),
+           Tensor(Shape{2}), {1, 1, ops::Padding::kSame});
+  b.activation("relu", ops::OpKind::kRelu);
+  b.max_pool("pool", {2, 2, 2, 2, ops::Padding::kValid});
+  b.flatten("flatten");
+  return b.finish();
+}
+
+// Concat net: two relu branches merged (the SqueezeNet fire pattern).
+graph::Graph concat_net() {
+  GraphBuilder b;
+  b.input("input", Shape{1, 2, 2, 1});
+  const graph::NodeId stem = b.current();
+  b.conv2d("conv_a", Tensor::full(Shape{1, 1, 1, 1}, 1.0f),
+           Tensor(Shape{1}), {1, 1, ops::Padding::kSame});
+  b.activation("relu_a", ops::OpKind::kRelu);
+  const graph::NodeId a = b.current();
+  b.set_current(stem);
+  b.conv2d("conv_b", Tensor::full(Shape{1, 1, 1, 1}, 2.0f),
+           Tensor(Shape{1}), {1, 1, ops::Padding::kSame});
+  b.activation("relu_b", ops::OpKind::kRelu);
+  const graph::NodeId bb = b.current();
+  b.concat("concat", a, bb);
+  return b.finish();
+}
+
+std::vector<fi::Feeds> const_feeds(float v, int n = 3) {
+  std::vector<fi::Feeds> feeds;
+  for (int i = 0; i < n; ++i)
+    feeds.push_back({{"input",
+                      Tensor::full(Shape{1, 4, 4, 1},
+                                   v + 0.1f * static_cast<float>(i))}});
+  return feeds;
+}
+
+// ---- RangeProfiler ----------------------------------------------------------
+
+TEST(RangeProfiler, ObservesActivationExtrema) {
+  const graph::Graph g = relu_pool_net();
+  const RangeProfiler prof;
+  const RangeProfile p = prof.profile(g, const_feeds(1.0f));
+  const util::RunningRange r = p.range_of("relu");
+  EXPECT_GT(r.count, 0u);
+  // conv of all-1.2 inputs with 0.3 kernel: centre 9*0.3*1.2 = 3.24 max.
+  EXPECT_GT(r.max_value, 2.0f);
+  EXPECT_GE(r.min_value, 0.0f);  // relu output is non-negative
+  EXPECT_THROW(p.range_of("conv"), std::invalid_argument);  // not an ACT
+}
+
+TEST(RangeProfiler, BoundsAtFullPercentileEqualExtrema) {
+  const graph::Graph g = relu_pool_net();
+  const RangeProfiler prof;
+  const RangeProfile p = prof.profile(g, const_feeds(1.0f));
+  const Bounds b = p.bounds(100.0);
+  ASSERT_TRUE(b.contains("relu"));
+  const util::RunningRange r = p.range_of("relu");
+  EXPECT_FLOAT_EQ(b.at("relu").up, r.max_value);
+  EXPECT_FLOAT_EQ(b.at("relu").low, r.min_value);
+}
+
+TEST(RangeProfiler, PercentileBoundTightens) {
+  const graph::Graph g = relu_pool_net();
+  const RangeProfiler prof;
+  const RangeProfile p = prof.profile(g, const_feeds(1.0f, 20));
+  const Bounds full = p.bounds(100.0);
+  const Bounds tight = p.bounds(90.0);
+  EXPECT_LE(tight.at("relu").up, full.at("relu").up);
+  EXPECT_THROW(p.bounds(0.0), std::invalid_argument);
+  EXPECT_THROW(p.bounds(101.0), std::invalid_argument);
+}
+
+TEST(RangeProfiler, AnalyticBoundsForTanhSigmoid) {
+  GraphBuilder b;
+  b.input("input", Shape{4});
+  b.activation("tanh", ops::OpKind::kTanh);
+  b.activation("sigmoid", ops::OpKind::kSigmoid);
+  const graph::Graph g = b.finish();
+  const RangeProfiler prof;
+  const Bounds bounds = prof.derive_bounds(
+      g, {{{"input", Tensor(Shape{4}, {-1, 0, 1, 2})}}});
+  EXPECT_FLOAT_EQ(bounds.at("tanh").low, -1.0f);
+  EXPECT_FLOAT_EQ(bounds.at("tanh").up, 1.0f);
+  EXPECT_FLOAT_EQ(bounds.at("sigmoid").low, 0.0f);
+  EXPECT_FLOAT_EQ(bounds.at("sigmoid").up, 1.0f);
+}
+
+// ---- RangerTransform ---------------------------------------------------------
+
+TEST(RangerTransform, InsertsClampAfterActAndTransparentOps) {
+  const graph::Graph g = relu_pool_net();
+  const Bounds bounds{{"relu", {0.0f, 5.0f}}};
+  RangerTransform transform;
+  const graph::Graph protected_g = transform.apply(g, bounds);
+
+  // relu, pool and flatten each gain a restriction op.
+  EXPECT_NE(protected_g.find("relu/ranger"), graph::kInvalidNode);
+  EXPECT_NE(protected_g.find("pool/ranger"), graph::kInvalidNode);
+  EXPECT_NE(protected_g.find("flatten/ranger"), graph::kInvalidNode);
+  EXPECT_EQ(transform.last_stats().restriction_ops_inserted, 3u);
+  EXPECT_EQ(transform.last_stats().activations_bounded, 1u);
+  EXPECT_EQ(transform.last_stats().transparent_ops_bounded, 2u);
+  EXPECT_EQ(transform.last_stats().bound_values_stored(), 6u);
+
+  // Original names all survive (fault-replay compatibility).
+  for (const graph::Node& n : g.nodes())
+    EXPECT_NE(protected_g.find(n.name), graph::kInvalidNode) << n.name;
+}
+
+TEST(RangerTransform, PreservesFaultFreeOutput) {
+  const graph::Graph g = relu_pool_net();
+  const RangeProfiler prof;
+  const Bounds bounds = prof.derive_bounds(g, const_feeds(1.0f));
+  const graph::Graph protected_g = RangerTransform{}.apply(g, bounds);
+
+  const graph::Executor exec;
+  for (const fi::Feeds& feeds : const_feeds(1.0f)) {
+    const Tensor y0 = exec.run(g, feeds);
+    const Tensor y1 = exec.run(protected_g, feeds);
+    ASSERT_EQ(y0.elements(), y1.elements());
+    for (std::size_t i = 0; i < y0.elements(); ++i)
+      EXPECT_FLOAT_EQ(y0.at(i), y1.at(i));
+  }
+}
+
+TEST(RangerTransform, RestrictsInjectedFault) {
+  const graph::Graph g = relu_pool_net();
+  const Bounds bounds{{"relu", {0.0f, 4.0f}}};
+  const graph::Graph protected_g = RangerTransform{}.apply(g, bounds);
+  const graph::Executor exec;
+  const fi::Feeds feeds{{"input", Tensor::full(Shape{1, 4, 4, 1}, 1.0f)}};
+
+  // Corrupt the relu output with a huge value; the protected graph's
+  // output must stay within what a 4.0-bounded activation can produce.
+  const auto corrupt = [](const graph::Node& n, Tensor& out) {
+    if (n.name == "relu") out.set(0, 1e9f);
+  };
+  const Tensor bad = exec.run(g, feeds, corrupt);
+  const Tensor good = exec.run(protected_g, feeds, corrupt);
+  float bad_max = 0.0f, good_max = 0.0f;
+  for (float v : bad.values()) bad_max = std::max(bad_max, v);
+  for (float v : good.values()) good_max = std::max(good_max, v);
+  EXPECT_GE(bad_max, 1e8f);
+  EXPECT_LE(good_max, 4.0f);
+}
+
+TEST(RangerTransform, ConcatMergesBranchBounds) {
+  const graph::Graph g = concat_net();
+  const Bounds bounds{{"relu_a", {0.0f, 2.0f}}, {"relu_b", {-1.0f, 7.0f}}};
+  RangerTransform transform;
+  const graph::Graph protected_g = transform.apply(g, bounds);
+  const graph::NodeId concat_clamp = protected_g.find("concat/ranger");
+  ASSERT_NE(concat_clamp, graph::kInvalidNode);
+  const auto* clamp = dynamic_cast<const ops::ClampOp*>(
+      protected_g.node(concat_clamp).op.get());
+  ASSERT_NE(clamp, nullptr);
+  // Merged bound = (min lows, max ups) — Algorithm 1 lines 7-8.
+  EXPECT_FLOAT_EQ(clamp->low(), -1.0f);
+  EXPECT_FLOAT_EQ(clamp->high(), 7.0f);
+}
+
+TEST(RangerTransform, ConcatWithOneUnboundedBranchIsNotRestricted) {
+  const graph::Graph g = concat_net();
+  const Bounds bounds{{"relu_a", {0.0f, 2.0f}}};  // relu_b unprofiled
+  const graph::Graph protected_g = RangerTransform{}.apply(g, bounds);
+  EXPECT_EQ(protected_g.find("concat/ranger"), graph::kInvalidNode);
+}
+
+TEST(RangerTransform, UnboundedActivationsAreLeftAlone) {
+  const graph::Graph g = relu_pool_net();
+  const graph::Graph protected_g = RangerTransform{}.apply(g, {});
+  EXPECT_EQ(protected_g.size(), g.size());
+  EXPECT_EQ(RangerTransform{}.last_stats().restriction_ops_inserted, 0u);
+}
+
+// ---- Restriction policies (§VI-C design alternatives) -------------------------
+
+TEST(RestrictionPolicies, ZeroResetZeroesOutOfBound) {
+  const ZeroResetOp op(0.0f, 1.0f);
+  const Tensor x(Shape{3}, {0.5f, 2.0f, -1.0f});
+  const Tensor y = op.compute(std::array{x});
+  EXPECT_FLOAT_EQ(y.at(0), 0.5f);
+  EXPECT_FLOAT_EQ(y.at(1), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(2), 0.0f);
+}
+
+TEST(RestrictionPolicies, RandomReplaceStaysInBoundsAndIsDeterministic) {
+  const RandomReplaceOp op(0.0f, 1.0f, 42);
+  const Tensor x(Shape{4}, {0.5f, 5.0f, -3.0f, 0.9f});
+  const Tensor y1 = op.compute(std::array{x});
+  const Tensor y2 = op.compute(std::array{x});
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_GE(y1.at(i), 0.0f);
+    EXPECT_LE(y1.at(i), 1.0f);
+    EXPECT_FLOAT_EQ(y1.at(i), y2.at(i));  // deterministic
+  }
+  EXPECT_FLOAT_EQ(y1.at(0), 0.5f);  // in-bound values untouched
+}
+
+TEST(RestrictionPolicies, TransformHonoursPolicyChoice) {
+  const graph::Graph g = relu_pool_net();
+  const Bounds bounds{{"relu", {0.0f, 1.0f}}};
+  const graph::Graph zeroed =
+      RangerTransform{{RestrictionPolicy::kZero}}.apply(g, bounds);
+  const graph::Executor exec;
+  const fi::Feeds feeds{{"input", Tensor::full(Shape{1, 4, 4, 1}, 1.0f)}};
+  // relu outputs exceed 1.0 for this input, so zero-reset nukes them and
+  // the final output collapses to 0 — the accuracy catastrophe of §VI-C.
+  const Tensor y = exec.run(zeroed, feeds);
+  for (float v : y.values()) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+// ---- FLOPs profiler -----------------------------------------------------------
+
+TEST(FlopsProfiler, CountsPerKindAndTotal) {
+  const graph::Graph g = relu_pool_net();
+  const FlopsReport r = profile_flops(g);
+  EXPECT_GT(r.total, 0u);
+  EXPECT_TRUE(r.by_kind.contains("Conv2D"));
+  EXPECT_TRUE(r.by_kind.contains("Relu"));
+  // Conv dominates this net.
+  EXPECT_GT(r.by_kind.at("Conv2D"), r.by_kind.at("Relu"));
+}
+
+TEST(FlopsProfiler, RangerOverheadIsSmallAndPositive) {
+  const graph::Graph g = relu_pool_net();
+  const Bounds bounds{{"relu", {0.0f, 5.0f}}};
+  const graph::Graph protected_g = RangerTransform{}.apply(g, bounds);
+  const double pct = flops_overhead_pct(g, protected_g);
+  EXPECT_GT(pct, 0.0);
+  EXPECT_LT(pct, 50.0);  // tiny nets have high relative clamp cost
+}
+
+}  // namespace
+}  // namespace rangerpp::core

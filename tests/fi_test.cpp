@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "fi/campaign.hpp"
+#include "fi/fault_model.hpp"
+#include "fi/sdc.hpp"
+#include "graph/builder.hpp"
+
+namespace rangerpp::fi {
+namespace {
+
+using graph::GraphBuilder;
+using tensor::DType;
+using tensor::Shape;
+using tensor::Tensor;
+
+graph::Graph relu_net() {
+  GraphBuilder b;
+  b.input("input", Shape{1, 4, 4, 1});
+  b.conv2d("conv", Tensor::full(Shape{3, 3, 1, 4}, 0.2f),
+           Tensor(Shape{4}), {1, 1, ops::Padding::kSame});
+  b.activation("relu", ops::OpKind::kRelu);
+  b.max_pool("pool", {2, 2, 2, 2, ops::Padding::kValid});
+  b.flatten("flatten");
+  return b.finish();
+}
+
+TEST(SiteSpace, CountsInjectableElements) {
+  const graph::Graph g = relu_net();
+  const SiteSpace sites(g, DType::kFixed32);
+  // conv(4x4x4=64) + bias_add(64) + relu(64) + pool(2x2x4=16) +
+  // flatten(16) = 224.
+  EXPECT_EQ(sites.total_elements(), 224u);
+  EXPECT_EQ(sites.elements_of("relu"), 64u);
+  EXPECT_EQ(sites.elements_of("input"), 0u);    // not injectable
+  EXPECT_EQ(sites.elements_of("missing"), 0u);
+}
+
+TEST(SiteSpace, SamplingIsUniformOverElements) {
+  const graph::Graph g = relu_net();
+  const SiteSpace sites(g, DType::kFixed32);
+  util::Rng rng(11);
+  std::size_t relu_hits = 0;
+  constexpr std::size_t kTrials = 20000;
+  for (std::size_t i = 0; i < kTrials; ++i) {
+    const FaultSet f = sites.sample(rng, 1);
+    ASSERT_EQ(f.size(), 1u);
+    EXPECT_LT(f[0].element, sites.elements_of(f[0].node_name) == 0
+                                ? SIZE_MAX
+                                : sites.elements_of(f[0].node_name));
+    EXPECT_GE(f[0].bit, 0);
+    EXPECT_LT(f[0].bit, 32);
+    if (f[0].node_name == "relu") ++relu_hits;
+  }
+  // relu holds 64/224 of the site mass.
+  const double expected = 64.0 / 224.0;
+  EXPECT_NEAR(static_cast<double>(relu_hits) / kTrials, expected, 0.02);
+}
+
+TEST(SiteSpace, MultiBitSamplesIndependentPoints) {
+  const graph::Graph g = relu_net();
+  const SiteSpace sites(g, DType::kFixed16);
+  util::Rng rng(5);
+  const FaultSet f = sites.sample(rng, 5);
+  EXPECT_EQ(f.size(), 5u);
+  for (const FaultPoint& p : f) EXPECT_LT(p.bit, 16);
+}
+
+TEST(InjectionHook, FlipsExactlyTheTargetedValue) {
+  const graph::Graph g = relu_net();
+  const graph::Executor exec({DType::kFixed32});
+  const Tensor x = Tensor::full(Shape{1, 4, 4, 1}, 1.0f);
+
+  const Tensor golden = exec.run(g, {{"input", x}});
+  const FaultSet faults{{"pool", 3, 12}};
+  const Tensor faulty =
+      exec.run(g, {{"input", x}}, make_injection_hook(g, DType::kFixed32,
+                                                      faults));
+  // Output = flatten(pool): element 3 differs, all others equal.
+  for (std::size_t i = 0; i < golden.elements(); ++i) {
+    if (i == 3) {
+      EXPECT_NE(faulty.at(i), golden.at(i));
+    } else {
+      EXPECT_FLOAT_EQ(faulty.at(i), golden.at(i));
+    }
+  }
+}
+
+TEST(InjectionHook, DeterministicGivenFaultSet) {
+  const graph::Graph g = relu_net();
+  const graph::Executor exec({DType::kFixed32});
+  const Tensor x = Tensor::full(Shape{1, 4, 4, 1}, 0.5f);
+  const FaultSet faults{{"conv", 7, 29}};
+  const Tensor a =
+      exec.run(g, {{"input", x}},
+               make_injection_hook(g, DType::kFixed32, faults));
+  const Tensor b =
+      exec.run(g, {{"input", x}},
+               make_injection_hook(g, DType::kFixed32, faults));
+  for (std::size_t i = 0; i < a.elements(); ++i)
+    EXPECT_FLOAT_EQ(a.at(i), b.at(i));
+}
+
+TEST(InjectionHook, UnknownNodeNamesAreIgnored) {
+  const graph::Graph g = relu_net();
+  const graph::Executor exec({DType::kFixed32});
+  const Tensor x = Tensor::full(Shape{1, 4, 4, 1}, 0.5f);
+  const Tensor golden = exec.run(g, {{"input", x}});
+  const Tensor out =
+      exec.run(g, {{"input", x}},
+               make_injection_hook(g, DType::kFixed32,
+                                   {{"not_a_node", 0, 0}}));
+  for (std::size_t i = 0; i < out.elements(); ++i)
+    EXPECT_FLOAT_EQ(out.at(i), golden.at(i));
+}
+
+// ---- Judges -----------------------------------------------------------------
+
+TEST(Judges, Top1) {
+  const Top1Judge j;
+  const Tensor golden(Shape{3}, {0.1f, 0.8f, 0.1f});
+  EXPECT_FALSE(j.is_sdc(golden, Tensor(Shape{3}, {0.2f, 0.7f, 0.1f})));
+  EXPECT_TRUE(j.is_sdc(golden, Tensor(Shape{3}, {0.9f, 0.05f, 0.05f})));
+}
+
+TEST(Judges, Top5KeepsLabelInSet) {
+  const Top5Judge j;
+  Tensor golden(Shape{10});
+  golden.set(7, 1.0f);  // fault-free label = 7
+  Tensor faulty(Shape{10});
+  for (int i = 0; i < 10; ++i)
+    faulty.set(static_cast<std::size_t>(i), static_cast<float>(i) * 0.01f);
+  faulty.set(7, 0.05f);  // 7 still within top-5 (values 5..9 dominate)
+  EXPECT_FALSE(j.is_sdc(golden, faulty));
+  faulty.set(7, -1.0f);  // now pushed out of top-5
+  EXPECT_TRUE(j.is_sdc(golden, faulty));
+}
+
+TEST(Judges, SteeringThresholdsInDegrees) {
+  const SteeringJudge j30(30.0, /*radians=*/false);
+  EXPECT_FALSE(j30.is_sdc(Tensor::scalar(10.0f), Tensor::scalar(35.0f)));
+  EXPECT_TRUE(j30.is_sdc(Tensor::scalar(10.0f), Tensor::scalar(45.0f)));
+  EXPECT_THROW(SteeringJudge(0.0, false), std::invalid_argument);
+}
+
+TEST(Judges, SteeringRadiansConversion) {
+  const SteeringJudge j15(15.0, /*radians=*/true);
+  const float rad15 = static_cast<float>(15.0 * std::numbers::pi / 180.0);
+  EXPECT_FALSE(j15.is_sdc(Tensor::scalar(0.0f),
+                          Tensor::scalar(rad15 * 0.9f)));
+  EXPECT_TRUE(j15.is_sdc(Tensor::scalar(0.0f),
+                         Tensor::scalar(rad15 * 1.1f)));
+}
+
+TEST(Judges, NanOutputIsAlwaysSdc) {
+  const SteeringJudge j(120.0, false);
+  EXPECT_TRUE(j.is_sdc(Tensor::scalar(0.0f),
+                       Tensor::scalar(std::numeric_limits<float>::quiet_NaN())));
+}
+
+// ---- Campaign ----------------------------------------------------------------
+
+TEST(Campaign, DeterministicGivenSeed) {
+  const graph::Graph g = relu_net();
+  const std::vector<Feeds> inputs{
+      {{"input", Tensor::full(Shape{1, 4, 4, 1}, 1.0f)}}};
+  CampaignConfig cfg;
+  cfg.trials_per_input = 200;
+  cfg.seed = 99;
+  const Campaign c(cfg);
+  // Judge: SDC iff element 0 deviates by > 1.
+  class Dev1Judge final : public SdcJudge {
+   public:
+    bool is_sdc(const Tensor& g, const Tensor& f) const override {
+      return std::abs(g.at(0) - f.at(0)) > 1.0f;
+    }
+  } judge;
+  const CampaignResult r1 = c.run(g, inputs, judge);
+  const CampaignResult r2 = c.run(g, inputs, judge);
+  EXPECT_EQ(r1.trials, 200u);
+  EXPECT_EQ(r1.sdcs, r2.sdcs);
+  EXPECT_GT(r1.sdcs, 0u);           // high-order bit flips must deviate
+  EXPECT_LT(r1.sdc_rate(), 1.0);    // low-order flips must not
+}
+
+TEST(Campaign, MultiJudgeSharesTrials) {
+  const graph::Graph g = relu_net();
+  const std::vector<Feeds> inputs{
+      {{"input", Tensor::full(Shape{1, 4, 4, 1}, 1.0f)}}};
+  CampaignConfig cfg;
+  cfg.trials_per_input = 100;
+  const Campaign c(cfg);
+  // Threshold family: a looser threshold can never yield more SDCs.
+  class DevJudge final : public SdcJudge {
+   public:
+    explicit DevJudge(float t) : t_(t) {}
+    bool is_sdc(const Tensor& g, const Tensor& f) const override {
+      return std::abs(g.at(0) - f.at(0)) > t_;
+    }
+
+   private:
+    float t_;
+  };
+  const auto results = c.run_multi(
+      g, inputs,
+      {std::make_shared<DevJudge>(0.5f), std::make_shared<DevJudge>(5.0f),
+       std::make_shared<DevJudge>(500.0f)});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_GE(results[0].sdcs, results[1].sdcs);
+  EXPECT_GE(results[1].sdcs, results[2].sdcs);
+}
+
+TEST(Campaign, ResultStatistics) {
+  CampaignResult r{1000, 150};
+  EXPECT_DOUBLE_EQ(r.sdc_rate(), 0.15);
+  EXPECT_DOUBLE_EQ(r.sdc_rate_pct(), 15.0);
+  EXPECT_NEAR(r.ci95_pct(), 2.21, 0.05);
+}
+
+TEST(Campaign, PairedRunReplaysIdenticalFaults) {
+  const graph::Graph g = relu_net();
+  // The "protected" graph here is an identical clone: paired outcomes must
+  // match exactly trial by trial.
+  const graph::Graph clone = g.clone();
+  const std::vector<Feeds> inputs{
+      {{"input", Tensor::full(Shape{1, 4, 4, 1}, 1.0f)}}};
+  CampaignConfig cfg;
+  cfg.trials_per_input = 100;
+  const Campaign c(cfg);
+  class Dev1Judge final : public SdcJudge {
+   public:
+    bool is_sdc(const Tensor& g, const Tensor& f) const override {
+      return std::abs(g.at(0) - f.at(0)) > 1.0f;
+    }
+  } judge;
+  const auto outcomes = c.run_paired(g, clone, inputs, judge);
+  EXPECT_EQ(outcomes.size(), 100u);
+  for (const auto& o : outcomes)
+    EXPECT_EQ(o.sdc_unprotected, o.sdc_protected);
+}
+
+}  // namespace
+}  // namespace rangerpp::fi

@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "ops/activation_ops.hpp"
+#include "ops/basic_ops.hpp"
+#include "ops/elementwise_ops.hpp"
+#include "ops/nn_ops.hpp"
+#include "ops/norm_ops.hpp"
+#include "ops/pool_ops.hpp"
+#include "ops/shape_ops.hpp"
+
+namespace rangerpp::ops {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor t4(Shape s, std::vector<float> v) { return Tensor(s, std::move(v)); }
+
+// ---- Conv2D ---------------------------------------------------------------
+
+TEST(Conv2D, IdentityKernelValidPadding) {
+  // 1x1 identity kernel: output equals input.
+  const Tensor x = t4(Shape{1, 2, 2, 1}, {1, 2, 3, 4});
+  const Tensor f = t4(Shape{1, 1, 1, 1}, {1.0f});
+  const Conv2DOp op({1, 1, Padding::kValid});
+  const Tensor y = op.compute(std::array{x, f});
+  EXPECT_EQ(y.shape(), (Shape{1, 2, 2, 1}));
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(y.at(i), x.at(i));
+}
+
+TEST(Conv2D, HandComputed3x3SamePadding) {
+  // All-ones 3x3 kernel over an all-ones 3x3 image with SAME padding:
+  // centre sees 9, edges 6, corners 4.
+  const Tensor x = Tensor::full(Shape{1, 3, 3, 1}, 1.0f);
+  const Tensor f = Tensor::full(Shape{3, 3, 1, 1}, 1.0f);
+  const Conv2DOp op({1, 1, Padding::kSame});
+  const Tensor y = op.compute(std::array{x, f});
+  EXPECT_FLOAT_EQ(y.at4(0, 1, 1, 0), 9.0f);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 0), 6.0f);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 4.0f);
+}
+
+TEST(Conv2D, StrideAndShapeInference) {
+  const Conv2DOp op({2, 2, Padding::kValid});
+  const Shape out = op.infer_shape(
+      std::array{Shape{1, 5, 5, 3}, Shape{3, 3, 3, 8}});
+  EXPECT_EQ(out, (Shape{1, 2, 2, 8}));
+}
+
+TEST(Conv2D, MultiChannelAccumulation) {
+  // 2 input channels, kernel sums both: y = x_c0 + x_c1.
+  const Tensor x = t4(Shape{1, 1, 1, 2}, {3.0f, 4.0f});
+  const Tensor f = t4(Shape{1, 1, 2, 1}, {1.0f, 1.0f});
+  const Conv2DOp op({1, 1, Padding::kValid});
+  EXPECT_FLOAT_EQ(op.compute(std::array{x, f}).at(0), 7.0f);
+}
+
+TEST(Conv2D, ChannelMismatchThrows) {
+  const Conv2DOp op({1, 1, Padding::kValid});
+  EXPECT_THROW(
+      op.infer_shape(std::array{Shape{1, 4, 4, 3}, Shape{3, 3, 2, 8}}),
+      std::invalid_argument);
+}
+
+TEST(Conv2D, FlopsCountsMacsTwice) {
+  const Conv2DOp op({1, 1, Padding::kValid});
+  // out 1x2x2x1, kernel 2x2x1: 4 outputs * 4 MACs * 2 = 32.
+  EXPECT_EQ(op.flops(std::array{Shape{1, 3, 3, 1}, Shape{2, 2, 1, 1}}), 32u);
+}
+
+// ---- MatMul / BiasAdd ------------------------------------------------------
+
+TEST(MatMul, HandComputed) {
+  const Tensor x(Shape{2}, {1.0f, 2.0f});
+  const Tensor w(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  const MatMulOp op;
+  const Tensor y = op.compute(std::array{x, w});
+  EXPECT_EQ(y.shape(), (Shape{1, 3}));
+  EXPECT_FLOAT_EQ(y.at(0), 9.0f);   // 1*1 + 2*4
+  EXPECT_FLOAT_EQ(y.at(1), 12.0f);  // 1*2 + 2*5
+  EXPECT_FLOAT_EQ(y.at(2), 15.0f);  // 1*3 + 2*6
+}
+
+TEST(MatMul, InnerDimMismatchThrows) {
+  const MatMulOp op;
+  EXPECT_THROW(op.infer_shape(std::array{Shape{3}, Shape{2, 3}}),
+               std::invalid_argument);
+}
+
+TEST(BiasAdd, AddsPerChannel) {
+  const Tensor x = t4(Shape{1, 1, 2, 2}, {1, 2, 3, 4});
+  const Tensor b(Shape{2}, {10.0f, 20.0f});
+  const BiasAddOp op;
+  const Tensor y = op.compute(std::array{x, b});
+  EXPECT_FLOAT_EQ(y.at(0), 11.0f);
+  EXPECT_FLOAT_EQ(y.at(1), 22.0f);
+  EXPECT_FLOAT_EQ(y.at(2), 13.0f);
+  EXPECT_FLOAT_EQ(y.at(3), 24.0f);
+}
+
+TEST(BiasAdd, WrongBiasShapeThrows) {
+  const BiasAddOp op;
+  EXPECT_THROW(op.infer_shape(std::array{Shape{1, 2, 2, 3}, Shape{2}}),
+               std::invalid_argument);
+}
+
+// ---- Activations -----------------------------------------------------------
+
+TEST(Activations, PointwiseDefinitions) {
+  const Tensor x(Shape{4}, {-2.0f, -0.5f, 0.0f, 3.0f});
+  EXPECT_FLOAT_EQ(ReluOp().compute(std::array{x}).at(0), 0.0f);
+  EXPECT_FLOAT_EQ(ReluOp().compute(std::array{x}).at(3), 3.0f);
+  EXPECT_NEAR(TanhOp().compute(std::array{x}).at(3), std::tanh(3.0f), 1e-6);
+  EXPECT_NEAR(SigmoidOp().compute(std::array{x}).at(2), 0.5f, 1e-6);
+  EXPECT_NEAR(EluOp().compute(std::array{x}).at(0), std::expm1(-2.0f), 1e-6);
+  EXPECT_NEAR(AtanOp().compute(std::array{x}).at(3), std::atan(3.0f), 1e-6);
+  EXPECT_FLOAT_EQ(ScaleOp(2.0f).compute(std::array{x}).at(3), 6.0f);
+  EXPECT_FLOAT_EQ(Relu6Op().compute(std::array{Tensor(Shape{1}, {9.0f})})
+                      .at(0),
+                  6.0f);
+}
+
+TEST(Activations, DropoutIsIdentityAtInference) {
+  const Tensor x(Shape{3}, {-1.0f, 0.0f, 2.0f});
+  const Tensor y = DropoutOp().compute(std::array{x});
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(y.at(i), x.at(i));
+}
+
+TEST(Softmax, NormalisesAndIsStable) {
+  const Tensor x(Shape{3}, {1000.0f, 1001.0f, 1002.0f});
+  const Tensor y = SoftmaxOp().compute(std::array{x});
+  float sum = 0.0f;
+  for (float v : y.values()) sum += v;
+  EXPECT_NEAR(sum, 1.0f, 1e-5);
+  EXPECT_GT(y.at(2), y.at(1));
+  EXPECT_GT(y.at(1), y.at(0));
+}
+
+TEST(Clamp, RestrictsAndHandlesNan) {
+  const Tensor x(Shape{4},
+                 {-5.0f, 0.5f, 99.0f, std::numeric_limits<float>::quiet_NaN()});
+  const ClampOp op(0.0f, 1.0f);
+  const Tensor y = op.compute(std::array{x});
+  EXPECT_FLOAT_EQ(y.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(1), 0.5f);
+  EXPECT_FLOAT_EQ(y.at(2), 1.0f);
+  EXPECT_FLOAT_EQ(y.at(3), 0.0f);  // NaN restricted to the lower bound
+  EXPECT_THROW(ClampOp(1.0f, 0.0f), std::invalid_argument);
+}
+
+// Monotonicity property (paper §III-B): f(x_i) >= f(x_j) for x_i > x_j.
+class MonotoneActivationTest
+    : public ::testing::TestWithParam<OpKind> {};
+
+TEST_P(MonotoneActivationTest, IsMonotoneNonDecreasing) {
+  std::shared_ptr<Op> op;
+  switch (GetParam()) {
+    case OpKind::kRelu: op = std::make_shared<ReluOp>(); break;
+    case OpKind::kRelu6: op = std::make_shared<Relu6Op>(); break;
+    case OpKind::kTanh: op = std::make_shared<TanhOp>(); break;
+    case OpKind::kSigmoid: op = std::make_shared<SigmoidOp>(); break;
+    case OpKind::kElu: op = std::make_shared<EluOp>(); break;
+    case OpKind::kAtan: op = std::make_shared<AtanOp>(); break;
+    default: FAIL();
+  }
+  float prev = -std::numeric_limits<float>::infinity();
+  for (float x = -50.0f; x <= 50.0f; x += 0.5f) {
+    const float y = op->compute(std::array{Tensor(Shape{1}, {x})}).at(0);
+    EXPECT_GE(y, prev) << op_kind_name(GetParam()) << " at x=" << x;
+    prev = y;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllActivations, MonotoneActivationTest,
+                         ::testing::Values(OpKind::kRelu, OpKind::kRelu6,
+                                           OpKind::kTanh, OpKind::kSigmoid,
+                                           OpKind::kElu, OpKind::kAtan));
+
+// ---- Pools ------------------------------------------------------------------
+
+TEST(MaxPool, HandComputed2x2) {
+  const Tensor x = t4(Shape{1, 2, 2, 1}, {1, 5, 3, 2});
+  const MaxPoolOp op({2, 2, 2, 2, Padding::kValid});
+  EXPECT_FLOAT_EQ(op.compute(std::array{x}).at(0), 5.0f);
+}
+
+TEST(AvgPool, HandComputed2x2) {
+  const Tensor x = t4(Shape{1, 2, 2, 1}, {1, 5, 3, 2});
+  const AvgPoolOp op({2, 2, 2, 2, Padding::kValid});
+  EXPECT_FLOAT_EQ(op.compute(std::array{x}).at(0), 2.75f);
+}
+
+TEST(MaxPool, MonotoneInInputs) {
+  // Raising any input never lowers any output (paper §III-B applies to
+  // MaxPool too).
+  const Tensor x = t4(Shape{1, 2, 2, 1}, {1, 5, 3, 2});
+  const MaxPoolOp op({2, 2, 2, 2, Padding::kValid});
+  const float base = op.compute(std::array{x}).at(0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    Tensor bigger = x.clone();
+    bigger.set(i, bigger.at(i) + 10.0f);
+    EXPECT_GE(op.compute(std::array{bigger}).at(0), base);
+  }
+}
+
+TEST(MaxPool, SamePaddingShape) {
+  const MaxPoolOp op({3, 3, 2, 2, Padding::kSame});
+  EXPECT_EQ(op.infer_shape(std::array{Shape{1, 5, 5, 2}}),
+            (Shape{1, 3, 3, 2}));
+}
+
+TEST(GlobalAvgPool, AveragesSpatially) {
+  const Tensor x = t4(Shape{1, 2, 2, 2}, {1, 10, 2, 20, 3, 30, 4, 40});
+  const GlobalAvgPoolOp op;
+  const Tensor y = op.compute(std::array{x});
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(y.at(0), 2.5f);
+  EXPECT_FLOAT_EQ(y.at(1), 25.0f);
+}
+
+// ---- Norms ------------------------------------------------------------------
+
+TEST(Lrn, NormalisesAcrossChannels) {
+  const Tensor x = t4(Shape{1, 1, 1, 3}, {1.0f, 2.0f, 3.0f});
+  const LrnOp op({1, 1.0f, 1.0f, 0.5f});  // radius 1, alpha 1, beta 0.5
+  const Tensor y = op.compute(std::array{x});
+  // y_1 = 2 / sqrt(1 + (1+4+9)) = 2 / sqrt(15).
+  EXPECT_NEAR(y.at(1), 2.0f / std::sqrt(15.0f), 1e-5);
+}
+
+TEST(BatchNorm, FoldedScaleShift) {
+  const Tensor x = t4(Shape{1, 1, 1, 2}, {2.0f, 3.0f});
+  const BatchNormOp op({2.0f, 0.5f}, {1.0f, -1.0f});
+  const Tensor y = op.compute(std::array{x});
+  EXPECT_FLOAT_EQ(y.at(0), 5.0f);   // 2*2 + 1
+  EXPECT_FLOAT_EQ(y.at(1), 0.5f);   // 3*0.5 - 1
+  EXPECT_THROW(BatchNormOp({1.0f}, {}), std::invalid_argument);
+}
+
+// ---- Shape ops ---------------------------------------------------------------
+
+TEST(Concat, MergesChannels) {
+  const Tensor a = t4(Shape{1, 1, 1, 2}, {1, 2});
+  const Tensor b = t4(Shape{1, 1, 1, 3}, {3, 4, 5});
+  const ConcatOp op;
+  const Tensor y = op.compute(std::array{a, b});
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 1, 5}));
+  for (int c = 0; c < 5; ++c)
+    EXPECT_FLOAT_EQ(y.at4(0, 0, 0, c), static_cast<float>(c + 1));
+}
+
+TEST(Concat, MismatchedSpatialThrows) {
+  const ConcatOp op;
+  EXPECT_THROW(
+      op.infer_shape(std::array{Shape{1, 2, 2, 1}, Shape{1, 3, 2, 1}}),
+      std::invalid_argument);
+}
+
+TEST(ReshapeFlatten, PreserveValues) {
+  const Tensor x = t4(Shape{1, 2, 2, 1}, {1, 2, 3, 4});
+  const Tensor r = ReshapeOp(Shape{4}).compute(std::array{x});
+  const Tensor f = FlattenOp().compute(std::array{x});
+  EXPECT_EQ(r.shape(), (Shape{4}));
+  EXPECT_EQ(f.shape(), (Shape{4}));
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(r.at(i), x.at(i));
+    EXPECT_FLOAT_EQ(f.at(i), x.at(i));
+  }
+}
+
+// ---- Elementwise -------------------------------------------------------------
+
+TEST(AddMul, Elementwise) {
+  const Tensor a(Shape{2}, {1.0f, 2.0f});
+  const Tensor b(Shape{2}, {3.0f, 4.0f});
+  EXPECT_FLOAT_EQ(AddOp().compute(std::array{a, b}).at(1), 6.0f);
+  EXPECT_FLOAT_EQ(MulOp().compute(std::array{a, b}).at(1), 8.0f);
+  EXPECT_THROW(AddOp().compute(std::array{a, Tensor(Shape{3})}),
+               std::invalid_argument);
+}
+
+// ---- Kind metadata -----------------------------------------------------------
+
+TEST(OpKinds, ActivationAndTransparencyClassification) {
+  EXPECT_TRUE(is_activation(OpKind::kRelu));
+  EXPECT_TRUE(is_activation(OpKind::kTanh));
+  EXPECT_TRUE(is_activation(OpKind::kElu));
+  EXPECT_FALSE(is_activation(OpKind::kAtan));  // Dave's output conversion
+  EXPECT_FALSE(is_activation(OpKind::kConv2D));
+
+  EXPECT_TRUE(is_bound_transparent(OpKind::kMaxPool));
+  EXPECT_TRUE(is_bound_transparent(OpKind::kAvgPool));
+  EXPECT_TRUE(is_bound_transparent(OpKind::kReshape));
+  EXPECT_TRUE(is_bound_transparent(OpKind::kFlatten));
+  EXPECT_TRUE(is_bound_transparent(OpKind::kConcat));
+  EXPECT_FALSE(is_bound_transparent(OpKind::kConv2D));
+  EXPECT_FALSE(is_bound_transparent(OpKind::kMatMul));
+}
+
+}  // namespace
+}  // namespace rangerpp::ops

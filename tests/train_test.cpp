@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/weights.hpp"
+#include "models/zoo.hpp"
+#include "train/layers.hpp"
+#include "train/trainer.hpp"
+
+namespace rangerpp::train {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+// Central-difference gradient check for a layer: perturbs inputs and
+// parameters and compares numeric to analytic gradients through a scalar
+// loss L = sum(y).
+void check_gradients(Layer& layer, const Tensor& x, double tol = 2e-2) {
+  const float eps = 1e-3f;
+
+  // Analytic: dL/dy = ones.
+  const Tensor y = layer.forward(x);
+  layer.zero_grads();
+  const Tensor ones = Tensor::full(y.shape(), 1.0f);
+  const Tensor grad_in = layer.backward(ones);
+
+  auto loss_at = [&](const Tensor& input) {
+    const Tensor out = layer.forward(input);  // keep storage alive
+    double s = 0.0;
+    for (float v : out.values()) s += v;
+    return s;
+  };
+
+  // Input gradients (subsample for speed).
+  for (std::size_t i = 0; i < x.elements();
+       i += std::max<std::size_t>(1, x.elements() / 16)) {
+    Tensor xp = x.clone(), xm = x.clone();
+    xp.set(i, xp.at(i) + eps);
+    xm.set(i, xm.at(i) - eps);
+    const double numeric = (loss_at(xp) - loss_at(xm)) / (2.0 * eps);
+    EXPECT_NEAR(grad_in.at(i), numeric,
+                tol * (1.0 + std::abs(numeric)))
+        << "input grad " << i;
+  }
+
+  // Parameter gradients.
+  layer.forward(x);
+  layer.zero_grads();
+  layer.backward(ones);
+  const auto params = layer.params();
+  const auto grads = layer.grads();
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    Tensor* param = params[p];
+    for (std::size_t i = 0; i < param->elements();
+         i += std::max<std::size_t>(1, param->elements() / 8)) {
+      const float orig = param->at(i);
+      param->set(i, orig + eps);
+      const double lp = loss_at(x);
+      param->set(i, orig - eps);
+      const double lm = loss_at(x);
+      param->set(i, orig);
+      const double numeric = (lp - lm) / (2.0 * eps);
+      EXPECT_NEAR(grads[p]->at(i), numeric,
+                  tol * (1.0 + std::abs(numeric)))
+          << "param " << p << " grad " << i;
+    }
+  }
+}
+
+Tensor ramp(Shape s, float scale = 0.1f) {
+  Tensor t(s);
+  auto v = t.mutable_values();
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = scale * (static_cast<float>(i % 7) - 3.0f);
+  return t;
+}
+
+TEST(Gradients, DenseLayer) {
+  util::Rng rng(1);
+  DenseLayer layer(models::he_matrix(6, 4, rng), models::zero_bias(4));
+  check_gradients(layer, ramp(Shape{1, 6}));
+}
+
+TEST(Gradients, ConvLayerValid) {
+  util::Rng rng(2);
+  ConvLayer layer(models::he_filter(3, 3, 2, 3, rng), models::zero_bias(3),
+                  {1, 1, ops::Padding::kValid});
+  check_gradients(layer, ramp(Shape{1, 5, 5, 2}));
+}
+
+TEST(Gradients, ConvLayerSameStride2) {
+  util::Rng rng(3);
+  ConvLayer layer(models::he_filter(3, 3, 1, 2, rng), models::zero_bias(2),
+                  {2, 2, ops::Padding::kSame});
+  check_gradients(layer, ramp(Shape{1, 6, 6, 1}));
+}
+
+TEST(Gradients, ActivationLayers) {
+  for (ops::OpKind k : {ops::OpKind::kRelu, ops::OpKind::kTanh,
+                        ops::OpKind::kSigmoid, ops::OpKind::kElu}) {
+    ActivationLayer layer(k);
+    // Offset away from ReLU's kink at 0.
+    Tensor x = ramp(Shape{1, 8}, 0.3f);
+    for (float& v : x.mutable_values()) v += 0.05f;
+    check_gradients(layer, x);
+  }
+}
+
+TEST(Gradients, MaxPoolLayer) {
+  MaxPoolLayer layer({2, 2, 2, 2, ops::Padding::kValid});
+  // Distinct values avoid argmax ties that break the numeric check.
+  Tensor x(Shape{1, 4, 4, 1});
+  auto v = x.mutable_values();
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = 0.13f * static_cast<float>(i) + 0.01f * ((i * 7) % 5);
+  check_gradients(layer, x);
+}
+
+TEST(Gradients, AtanAndScaleLayers) {
+  AtanLayer atan_layer(2.0f);
+  check_gradients(atan_layer, ramp(Shape{1, 4}));
+  ScaleLayer scale_layer(60.0f);
+  check_gradients(scale_layer, ramp(Shape{1, 4}));
+}
+
+TEST(Gradients, FlattenPassesThrough) {
+  FlattenLayer layer;
+  const Tensor x = ramp(Shape{1, 2, 2, 2});
+  layer.forward(x);
+  const Tensor g = layer.backward(Tensor::full(Shape{1, 8}, 2.0f));
+  EXPECT_EQ(g.shape(), x.shape());
+  for (float v : g.values()) EXPECT_FLOAT_EQ(v, 2.0f);
+}
+
+TEST(Losses, SoftmaxCrossEntropy) {
+  const Tensor logits(Shape{1, 3}, {1.0f, 2.0f, 0.5f});
+  Tensor grad;
+  const double loss = softmax_cross_entropy(logits, 1, grad);
+  EXPECT_GT(loss, 0.0);
+  // Gradient sums to zero; label entry is negative.
+  float sum = 0.0f;
+  for (float v : grad.values()) sum += v;
+  EXPECT_NEAR(sum, 0.0f, 1e-5);
+  EXPECT_LT(grad.at(1), 0.0f);
+  EXPECT_THROW(softmax_cross_entropy(logits, 5, grad),
+               std::invalid_argument);
+}
+
+TEST(Losses, Mse) {
+  Tensor grad;
+  const double loss = mse(Tensor::scalar(3.0f), 1.0f, grad);
+  EXPECT_DOUBLE_EQ(loss, 4.0);
+  EXPECT_FLOAT_EQ(grad.at(0), 4.0f);
+}
+
+TEST(Sequential, BuildsFromArchAndRoundTripsWeights) {
+  const models::Arch arch = models::make_arch(models::ModelId::kLeNet);
+  models::Weights w = models::he_init(arch, 5);
+  Sequential net(arch, w);
+  const Tensor out = net.forward(ramp(Shape{1, 28, 28, 1}, 0.05f));
+  EXPECT_EQ(out.elements(), 10u);
+
+  models::Weights exported;
+  net.export_weights(exported);
+  EXPECT_EQ(exported.size(), w.size());
+  for (const auto& [k, t] : w) {
+    ASSERT_TRUE(exported.contains(k)) << k;
+    EXPECT_EQ(exported.at(k).shape(), t.shape());
+  }
+}
+
+TEST(Fit, LearnsTinyClassificationTask) {
+  // 2-class toy problem on 8x8 images: class = bright left vs right half.
+  models::Arch arch{"toy", Shape{1, 8, 8, 1}, "input", {}};
+  arch.layers = {
+      models::ConvDef{"c1", 3, 3, 4, 1, ops::Padding::kSame},
+      models::ActDef{"a1", ops::OpKind::kRelu},
+      models::PoolDef{"p1", true, {2, 2, 2, 2, ops::Padding::kValid}},
+      models::FlattenDef{"f"},
+      models::DenseDef{"fc", 2},
+  };
+  models::Weights w = models::he_init(arch, 3);
+
+  data::Dataset ds;
+  util::Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    Tensor img(Shape{1, 8, 8, 1});
+    const int label = static_cast<int>(rng.uniform_index(2));
+    for (int y = 0; y < 8; ++y)
+      for (int x = 0; x < 8; ++x) {
+        const bool bright = label == 0 ? x < 4 : x >= 4;
+        img.set4(0, y, x, 0,
+                 static_cast<float>((bright ? 0.9 : 0.1) +
+                                    rng.normal(0.0, 0.05)));
+      }
+    ds.samples.push_back(data::Sample{std::move(img), label, 0.0f});
+  }
+
+  FitOptions opt;
+  opt.epochs = 5;
+  opt.batch_size = 16;
+  opt.learning_rate = 0.05;
+  opt.threads = 4;
+  const FitReport report = fit(arch, w, ds, opt);
+  ASSERT_EQ(report.epoch_loss.size(), 5u);
+  EXPECT_LT(report.epoch_loss.back(), report.epoch_loss.front() * 0.5);
+
+  // Accuracy on fresh data.
+  Sequential net(arch, w);
+  int correct = 0;
+  for (int i = 0; i < 50; ++i) {
+    Tensor img(Shape{1, 8, 8, 1});
+    const int label = i % 2;
+    for (int y = 0; y < 8; ++y)
+      for (int x = 0; x < 8; ++x)
+        img.set4(0, y, x, 0,
+                 (label == 0 ? x < 4 : x >= 4) ? 0.9f : 0.1f);
+    const Tensor out = net.forward(img);
+    if ((out.at(1) > out.at(0)) == (label == 1)) ++correct;
+  }
+  EXPECT_GE(correct, 45);
+}
+
+TEST(Fit, LearnsTinyRegressionTask) {
+  // Predict the mean brightness scaled to [-60, 60].
+  models::Arch arch{"toyreg", Shape{1, 6, 6, 1}, "input", {}};
+  arch.layers = {
+      models::FlattenDef{"f"},
+      models::DenseDef{"fc1", 8},
+      // Tanh: immune to the dead-unit collapse ReLU can hit at this scale.
+      models::ActDef{"a1", ops::OpKind::kTanh},
+      models::DenseDef{"fc2", 1},
+      models::ScaleDef{"scale", 60.0f},
+  };
+  models::Weights w = models::he_init(arch, 4);
+
+  data::Dataset ds;
+  util::Rng rng(23);
+  for (int i = 0; i < 300; ++i) {
+    const float level = static_cast<float>(rng.uniform(0.0, 1.0));
+    Tensor img = Tensor::full(Shape{1, 6, 6, 1}, level);
+    ds.samples.push_back(
+        data::Sample{std::move(img), 0, 120.0f * level - 60.0f});
+  }
+
+  FitOptions opt;
+  opt.epochs = 15;
+  opt.batch_size = 16;
+  opt.learning_rate = 0.1;
+  opt.regression = true;
+  opt.output_scale = 60.0;
+  opt.threads = 4;
+  const FitReport report = fit(arch, w, ds, opt);
+  EXPECT_LT(report.epoch_loss.back(), report.epoch_loss.front());
+
+  Sequential net(arch, w);
+  const float pred_low =
+      net.forward(Tensor::full(Shape{1, 6, 6, 1}, 0.1f)).at(0);
+  const float pred_high =
+      net.forward(Tensor::full(Shape{1, 6, 6, 1}, 0.9f)).at(0);
+  EXPECT_LT(pred_low, pred_high);  // learned the monotone relationship
+}
+
+TEST(WeightIo, SaveLoadRoundTrip) {
+  const models::Arch arch = models::make_arch(models::ModelId::kComma);
+  const models::Weights w = models::he_init(arch, 9);
+  const std::string path = ::testing::TempDir() + "/weights_roundtrip.bin";
+  models::save_weights(w, path);
+  models::Weights loaded;
+  ASSERT_TRUE(models::load_weights(loaded, path));
+  ASSERT_EQ(loaded.size(), w.size());
+  for (const auto& [k, t] : w) {
+    ASSERT_TRUE(loaded.contains(k));
+    ASSERT_EQ(loaded.at(k).shape(), t.shape());
+    for (std::size_t i = 0; i < t.elements(); ++i)
+      ASSERT_FLOAT_EQ(loaded.at(k).at(i), t.at(i));
+  }
+  models::Weights missing;
+  EXPECT_FALSE(models::load_weights(missing, "/nonexistent/path.bin"));
+}
+
+}  // namespace
+}  // namespace rangerpp::train

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/threadpool.hpp"
+
+namespace rangerpp::util {
+namespace {
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(variance(xs), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+}
+
+TEST(Stats, Rmse) {
+  const std::vector<double> p{1.0, 2.0, 3.0};
+  const std::vector<double> t{1.0, 4.0, 3.0};
+  EXPECT_NEAR(rmse(p, t), std::sqrt(4.0 / 3.0), 1e-12);
+  EXPECT_THROW(rmse(p, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Stats, AvgAbsDeviation) {
+  const std::vector<double> p{0.0, 2.0};
+  const std::vector<double> t{1.0, 0.0};
+  EXPECT_DOUBLE_EQ(avg_abs_deviation(p, t), 1.5);
+}
+
+TEST(Stats, Ci95ProportionMatchesClosedForm) {
+  // p = 0.5, n = 100: 1.96 * sqrt(0.25/100) ~ 0.098.
+  EXPECT_NEAR(ci95_proportion(50, 100), 0.098, 1e-3);
+  EXPECT_DOUBLE_EQ(ci95_proportion(0, 0), 0.0);
+}
+
+TEST(Stats, Wilson95BetterBehavedNearZero) {
+  const Interval i = wilson95(0, 1000);
+  EXPECT_GT(i.center, 0.0);
+  EXPECT_LT(i.center + i.half_width, 0.01);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<float> xs{4.0f, 1.0f, 3.0f, 2.0f};
+  EXPECT_FLOAT_EQ(percentile(xs, 0.0), 1.0f);
+  EXPECT_FLOAT_EQ(percentile(xs, 100.0), 4.0f);
+  EXPECT_FLOAT_EQ(percentile(xs, 50.0), 2.5f);
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+}
+
+TEST(Stats, RunningRangeObservesAndMerges) {
+  RunningRange a;
+  a.observe(3.0f);
+  a.observe(-1.0f);
+  EXPECT_FLOAT_EQ(a.min_value, -1.0f);
+  EXPECT_FLOAT_EQ(a.max_value, 3.0f);
+  EXPECT_EQ(a.count, 2u);
+
+  RunningRange b;
+  b.observe(10.0f);
+  a.merge(b);
+  EXPECT_FLOAT_EQ(a.max_value, 10.0f);
+  EXPECT_EQ(a.count, 3u);
+
+  RunningRange empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count, 3u);
+}
+
+TEST(Stats, ReservoirKeepsAllWhenUnderCapacity) {
+  Reservoir r(10, 1);
+  for (int i = 0; i < 5; ++i) r.observe(static_cast<float>(i));
+  EXPECT_EQ(r.values().size(), 5u);
+  EXPECT_EQ(r.seen(), 5u);
+}
+
+TEST(Stats, ReservoirSamplesUniformly) {
+  // With capacity 100 over 10000 observations of 0..9999, the sample mean
+  // should be near the population mean.
+  Reservoir r(100, 42);
+  for (int i = 0; i < 10000; ++i) r.observe(static_cast<float>(i));
+  EXPECT_EQ(r.values().size(), 100u);
+  double m = 0.0;
+  for (float v : r.values()) m += v;
+  m /= 100.0;
+  EXPECT_NEAR(m, 5000.0, 1500.0);
+}
+
+TEST(Rng, DeterministicStreams) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(a.uniform_index(1000), b.uniform_index(1000));
+}
+
+TEST(Rng, DerivedSeedsDiffer) {
+  EXPECT_NE(derive_seed(1, 0), derive_seed(1, 1));
+  EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+  EXPECT_EQ(derive_seed(5, 9), derive_seed(5, 9));
+}
+
+TEST(Rng, UniformIndexInRange) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.uniform_index(17), 17u);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  constexpr std::size_t n = 10000;
+  std::vector<std::atomic<int>> counts(n);
+  parallel_for(n, [&](std::size_t i) { counts[i].fetch_add(1); }, 8);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(counts[i].load(), 1);
+}
+
+TEST(ThreadPool, HandlesZeroAndSingleThread) {
+  std::atomic<int> sum{0};
+  parallel_for(0, [&](std::size_t) { sum.fetch_add(1); });
+  EXPECT_EQ(sum.load(), 0);
+  parallel_for(5, [&](std::size_t) { sum.fetch_add(1); }, 1);
+  EXPECT_EQ(sum.load(), 5);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"model", "sdc"});
+  t.add_row({"LeNet", "19.65%"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("model"), std::string::npos);
+  EXPECT_NE(s.find("19.65%"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, FmtHelpers) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::pct(12.3456, 2), "12.35%");
+}
+
+}  // namespace
+}  // namespace rangerpp::util
