@@ -1,0 +1,145 @@
+// Campaign throughput: trials/sec of the compiled-plan fault-injection
+// campaign with golden-prefix partial re-execution versus full
+// re-execution, on the Fig 6 classifier configuration (LeNet, single-bit
+// flips, 32-bit fixed point).
+//
+// Three modes are measured over the identical seed and fault stream:
+//   legacy   — per-trial full graph execution, no persistent plan (the
+//              pre-plan executor behaviour);
+//   full     — compiled plan + arenas, but every trial re-executes the
+//              whole schedule (CampaignConfig::partial_reexecution=false);
+//   partial  — golden-prefix partial re-execution (the default).
+//
+// SDC counts must be bit-identical across all three — the partial path is
+// an execution-plan optimisation, not an approximation.  Emits
+// BENCH_campaign_throughput.json for cross-PR tracking.
+#include <atomic>
+#include <cinttypes>
+
+#include "bench/common.hpp"
+#include "util/threadpool.hpp"
+
+using namespace rangerpp;
+
+namespace {
+
+struct Measurement {
+  double seconds = 0.0;
+  std::size_t trials = 0;
+  std::size_t sdcs = 0;
+  double trials_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(trials) / seconds : 0.0;
+  }
+};
+
+Measurement run_campaign(const models::Workload& w,
+                         const bench::BenchConfig& cfg, bool partial) {
+  fi::CampaignConfig cc;
+  cc.dtype = tensor::DType::kFixed32;
+  cc.trials_per_input = cfg.trials_for(w.id);
+  cc.seed = cfg.seed;
+  cc.partial_reexecution = partial;
+  const auto judges = models::default_judges(w.id);
+  util::Timer timer;
+  const auto results =
+      fi::Campaign(cc).run_multi(w.graph, w.eval_feeds, judges);
+  Measurement m;
+  m.seconds = timer.elapsed_seconds();
+  m.trials = results[0].trials;
+  for (const auto& r : results) m.sdcs += r.sdcs;
+  return m;
+}
+
+// The seed's behaviour: one full graph execution per trial, plan compiled
+// from scratch inside every Executor::run call.
+Measurement run_legacy(const models::Workload& w,
+                       const bench::BenchConfig& cfg) {
+  const tensor::DType dtype = tensor::DType::kFixed32;
+  const graph::Executor exec({dtype});
+  const fi::SiteSpace sites(w.graph, dtype);
+  const auto judges = models::default_judges(w.id);
+  std::vector<tensor::Tensor> golden;
+  for (const fi::Feeds& f : w.eval_feeds)
+    golden.push_back(exec.run(w.graph, f));
+
+  const std::size_t trials = cfg.trials_for(w.id);
+  const std::size_t total = trials * w.eval_feeds.size();
+  std::vector<std::atomic<std::size_t>> sdcs(judges.size());
+  util::Timer timer;
+  util::parallel_for(total, [&](std::size_t t) {
+    const std::size_t input_idx = t / trials;
+    util::Rng rng(util::derive_seed(cfg.seed, t));
+    const fi::FaultSet faults = sites.sample(rng, 1);
+    const tensor::Tensor out =
+        exec.run(w.graph, w.eval_feeds[input_idx],
+                 fi::make_injection_hook(w.graph, dtype, faults));
+    for (std::size_t j = 0; j < judges.size(); ++j)
+      if (judges[j]->is_sdc(golden[input_idx], out))
+        sdcs[j].fetch_add(1, std::memory_order_relaxed);
+  });
+  Measurement m;
+  m.seconds = timer.elapsed_seconds();
+  m.trials = total;
+  for (auto& s : sdcs) m.sdcs += s.load();
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  const bench::BenchConfig cfg;
+  bench::print_header(
+      "FI campaign throughput: partial vs full re-execution",
+      "the Fig 6 classifier campaign, measured rather than replotted");
+
+  models::WorkloadOptions wo;
+  wo.eval_inputs = cfg.inputs;
+  wo.seed = cfg.seed;
+  const models::Workload w =
+      models::make_workload(models::ModelId::kLeNet, wo);
+
+  const Measurement legacy = run_legacy(w, cfg);
+  const Measurement full = run_campaign(w, cfg, /*partial=*/false);
+  const Measurement partial = run_campaign(w, cfg, /*partial=*/true);
+
+  util::Table table({"mode", "trials", "SDCs", "seconds", "trials/sec"});
+  const auto row = [&](const char* name, const Measurement& m) {
+    table.add_row({name, std::to_string(m.trials), std::to_string(m.sdcs),
+                   util::Table::fmt(m.seconds, 2),
+                   util::Table::fmt(m.trials_per_sec(), 0)});
+  };
+  row("legacy (per-trial graph run)", legacy);
+  row("plan, full re-execution", full);
+  row("plan, partial re-execution", partial);
+  table.print();
+
+  const double speedup_vs_full =
+      partial.seconds > 0.0 ? full.seconds / partial.seconds : 0.0;
+  const double speedup_vs_legacy =
+      partial.seconds > 0.0 ? legacy.seconds / partial.seconds : 0.0;
+  const bool identical =
+      legacy.sdcs == full.sdcs && full.sdcs == partial.sdcs;
+  std::printf(
+      "\npartial vs full: %.2fx   partial vs legacy: %.2fx   "
+      "SDC counts %s\n",
+      speedup_vs_full, speedup_vs_legacy,
+      identical ? "bit-identical across all modes"
+                : "MISMATCH (bug: partial re-execution must be exact)");
+
+  bench::emit_bench_json(
+      "campaign_throughput",
+      {{"trials", static_cast<double>(partial.trials)},
+       {"legacy_seconds", legacy.seconds},
+       {"full_seconds", full.seconds},
+       {"partial_seconds", partial.seconds},
+       {"legacy_trials_per_sec", legacy.trials_per_sec()},
+       {"full_trials_per_sec", full.trials_per_sec()},
+       {"partial_trials_per_sec", partial.trials_per_sec()},
+       {"speedup_vs_full", speedup_vs_full},
+       {"speedup_vs_legacy", speedup_vs_legacy},
+       {"sdcs_partial", static_cast<double>(partial.sdcs)},
+       {"sdcs_full", static_cast<double>(full.sdcs)},
+       {"sdcs_legacy", static_cast<double>(legacy.sdcs)},
+       {"sdc_counts_identical", identical ? 1.0 : 0.0}});
+  return identical ? 0 : 1;
+}

@@ -116,4 +116,24 @@ inline void print_header(const char* experiment, const char* paper_ref) {
   std::printf("\n=== %s ===\n(reproduces %s)\n\n", experiment, paper_ref);
 }
 
+// Machine-readable timing artifact: writes BENCH_<name>.json into the
+// working directory so CI can track bench metrics (e.g. the campaign
+// speedup) across PRs.  Metrics are flat name -> number pairs.
+inline void emit_bench_json(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\"", name.c_str());
+  for (const auto& [key, value] : metrics)
+    std::fprintf(f, ",\n  \"%s\": %.17g", key.c_str(), value);
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace rangerpp::bench

@@ -9,6 +9,7 @@
 // 66.95%/0.95%; Hong et al. 31.54%/0%; ABFT 29.98%/<8%; Ranger
 // 97.05%/0.53%.
 #include <memory>
+#include <optional>
 
 #include "baselines/abft.hpp"
 #include "baselines/duplication.hpp"
@@ -37,35 +38,52 @@ struct Row {
 void eval_technique(baselines::Technique& tech,
                     const models::Workload& w,
                     const bench::BenchConfig& cfg, Row& row) {
-  tech.prepare(w.graph, w.profile_feeds);
-
   const tensor::DType dtype = tensor::DType::kFixed32;
+  const graph::ExecutionPlan plan(w.graph, dtype);
+  tech.prepare(plan, w.profile_feeds);
+
   const graph::Executor exec({dtype});
   const fi::SiteSpace sites(w.graph, dtype);
   const auto judges = models::default_judges(w.id);
 
+  // Goldens once per input: output plus the activation snapshot the plain
+  // (unprotected) trial resumes from.
   std::vector<tensor::Tensor> golden;
-  for (const fi::Feeds& f : w.eval_feeds) golden.push_back(exec.run(w.graph, f));
+  std::vector<std::vector<tensor::Tensor>> golden_acts;
+  {
+    graph::Arena arena;
+    for (const fi::Feeds& f : w.eval_feeds) {
+      golden.push_back(exec.run(plan, f, arena));
+      golden_acts.push_back(arena.outputs());
+    }
+  }
 
   const std::size_t trials = cfg.trials_for(w.id) / 2;
   const std::size_t total = trials * w.eval_feeds.size();
+  const unsigned workers = util::worker_count(total);
+  std::vector<graph::Arena> arenas(workers), tech_arenas(workers);
   std::vector<unsigned char> sdc_flags(total, 0), covered_flags(total, 0);
-  util::parallel_for(total, [&](std::size_t t) {
+  util::parallel_for_workers(total, [&](unsigned worker, std::size_t t) {
     const std::size_t input_idx = t / trials;
     util::Rng rng(util::derive_seed(cfg.seed, t));
     const fi::FaultSet faults = sites.sample(rng, 1);
 
+    std::vector<graph::NodeId> roots;
+    for (const fi::FaultPoint& f : faults) {
+      const graph::NodeId id = w.graph.find(f.node_name);
+      if (id != graph::kInvalidNode) roots.push_back(id);
+    }
     const tensor::Tensor plain =
-        exec.run(w.graph, w.eval_feeds[input_idx],
-                 fi::make_injection_hook(w.graph, dtype, faults));
+        exec.run_from(plan, golden_acts[input_idx], roots, arenas[worker],
+                      fi::make_injection_hook(w.graph, dtype, faults));
     bool sdc = false;
     for (const auto& j : judges)
       if (j->is_sdc(golden[input_idx], plain)) sdc = true;
     if (!sdc) return;
     sdc_flags[t] = 1;
 
-    const baselines::TrialOutcome o =
-        tech.run_trial(w.graph, w.eval_feeds[input_idx], faults, dtype);
+    const baselines::TrialOutcome o = tech.run_trial(
+        plan, tech_arenas[worker], w.eval_feeds[input_idx], faults);
     bool still_sdc = false;
     for (const auto& j : judges)
       if (j->is_sdc(golden[input_idx], o.output)) still_sdc = true;
@@ -90,20 +108,27 @@ void eval_technique(baselines::Technique& tech,
 class RangerTechnique final : public baselines::Technique {
  public:
   std::string name() const override { return "Ranger (this work)"; }
-  void prepare(const graph::Graph& g,
+  void prepare(const graph::ExecutionPlan& plan,
                const std::vector<fi::Feeds>& profile) override {
     const core::Bounds bounds =
-        core::RangeProfiler{}.derive_bounds(g, profile);
+        core::RangeProfiler{}.derive_bounds(plan.graph(), profile);
     core::RangerTransform transform;
-    protected_ = transform.apply(g, bounds);
+    protected_ = transform.apply(plan.graph(), bounds);
+    // The protected graph gets its own plan under the campaign dtype;
+    // fault sites planned on the unprotected graph replay here by name.
+    protected_plan_.emplace(protected_, plan.dtype());
   }
-  baselines::TrialOutcome run_trial(const graph::Graph&,
+  baselines::TrialOutcome run_trial(const graph::ExecutionPlan&,
+                                    graph::Arena& arena,
                                     const fi::Feeds& feeds,
-                                    const fi::FaultSet& faults,
-                                    tensor::DType dtype) const override {
-    const graph::Executor exec({dtype});
-    return {exec.run(protected_, feeds,
-                     fi::make_injection_hook(protected_, dtype, faults)),
+                                    const fi::FaultSet& faults) const override {
+    const graph::Executor exec({protected_plan_->dtype()});
+    // The worker's arena binds to the protected plan on first use and is
+    // reused across trials from then on.
+    return {exec.run(*protected_plan_, feeds, arena,
+                     fi::make_injection_hook(protected_,
+                                             protected_plan_->dtype(),
+                                             faults)),
             false};
   }
   double overhead_pct(const graph::Graph& g) const override {
@@ -112,6 +137,7 @@ class RangerTechnique final : public baselines::Technique {
 
  private:
   graph::Graph protected_;
+  std::optional<graph::ExecutionPlan> protected_plan_;
 };
 
 // Hong et al.'s defense is a *model substitution* (swap every activation

@@ -40,27 +40,40 @@ int main() {
               transform.last_stats().restriction_ops_inserted,
               transform.last_stats().elapsed_seconds * 1e3);
 
-  // 4. Fault-free behaviour is unchanged.
-  const graph::Executor exec({tensor::DType::kFixed32});
+  // 4. Compile both graphs into execution plans (schedule, reachability
+  //    sets, pre-quantized weights) and check fault-free behaviour is
+  //    unchanged.  Plans + arenas are what every campaign runs on.
+  const tensor::DType dtype = tensor::DType::kFixed32;
+  const graph::Executor exec({dtype});
+  const graph::ExecutionPlan plan(w.graph, dtype);
+  const graph::ExecutionPlan plan_prot(protected_g, dtype);
+  graph::Arena arena, arena_prot;
   const fi::Feeds& input = w.eval_feeds.front();
-  const int label_plain = graph::argmax(exec.run(w.graph, input));
-  const int label_prot = graph::argmax(exec.run(protected_g, input));
+  const int label_plain = graph::argmax(exec.run(plan, input, arena));
+  const std::vector<tensor::Tensor> golden = arena.outputs();
+  const int label_prot =
+      graph::argmax(exec.run(plan_prot, input, arena_prot));
+  const std::vector<tensor::Tensor> golden_prot = arena_prot.outputs();
   std::printf("fault-free prediction: %d (unprotected) vs %d (Ranger)\n",
               label_plain, label_prot);
 
   // 5. Find a datapath transient fault (high-order bit flip in the first
   //    conv layer) that actually corrupts the unprotected prediction,
-  //    then replay the identical fault on the protected graph.
+  //    then replay the identical fault on the protected graph.  Each probe
+  //    resumes from the cached golden activations and recomputes only the
+  //    fault's downstream cone — the partial re-execution that makes
+  //    thousand-trial campaigns cheap.
+  const graph::NodeId site = w.graph.find("conv1/bias_add");
+  const graph::NodeId site_prot = protected_g.find("conv1/bias_add");
   for (std::size_t element = 0; element < 600; element += 7) {
     const fi::FaultSet fault{{"conv1/bias_add", element, /*bit=*/29}};
-    const int faulty_plain = graph::argmax(exec.run(
-        w.graph, input,
-        fi::make_injection_hook(w.graph, tensor::DType::kFixed32, fault)));
+    const int faulty_plain = graph::argmax(exec.run_from(
+        plan, golden, site, arena,
+        fi::make_injection_hook(w.graph, dtype, fault)));
     if (faulty_plain == label_plain) continue;  // fault was benign
-    const int faulty_prot = graph::argmax(
-        exec.run(protected_g, input,
-                 fi::make_injection_hook(protected_g,
-                                         tensor::DType::kFixed32, fault)));
+    const int faulty_prot = graph::argmax(exec.run_from(
+        plan_prot, golden_prot, site_prot, arena_prot,
+        fi::make_injection_hook(protected_g, dtype, fault)));
     std::printf(
         "bit-29 flip at conv1[%zu]: unprotected predicts %d <-- SDC!  "
         "Ranger predicts %d%s\n",

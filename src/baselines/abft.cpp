@@ -7,21 +7,22 @@
 
 namespace rangerpp::baselines {
 
-TrialOutcome AbftConv::run_trial(const graph::Graph& g,
-                                 const fi::Feeds& feeds,
-                                 const fi::FaultSet& faults,
-                                 tensor::DType dtype) const {
-  const graph::Executor exec({dtype});
-  const graph::PostOpHook inject = fi::make_injection_hook(g, dtype, faults);
+TrialOutcome AbftConv::run_trial(const graph::ExecutionPlan& plan,
+                                 graph::Arena& arena, const fi::Feeds& feeds,
+                                 const fi::FaultSet& faults) const {
+  const graph::Executor exec({plan.dtype()});
+  const graph::PostOpHook inject =
+      fi::make_injection_hook(plan.graph(), plan.dtype(), faults);
 
   // The executor hook fires after the kernel computes its (correct) output
   // and before downstream consumption; the checksum predicted from the
   // inputs equals the sum of the correct output, so capturing the sum
   // before applying the injection reproduces the input-side checksum
-  // without a second convolution.
+  // without a second convolution.  Checksums cover every conv layer, so
+  // trials run the full plan.
   bool detected = false;
   tensor::Tensor out = exec.run(
-      g, feeds, [&](const graph::Node& n, tensor::Tensor& t) {
+      plan, feeds, arena, [&](const graph::Node& n, tensor::Tensor& t) {
         const bool is_conv = n.op->kind() == ops::OpKind::kConv2D;
         double before = 0.0;
         if (is_conv)

@@ -6,8 +6,9 @@
 
 namespace rangerpp::baselines {
 
-void SelectiveDuplication::prepare(const graph::Graph& g,
+void SelectiveDuplication::prepare(const graph::ExecutionPlan& plan,
                                    const std::vector<fi::Feeds>&) {
+  const graph::Graph& g = plan.graph();
   duplicated_.clear();
 
   struct Candidate {
@@ -59,12 +60,13 @@ void SelectiveDuplication::prepare(const graph::Graph& g,
   selected_flops_pct_ = 100.0 * spent / static_cast<double>(total_flops);
 }
 
-TrialOutcome SelectiveDuplication::run_trial(const graph::Graph& g,
+TrialOutcome SelectiveDuplication::run_trial(const graph::ExecutionPlan& plan,
+                                             graph::Arena& arena,
                                              const fi::Feeds& feeds,
-                                             const fi::FaultSet& faults,
-                                             tensor::DType dtype) const {
-  const graph::Executor exec({dtype});
-  const graph::PostOpHook inject = fi::make_injection_hook(g, dtype, faults);
+                                             const fi::FaultSet& faults) const {
+  const graph::Executor exec({plan.dtype()});
+  const graph::PostOpHook inject =
+      fi::make_injection_hook(plan.graph(), plan.dtype(), faults);
 
   // Duplicate-and-compare: the duplicated op re-computes its output from
   // the same inputs; the fault corrupts only the stored (primary) copy, so
@@ -75,7 +77,7 @@ TrialOutcome SelectiveDuplication::run_trial(const graph::Graph& g,
   for (const fi::FaultPoint& f : faults)
     if (duplicated_.contains(f.node_name)) detected = true;
 
-  tensor::Tensor out = exec.run(g, feeds, inject);
+  tensor::Tensor out = exec.run(plan, feeds, arena, inject);
   return TrialOutcome{std::move(out), detected};
 }
 

@@ -25,12 +25,12 @@ class SelectiveDuplication final : public Technique {
 
   std::string name() const override { return "Selective duplication"; }
 
-  void prepare(const graph::Graph& g,
+  void prepare(const graph::ExecutionPlan& plan,
                const std::vector<fi::Feeds>& profile_feeds) override;
 
-  TrialOutcome run_trial(const graph::Graph& g, const fi::Feeds& feeds,
-                         const fi::FaultSet& faults,
-                         tensor::DType dtype) const override;
+  TrialOutcome run_trial(const graph::ExecutionPlan& plan,
+                         graph::Arena& arena, const fi::Feeds& feeds,
+                         const fi::FaultSet& faults) const override;
 
   double overhead_pct(const graph::Graph& g) const override;
 

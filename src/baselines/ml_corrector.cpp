@@ -9,14 +9,18 @@
 
 namespace rangerpp::baselines {
 
-void MlCorrector::prepare(const graph::Graph& g,
+void MlCorrector::prepare(const graph::ExecutionPlan& plan,
                           const std::vector<fi::Feeds>& profile_feeds) {
+  const graph::Graph& g = plan.graph();
   layers_.clear();
   const graph::Executor exec({tensor::DType::kFloat32});
+  const graph::ExecutionPlan fplan(g, tensor::DType::kFloat32);
+  graph::Arena arena;
 
   // Pass 1: fault-free feature ranges for every activation layer.
   for (const fi::Feeds& feeds : profile_feeds) {
-    exec.run(g, feeds, [this](const graph::Node& n, tensor::Tensor& out) {
+    exec.run(fplan, feeds, arena,
+             [this](const graph::Node& n, tensor::Tensor& out) {
       if (!ops::is_activation(n.op->kind())) return;
       auto [it, inserted] = layers_.try_emplace(n.name);
       LayerModel& m = it->second;
@@ -43,7 +47,7 @@ void MlCorrector::prepare(const graph::Graph& g,
     for (std::size_t t = 0; t < calibration_trials_; ++t) {
       const fi::FaultSet faults = sites.sample(rng, 1);
       const fi::Feeds& feeds = profile_feeds[t % profile_feeds.size()];
-      exec.run(g, feeds,
+      exec.run(fplan, feeds, arena,
                fi::make_injection_hook(g, tensor::DType::kFloat32, faults));
     }
   }
@@ -52,16 +56,19 @@ void MlCorrector::prepare(const graph::Graph& g,
                                    std::abs(m.max_value));
 }
 
-TrialOutcome MlCorrector::run_trial(const graph::Graph& g,
+TrialOutcome MlCorrector::run_trial(const graph::ExecutionPlan& plan,
+                                    graph::Arena& arena,
                                     const fi::Feeds& feeds,
-                                    const fi::FaultSet& faults,
-                                    tensor::DType dtype) const {
-  const graph::Executor exec({dtype});
-  const graph::PostOpHook inject = fi::make_injection_hook(g, dtype, faults);
+                                    const fi::FaultSet& faults) const {
+  const graph::Executor exec({plan.dtype()});
+  const graph::PostOpHook inject =
+      fi::make_injection_hook(plan.graph(), plan.dtype(), faults);
 
+  // Observes (and repairs) every activation layer, so trials run the full
+  // plan rather than the partial path.
   bool detected = false;
   tensor::Tensor out = exec.run(
-      g, feeds, [&](const graph::Node& n, tensor::Tensor& t) {
+      plan, feeds, arena, [&](const graph::Node& n, tensor::Tensor& t) {
         inject(n, t);
         const auto it = layers_.find(n.name);
         if (it == layers_.end()) return;

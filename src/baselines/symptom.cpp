@@ -7,29 +7,36 @@
 
 namespace rangerpp::baselines {
 
-void SymptomDetector::prepare(const graph::Graph& g,
+void SymptomDetector::prepare(const graph::ExecutionPlan& plan,
                               const std::vector<fi::Feeds>& profile_feeds) {
   max_abs_.clear();
   const graph::Executor exec({tensor::DType::kFloat32});
+  const graph::ExecutionPlan fplan(plan.graph(), tensor::DType::kFloat32);
+  graph::Arena arena;
   for (const fi::Feeds& feeds : profile_feeds) {
-    exec.run(g, feeds, [this](const graph::Node& n, tensor::Tensor& out) {
-      float& ceiling = max_abs_[n.name];
-      for (float v : out.values())
-        ceiling = std::max(ceiling, std::abs(v));
-    });
+    exec.run(fplan, feeds, arena,
+             [this](const graph::Node& n, tensor::Tensor& out) {
+               float& ceiling = max_abs_[n.name];
+               for (float v : out.values())
+                 ceiling = std::max(ceiling, std::abs(v));
+             });
   }
 }
 
-TrialOutcome SymptomDetector::run_trial(const graph::Graph& g,
+TrialOutcome SymptomDetector::run_trial(const graph::ExecutionPlan& plan,
+                                        graph::Arena& arena,
                                         const fi::Feeds& feeds,
-                                        const fi::FaultSet& faults,
-                                        tensor::DType dtype) const {
-  const graph::Executor exec({dtype});
-  const graph::PostOpHook inject = fi::make_injection_hook(g, dtype, faults);
+                                        const fi::FaultSet& faults) const {
+  const graph::Executor exec({plan.dtype()});
+  const graph::PostOpHook inject =
+      fi::make_injection_hook(plan.graph(), plan.dtype(), faults);
 
+  // The detector observes every operator output, so trials run the full
+  // plan (partial re-execution would hide the clean prefix from it and
+  // change its false-positive behaviour).
   bool detected = false;
   tensor::Tensor out = exec.run(
-      g, feeds, [&](const graph::Node& n, tensor::Tensor& t) {
+      plan, feeds, arena, [&](const graph::Node& n, tensor::Tensor& t) {
         inject(n, t);
         const auto it = max_abs_.find(n.name);
         if (it == max_abs_.end()) return;
@@ -46,7 +53,7 @@ TrialOutcome SymptomDetector::run_trial(const graph::Graph& g,
     // Recovery: re-execute without the fault (transient faults do not
     // repeat).  This is the re-computation cost the paper contrasts Ranger
     // against.
-    out = exec.run(g, feeds);
+    out = exec.run(plan, feeds, arena);
   }
   return TrialOutcome{std::move(out), detected};
 }

@@ -16,6 +16,12 @@
 // was corrected (output repaired in place) and/or detected (flagged for
 // re-execution).  Coverage for Table VI counts a would-be-SDC trial as
 // covered when the technique corrected or detected it.
+//
+// Trials run against a compiled ExecutionPlan (which fixes both the graph
+// and the inference datatype) through a caller-owned Arena, so campaign
+// drivers hand each worker thread its own arena and pay no per-trial
+// compilation or constant re-quantisation.  Techniques that execute a
+// second graph (e.g. a protected twin) own private plans for it.
 #pragma once
 
 #include <memory>
@@ -25,6 +31,7 @@
 #include "fi/campaign.hpp"
 #include "fi/fault_model.hpp"
 #include "graph/graph.hpp"
+#include "graph/plan.hpp"
 
 namespace rangerpp::baselines {
 
@@ -40,15 +47,17 @@ class Technique {
   virtual std::string name() const = 0;
 
   // One-time setup with fault-free profiling data (threshold derivation,
-  // duplication-set selection, ...).
-  virtual void prepare(const graph::Graph& g,
+  // duplication-set selection, ...).  `plan` is the compiled plan trials
+  // will run against; techniques that profile in float32 compile their own
+  // float32 plan from plan.graph().
+  virtual void prepare(const graph::ExecutionPlan& plan,
                        const std::vector<fi::Feeds>& profile_feeds) = 0;
 
   // Runs one inference with `faults` injected, under this technique.
-  virtual TrialOutcome run_trial(const graph::Graph& g,
-                                 const fi::Feeds& feeds,
-                                 const fi::FaultSet& faults,
-                                 tensor::DType dtype) const = 0;
+  // `arena` is owned by the calling worker thread and is bound to `plan`.
+  virtual TrialOutcome run_trial(const graph::ExecutionPlan& plan,
+                                 graph::Arena& arena, const fi::Feeds& feeds,
+                                 const fi::FaultSet& faults) const = 0;
 
   // FLOPs overhead relative to the unprotected graph, in percent.
   virtual double overhead_pct(const graph::Graph& g) const = 0;

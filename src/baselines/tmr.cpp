@@ -4,15 +4,16 @@
 
 namespace rangerpp::baselines {
 
-TrialOutcome Tmr::run_trial(const graph::Graph& g, const fi::Feeds& feeds,
-                            const fi::FaultSet& faults,
-                            tensor::DType dtype) const {
-  const graph::Executor exec({dtype});
+TrialOutcome Tmr::run_trial(const graph::ExecutionPlan& plan,
+                            graph::Arena& arena, const fi::Feeds& feeds,
+                            const fi::FaultSet& faults) const {
+  const graph::Executor exec({plan.dtype()});
   // The transient fault hits exactly one of the three replicas.
-  const tensor::Tensor faulty =
-      exec.run(g, feeds, fi::make_injection_hook(g, dtype, faults));
-  const tensor::Tensor clean_a = exec.run(g, feeds);
-  const tensor::Tensor clean_b = exec.run(g, feeds);
+  const tensor::Tensor faulty = exec.run(
+      plan, feeds, arena,
+      fi::make_injection_hook(plan.graph(), plan.dtype(), faults));
+  const tensor::Tensor clean_a = exec.run(plan, feeds, arena);
+  const tensor::Tensor clean_b = exec.run(plan, feeds, arena);
 
   // Elementwise majority vote.
   tensor::Tensor voted = faulty.clone();

@@ -12,12 +12,12 @@ class Tmr final : public Technique {
  public:
   std::string name() const override { return "Triple Modular Redundancy"; }
 
-  void prepare(const graph::Graph&,
+  void prepare(const graph::ExecutionPlan&,
                const std::vector<fi::Feeds>&) override {}
 
-  TrialOutcome run_trial(const graph::Graph& g, const fi::Feeds& feeds,
-                         const fi::FaultSet& faults,
-                         tensor::DType dtype) const override;
+  TrialOutcome run_trial(const graph::ExecutionPlan& plan,
+                         graph::Arena& arena, const fi::Feeds& feeds,
+                         const fi::FaultSet& faults) const override;
 
   double overhead_pct(const graph::Graph&) const override { return 200.0; }
 };

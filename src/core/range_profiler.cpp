@@ -90,9 +90,13 @@ RangeProfile RangeProfiler::profile(
     }
   }
 
+  // One compiled plan + arena for the whole profiling stream: constants
+  // are materialised once and the schedule is reused per sample.
   const graph::Executor exec({tensor::DType::kFloat32});
+  const graph::ExecutionPlan plan(g, tensor::DType::kFloat32);
+  graph::Arena arena;
   for (const fi::Feeds& feeds : samples) {
-    exec.run(g, feeds,
+    exec.run(plan, feeds, arena,
              [&prof](const graph::Node& node, tensor::Tensor& out) {
                const auto it = prof.layers_.find(node.name);
                if (it == prof.layers_.end() || it->second.analytic) return;

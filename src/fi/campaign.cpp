@@ -3,9 +3,49 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "graph/plan.hpp"
 #include "util/threadpool.hpp"
 
 namespace rangerpp::fi {
+
+namespace {
+
+// Golden state for one input: the fault-free output plus the full
+// activation snapshot trials resume from.
+struct GoldenInput {
+  tensor::Tensor output;
+  std::vector<tensor::Tensor> activations;  // shared-storage snapshot
+};
+
+std::vector<GoldenInput> compute_goldens(const graph::Executor& exec,
+                                         const graph::ExecutionPlan& plan,
+                                         const std::vector<Feeds>& inputs) {
+  std::vector<GoldenInput> golden;
+  golden.reserve(inputs.size());
+  graph::Arena arena;
+  for (const Feeds& f : inputs) {
+    GoldenInput g;
+    g.output = exec.run(plan, f, arena);
+    g.activations = arena.outputs();  // cheap: tensors share storage
+    golden.push_back(std::move(g));
+  }
+  return golden;
+}
+
+// Resolves a sampled fault set to injection-root node ids on `g`.  Names
+// absent from the graph are skipped (mirrors make_injection_hook).
+std::vector<graph::NodeId> fault_roots(const graph::Graph& g,
+                                       const FaultSet& faults) {
+  std::vector<graph::NodeId> roots;
+  roots.reserve(faults.size());
+  for (const FaultPoint& f : faults) {
+    const graph::NodeId id = g.find(f.node_name);
+    if (id != graph::kInvalidNode) roots.push_back(id);
+  }
+  return roots;
+}
+
+}  // namespace
 
 std::vector<CampaignResult> Campaign::run_multi(
     const graph::Graph& g, const std::vector<Feeds>& inputs,
@@ -13,29 +53,36 @@ std::vector<CampaignResult> Campaign::run_multi(
   if (inputs.empty()) throw std::invalid_argument("Campaign: no inputs");
   if (judges.empty()) throw std::invalid_argument("Campaign: no judges");
   const graph::Executor exec({config_.dtype});
+  const graph::ExecutionPlan plan(g, config_.dtype);
   const SiteSpace sites(g, config_.dtype);
 
-  // Golden outputs per input, computed once under the campaign datatype.
-  std::vector<tensor::Tensor> golden;
-  golden.reserve(inputs.size());
-  for (const Feeds& f : inputs) golden.push_back(exec.run(g, f));
+  // Goldens per input, computed once under the campaign datatype.
+  const std::vector<GoldenInput> golden = compute_goldens(exec, plan, inputs);
 
   const std::size_t total = inputs.size() * config_.trials_per_input;
+  const unsigned workers = util::worker_count(total, config_.threads);
+  std::vector<graph::Arena> arenas(workers);
   std::vector<std::atomic<std::size_t>> sdcs(judges.size());
-  util::parallel_for(
+  util::parallel_for_workers(
       total,
-      [&](std::size_t t) {
+      [&](unsigned worker, std::size_t t) {
         const std::size_t input_idx = t / config_.trials_per_input;
         util::Rng rng(util::derive_seed(config_.seed, t));
         const FaultSet faults =
             config_.consecutive_bits
                 ? sites.sample_consecutive(rng, config_.n_bits)
                 : sites.sample(rng, config_.n_bits);
-        const tensor::Tensor out = exec.run(
-            g, inputs[input_idx],
-            make_injection_hook(g, config_.dtype, faults));
+        const graph::PostOpHook hook =
+            make_injection_hook(plan.graph(), config_.dtype, faults);
+        graph::Arena& arena = arenas[worker];
+        const tensor::Tensor out =
+            config_.partial_reexecution
+                ? exec.run_from(plan, golden[input_idx].activations,
+                                fault_roots(plan.graph(), faults), arena,
+                                hook)
+                : exec.run(plan, inputs[input_idx], arena, hook);
         for (std::size_t j = 0; j < judges.size(); ++j)
-          if (judges[j]->is_sdc(golden[input_idx], out))
+          if (judges[j]->is_sdc(golden[input_idx].output, out))
             sdcs[j].fetch_add(1, std::memory_order_relaxed);
       },
       config_.threads);
@@ -61,23 +108,31 @@ std::vector<Campaign::PairedOutcome> Campaign::run_paired(
                              const FaultSet&)>& detector) const {
   if (inputs.empty()) throw std::invalid_argument("Campaign: no inputs");
   const graph::Executor exec({config_.dtype});
+  // Each graph gets its own plan; the Ranger transform preserves node
+  // names, so fault sites planned on the unprotected graph resolve to
+  // injection roots on the protected plan too, and its restriction
+  // (`/ranger`) nodes are swept into the recompute set by the protected
+  // plan's own reachability relation.
+  const graph::ExecutionPlan plan_u(unprotected, config_.dtype);
+  const graph::ExecutionPlan plan_p(protected_g, config_.dtype);
   // Fault sites are planned on the *unprotected* graph so both runs see the
   // identical fault (Ranger's clamp nodes are extra, never-faulted ops —
   // conservative for Ranger, as the paper also injects into them; the
   // single-graph `run` API does include clamp outputs).
   const SiteSpace sites(unprotected, config_.dtype);
 
-  std::vector<tensor::Tensor> golden_unprot, golden_prot;
-  for (const Feeds& f : inputs) {
-    golden_unprot.push_back(exec.run(unprotected, f));
-    golden_prot.push_back(exec.run(protected_g, f));
-  }
+  const std::vector<GoldenInput> golden_u =
+      compute_goldens(exec, plan_u, inputs);
+  const std::vector<GoldenInput> golden_p =
+      compute_goldens(exec, plan_p, inputs);
 
   const std::size_t total = inputs.size() * config_.trials_per_input;
+  const unsigned workers = util::worker_count(total, config_.threads);
+  std::vector<graph::Arena> arenas_u(workers), arenas_p(workers);
   std::vector<PairedOutcome> outcomes(total);
-  util::parallel_for(
+  util::parallel_for_workers(
       total,
-      [&](std::size_t t) {
+      [&](unsigned worker, std::size_t t) {
         const std::size_t input_idx = t / config_.trials_per_input;
         util::Rng rng(util::derive_seed(config_.seed, t));
         const FaultSet faults =
@@ -85,16 +140,25 @@ std::vector<Campaign::PairedOutcome> Campaign::run_paired(
                 ? sites.sample_consecutive(rng, config_.n_bits)
                 : sites.sample(rng, config_.n_bits);
 
-        const tensor::Tensor out_u = exec.run(
-            unprotected, inputs[input_idx],
-            make_injection_hook(unprotected, config_.dtype, faults));
-        const tensor::Tensor out_p = exec.run(
-            protected_g, inputs[input_idx],
-            make_injection_hook(protected_g, config_.dtype, faults));
+        const auto run_one = [&](const graph::ExecutionPlan& plan,
+                                 const GoldenInput& golden,
+                                 graph::Arena& arena) {
+          const graph::PostOpHook hook =
+              make_injection_hook(plan.graph(), config_.dtype, faults);
+          return config_.partial_reexecution
+                     ? exec.run_from(plan, golden.activations,
+                                     fault_roots(plan.graph(), faults),
+                                     arena, hook)
+                     : exec.run(plan, inputs[input_idx], arena, hook);
+        };
+        const tensor::Tensor out_u =
+            run_one(plan_u, golden_u[input_idx], arenas_u[worker]);
+        const tensor::Tensor out_p =
+            run_one(plan_p, golden_p[input_idx], arenas_p[worker]);
 
         PairedOutcome& o = outcomes[t];
-        o.sdc_unprotected = judge.is_sdc(golden_unprot[input_idx], out_u);
-        o.sdc_protected = judge.is_sdc(golden_prot[input_idx], out_p);
+        o.sdc_unprotected = judge.is_sdc(golden_u[input_idx].output, out_u);
+        o.sdc_protected = judge.is_sdc(golden_p[input_idx].output, out_p);
         if (detector)
           o.detected = detector(protected_g, inputs[input_idx], faults);
       },

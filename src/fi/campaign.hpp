@@ -4,6 +4,14 @@
 // judges SDC against the golden (fault-free) output under the *same*
 // datatype.  Trials are distributed over a thread pool and are
 // deterministic given the campaign seed.
+//
+// Execution is compiled: the graph is lowered once into an ExecutionPlan,
+// the golden activations of every input are cached once, and each trial
+// resumes from its injected node via Executor::run_from — only the fault's
+// downstream cone is recomputed (and of that, only until the fault is
+// masked), bit-identical to full re-execution for the same seed.  Each
+// worker thread owns a private Arena, so steady-state trials share no
+// mutable state.
 #pragma once
 
 #include <functional>
@@ -27,6 +35,10 @@ struct CampaignConfig {
   std::size_t trials_per_input = 1000;
   std::uint64_t seed = 42;
   unsigned threads = 0;             // 0 = hardware concurrency
+  // Golden-prefix partial re-execution (the default).  false forces a full
+  // graph execution per trial — only useful for A/B benchmarking the
+  // speedup; results are bit-identical either way.
+  bool partial_reexecution = true;
 };
 
 using Feeds = std::unordered_map<std::string, tensor::Tensor>;

@@ -16,6 +16,15 @@ std::string escape(const std::string& s) {
   return out;
 }
 
+// Restriction operators spliced by core::RangerTransform carry the
+// "/ranger" name suffix (the transform's kSuffix; matched textually here
+// to keep the graph layer free of a core dependency).
+bool is_restriction(const Node& n) {
+  constexpr std::string_view kSuffix = "/ranger";
+  return n.op->kind() == ops::OpKind::kClamp && n.name.size() > kSuffix.size() &&
+         std::string_view(n.name).ends_with(kSuffix);
+}
+
 const char* color_of(const Node& n) {
   switch (n.op->kind()) {
     case ops::OpKind::kClamp:
@@ -42,14 +51,27 @@ std::string to_dot(const Graph& g, const DotOptions& options) {
       hidden[static_cast<std::size_t>(n.id)] = true;
       continue;
     }
+    if (options.highlight_restrictions && is_restriction(n)) {
+      // Protected graphs render their spliced range-restriction ops
+      // distinctly: hexagons in a saturated green with a bold border, so
+      // the Ranger insertion points are visible at a glance.
+      out << "  n" << n.id << " [label=\"" << escape(n.name)
+          << "\\n(restrict)\", shape=hexagon, fillcolor=\"#7ccd7c\", "
+             "penwidth=2, color=\"#1f6f1f\"];\n";
+      continue;
+    }
     out << "  n" << n.id << " [label=\"" << escape(n.name) << "\\n("
         << n.op->kind_name() << ")\", fillcolor=" << color_of(n) << "];\n";
   }
   for (const Node& n : g.nodes()) {
     if (hidden[static_cast<std::size_t>(n.id)]) continue;
+    const bool restrict_edge =
+        options.highlight_restrictions && is_restriction(n);
     for (NodeId in : n.inputs) {
       if (hidden[static_cast<std::size_t>(in)]) continue;
-      out << "  n" << in << " -> n" << n.id << ";\n";
+      out << "  n" << in << " -> n" << n.id;
+      if (restrict_edge) out << " [color=\"#1f6f1f\", penwidth=2]";
+      out << ";\n";
     }
   }
   out << "}\n";

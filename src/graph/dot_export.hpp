@@ -12,6 +12,10 @@ namespace rangerpp::graph {
 struct DotOptions {
   // Omit Const (weight) nodes, which dominate real models visually.
   bool hide_constants = true;
+  // Render the Ranger transform's spliced "/ranger" restriction nodes
+  // distinctly (hexagon, saturated green, bold incoming edge) so protected
+  // graphs show their insertion points at a glance.
+  bool highlight_restrictions = true;
 };
 
 std::string to_dot(const Graph& g, const DotOptions& options = {});

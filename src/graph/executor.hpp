@@ -8,12 +8,21 @@
 //  * a post-op hook observes (and may corrupt) each node's output tensor —
 //    the fault injector, the range profiler and the detection baselines all
 //    attach here.
+//
+// Execution is plan-based: a graph is compiled once into an ExecutionPlan
+// (see plan.hpp) and then run any number of times through a reusable Arena.
+// `run_from` resumes from cached golden activations and recomputes only the
+// downstream cone of the injected node(s) — the partial re-execution that
+// makes fault-injection campaigns cheap.  The graph-based overloads remain
+// for one-shot callers; they compile a transient plan internally.
 #pragma once
 
 #include <functional>
+#include <span>
 #include <unordered_map>
 
 #include "graph/graph.hpp"
+#include "graph/plan.hpp"
 #include "tensor/dtype.hpp"
 
 namespace rangerpp::graph {
@@ -34,8 +43,44 @@ class Executor {
  public:
   explicit Executor(ExecOptions options = {}) : options_(options) {}
 
-  // Runs the graph with `feeds` bound to Input nodes (keyed by node name).
-  // Returns the designated output node's tensor.
+  // --- Plan-based execution (the fast path) -----------------------------
+
+  // Runs the full plan with `feeds` bound to Input nodes (keyed by node
+  // name), reusing `arena`'s buffers and caches.  The executor's dtype
+  // must match the plan's.  Returns the designated output node's tensor;
+  // every node's output remains available via arena.outputs().
+  tensor::Tensor run(const ExecutionPlan& plan,
+                     const std::unordered_map<std::string, tensor::Tensor>&
+                         feeds,
+                     Arena& arena, const PostOpHook& hook = nullptr) const;
+
+  // Partial re-execution from cached golden activations: recomputes only
+  // the nodes reachable from `roots` (the fault-injection sites) and
+  // copies the golden prefix for everything else.  Within the reachable
+  // cone two further prunings apply: a node whose inputs came out
+  // bit-identical to the golden run collapses back to golden (the fault
+  // was masked by a ReLU, pool or clamp), and a node whose inputs changed
+  // in only a few elements recomputes just the affected patch via the
+  // element-sparse kernels of incremental.hpp.  `golden` must be the
+  // arena.outputs() snapshot of a fault-free run of the same plan with the
+  // same feeds.  The hook fires only at the injection roots; provided the
+  // hook mutates nothing but the roots' outputs (true for injection hooks
+  // whose fault sites are the roots), the result is bit-identical to a
+  // full run with the same hook.
+  tensor::Tensor run_from(const ExecutionPlan& plan,
+                          const std::vector<tensor::Tensor>& golden,
+                          std::span<const NodeId> roots, Arena& arena,
+                          const PostOpHook& hook = nullptr) const;
+
+  // Single-site convenience overload.
+  tensor::Tensor run_from(const ExecutionPlan& plan,
+                          const std::vector<tensor::Tensor>& golden,
+                          NodeId start, Arena& arena,
+                          const PostOpHook& hook = nullptr) const;
+
+  // --- Graph-based execution (one-shot convenience) ---------------------
+
+  // Compiles a transient plan and runs it once.
   tensor::Tensor run(const Graph& g,
                      const std::unordered_map<std::string, tensor::Tensor>&
                          feeds,
@@ -53,6 +98,13 @@ class Executor {
   const ExecOptions& options() const { return options_; }
 
  private:
+  tensor::Tensor execute(const ExecutionPlan& plan,
+                         const std::unordered_map<std::string,
+                                                  tensor::Tensor>& feeds,
+                         Arena& arena, const PostOpHook& hook,
+                         const std::vector<tensor::Tensor>* golden,
+                         std::span<const NodeId> roots) const;
+
   ExecOptions options_;
 };
 

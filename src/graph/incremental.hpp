@@ -1,0 +1,69 @@
+// Element-sparse incremental recomputation, the second tier of the
+// ExecutionPlan's golden-prefix partial re-execution.
+//
+// Node-level reachability (plan.hpp) prunes everything outside the
+// injected fault's downstream cone, but inside the cone a single flipped
+// element perturbs only a slowly-dilating patch of each activation: one
+// conv input element touches a kernel-window's worth of output positions,
+// an elementwise op maps changed elements 1:1, a pool window maps them to
+// its one output.  Recomputing just those elements — in exactly the same
+// accumulation order as the dense kernels, so results stay bit-identical —
+// turns the dominant conv cost of a trial from O(feature map) into
+// O(changed patch).
+//
+// Supported ops: Conv2D, BiasAdd, BatchNorm, MaxPool/AvgPool, LRN,
+// Concat, Reshape/Flatten, and every value-only elementwise op (anything
+// deriving UnaryElementwiseOp / BinaryElementwiseOp — the base-class
+// contract is a per-element function of values alone, which is what makes
+// the gather/compute/scatter trick sound).  Everything else — MatMul,
+// Softmax, GlobalAvgPool and unknown ops — reports "no sparse kernel" and
+// the executor falls back to a dense recompute, which is always correct.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ops/op.hpp"
+#include "tensor/dtype.hpp"
+
+namespace rangerpp::graph {
+
+// Which elements of a node's output differ from the golden run.
+struct ChangeSet {
+  // true = "assume everything changed" (the change grew past the point
+  // where tracking individual indices pays off); idx is empty then.
+  bool dense = false;
+  std::vector<std::size_t> idx;  // ascending, unique
+
+  bool clean() const { return !dense && idx.empty(); }
+  void reset() {
+    dense = false;
+    idx.clear();
+  }
+  void mark_dense() {
+    dense = true;
+    idx.clear();
+  }
+};
+
+// Attempts an element-sparse recompute of one node.
+//
+//  * `inputs` are the node's current input tensors; outside their change
+//    sets they are bit-identical to the golden run's inputs.
+//  * `changes[k]` describes how inputs[k] differs from golden.  Any dense
+//    input change disables the sparse path.
+//  * `golden` is the node's fault-free output (quantised under `dtype`).
+//
+// On success: `out` holds the updated output — sharing `golden`'s storage
+// when the change turned out to be fully masked — `out_change` lists the
+// elements that differ from golden, and the function returns true.
+// Returns false when the op has no sparse kernel or the affected region is
+// so large that a dense recompute is cheaper; the caller handles that case
+// (and it is always correct to do so).
+bool incremental_recompute(const ops::Op& op, tensor::DType dtype,
+                           std::span<const tensor::Tensor> inputs,
+                           std::span<const ChangeSet* const> changes,
+                           const tensor::Tensor& golden, tensor::Tensor& out,
+                           ChangeSet& out_change);
+
+}  // namespace rangerpp::graph

@@ -1,0 +1,146 @@
+#include "graph/plan.hpp"
+
+#include <atomic>
+#include <bit>
+#include <stdexcept>
+
+namespace rangerpp::graph {
+
+namespace {
+
+void quantize_all(tensor::DType d, tensor::Tensor& t) {
+  if (d == tensor::DType::kFloat32) return;
+  for (float& v : t.mutable_values()) v = tensor::dtype_quantize(d, v);
+}
+
+}  // namespace
+
+ExecutionPlan::ExecutionPlan(Graph g, tensor::DType dtype)
+    : graph_(std::move(g)), dtype_(dtype) {
+  static std::atomic<std::uint64_t> next_serial{1};
+  serial_ = next_serial.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t n = graph_.size();
+  if (n == 0) throw std::invalid_argument("ExecutionPlan: empty graph");
+  shapes_ = graph_.infer_shapes();
+
+  is_input_.assign(n, 0);
+  is_const_.assign(n, 0);
+  consts_.assign(n, tensor::Tensor{});
+  for (const Node& node : graph_.nodes()) {
+    const auto i = static_cast<std::size_t>(node.id);
+    switch (node.op->kind()) {
+      case ops::OpKind::kInput:
+        is_input_[i] = 1;
+        break;
+      case ops::OpKind::kConst:
+        is_const_[i] = 1;
+        consts_[i] = node.op->compute({});
+        quantize_all(dtype_, consts_[i]);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Downstream reachability.  Nodes are in topological (append) order, so
+  // walking ids downwards visits every consumer before its producers: when
+  // node j is visited its row is final and can be ORed into each input's.
+  words_ = (n + 63) / 64;
+  reach_.assign(n * words_, 0);
+  for (std::size_t j = n; j-- > 0;) {
+    std::uint64_t* rj = reach_.data() + j * words_;
+    rj[j / 64] |= std::uint64_t{1} << (j % 64);
+    for (const NodeId in : graph_.node(static_cast<NodeId>(j)).inputs) {
+      std::uint64_t* ri = reach_.data() + static_cast<std::size_t>(in) * words_;
+      for (std::size_t w = 0; w < words_; ++w) ri[w] |= rj[w];
+    }
+  }
+}
+
+std::span<const std::uint64_t> ExecutionPlan::row(NodeId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= size())
+    throw std::out_of_range("ExecutionPlan: bad node id");
+  return {reach_.data() + static_cast<std::size_t>(id) * words_, words_};
+}
+
+bool ExecutionPlan::reaches(NodeId from, NodeId to) const {
+  const auto r = row(from);
+  if (to < 0 || static_cast<std::size_t>(to) >= size())
+    throw std::out_of_range("ExecutionPlan: bad node id");
+  const auto t = static_cast<std::size_t>(to);
+  return (r[t / 64] >> (t % 64)) & 1;
+}
+
+std::vector<NodeId> ExecutionPlan::downstream(NodeId from) const {
+  const auto r = row(from);
+  std::vector<NodeId> out;
+  for (std::size_t w = 0; w < words_; ++w) {
+    std::uint64_t bits = r[w];
+    while (bits) {
+      const int b = std::countr_zero(bits);
+      out.push_back(static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b)));
+      bits &= bits - 1;
+    }
+  }
+  return out;
+}
+
+std::size_t ExecutionPlan::downstream_count(NodeId from) const {
+  const auto r = row(from);
+  std::size_t count = 0;
+  for (const std::uint64_t w : r) count += static_cast<std::size_t>(std::popcount(w));
+  return count;
+}
+
+const tensor::Tensor& ExecutionPlan::const_output(NodeId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= size() ||
+      !is_const_[static_cast<std::size_t>(id)])
+    throw std::out_of_range("ExecutionPlan::const_output: not a Const node");
+  return consts_[static_cast<std::size_t>(id)];
+}
+
+bool ExecutionPlan::is_input(NodeId id) const {
+  return id >= 0 && static_cast<std::size_t>(id) < size() &&
+         is_input_[static_cast<std::size_t>(id)] != 0;
+}
+
+bool ExecutionPlan::is_const(NodeId id) const {
+  return id >= 0 && static_cast<std::size_t>(id) < size() &&
+         is_const_[static_cast<std::size_t>(id)] != 0;
+}
+
+std::size_t ExecutionPlan::mark_dirty(std::span<const NodeId> roots,
+                                      std::vector<bool>& dirty) const {
+  const std::size_t n = size();
+  dirty.assign(n, false);
+  std::vector<std::span<const std::uint64_t>> rows;
+  rows.reserve(roots.size());
+  for (const NodeId root : roots) rows.push_back(row(root));  // validates
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < words_; ++w) {
+    std::uint64_t bits = 0;
+    for (const auto& r : rows) bits |= r[w];
+    while (bits) {
+      const int b = std::countr_zero(bits);
+      dirty[w * 64 + static_cast<std::size_t>(b)] = true;
+      ++count;
+      bits &= bits - 1;
+    }
+  }
+  return count;
+}
+
+void Arena::bind(const ExecutionPlan& plan) {
+  if (plan_serial_ == plan.serial()) return;
+  plan_serial_ = plan.serial();
+  plan_ = &plan;
+  outputs_.assign(plan.size(), tensor::Tensor{});
+  feeds_.assign(plan.size(), FeedSlot{});
+  input_scratch_.clear();
+  dirty_.assign(plan.size(), false);
+  roots_.assign(plan.size(), false);
+  change_.assign(plan.size(), ChangeSet{});
+  change_ptrs_.clear();
+}
+
+}  // namespace rangerpp::graph

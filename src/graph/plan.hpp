@@ -1,0 +1,139 @@
+// ExecutionPlan: a graph compiled once per (graph, datatype) into the form
+// the executor actually runs.  Compilation precomputes everything a
+// fault-injection campaign would otherwise redo on every single trial:
+//
+//  * the topological schedule and per-node input lists (append order is
+//    already topological; the plan validates and freezes it);
+//  * every node's output shape (Graph::infer_shapes run once);
+//  * per-node *downstream reachability* bitsets — for node k, the set of
+//    nodes whose value can change when k's output changes.  This is what
+//    makes golden-prefix partial re-execution possible: a trial that
+//    injects into node k only needs to recompute k's downstream cone and
+//    can reuse the cached fault-free ("golden") activations for the rest;
+//  * pre-quantized Const tensors: weights are constant across trials, so
+//    encoding them through the fixed-point codec per trial is pure waste;
+//  * input-feed quantisation caching (in the Arena): a campaign re-runs the
+//    same input thousands of times, so the quantised feed is cached keyed
+//    by the feed's storage identity.
+//
+// The plan owns its own copy of the graph, so it stays valid independently
+// of the graph object it was compiled from.  Node ids, names and shapes are
+// identical to the source graph's (Graph copies preserve ids), which is
+// what lets fault sites planned on one graph replay against its plan.
+//
+// An Arena is the mutable per-thread counterpart: the activation buffers
+// and caches one executing thread reuses across trials.  Plans are
+// immutable after compilation and safe to share across threads; each
+// worker gets its own Arena.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/incremental.hpp"
+#include "tensor/dtype.hpp"
+
+namespace rangerpp::graph {
+
+class ExecutionPlan {
+ public:
+  // Compiles `g` for execution under `dtype`.  Takes the graph by value:
+  // pass a copy (cheap — ops are shared) or std::move a graph you no
+  // longer need.
+  ExecutionPlan(Graph g, tensor::DType dtype);
+
+  const Graph& graph() const { return graph_; }
+  tensor::DType dtype() const { return dtype_; }
+  std::size_t size() const { return graph_.size(); }
+
+  // Output shape of every node (indexed by NodeId).
+  const std::vector<tensor::Shape>& shapes() const { return shapes_; }
+
+  // True when a change to `from`'s output can affect `to`'s output
+  // (reflexive: reaches(k, k) is always true).
+  bool reaches(NodeId from, NodeId to) const;
+
+  // All nodes reachable from `from` (including `from`), ascending id order
+  // — which is topological order, so this is exactly the re-execution
+  // schedule for a fault injected at `from`.
+  std::vector<NodeId> downstream(NodeId from) const;
+
+  // Number of nodes reachable from `from` (including itself): the cost, in
+  // nodes, of a trial injected there.
+  std::size_t downstream_count(NodeId from) const;
+
+  // The pre-quantized output of a Const node (throws for non-Const ids).
+  const tensor::Tensor& const_output(NodeId id) const;
+
+  bool is_input(NodeId id) const;
+  bool is_const(NodeId id) const;
+
+  // Writes the union of the downstream cones of `roots` into `dirty`
+  // (resized to size(), true = must be recomputed).  Returns the number of
+  // dirty nodes.  Invalid ids throw std::out_of_range.
+  std::size_t mark_dirty(std::span<const NodeId> roots,
+                         std::vector<bool>& dirty) const;
+
+  // Process-unique compilation id; arenas use it to detect rebinding even
+  // when a new plan is allocated at a recycled address.
+  std::uint64_t serial() const { return serial_; }
+
+ private:
+  std::span<const std::uint64_t> row(NodeId id) const;
+
+  Graph graph_;
+  tensor::DType dtype_;
+  std::uint64_t serial_ = 0;
+  std::vector<tensor::Shape> shapes_;
+  // Per-node flags, indexed by NodeId.
+  std::vector<std::uint8_t> is_input_, is_const_;
+  // Pre-quantized Const outputs (empty tensors for non-Const nodes).
+  std::vector<tensor::Tensor> consts_;
+  // n x words_ downstream-reachability bit matrix.
+  std::size_t words_ = 0;
+  std::vector<std::uint64_t> reach_;
+};
+
+// Reusable per-thread execution state: node-output slots, the
+// quantised-feed cache and the dirty-set scratch buffer.  Binding an arena
+// to a different plan resets it; steady-state re-binding to the same plan
+// is free.  An arena must not outlive the plan it is bound to.
+class Arena {
+ public:
+  Arena() = default;
+
+  // All node outputs of the most recent run through this arena (indexed by
+  // NodeId).  Tensors share storage; copying the vector is cheap and gives
+  // the caller a stable golden-activation snapshot.
+  const std::vector<tensor::Tensor>& outputs() const { return outputs_; }
+
+  void bind(const ExecutionPlan& plan);
+  const ExecutionPlan* bound_plan() const { return plan_; }
+
+ private:
+  friend class Executor;
+
+  struct FeedSlot {
+    // Storage identity of the raw feed this slot quantised.  Holding the
+    // shared_ptr pins the storage, so the address cannot be recycled and
+    // in-place mutation of a still-cached feed is impossible (the tensor's
+    // copy-on-write unshares instead).
+    std::shared_ptr<const std::vector<float>> key;
+    tensor::Tensor quantized;
+  };
+
+  std::uint64_t plan_serial_ = 0;  // 0 = unbound
+  const ExecutionPlan* plan_ = nullptr;
+  std::vector<tensor::Tensor> outputs_;
+  std::vector<FeedSlot> feeds_;          // indexed by NodeId (Input nodes)
+  std::vector<tensor::Tensor> input_scratch_;
+  // run_from scratch: static dirty candidates, injection roots, and the
+  // per-node element-level change sets of the current trial.
+  std::vector<bool> dirty_, roots_;
+  std::vector<ChangeSet> change_;
+  std::vector<const ChangeSet*> change_ptrs_;  // per-node-input scratch
+};
+
+}  // namespace rangerpp::graph

@@ -25,16 +25,20 @@ CalibratedHead calibrate_softmax_head(const graph::Graph& g,
     throw std::invalid_argument("calibrate_softmax_head: unknown node '" +
                                 feature_node + "'");
 
-  // Extract frozen features once, in parallel over samples.
+  // Extract frozen features once, in parallel over samples; one compiled
+  // plan shared by all workers, one arena each.
   const std::size_t n = train_set.samples.size();
   std::vector<std::vector<float>> features(n);
   std::vector<int> labels(n);
   const graph::Executor exec({tensor::DType::kFloat32});
-  util::parallel_for(n, [&](std::size_t i) {
+  const graph::ExecutionPlan plan(g, tensor::DType::kFloat32);
+  std::vector<graph::Arena> arenas(util::worker_count(n));
+  util::parallel_for_workers(n, [&](unsigned worker, std::size_t i) {
     const data::Sample& s = train_set.samples[i];
-    std::vector<tensor::Tensor> outs;
-    exec.run_all(g, {{input_name, s.image}}, outs);
-    const tensor::Tensor& feat = outs[static_cast<std::size_t>(feat_id)];
+    graph::Arena& arena = arenas[worker];
+    exec.run(plan, {{input_name, s.image}}, arena);
+    const tensor::Tensor& feat =
+        arena.outputs()[static_cast<std::size_t>(feat_id)];
     if (options.gap_features && feat.shape().rank() == 4) {
       const tensor::Shape& fs = feat.shape();
       std::vector<float> means(static_cast<std::size_t>(fs.c()), 0.0f);

@@ -176,6 +176,8 @@ Workload make_workload(ModelId id, const WorkloadOptions& options) {
   // analogue is confidence: pick the validation inputs with the largest
   // fault-free top-1 logit margin.  Steering models use any frames.
   const graph::Executor exec({tensor::DType::kFloat32});
+  const graph::ExecutionPlan plan(w.graph, tensor::DType::kFloat32);
+  graph::Arena arena;
   std::vector<fi::Feeds> eval;
   if (!is_steering(id) && options.trained && !is_trainable(id)) {
     struct Scored {
@@ -189,8 +191,8 @@ Workload make_workload(ModelId id, const WorkloadOptions& options) {
                                   4 * options.eval_inputs, 40));
     for (std::size_t i = 0; i < pool; ++i) {
       const tensor::Tensor out = exec.run(
-          w.graph, fi::Feeds{{w.input_name,
-                              w.validation.samples[i].image}});
+          plan, fi::Feeds{{w.input_name, w.validation.samples[i].image}},
+          arena);
       const std::vector<int> top2 = graph::top_k(out, 2);
       const double margin =
           top2.size() > 1 ? out.at(static_cast<std::size_t>(top2[0])) -
@@ -211,7 +213,7 @@ Workload make_workload(ModelId id, const WorkloadOptions& options) {
       if (eval.size() >= options.eval_inputs) break;
       fi::Feeds feeds{{w.input_name, s.image}};
       if (options.trained && is_trainable(id) && !is_steering(id)) {
-        const tensor::Tensor out = exec.run(w.graph, feeds);
+        const tensor::Tensor out = exec.run(plan, feeds, arena);
         if (graph::argmax(out) != s.label) continue;
       }
       eval.push_back(std::move(feeds));
@@ -249,10 +251,12 @@ std::vector<std::string> judge_labels(ModelId id) {
 double top1_accuracy(const graph::Graph& g, const std::string& input_name,
                      const data::Dataset& validation) {
   const graph::Executor exec({tensor::DType::kFloat32});
+  const graph::ExecutionPlan plan(g, tensor::DType::kFloat32);
+  graph::Arena arena;
   std::size_t correct = 0;
   for (const data::Sample& s : validation.samples) {
     const tensor::Tensor out =
-        exec.run(g, fi::Feeds{{input_name, s.image}});
+        exec.run(plan, fi::Feeds{{input_name, s.image}}, arena);
     if (graph::argmax(out) == s.label) ++correct;
   }
   return validation.samples.empty()
@@ -263,10 +267,12 @@ double top1_accuracy(const graph::Graph& g, const std::string& input_name,
 double top5_accuracy(const graph::Graph& g, const std::string& input_name,
                      const data::Dataset& validation) {
   const graph::Executor exec({tensor::DType::kFloat32});
+  const graph::ExecutionPlan plan(g, tensor::DType::kFloat32);
+  graph::Arena arena;
   std::size_t correct = 0;
   for (const data::Sample& s : validation.samples) {
     const tensor::Tensor out =
-        exec.run(g, fi::Feeds{{input_name, s.image}});
+        exec.run(plan, fi::Feeds{{input_name, s.image}}, arena);
     const std::vector<int> t5 = graph::top_k(out, 5);
     if (std::find(t5.begin(), t5.end(), s.label) != t5.end()) ++correct;
   }
@@ -280,10 +286,12 @@ SteeringMetrics steering_metrics(const graph::Graph& g,
                                  const data::Dataset& validation,
                                  bool radians) {
   const graph::Executor exec({tensor::DType::kFloat32});
+  const graph::ExecutionPlan plan(g, tensor::DType::kFloat32);
+  graph::Arena arena;
   std::vector<double> pred, target;
   for (const data::Sample& s : validation.samples) {
     const tensor::Tensor out =
-        exec.run(g, fi::Feeds{{input_name, s.image}});
+        exec.run(plan, fi::Feeds{{input_name, s.image}}, arena);
     double y = out.at(0);
     if (radians) y *= 180.0 / std::numbers::pi;
     pred.push_back(y);

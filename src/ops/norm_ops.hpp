@@ -26,6 +26,8 @@ class LrnOp final : public Op {
   tensor::Shape infer_shape(std::span<const tensor::Shape> in) const override;
   std::uint64_t flops(std::span<const tensor::Shape> in) const override;
 
+  const LrnParams& params() const { return params_; }
+
  private:
   LrnParams params_;
 };
@@ -41,6 +43,11 @@ class BatchNormOp final : public Op {
   tensor::Tensor compute(std::span<const tensor::Tensor> in) const override;
   tensor::Shape infer_shape(std::span<const tensor::Shape> in) const override;
   std::uint64_t flops(std::span<const tensor::Shape> in) const override;
+
+  // Folded per-channel parameters (the sparse re-execution kernel mirrors
+  // compute element-by-element).
+  const std::vector<float>& scale() const { return scale_; }
+  const std::vector<float>& shift() const { return shift_; }
 
  private:
   std::vector<float> scale_;

@@ -39,6 +39,11 @@ class Tensor {
   // Deep copy.
   Tensor clone() const;
 
+  // Identity of the underlying storage (caches key on this to detect feed
+  // reuse; holding the pointer pins the storage so the address stays
+  // unique and copy-on-write protects against in-place mutation).
+  std::shared_ptr<const std::vector<float>> storage() const { return data_; }
+
   // Returns a tensor sharing this storage but with a different shape of the
   // same element count (Reshape/Flatten are views).
   Tensor reshaped(Shape new_shape) const;

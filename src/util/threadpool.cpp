@@ -9,29 +9,40 @@ unsigned default_thread_count() {
   return hw == 0 ? 4 : hw;
 }
 
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
-                  unsigned threads) {
-  if (n == 0) return;
+unsigned worker_count(std::size_t n, unsigned threads) {
+  if (n == 0) return 0;
   if (threads == 0) threads = default_thread_count();
-  threads = static_cast<unsigned>(
-      std::min<std::size_t>(threads, n));
-  if (threads <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+  return static_cast<unsigned>(std::min<std::size_t>(threads, n));
+}
+
+void parallel_for_workers(
+    std::size_t n, const std::function<void(unsigned, std::size_t)>& fn,
+    unsigned threads) {
+  const unsigned workers = worker_count(n, threads);
+  if (workers == 0) return;
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(0, i);
     return;
   }
   std::atomic<std::size_t> cursor{0};
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) {
-    workers.emplace_back([&] {
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) {
+    pool.emplace_back([&, t] {
       for (;;) {
         const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) return;
-        fn(i);
+        fn(t, i);
       }
     });
   }
-  for (auto& w : workers) w.join();
+  for (auto& w : pool) w.join();
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  unsigned threads) {
+  parallel_for_workers(
+      n, [&fn](unsigned, std::size_t i) { fn(i); }, threads);
 }
 
 }  // namespace rangerpp::util

@@ -21,6 +21,19 @@ namespace rangerpp::util {
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   unsigned threads = 0);
 
+// As parallel_for, but `fn(worker, i)` also receives the executing
+// worker's index in [0, worker_count(n, threads)), so callers can hand
+// each worker private reusable state (e.g. an execution arena) without
+// locking.
+void parallel_for_workers(
+    std::size_t n, const std::function<void(unsigned, std::size_t)>& fn,
+    unsigned threads = 0);
+
+// Number of workers parallel_for{,_workers} will launch for `n` tasks with
+// the given thread cap (0 = hardware concurrency); use it to size
+// per-worker state.
+unsigned worker_count(std::size_t n, unsigned threads = 0);
+
 // Number of workers parallel_for will use by default.
 unsigned default_thread_count();
 

@@ -6,6 +6,7 @@
 #include "baselines/symptom.hpp"
 #include "baselines/tmr.hpp"
 #include "graph/builder.hpp"
+#include "graph/plan.hpp"
 
 namespace rangerpp::baselines {
 namespace {
@@ -44,8 +45,10 @@ fi::FaultSet small_fault() { return {{"conv1", 5, 0}}; }
 
 TEST(Tmr, CorrectsAnySingleFault) {
   const graph::Graph g = small_net();
+  const graph::ExecutionPlan plan(g, DType::kFixed32);
+  graph::Arena arena;
   Tmr tmr;
-  tmr.prepare(g, {});
+  tmr.prepare(plan, {});
   const graph::Executor exec({DType::kFixed32});
   const fi::Feeds feeds = profile_feeds()[0];
   const Tensor golden = exec.run(g, feeds);
@@ -53,11 +56,10 @@ TEST(Tmr, CorrectsAnySingleFault) {
   // The high-order-bit fault must reach the output and be outvoted; the
   // low-order-bit one may be masked by the maxpool (no mismatch to see),
   // but the voted output must equal the golden output either way.
-  const TrialOutcome big =
-      tmr.run_trial(g, feeds, big_fault(), DType::kFixed32);
+  const TrialOutcome big = tmr.run_trial(plan, arena, feeds, big_fault());
   EXPECT_TRUE(big.detected);
   for (const fi::FaultSet& faults : {big_fault(), small_fault()}) {
-    const TrialOutcome o = tmr.run_trial(g, feeds, faults, DType::kFixed32);
+    const TrialOutcome o = tmr.run_trial(plan, arena, feeds, faults);
     for (std::size_t i = 0; i < golden.elements(); ++i)
       EXPECT_FLOAT_EQ(o.output.at(i), golden.at(i));
   }
@@ -66,16 +68,19 @@ TEST(Tmr, CorrectsAnySingleFault) {
 
 TEST(Tmr, NoFalsePositiveWithoutFault) {
   const graph::Graph g = small_net();
+  const graph::ExecutionPlan plan(g, DType::kFixed32);
+  graph::Arena arena;
   Tmr tmr;
-  const TrialOutcome o =
-      tmr.run_trial(g, profile_feeds()[0], {}, DType::kFixed32);
+  const TrialOutcome o = tmr.run_trial(plan, arena, profile_feeds()[0], {});
   EXPECT_FALSE(o.detected);
 }
 
 TEST(SelectiveDuplication, SelectsWithinBudgetAndDetectsCoveredFaults) {
   const graph::Graph g = small_net();
+  const graph::ExecutionPlan plan(g, DType::kFixed32);
+  graph::Arena arena;
   SelectiveDuplication dup(30.0);
-  dup.prepare(g, {});
+  dup.prepare(plan, {});
   EXPECT_FALSE(dup.duplicated().empty());
   EXPECT_LE(dup.overhead_pct(g), 30.0 + 1e-9);
 
@@ -93,72 +98,69 @@ TEST(SelectiveDuplication, SelectsWithinBudgetAndDetectsCoveredFaults) {
   ASSERT_FALSE(uncovered.empty());
 
   const fi::Feeds feeds = profile_feeds()[0];
-  EXPECT_TRUE(dup.run_trial(g, feeds, {{covered, 0, 30}}, DType::kFixed32)
-                  .detected);
+  EXPECT_TRUE(dup.run_trial(plan, arena, feeds, {{covered, 0, 30}}).detected);
   EXPECT_FALSE(
-      dup.run_trial(g, feeds, {{uncovered, 0, 30}}, DType::kFixed32)
-          .detected);
+      dup.run_trial(plan, arena, feeds, {{uncovered, 0, 30}}).detected);
 }
 
 TEST(SymptomDetector, FlagsLargeDeviationsAndReExecutes) {
   const graph::Graph g = small_net();
+  const graph::ExecutionPlan plan(g, DType::kFixed32);
+  graph::Arena arena;
   SymptomDetector det(1.1);
-  det.prepare(g, profile_feeds());
+  det.prepare(plan, profile_feeds());
   const graph::Executor exec({DType::kFixed32});
   const fi::Feeds feeds = profile_feeds()[0];
   const Tensor golden = exec.run(g, feeds);
 
-  const TrialOutcome big =
-      det.run_trial(g, feeds, big_fault(), DType::kFixed32);
+  const TrialOutcome big = det.run_trial(plan, arena, feeds, big_fault());
   EXPECT_TRUE(big.detected);
   // Recovery (re-execution) restores the golden output.
   for (std::size_t i = 0; i < golden.elements(); ++i)
     EXPECT_FLOAT_EQ(big.output.at(i), golden.at(i));
 
-  const TrialOutcome small =
-      det.run_trial(g, feeds, small_fault(), DType::kFixed32);
+  const TrialOutcome small = det.run_trial(plan, arena, feeds, small_fault());
   EXPECT_FALSE(small.detected);  // below the symptom threshold
   EXPECT_GT(det.overhead_pct(g), 0.0);
 }
 
 TEST(MlCorrector, CorrectsFlaggedLayerInPlace) {
   const graph::Graph g = small_net();
+  const graph::ExecutionPlan plan(g, DType::kFixed32);
+  graph::Arena arena;
   MlCorrector ml(/*calibration_trials=*/50);
-  ml.prepare(g, profile_feeds());
+  ml.prepare(plan, profile_feeds());
   const graph::Executor exec({DType::kFixed32});
   const fi::Feeds feeds = profile_feeds()[0];
   const Tensor golden = exec.run(g, feeds);
 
   // Fault directly at an activation layer: flagged and clamped back.
-  const TrialOutcome o =
-      ml.run_trial(g, feeds, {{"relu1", 3, 28}}, DType::kFixed32);
+  const TrialOutcome o = ml.run_trial(plan, arena, feeds, {{"relu1", 3, 28}});
   EXPECT_TRUE(o.detected);
   // After correction the output deviation is bounded by the layer range.
   for (std::size_t i = 0; i < golden.elements(); ++i)
     EXPECT_LT(std::abs(o.output.at(i) - golden.at(i)), 100.0f);
 
-  EXPECT_FALSE(
-      ml.run_trial(g, feeds, small_fault(), DType::kFixed32).detected);
+  EXPECT_FALSE(ml.run_trial(plan, arena, feeds, small_fault()).detected);
   EXPECT_GT(ml.overhead_pct(g), 0.0);
   EXPECT_LT(ml.overhead_pct(g), 10.0);
 }
 
 TEST(AbftConv, DetectsConvFaultsOnly) {
   const graph::Graph g = small_net();
+  const graph::ExecutionPlan plan(g, DType::kFixed32);
+  graph::Arena arena;
   AbftConv abft;
-  abft.prepare(g, {});
+  abft.prepare(plan, {});
   const fi::Feeds feeds = profile_feeds()[0];
 
   // Conv output fault: checksum mismatch.
-  EXPECT_TRUE(
-      abft.run_trial(g, feeds, {{"conv2", 1, 25}}, DType::kFixed32)
-          .detected);
+  EXPECT_TRUE(abft.run_trial(plan, arena, feeds, {{"conv2", 1, 25}}).detected);
   // Fault at the relu (outside conv): invisible to ABFT.
   EXPECT_FALSE(
-      abft.run_trial(g, feeds, {{"relu1", 1, 25}}, DType::kFixed32)
-          .detected);
+      abft.run_trial(plan, arena, feeds, {{"relu1", 1, 25}}).detected);
   // No fault, no false positive.
-  EXPECT_FALSE(abft.run_trial(g, feeds, {}, DType::kFixed32).detected);
+  EXPECT_FALSE(abft.run_trial(plan, arena, feeds, {}).detected);
 
   const double overhead = abft.overhead_pct(g);
   EXPECT_GT(overhead, 0.0);

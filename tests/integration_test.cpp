@@ -164,13 +164,21 @@ TEST(Integration, DotExportMarksRangerOps) {
   const std::string dot = graph::to_dot(p.protected_graph);
   EXPECT_NE(dot.find("digraph"), std::string::npos);
   EXPECT_NE(dot.find("/ranger"), std::string::npos);
-  EXPECT_NE(dot.find("palegreen"), std::string::npos);
+  // Restriction ops render distinctly: hexagons with the restriction
+  // label and a bold incoming edge.
+  EXPECT_NE(dot.find("shape=hexagon"), std::string::npos);
+  EXPECT_NE(dot.find("(restrict)"), std::string::npos);
   // Constants hidden by default.
   EXPECT_EQ(dot.find("(Const)"), std::string::npos);
   graph::DotOptions opts;
   opts.hide_constants = false;
   EXPECT_NE(graph::to_dot(p.protected_graph, opts).find("(Const)"),
             std::string::npos);
+  // Switching the highlight off falls back to the plain op style.
+  opts.highlight_restrictions = false;
+  const std::string plain = graph::to_dot(p.protected_graph, opts);
+  EXPECT_EQ(plain.find("shape=hexagon"), std::string::npos);
+  EXPECT_NE(plain.find("palegreen"), std::string::npos);
 }
 
 TEST(Integration, PercentileBoundsRestrictMoreAggressively) {

@@ -1,0 +1,342 @@
+// ExecutionPlan / golden-prefix partial re-execution tests.
+//
+// The load-bearing property: for any graph, any injected node, and any
+// datatype, run_from over a compiled plan is *bit-identical* to a full
+// run_all with the same injection hook.  Randomised graphs exercise the
+// element-sparse kernels (conv, pool, elementwise, bias, batchnorm, LRN,
+// concat, residual add) as well as the dense fallbacks (matmul, softmax).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "core/range_profiler.hpp"
+#include "core/ranger_transform.hpp"
+#include "graph/builder.hpp"
+#include "graph/executor.hpp"
+#include "graph/plan.hpp"
+#include "fi/fault_model.hpp"
+#include "util/rng.hpp"
+
+namespace rangerpp::graph {
+namespace {
+
+using tensor::DType;
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor random_tensor(Shape shape, util::Rng& rng, float scale = 1.0f) {
+  std::vector<float> v(shape.elements());
+  for (float& x : v)
+    x = scale * (2.0f * static_cast<float>(rng.uniform(0.0, 1.0)) - 1.0f);
+  return Tensor(shape, std::move(v));
+}
+
+// A randomised small net covering every sparse kernel plus the dense
+// fallbacks: conv/bias/act -> [pool] -> branch (conv_a, conv_b) merged by
+// add or concat -> [lrn or batchnorm] -> flatten -> dense -> softmax.
+Graph random_graph(std::uint64_t seed) {
+  util::Rng rng(seed);
+  GraphBuilder b;
+  const int c0 = 1 + static_cast<int>(rng.uniform_index(2));  // 1..2
+  const int c1 = 2 + static_cast<int>(rng.uniform_index(3));  // 2..4
+  b.input("input", Shape{1, 8, 8, c0});
+
+  const ops::OpKind acts[] = {ops::OpKind::kRelu, ops::OpKind::kTanh,
+                              ops::OpKind::kSigmoid, ops::OpKind::kElu,
+                              ops::OpKind::kRelu6};
+  b.conv2d("conv1", random_tensor(Shape{3, 3, c0, c1}, rng, 0.4f),
+           random_tensor(Shape{c1}, rng, 0.1f),
+           {1, 1, ops::Padding::kSame});
+  b.activation("act1", acts[rng.uniform_index(5)]);
+  if (rng.uniform(0.0, 1.0) < 0.5) {
+    if (rng.uniform(0.0, 1.0) < 0.5)
+      b.max_pool("pool", {2, 2, 2, 2, ops::Padding::kValid});
+    else
+      b.avg_pool("pool", {2, 2, 2, 2, ops::Padding::kValid});
+  }
+  const NodeId trunk = b.current();
+
+  b.conv2d("conv_a", random_tensor(Shape{3, 3, c1, c1}, rng, 0.4f),
+           random_tensor(Shape{c1}, rng, 0.1f),
+           {1, 1, ops::Padding::kSame});
+  b.activation("act_a", acts[rng.uniform_index(5)]);
+  const NodeId branch_a = b.current();
+  b.set_current(trunk);
+  b.conv2d("conv_b", random_tensor(Shape{3, 3, c1, c1}, rng, 0.4f),
+           random_tensor(Shape{c1}, rng, 0.1f),
+           {1, 1, ops::Padding::kSame});
+  b.activation("act_b", acts[rng.uniform_index(5)]);
+  const NodeId branch_b = b.current();
+
+  if (rng.uniform(0.0, 1.0) < 0.5) {
+    b.add("merge", branch_a, branch_b);
+  } else {
+    b.concat("merge", branch_a, branch_b);
+  }
+
+  if (rng.uniform(0.0, 1.0) < 0.3) {
+    b.lrn("lrn");
+  } else if (rng.uniform(0.0, 1.0) < 0.5) {
+    // Channel count of the current node from shape inference.
+    Graph& g = b.graph();
+    const auto shapes = g.infer_shapes();
+    const int ch = shapes[static_cast<std::size_t>(b.current())].c();
+    std::vector<float> scale(static_cast<std::size_t>(ch)),
+        shift(static_cast<std::size_t>(ch));
+    for (auto& s : scale) s = 0.5f + static_cast<float>(rng.uniform(0.0, 1.0));
+    for (auto& s : shift)
+      s = 0.2f * (2.0f * static_cast<float>(rng.uniform(0.0, 1.0)) - 1.0f);
+    b.batch_norm("bn", std::move(scale), std::move(shift));
+  }
+  if (rng.uniform(0.0, 1.0) < 0.3) b.dropout("drop");
+  b.flatten("flatten");
+  {
+    Graph& g = b.graph();
+    const auto shapes = g.infer_shapes();
+    const int k = static_cast<int>(
+        shapes[static_cast<std::size_t>(b.current())].elements());
+    b.dense("fc", random_tensor(Shape{k, 6}, rng, 0.2f),
+            random_tensor(Shape{6}, rng, 0.1f));
+  }
+  b.softmax("softmax");
+  return b.finish();
+}
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b,
+                          const std::string& what) {
+  ASSERT_EQ(a.elements(), b.elements()) << what;
+  const auto va = a.values();
+  const auto vb = b.values();
+  for (std::size_t i = 0; i < va.size(); ++i)
+    ASSERT_EQ(std::bit_cast<std::uint32_t>(va[i]),
+              std::bit_cast<std::uint32_t>(vb[i]))
+        << what << " differs at element " << i << " (" << va[i] << " vs "
+        << vb[i] << ")";
+}
+
+// For random graphs, every injectable node k and all three dtypes:
+// run_from(plan, golden, k, hook) must equal a full run_all with the same
+// hook, node by node, bit for bit.
+TEST(ExecutionPlan, PartialRunBitIdenticalToFullRun) {
+  const DType dtypes[] = {DType::kFloat32, DType::kFixed32, DType::kFixed16};
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Graph g = random_graph(seed);
+    util::Rng rng(seed * 101);
+    const Tensor x = random_tensor(g.node(0).op->infer_shape({}), rng);
+    const std::unordered_map<std::string, Tensor> feeds{{"input", x}};
+    for (const DType dtype : dtypes) {
+      const Executor exec({dtype});
+      const ExecutionPlan plan(g, dtype);
+      Arena arena;
+      exec.run(plan, feeds, arena);
+      const std::vector<Tensor> golden = arena.outputs();
+
+      for (const Node& n : g.nodes()) {
+        if (!n.injectable) continue;
+        const auto shapes = plan.shapes();
+        const std::size_t elems =
+            shapes[static_cast<std::size_t>(n.id)].elements();
+        const std::size_t element = rng.uniform_index(elems);
+        const int bit = static_cast<int>(
+            rng.uniform_index(static_cast<std::uint64_t>(
+                tensor::dtype_bits(dtype))));
+        const fi::FaultSet faults{{n.name, element, bit}};
+        const PostOpHook hook = fi::make_injection_hook(g, dtype, faults);
+
+        std::vector<Tensor> full_outputs;
+        const Tensor full = exec.run_all(g, feeds, full_outputs, hook);
+        const Tensor partial = exec.run_from(plan, golden, n.id, arena, hook);
+        expect_bitwise_equal(partial, full,
+                             "output (seed " + std::to_string(seed) +
+                                 ", node " + n.name + ")");
+        // Every intermediate activation must agree too (pruned nodes reuse
+        // golden tensors, which are the full run's values by definition).
+        for (const Node& m : g.nodes())
+          expect_bitwise_equal(
+              arena.outputs()[static_cast<std::size_t>(m.id)],
+              full_outputs[static_cast<std::size_t>(m.id)],
+              "node " + m.name + " (seed " + std::to_string(seed) +
+                  ", injected " + n.name + ")");
+      }
+    }
+  }
+}
+
+// Multi-root partial runs (the multi-bit fault model) are equivalent as
+// well.
+TEST(ExecutionPlan, MultiRootPartialRun) {
+  const Graph g = random_graph(7);
+  util::Rng rng(99);
+  const Tensor x = random_tensor(g.node(0).op->infer_shape({}), rng);
+  const std::unordered_map<std::string, Tensor> feeds{{"input", x}};
+  const Executor exec({DType::kFixed32});
+  const ExecutionPlan plan(g, DType::kFixed32);
+  Arena arena;
+  exec.run(plan, feeds, arena);
+  const std::vector<Tensor> golden = arena.outputs();
+
+  const fi::SiteSpace sites(g, DType::kFixed32);
+  for (int trial = 0; trial < 20; ++trial) {
+    const fi::FaultSet faults = sites.sample(rng, 3);
+    std::vector<NodeId> roots;
+    for (const auto& f : faults) roots.push_back(g.find(f.node_name));
+    const PostOpHook hook = fi::make_injection_hook(g, DType::kFixed32,
+                                                    faults);
+    const Tensor full = exec.run(g, feeds, hook);
+    const Tensor partial = exec.run_from(plan, golden, roots, arena, hook);
+    expect_bitwise_equal(partial, full, "multi-root trial");
+  }
+}
+
+// Reachability sets match a brute-force transitive closure over consumer
+// edges.
+TEST(ExecutionPlan, ReachabilityMatchesBruteForce) {
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    const Graph g = random_graph(seed);
+    const ExecutionPlan plan(g, DType::kFloat32);
+    const std::size_t n = g.size();
+    // Brute force closure.
+    std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+    for (std::size_t i = n; i-- > 0;) {
+      reach[i][i] = true;
+      for (const NodeId c : g.consumers(static_cast<NodeId>(i)))
+        for (std::size_t j = 0; j < n; ++j)
+          if (reach[static_cast<std::size_t>(c)][j]) reach[i][j] = true;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t count = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_EQ(plan.reaches(static_cast<NodeId>(i),
+                               static_cast<NodeId>(j)),
+                  reach[i][j])
+            << "seed " << seed << " reach(" << i << "," << j << ")";
+        count += reach[i][j] ? 1u : 0u;
+      }
+      EXPECT_EQ(plan.downstream_count(static_cast<NodeId>(i)), count);
+      const auto ds = plan.downstream(static_cast<NodeId>(i));
+      EXPECT_EQ(ds.size(), count);
+      EXPECT_TRUE(std::is_sorted(ds.begin(), ds.end()));
+      for (const NodeId j : ds)
+        EXPECT_TRUE(reach[i][static_cast<std::size_t>(j)]);
+    }
+  }
+}
+
+TEST(ExecutionPlan, MarkDirtyIsUnionOfCones) {
+  const Graph g = random_graph(21);
+  const ExecutionPlan plan(g, DType::kFixed32);
+  const NodeId a = g.find("conv_a");
+  const NodeId b = g.find("conv_b");
+  ASSERT_NE(a, kInvalidNode);
+  ASSERT_NE(b, kInvalidNode);
+  std::vector<bool> dirty;
+  const NodeId roots[] = {a, b};
+  const std::size_t count = plan.mark_dirty(roots, dirty);
+  std::size_t expected = 0;
+  for (std::size_t j = 0; j < g.size(); ++j) {
+    const bool want =
+        plan.reaches(a, static_cast<NodeId>(j)) ||
+        plan.reaches(b, static_cast<NodeId>(j));
+    EXPECT_EQ(dirty[j], want) << "node " << j;
+    expected += want ? 1u : 0u;
+  }
+  EXPECT_EQ(count, expected);
+}
+
+// Const nodes are pre-quantized at plan compile time; executing the plan
+// must produce exactly what per-trial quantisation used to.
+TEST(ExecutionPlan, ConstCacheIsPreQuantized) {
+  const Graph g = random_graph(31);
+  for (const DType dtype : {DType::kFixed32, DType::kFixed16}) {
+    const ExecutionPlan plan(g, dtype);
+    for (const Node& n : g.nodes()) {
+      if (n.op->kind() != ops::OpKind::kConst) continue;
+      const Tensor raw = n.op->compute({});
+      const Tensor& cached = plan.const_output(n.id);
+      ASSERT_EQ(raw.elements(), cached.elements());
+      for (std::size_t i = 0; i < raw.elements(); ++i)
+        EXPECT_EQ(tensor::dtype_quantize(dtype, raw.at(i)), cached.at(i));
+    }
+    EXPECT_THROW(plan.const_output(g.output()), std::out_of_range);
+  }
+}
+
+// Arena reuse across repeated runs: same plan, same arena, interleaved
+// feeds — results must be stable, and the quantised-feed cache must not
+// leak stale values across different feed tensors.
+TEST(Arena, ReuseAcrossRunsAndFeeds) {
+  const Graph g = random_graph(41);
+  util::Rng rng(5);
+  const Tensor x1 = random_tensor(g.node(0).op->infer_shape({}), rng);
+  const Tensor x2 = random_tensor(g.node(0).op->infer_shape({}), rng);
+  const Executor exec({DType::kFixed32});
+  const ExecutionPlan plan(g, DType::kFixed32);
+
+  Arena fresh1, fresh2;
+  const Tensor y1 = exec.run(plan, {{"input", x1}}, fresh1);
+  const Tensor y2 = exec.run(plan, {{"input", x2}}, fresh2);
+
+  Arena reused;
+  for (int i = 0; i < 3; ++i) {
+    expect_bitwise_equal(exec.run(plan, {{"input", x1}}, reused), y1,
+                         "reused arena, feed 1");
+    expect_bitwise_equal(exec.run(plan, {{"input", x2}}, reused), y2,
+                         "reused arena, feed 2");
+  }
+
+  // Rebinding to a different plan resets cleanly.
+  const ExecutionPlan plan16(g, DType::kFixed16);
+  const Executor exec16({DType::kFixed16});
+  const Tensor y16 = exec16.run(plan16, {{"input", x1}}, reused);
+  Arena fresh16;
+  expect_bitwise_equal(y16, exec16.run(plan16, {{"input", x1}}, fresh16),
+                       "rebound arena");
+}
+
+// A plan of the Ranger-protected graph folds the spliced /ranger
+// restriction nodes into the reachability sets, so fault sites planned on
+// the unprotected graph (by name) replay on the protected plan and the
+// restriction ops re-execute.
+TEST(ExecutionPlan, ProtectedGraphReplaysByName) {
+  const Graph g = random_graph(51);
+  util::Rng rng(3);
+  const Tensor x = random_tensor(g.node(0).op->infer_shape({}), rng);
+  const std::vector<fi::Feeds> samples{{{"input", x}}};
+
+  const core::Bounds bounds =
+      core::RangeProfiler{}.derive_bounds(g, samples);
+  const Graph prot = core::RangerTransform{}.apply(g, bounds);
+  ASSERT_GT(prot.size(), g.size());
+
+  const DType dtype = DType::kFixed32;
+  const Executor exec({dtype});
+  const ExecutionPlan plan(prot, dtype);
+  Arena arena;
+  exec.run(plan, {{"input", x}}, arena);
+  const std::vector<Tensor> golden = arena.outputs();
+
+  // The restriction node is in its producer's downstream set.
+  const NodeId act = prot.find("act1");
+  const NodeId clamp = prot.find(std::string("act1") +
+                                 core::RangerTransform::kSuffix);
+  ASSERT_NE(act, kInvalidNode);
+  ASSERT_NE(clamp, kInvalidNode);
+  EXPECT_TRUE(plan.reaches(act, clamp));
+
+  // Faults planned by unprotected-graph names replay bit-identically.
+  for (const Node& n : g.nodes()) {
+    if (!n.injectable) continue;
+    const NodeId replay = prot.find(n.name);
+    ASSERT_NE(replay, kInvalidNode) << n.name;
+    const fi::FaultSet faults{{n.name, 0, 28}};
+    const PostOpHook hook = fi::make_injection_hook(prot, dtype, faults);
+    const Tensor full = exec.run(prot, {{"input", x}}, hook);
+    const Tensor partial =
+        exec.run_from(plan, golden, replay, arena, hook);
+    expect_bitwise_equal(partial, full, "protected replay at " + n.name);
+  }
+}
+
+}  // namespace
+}  // namespace rangerpp::graph
