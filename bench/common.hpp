@@ -3,37 +3,57 @@
 // reports (see EXPERIMENTS.md for the side-by-side comparison).
 //
 // Environment knobs:
-//   RANGERPP_TRIALS  — trials per input for small models (default 1000;
-//                      large ImageNet-scale models get a quarter of this).
-//   RANGERPP_INPUTS  — FI inputs per model (default 8; paper uses 10).
-//   RANGERPP_SEED    — campaign seed (default 2021).
+//   RANGERPP_TRIALS    — trials per input for small models (default 1000;
+//                        large ImageNet-scale models get a quarter of this).
+//   RANGERPP_INPUTS    — FI inputs per model (default 8; paper uses 10).
+//   RANGERPP_SEED      — campaign seed (default 2021).
+//   RANGERPP_SHARD     — "i/N": run only trials t with t % N == i (shard
+//                        of the deterministic trial stream; the union of
+//                        all shards equals the unsharded run).
+//   RANGERPP_BENCH_DIR — directory for BENCH_*.json artifacts (default:
+//                        current working directory).
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "core/range_profiler.hpp"
 #include "core/ranger_transform.hpp"
-#include "fi/campaign.hpp"
+#include "fi/runner.hpp"
 #include "models/workload.hpp"
+#include "util/env.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace rangerpp::bench {
 
-inline std::size_t env_size(const char* name, std::size_t fallback) {
-  const char* v = std::getenv(name);
-  if (!v) return fallback;
-  const long parsed = std::strtol(v, nullptr, 10);
-  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
-}
+using util::env_size;
 
 struct BenchConfig {
   std::size_t trials_small = env_size("RANGERPP_TRIALS", 1000);
   std::size_t inputs = env_size("RANGERPP_INPUTS", 8);
   std::uint64_t seed = env_size("RANGERPP_SEED", 2021);
+  // RANGERPP_SHARD=i/N distributes a figure's campaigns across machines.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+
+  BenchConfig() {
+    if (const char* s = std::getenv("RANGERPP_SHARD")) {
+      if (const auto spec = util::parse_shard_spec(s)) {
+        shard_index = spec->index;
+        shard_count = spec->count;
+      } else {
+        std::fprintf(stderr, "bench: bad RANGERPP_SHARD=%s "
+                             "(want i/N with i < N)\n", s);
+        std::exit(2);
+      }
+    }
+  }
+
+  bool sharded() const { return shard_count > 1; }
 
   std::size_t trials_for(models::ModelId id) const {
     // ImageNet-scale models are ~10x the inference cost; the paper
@@ -83,6 +103,28 @@ inline ProtectedWorkload make_protected(models::ModelId id,
   return pw;
 }
 
+// Campaign driver shared by the SDC figures: the sharded CampaignRunner
+// over the model's default judges.  With RANGERPP_SHARD unset this
+// executes the identical deterministic trial stream the in-process
+// fi::Campaign would (bit-identical counts); with it set, this process
+// contributes its shard and the printed rates are the shard's estimate.
+inline fi::CampaignReport run_sdc_campaign(const graph::Graph& g,
+                                           const models::Workload& base,
+                                           const BenchConfig& cfg,
+                                           tensor::DType dtype,
+                                           int n_bits = 1) {
+  fi::RunnerConfig rc;
+  rc.campaign.dtype = dtype;
+  rc.campaign.n_bits = n_bits;
+  rc.campaign.trials_per_input = cfg.trials_for(base.id);
+  rc.campaign.seed = cfg.seed;
+  rc.shard_index = cfg.shard_index;
+  rc.shard_count = cfg.shard_count;
+  rc.label = models::model_name(base.id);
+  return fi::CampaignRunner(rc).run(g, base.eval_feeds,
+                                    models::default_judges(base.id));
+}
+
 // Runs the standard judges on both graphs and returns
 // {original results, ranger results} (one entry per judge).
 struct SdcComparison {
@@ -93,36 +135,52 @@ struct SdcComparison {
 inline SdcComparison compare_sdc(const ProtectedWorkload& pw,
                                  const BenchConfig& cfg,
                                  tensor::DType dtype, int n_bits = 1) {
-  fi::CampaignConfig cc;
-  cc.dtype = dtype;
-  cc.n_bits = n_bits;
-  cc.trials_per_input = cfg.trials_for(pw.base.id);
-  cc.seed = cfg.seed;
-  const fi::Campaign campaign(cc);
-  const auto judges = models::default_judges(pw.base.id);
   SdcComparison out;
-  out.original = campaign.run_multi(pw.base.graph, pw.base.eval_feeds, judges);
-  out.ranger =
-      campaign.run_multi(pw.protected_graph, pw.base.eval_feeds, judges);
+  out.original =
+      run_sdc_campaign(pw.base.graph, pw.base, cfg, dtype, n_bits).aggregate;
+  out.ranger = run_sdc_campaign(pw.protected_graph, pw.base, cfg, dtype,
+                                n_bits)
+                   .aggregate;
   return out;
 }
 
 inline std::string pct_pm(const fi::CampaignResult& r) {
-  return util::Table::fmt(r.sdc_rate_pct(), 2) + " ±" +
-         util::Table::fmt(r.ci95_pct(), 2);
+  // Wilson centre ± half-width (util::stats): the normal approximation
+  // collapses to ±0 at the 0-SDC rates Ranger drives campaigns toward,
+  // and quoting the raw proportion against the Wilson half-width would
+  // misstate the interval (it is centred on the adjusted estimate).
+  const util::Interval w = r.wilson95();
+  return util::Table::fmt(100.0 * w.center, 2) + " ±" +
+         util::Table::fmt(100.0 * w.half_width, 2);
+}
+
+// Banner for sharded figure runs, so partial rates are never mistaken for
+// full-campaign numbers.
+inline void print_shard_note(const BenchConfig& cfg) {
+  if (cfg.sharded())
+    std::printf("NOTE: RANGERPP_SHARD=%zu/%zu — rates below estimate from "
+                "this shard's trials only.\n\n",
+                cfg.shard_index, cfg.shard_count);
 }
 
 inline void print_header(const char* experiment, const char* paper_ref) {
   std::printf("\n=== %s ===\n(reproduces %s)\n\n", experiment, paper_ref);
 }
 
-// Machine-readable timing artifact: writes BENCH_<name>.json into the
-// working directory so CI can track bench metrics (e.g. the campaign
-// speedup) across PRs.  Metrics are flat name -> number pairs.
+// Machine-readable timing artifact: writes BENCH_<name>.json into
+// $RANGERPP_BENCH_DIR (default: the working directory) so CI can track
+// bench metrics (e.g. the campaign speedup) across PRs without the
+// binaries littering the source tree.  Metrics are flat name -> number
+// pairs.
 inline void emit_bench_json(
     const std::string& name,
     const std::vector<std::pair<std::string, double>>& metrics) {
-  const std::string path = "BENCH_" + name + ".json";
+  std::string dir;
+  if (const char* d = std::getenv("RANGERPP_BENCH_DIR")) {
+    dir = d;
+    if (!dir.empty() && dir.back() != '/') dir.push_back('/');
+  }
+  const std::string path = dir + "BENCH_" + name + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());

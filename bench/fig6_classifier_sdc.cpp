@@ -9,6 +9,9 @@ int main() {
   const bench::BenchConfig cfg;
   bench::print_header("Classifier SDC rates, original vs Ranger",
                       "Fig. 6 (and the RQ1 headline numbers)");
+  // Campaigns run on the sharded CampaignRunner: set RANGERPP_SHARD=i/N
+  // to split this figure's deterministic trial stream across machines.
+  bench::print_shard_note(cfg);
 
   const models::ModelId classifiers[] = {
       models::ModelId::kLeNet,     models::ModelId::kAlexNet,

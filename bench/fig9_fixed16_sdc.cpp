@@ -10,6 +10,7 @@ int main() {
   const bench::BenchConfig cfg;
   bench::print_header("SDC rates under 16-bit fixed point (Q13.2)",
                       "Fig. 9 / RQ4");
+  bench::print_shard_note(cfg);
 
   const models::ModelId ids[] = {
       models::ModelId::kLeNet,      models::ModelId::kAlexNet,

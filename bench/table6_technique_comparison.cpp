@@ -34,59 +34,51 @@ struct Row {
 // Evaluates one technique on one workload: replays the campaign's fault
 // sets; for trials whose unprotected run is an SDC, counts the trial
 // covered when the technique's output is not an SDC or the fault was
-// detected (detection triggers out-of-band recovery).
+// detected (detection triggers out-of-band recovery).  Trial generation
+// and the plain (unprotected) run go through the campaign layers
+// (TrialPlanner / TrialExecutor), so the fault stream is the exact one
+// every other campaign entry point draws for this seed.
 void eval_technique(baselines::Technique& tech,
                     const models::Workload& w,
                     const bench::BenchConfig& cfg, Row& row) {
-  const tensor::DType dtype = tensor::DType::kFixed32;
-  const graph::ExecutionPlan plan(w.graph, dtype);
+  fi::CampaignConfig cc;
+  cc.dtype = tensor::DType::kFixed32;
+  cc.trials_per_input = cfg.trials_for(w.id) / 2;
+  cc.seed = cfg.seed;
+  const graph::ExecutionPlan plan(w.graph, cc.dtype);
   tech.prepare(plan, w.profile_feeds);
 
-  const graph::Executor exec({dtype});
-  const fi::SiteSpace sites(w.graph, dtype);
   const auto judges = models::default_judges(w.id);
+  const fi::TrialPlanner planner(w.graph, cc, w.eval_feeds.size());
+  const std::size_t total = planner.total_trials();
+  // Honor RANGERPP_SHARD like the campaign figures: this process replays
+  // only its slice of the deterministic trial stream.
+  std::vector<std::size_t> trial_ids;
+  for (std::size_t t = cfg.shard_index; t < total; t += cfg.shard_count)
+    trial_ids.push_back(t);
+  const unsigned workers = util::worker_count(trial_ids.size());
+  const fi::TrialExecutor executor(w.graph, cc, w.eval_feeds, workers);
 
-  // Goldens once per input: output plus the activation snapshot the plain
-  // (unprotected) trial resumes from.
-  std::vector<tensor::Tensor> golden;
-  std::vector<std::vector<tensor::Tensor>> golden_acts;
-  {
-    graph::Arena arena;
-    for (const fi::Feeds& f : w.eval_feeds) {
-      golden.push_back(exec.run(plan, f, arena));
-      golden_acts.push_back(arena.outputs());
-    }
-  }
-
-  const std::size_t trials = cfg.trials_for(w.id) / 2;
-  const std::size_t total = trials * w.eval_feeds.size();
-  const unsigned workers = util::worker_count(total);
-  std::vector<graph::Arena> arenas(workers), tech_arenas(workers);
+  std::vector<graph::Arena> tech_arenas(workers);
   std::vector<unsigned char> sdc_flags(total, 0), covered_flags(total, 0);
-  util::parallel_for_workers(total, [&](unsigned worker, std::size_t t) {
-    const std::size_t input_idx = t / trials;
-    util::Rng rng(util::derive_seed(cfg.seed, t));
-    const fi::FaultSet faults = sites.sample(rng, 1);
-
-    std::vector<graph::NodeId> roots;
-    for (const fi::FaultPoint& f : faults) {
-      const graph::NodeId id = w.graph.find(f.node_name);
-      if (id != graph::kInvalidNode) roots.push_back(id);
-    }
+  util::parallel_for_workers(trial_ids.size(), [&](unsigned worker,
+                                                   std::size_t i) {
+    const std::size_t t = trial_ids[i];
+    const fi::TrialSpec spec = planner.plan(t);
+    const tensor::Tensor& golden = executor.golden_output(spec.input);
     const tensor::Tensor plain =
-        exec.run_from(plan, golden_acts[input_idx], roots, arenas[worker],
-                      fi::make_injection_hook(w.graph, dtype, faults));
+        executor.run_trial(worker, spec.input, spec.faults);
     bool sdc = false;
     for (const auto& j : judges)
-      if (j->is_sdc(golden[input_idx], plain)) sdc = true;
+      if (j->is_sdc(golden, plain)) sdc = true;
     if (!sdc) return;
     sdc_flags[t] = 1;
 
     const baselines::TrialOutcome o = tech.run_trial(
-        plan, tech_arenas[worker], w.eval_feeds[input_idx], faults);
+        plan, tech_arenas[worker], w.eval_feeds[spec.input], spec.faults);
     bool still_sdc = false;
     for (const auto& j : judges)
-      if (j->is_sdc(golden[input_idx], o.output)) still_sdc = true;
+      if (j->is_sdc(golden, o.output)) still_sdc = true;
     if (!still_sdc || o.detected) covered_flags[t] = 1;
   });
 
@@ -152,16 +144,18 @@ double hong_coverage_pct(models::ModelId id, const bench::BenchConfig& cfg) {
     wo.eval_inputs = cfg.inputs;
     wo.seed = cfg.seed;
     const models::Workload w = models::make_workload(id, wo);
-    fi::CampaignConfig cc;
-    cc.dtype = tensor::DType::kFixed32;
-    cc.trials_per_input = cfg.trials_for(id) / 2;
-    cc.seed = cfg.seed;
-    const auto judges = models::default_judges(id);
-    const auto results =
-        fi::Campaign(cc).run_multi(w.graph, w.eval_feeds, judges);
+    fi::RunnerConfig rc;
+    rc.campaign.dtype = tensor::DType::kFixed32;
+    rc.campaign.trials_per_input = cfg.trials_for(id) / 2;
+    rc.campaign.seed = cfg.seed;
+    rc.shard_index = cfg.shard_index;
+    rc.shard_count = cfg.shard_count;
+    rc.label = models::model_name(id);
+    const fi::CampaignReport report = fi::CampaignRunner(rc).run(
+        w.graph, w.eval_feeds, models::default_judges(id));
     double sum = 0.0;
-    for (const auto& r : results) sum += r.sdc_rate();
-    return sum / static_cast<double>(results.size());
+    for (const auto& r : report.aggregate) sum += r.sdc_rate();
+    return sum / static_cast<double>(report.aggregate.size());
   };
   const double base = sdc_of(ops::OpKind::kRelu);
   const double tanh = sdc_of(ops::OpKind::kTanh);
@@ -175,6 +169,7 @@ int main() {
   const bench::BenchConfig cfg;
   bench::print_header(
       "Protection-technique comparison (coverage vs overhead)", "Table VI");
+  bench::print_shard_note(cfg);
 
   // Representative workloads spanning a classifier, an LRN-bearing
   // classifier and a steering model (full 8-model sweeps of every

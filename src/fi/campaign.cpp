@@ -1,36 +1,14 @@
 #include "fi/campaign.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <stdexcept>
 
-#include "graph/plan.hpp"
 #include "util/threadpool.hpp"
 
 namespace rangerpp::fi {
 
 namespace {
-
-// Golden state for one input: the fault-free output plus the full
-// activation snapshot trials resume from.
-struct GoldenInput {
-  tensor::Tensor output;
-  std::vector<tensor::Tensor> activations;  // shared-storage snapshot
-};
-
-std::vector<GoldenInput> compute_goldens(const graph::Executor& exec,
-                                         const graph::ExecutionPlan& plan,
-                                         const std::vector<Feeds>& inputs) {
-  std::vector<GoldenInput> golden;
-  golden.reserve(inputs.size());
-  graph::Arena arena;
-  for (const Feeds& f : inputs) {
-    GoldenInput g;
-    g.output = exec.run(plan, f, arena);
-    g.activations = arena.outputs();  // cheap: tensors share storage
-    golden.push_back(std::move(g));
-  }
-  return golden;
-}
 
 // Resolves a sampled fault set to injection-root node ids on `g`.  Names
 // absent from the graph are skipped (mirrors make_injection_hook).
@@ -47,42 +25,183 @@ std::vector<graph::NodeId> fault_roots(const graph::Graph& g,
 
 }  // namespace
 
+// ---- TrialPlanner -----------------------------------------------------------
+
+TrialPlanner::TrialPlanner(const graph::Graph& g,
+                           const CampaignConfig& config, std::size_t n_inputs,
+                           StratifiedOptions stratified)
+    : config_(config),
+      n_inputs_(n_inputs),
+      stratified_(stratified),
+      sites_(g, config.dtype) {
+  if (n_inputs_ == 0)
+    throw std::invalid_argument("TrialPlanner: no inputs");
+  // Validate here, on the caller's thread: plan() runs inside thread-pool
+  // workers, where a throw would terminate the process.
+  if (config_.n_bits < 1)
+    throw std::invalid_argument("TrialPlanner: n_bits < 1");
+  if (stratified_.enabled &&
+      (config_.n_bits != 1 || config_.consecutive_bits))
+    throw std::invalid_argument(
+        "TrialPlanner: stratified sampling requires the single-bit fault "
+        "model (n_bits == 1, consecutive_bits == false)");
+  if (stratified_.bit_group_size < 1)
+    throw std::invalid_argument("TrialPlanner: bit_group_size < 1");
+
+  const int bits = sites_.dtype_bits();
+  const int group = std::min(stratified_.bit_group_size, bits);
+  bit_groups_ =
+      static_cast<std::size_t>((bits + group - 1) / group);
+  const double total =
+      static_cast<double>(sites_.total_elements());
+  for (std::size_t i = 0; i < sites_.injectable_nodes(); ++i) {
+    for (std::size_t b = 0; b < bit_groups_; ++b) {
+      Stratum s;
+      s.site = i;
+      s.bit_lo = static_cast<int>(b) * group;
+      s.bit_span = std::min(group, bits - s.bit_lo);
+      s.key = sites_.site_name(i) + ":b" + std::to_string(s.bit_lo) + "-" +
+              std::to_string(s.bit_lo + s.bit_span - 1);
+      s.weight = (static_cast<double>(sites_.site_elements(i)) / total) *
+                 (static_cast<double>(s.bit_span) / bits);
+      strata_.push_back(std::move(s));
+    }
+  }
+}
+
+std::size_t TrialPlanner::stratum_of(const FaultSet& faults) const {
+  // Classified by the first fault point (the only one under the default
+  // single-bit model; a representative one under multi-bit).
+  const FaultPoint& f = faults.front();
+  const std::size_t site = sites_.site_index(f.node_name);
+  if (site == SIZE_MAX) return 0;
+  const int bits = sites_.dtype_bits();
+  const int group = std::min(stratified_.bit_group_size, bits);
+  return site * bit_groups_ + static_cast<std::size_t>(f.bit / group);
+}
+
+std::size_t TrialPlanner::stratum_for_index(std::size_t t) const {
+  // Stratum assignment under stratified sampling.  Plain round-robin
+  // (t % S) would alias with shard partitioning (t % N): a shard whose
+  // count shares a factor with S would never sample entire strata.
+  // Instead each block of S consecutive trials covers every stratum
+  // exactly once through a per-block pseudorandom permutation — still a
+  // pure, shard-agnostic function of t (so shards and the golden run
+  // agree on every trial), still exactly equal allocation per full
+  // block, but a shard's arithmetic progression of trial indices now
+  // meets every stratum across blocks.
+  const std::size_t S = strata_.size();
+  const std::size_t block = t / S;
+  const std::size_t offset = t % S;
+  // plan() is called once per trial from thread-pool workers, and all S
+  // trials of a block share one permutation — cache it per thread so the
+  // shuffle is paid once per block, not once per trial.
+  struct PermCache {
+    std::uint64_t seed = 0;
+    std::size_t block = SIZE_MAX;
+    std::size_t size = 0;
+    std::vector<std::uint32_t> perm;
+  };
+  static thread_local PermCache cache;
+  if (cache.seed != config_.seed || cache.block != block ||
+      cache.size != S) {
+    cache.seed = config_.seed;
+    cache.block = block;
+    cache.size = S;
+    cache.perm.resize(S);
+    for (std::size_t i = 0; i < S; ++i)
+      cache.perm[i] = static_cast<std::uint32_t>(i);
+    util::Rng rng(
+        util::derive_seed(config_.seed ^ 0x53545241544121ULL, block));
+    for (std::size_t i = S - 1; i > 0; --i)
+      std::swap(cache.perm[i], cache.perm[rng.uniform_index(i + 1)]);
+  }
+  return cache.perm[offset];
+}
+
+TrialSpec TrialPlanner::plan(std::size_t t) const {
+  TrialSpec spec;
+  spec.trial = t;
+  spec.input = t / config_.trials_per_input;
+  util::Rng rng(util::derive_seed(config_.seed, t));
+  if (!stratified_.enabled) {
+    spec.faults = config_.consecutive_bits
+                      ? sites_.sample_consecutive(rng, config_.n_bits)
+                      : sites_.sample(rng, config_.n_bits);
+    spec.stratum = stratum_of(spec.faults);
+    return spec;
+  }
+  // Stratified: the stratum is fixed by the trial index; the element and
+  // bit are drawn uniformly *within* it from the trial's own stream.
+  spec.stratum = stratum_for_index(t);
+  const Stratum& s = strata_[spec.stratum];
+  const std::size_t element =
+      rng.uniform_index(sites_.site_elements(s.site));
+  const int bit =
+      s.bit_lo + static_cast<int>(rng.uniform_index(
+                     static_cast<std::uint64_t>(s.bit_span)));
+  spec.faults = {FaultPoint{sites_.site_name(s.site), element, bit}};
+  return spec;
+}
+
+// ---- TrialExecutor ----------------------------------------------------------
+
+TrialExecutor::TrialExecutor(const graph::Graph& g,
+                             const CampaignConfig& config,
+                             const std::vector<Feeds>& inputs,
+                             unsigned workers)
+    : config_(config),
+      inputs_(&inputs),
+      exec_({config.dtype}),
+      plan_(g, config.dtype),
+      arenas_(workers == 0 ? 1 : workers) {
+  if (inputs.empty())
+    throw std::invalid_argument("TrialExecutor: no inputs");
+  // Goldens per input, computed once under the campaign datatype.
+  golden_.reserve(inputs.size());
+  graph::Arena arena;
+  for (const Feeds& f : inputs) {
+    GoldenState gs;
+    gs.output = exec_.run(plan_, f, arena);
+    gs.activations = arena.outputs();  // cheap: tensors share storage
+    golden_.push_back(std::move(gs));
+  }
+}
+
+tensor::Tensor TrialExecutor::run_trial(unsigned worker,
+                                        std::size_t input_idx,
+                                        const FaultSet& faults) const {
+  const graph::PostOpHook hook =
+      make_injection_hook(plan_.graph(), config_.dtype, faults);
+  graph::Arena& arena = arenas_[worker];
+  return config_.partial_reexecution
+             ? exec_.run_from(plan_, golden_[input_idx].activations,
+                              fault_roots(plan_.graph(), faults), arena,
+                              hook)
+             : exec_.run(plan_, (*inputs_)[input_idx], arena, hook);
+}
+
+// ---- Campaign ---------------------------------------------------------------
+
 std::vector<CampaignResult> Campaign::run_multi(
     const graph::Graph& g, const std::vector<Feeds>& inputs,
     const std::vector<JudgePtr>& judges) const {
   if (inputs.empty()) throw std::invalid_argument("Campaign: no inputs");
   if (judges.empty()) throw std::invalid_argument("Campaign: no judges");
-  const graph::Executor exec({config_.dtype});
-  const graph::ExecutionPlan plan(g, config_.dtype);
-  const SiteSpace sites(g, config_.dtype);
-
-  // Goldens per input, computed once under the campaign datatype.
-  const std::vector<GoldenInput> golden = compute_goldens(exec, plan, inputs);
-
-  const std::size_t total = inputs.size() * config_.trials_per_input;
+  const TrialPlanner planner(g, config_, inputs.size());
+  const std::size_t total = planner.total_trials();
   const unsigned workers = util::worker_count(total, config_.threads);
-  std::vector<graph::Arena> arenas(workers);
+  const TrialExecutor executor(g, config_, inputs, workers);
+
   std::vector<std::atomic<std::size_t>> sdcs(judges.size());
   util::parallel_for_workers(
       total,
       [&](unsigned worker, std::size_t t) {
-        const std::size_t input_idx = t / config_.trials_per_input;
-        util::Rng rng(util::derive_seed(config_.seed, t));
-        const FaultSet faults =
-            config_.consecutive_bits
-                ? sites.sample_consecutive(rng, config_.n_bits)
-                : sites.sample(rng, config_.n_bits);
-        const graph::PostOpHook hook =
-            make_injection_hook(plan.graph(), config_.dtype, faults);
-        graph::Arena& arena = arenas[worker];
+        const TrialSpec spec = planner.plan(t);
         const tensor::Tensor out =
-            config_.partial_reexecution
-                ? exec.run_from(plan, golden[input_idx].activations,
-                                fault_roots(plan.graph(), faults), arena,
-                                hook)
-                : exec.run(plan, inputs[input_idx], arena, hook);
+            executor.run_trial(worker, spec.input, spec.faults);
         for (std::size_t j = 0; j < judges.size(); ++j)
-          if (judges[j]->is_sdc(golden[input_idx].output, out))
+          if (judges[j]->is_sdc(executor.golden_output(spec.input), out))
             sdcs[j].fetch_add(1, std::memory_order_relaxed);
       },
       config_.threads);
@@ -107,60 +226,37 @@ std::vector<Campaign::PairedOutcome> Campaign::run_paired(
     const std::function<bool(const graph::Graph&, const Feeds&,
                              const FaultSet&)>& detector) const {
   if (inputs.empty()) throw std::invalid_argument("Campaign: no inputs");
-  const graph::Executor exec({config_.dtype});
-  // Each graph gets its own plan; the Ranger transform preserves node
-  // names, so fault sites planned on the unprotected graph resolve to
-  // injection roots on the protected plan too, and its restriction
-  // (`/ranger`) nodes are swept into the recompute set by the protected
-  // plan's own reachability relation.
-  const graph::ExecutionPlan plan_u(unprotected, config_.dtype);
-  const graph::ExecutionPlan plan_p(protected_g, config_.dtype);
   // Fault sites are planned on the *unprotected* graph so both runs see the
   // identical fault (Ranger's clamp nodes are extra, never-faulted ops —
   // conservative for Ranger, as the paper also injects into them; the
-  // single-graph `run` API does include clamp outputs).
-  const SiteSpace sites(unprotected, config_.dtype);
-
-  const std::vector<GoldenInput> golden_u =
-      compute_goldens(exec, plan_u, inputs);
-  const std::vector<GoldenInput> golden_p =
-      compute_goldens(exec, plan_p, inputs);
-
-  const std::size_t total = inputs.size() * config_.trials_per_input;
+  // single-graph `run` API does include clamp outputs).  The Ranger
+  // transform preserves node names, so those sites resolve to injection
+  // roots on the protected plan too, and its restriction (`/ranger`) nodes
+  // are swept into the recompute set by the protected plan's own
+  // reachability relation.
+  const TrialPlanner planner(unprotected, config_, inputs.size());
+  const std::size_t total = planner.total_trials();
   const unsigned workers = util::worker_count(total, config_.threads);
-  std::vector<graph::Arena> arenas_u(workers), arenas_p(workers);
+  const TrialExecutor exec_u(unprotected, config_, inputs, workers);
+  const TrialExecutor exec_p(protected_g, config_, inputs, workers);
+
   std::vector<PairedOutcome> outcomes(total);
   util::parallel_for_workers(
       total,
       [&](unsigned worker, std::size_t t) {
-        const std::size_t input_idx = t / config_.trials_per_input;
-        util::Rng rng(util::derive_seed(config_.seed, t));
-        const FaultSet faults =
-            config_.consecutive_bits
-                ? sites.sample_consecutive(rng, config_.n_bits)
-                : sites.sample(rng, config_.n_bits);
-
-        const auto run_one = [&](const graph::ExecutionPlan& plan,
-                                 const GoldenInput& golden,
-                                 graph::Arena& arena) {
-          const graph::PostOpHook hook =
-              make_injection_hook(plan.graph(), config_.dtype, faults);
-          return config_.partial_reexecution
-                     ? exec.run_from(plan, golden.activations,
-                                     fault_roots(plan.graph(), faults),
-                                     arena, hook)
-                     : exec.run(plan, inputs[input_idx], arena, hook);
-        };
+        const TrialSpec spec = planner.plan(t);
         const tensor::Tensor out_u =
-            run_one(plan_u, golden_u[input_idx], arenas_u[worker]);
+            exec_u.run_trial(worker, spec.input, spec.faults);
         const tensor::Tensor out_p =
-            run_one(plan_p, golden_p[input_idx], arenas_p[worker]);
+            exec_p.run_trial(worker, spec.input, spec.faults);
 
         PairedOutcome& o = outcomes[t];
-        o.sdc_unprotected = judge.is_sdc(golden_u[input_idx].output, out_u);
-        o.sdc_protected = judge.is_sdc(golden_p[input_idx].output, out_p);
+        o.sdc_unprotected =
+            judge.is_sdc(exec_u.golden_output(spec.input), out_u);
+        o.sdc_protected =
+            judge.is_sdc(exec_p.golden_output(spec.input), out_p);
         if (detector)
-          o.detected = detector(protected_g, inputs[input_idx], faults);
+          o.detected = detector(protected_g, inputs[spec.input], spec.faults);
       },
       config_.threads);
   return outcomes;

@@ -1,17 +1,20 @@
-// Fault-injection campaign runner (the TensorFI-equivalent experiment
-// driver).  A campaign runs N independent trials per input; each trial
-// samples a fault set, executes the graph with the injection hook, and
-// judges SDC against the golden (fault-free) output under the *same*
-// datatype.  Trials are distributed over a thread pool and are
-// deterministic given the campaign seed.
+// Fault-injection campaign engine (the TensorFI-equivalent experiment
+// driver), layered so the in-process Campaign API and the resumable
+// CampaignRunner (runner.hpp) share the exact same deterministic core:
 //
-// Execution is compiled: the graph is lowered once into an ExecutionPlan,
-// the golden activations of every input are cached once, and each trial
-// resumes from its injected node via Executor::run_from — only the fault's
-// downstream cone is recomputed (and of that, only until the fault is
-// masked), bit-identical to full re-execution for the same seed.  Each
-// worker thread owns a private Arena, so steady-state trials share no
-// mutable state.
+//  * trial generation  — TrialPlanner: pure function of (config, trial
+//    index) → fault set + input index + stratum, so any subset of trials
+//    (a shard, a resumed tail) reproduces bit-identically on any machine;
+//  * execution         — TrialExecutor: compiled ExecutionPlan, cached
+//    golden activations, per-worker Arenas, golden-prefix partial
+//    re-execution via Executor::run_from;
+//  * aggregation       — CampaignResult here for raw counts; the richer
+//    per-stratum / checkpointed reports live in report.hpp.
+//
+// Campaign (below) composes planner + executor over a thread pool and is
+// what the paper-figure benches historically ran on; CampaignRunner adds
+// sharding, JSONL checkpoint/resume and confidence-interval-driven early
+// stopping on top of the same layers.
 #pragma once
 
 #include <functional>
@@ -21,6 +24,7 @@
 #include "fi/fault_model.hpp"
 #include "fi/sdc.hpp"
 #include "graph/executor.hpp"
+#include "graph/plan.hpp"
 #include "util/stats.hpp"
 
 namespace rangerpp::fi {
@@ -57,7 +61,118 @@ struct CampaignResult {
   double ci95_pct() const {
     return 100.0 * util::ci95_proportion(sdcs, trials);
   }
+  // Wilson score interval (fractions); better behaved near rate 0.
+  util::Interval wilson95() const { return util::wilson95(sdcs, trials); }
 };
+
+// ---- Trial generation layer -------------------------------------------------
+
+// Stratified sampling over (layer, bit-group) strata: trial t is assigned
+// round-robin to stratum t % strata_count() and sampled *within* it, so
+// every layer/bit-position class is covered evenly regardless of layer
+// size.  Off (uniform-over-elements sampling, the paper's default) unless
+// `enabled`.  Requires n_bits == 1 and !consecutive_bits.
+struct StratifiedOptions {
+  bool enabled = false;
+  // Bit positions are grouped into ceil(dtype_bits / bit_group_size)
+  // classes per layer; 8 gives 4 strata per layer under fixed32.
+  int bit_group_size = 8;
+};
+
+// What one trial does, fully determined by (config, trial index).
+struct TrialSpec {
+  std::size_t trial = 0;
+  std::size_t input = 0;    // index into the campaign's input list
+  std::size_t stratum = 0;  // index into the planner's strata
+  FaultSet faults;
+};
+
+class TrialPlanner {
+ public:
+  TrialPlanner(const graph::Graph& g, const CampaignConfig& config,
+               std::size_t n_inputs, StratifiedOptions stratified = {});
+
+  std::size_t total_trials() const {
+    return n_inputs_ * config_.trials_per_input;
+  }
+  // Pure: plan(t) depends only on the constructor arguments, never on
+  // which other trials ran — the property sharding and resume rely on.
+  TrialSpec plan(std::size_t t) const;
+
+  // Strata are defined for both sampling modes (uniform trials are
+  // post-stratified by their sampled fault), keyed "node:bLO-HI".
+  std::size_t strata_count() const { return strata_.size(); }
+  const std::string& stratum_key(std::size_t s) const {
+    return strata_[s].key;
+  }
+  // Probability mass of a stratum under the uniform site distribution
+  // (element share × bit share); weights sum to 1 and turn per-stratum
+  // rates back into an unbiased aggregate under stratified sampling.
+  double stratum_weight(std::size_t s) const { return strata_[s].weight; }
+
+  const SiteSpace& sites() const { return sites_; }
+  const CampaignConfig& config() const { return config_; }
+  const StratifiedOptions& stratified() const { return stratified_; }
+
+ private:
+  std::size_t stratum_of(const FaultSet& faults) const;
+  std::size_t stratum_for_index(std::size_t t) const;
+
+  struct Stratum {
+    std::string key;
+    std::size_t site = 0;  // SiteSpace site index
+    int bit_lo = 0;
+    int bit_span = 1;
+    double weight = 0.0;
+  };
+
+  CampaignConfig config_;
+  std::size_t n_inputs_;
+  StratifiedOptions stratified_;
+  SiteSpace sites_;
+  std::vector<Stratum> strata_;
+  std::size_t bit_groups_ = 1;
+};
+
+// ---- Execution layer --------------------------------------------------------
+
+// Owns everything one campaign needs to execute trials: the compiled plan,
+// the per-input golden outputs + activation snapshots, and one private
+// Arena per worker.  run_trial is safe to call concurrently for distinct
+// `worker` values.
+class TrialExecutor {
+ public:
+  // `inputs` must outlive the executor.  `workers` sizes the arena pool
+  // (use util::worker_count).
+  TrialExecutor(const graph::Graph& g, const CampaignConfig& config,
+                const std::vector<Feeds>& inputs, unsigned workers);
+
+  // Applies `faults` to input `input_idx` and returns the faulty output,
+  // resuming from the cached golden activations (or a full plan run when
+  // partial re-execution is disabled) — bit-identical either way.
+  tensor::Tensor run_trial(unsigned worker, std::size_t input_idx,
+                           const FaultSet& faults) const;
+
+  const tensor::Tensor& golden_output(std::size_t input_idx) const {
+    return golden_[input_idx].output;
+  }
+  const graph::ExecutionPlan& plan() const { return plan_; }
+
+ private:
+  struct GoldenState {
+    tensor::Tensor output;
+    std::vector<tensor::Tensor> activations;  // shared-storage snapshot
+  };
+
+  CampaignConfig config_;
+  const std::vector<Feeds>* inputs_;
+  graph::Executor exec_;
+  graph::ExecutionPlan plan_;
+  std::vector<GoldenState> golden_;
+  mutable std::vector<graph::Arena> arenas_;
+};
+
+// ---- In-process campaign API ------------------------------------------------
 
 class Campaign {
  public:

@@ -62,6 +62,12 @@ std::size_t SiteSpace::elements_of(const std::string& node_name) const {
   return 0;
 }
 
+std::size_t SiteSpace::site_index(const std::string& node_name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].name == node_name) return i;
+  return SIZE_MAX;
+}
+
 graph::PostOpHook make_injection_hook(const graph::Graph& g,
                                       tensor::DType dtype,
                                       const FaultSet& faults) {

@@ -57,6 +57,16 @@ class SiteSpace {
   // name, for tests and for baselines that weight coverage by site mass.
   std::size_t elements_of(const std::string& node_name) const;
 
+  // Positional access to the injectable sites, in graph (topological)
+  // order — the basis for stratified campaign sampling, which partitions
+  // trials over (site, bit-group) strata.
+  const std::string& site_name(std::size_t i) const { return nodes_[i].name; }
+  std::size_t site_elements(std::size_t i) const { return nodes_[i].elements; }
+  // Index of a node's site (SIZE_MAX when not injectable).
+  std::size_t site_index(const std::string& node_name) const;
+
+  int dtype_bits() const { return dtype_bits_; }
+
  private:
   struct Entry {
     std::string name;

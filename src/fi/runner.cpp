@@ -1,0 +1,208 @@
+#include "fi/runner.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/threadpool.hpp"
+
+namespace rangerpp::fi {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+CampaignRunner::CampaignRunner(RunnerConfig config)
+    : config_(std::move(config)) {
+  if (config_.shard_count == 0)
+    throw std::invalid_argument("CampaignRunner: shard_count == 0");
+  if (config_.shard_index >= config_.shard_count)
+    throw std::invalid_argument(
+        "CampaignRunner: shard_index out of range (want --shard i/N with "
+        "i < N)");
+  if (config_.check_every == 0)
+    throw std::invalid_argument("CampaignRunner: check_every == 0");
+  if (config_.target_half_width_pct < 0.0)
+    throw std::invalid_argument(
+        "CampaignRunner: negative target_half_width_pct");
+}
+
+CheckpointHeader CampaignRunner::make_header(std::size_t n_inputs,
+                                             std::size_t judge_count) const {
+  CheckpointHeader h;
+  h.label = config_.label;
+  h.seed = config_.campaign.seed;
+  h.dtype = std::string(tensor::dtype_name(config_.campaign.dtype));
+  h.n_bits = config_.campaign.n_bits;
+  h.consecutive_bits = config_.campaign.consecutive_bits;
+  h.trials_per_input = config_.campaign.trials_per_input;
+  h.inputs = n_inputs;
+  h.judges = judge_count;
+  h.sampling = config_.stratified.enabled ? "stratified" : "uniform";
+  h.bit_group_size = config_.stratified.bit_group_size;
+  h.shard_index = config_.shard_index;
+  h.shard_count = config_.shard_count;
+  return h;
+}
+
+CampaignReport CampaignRunner::run(const graph::Graph& g,
+                                   const std::vector<Feeds>& inputs,
+                                   const std::vector<JudgePtr>& judges) const {
+  if (inputs.empty())
+    throw std::invalid_argument("CampaignRunner: no inputs");
+  if (judges.empty() || judges.size() > 32)
+    throw std::invalid_argument("CampaignRunner: need 1..32 judges");
+
+  const TrialPlanner planner(g, config_.campaign, inputs.size(),
+                             config_.stratified);
+  const std::size_t total = planner.total_trials();
+
+  std::map<std::string, double> weights;
+  for (std::size_t s = 0; s < planner.strata_count(); ++s)
+    weights[planner.stratum_key(s)] = planner.stratum_weight(s);
+
+  CheckpointHeader header = make_header(inputs.size(), judges.size());
+  header.strata_weights = format_strata_weights(weights);
+
+  // Resume: load existing records and subtract them from the work list.
+  std::vector<TrialRecord> records;
+  std::unordered_set<std::uint64_t> done;
+  bool resuming = false;
+  if (!config_.checkpoint_path.empty() &&
+      std::ifstream(config_.checkpoint_path).good()) {
+    Checkpoint cp = load_checkpoint(config_.checkpoint_path);
+    if (cp.header.fingerprint() != header.fingerprint() ||
+        cp.header.shard_index != header.shard_index ||
+        cp.header.shard_count != header.shard_count)
+      throw std::runtime_error(
+          "CampaignRunner: checkpoint " + config_.checkpoint_path +
+          " was written by a different campaign/shard\n  expected " +
+          header.fingerprint() + " shard " +
+          std::to_string(header.shard_index) + "/" +
+          std::to_string(header.shard_count) + "\n  found    " +
+          cp.header.fingerprint() + " shard " +
+          std::to_string(cp.header.shard_index) + "/" +
+          std::to_string(cp.header.shard_count));
+    for (TrialRecord& r : cp.records) {
+      if (r.trial >= total ||
+          r.trial % config_.shard_count != config_.shard_index)
+        throw std::runtime_error("CampaignRunner: checkpoint " +
+                                 config_.checkpoint_path +
+                                 " contains trial " +
+                                 std::to_string(r.trial) +
+                                 " outside this shard");
+      if (done.insert(r.trial).second) records.push_back(std::move(r));
+    }
+    resuming = true;
+  }
+
+  std::vector<std::size_t> pending;
+  for (std::size_t t = config_.shard_index; t < total;
+       t += config_.shard_count)
+    if (!done.count(t)) pending.push_back(t);
+  const std::size_t shard_planned =
+      total > config_.shard_index
+          ? (total - config_.shard_index + config_.shard_count - 1) /
+                config_.shard_count
+          : 0;
+  if (config_.max_new_trials != 0 &&
+      pending.size() > config_.max_new_trials)
+    pending.resize(config_.max_new_trials);
+
+  // On resume the checkpoint is rewritten (via temp + rename), not
+  // appended: a killed writer can leave a torn, newline-less final line
+  // that load_checkpoint drops, and appending after that fragment would
+  // corrupt the file.  Re-serialising the parsed state makes the file
+  // canonical again, and the rename keeps the old file intact if this
+  // process dies mid-rewrite.
+  FilePtr file;
+  if (!config_.checkpoint_path.empty()) {
+    if (resuming) {
+      const std::string tmp = config_.checkpoint_path + ".tmp";
+      FilePtr rewrite(std::fopen(tmp.c_str(), "w"));
+      if (!rewrite)
+        throw std::runtime_error("CampaignRunner: cannot write " + tmp);
+      write_checkpoint_header(rewrite.get(), header);
+      for (const TrialRecord& r : records)
+        append_trial_record(rewrite.get(), r);
+      rewrite.reset();
+      if (std::rename(tmp.c_str(), config_.checkpoint_path.c_str()) != 0)
+        throw std::runtime_error("CampaignRunner: cannot replace " +
+                                 config_.checkpoint_path);
+      file.reset(std::fopen(config_.checkpoint_path.c_str(), "a"));
+    } else {
+      file.reset(std::fopen(config_.checkpoint_path.c_str(), "w"));
+      if (file) write_checkpoint_header(file.get(), header);
+    }
+    if (!file)
+      throw std::runtime_error("CampaignRunner: cannot open checkpoint " +
+                               config_.checkpoint_path);
+  }
+
+  // Aggregate Wilson half-width of judge 0, in percent, over everything
+  // recorded so far — the early-stop criterion.
+  const auto half_width_pct = [&records] {
+    std::size_t sdcs = 0;
+    for (const TrialRecord& r : records) sdcs += r.sdc_mask & 1u;
+    return 100.0 * util::wilson95(sdcs, records.size()).half_width;
+  };
+
+  if (!pending.empty()) {
+    const unsigned workers = util::worker_count(
+        std::min(pending.size(), config_.check_every),
+        config_.campaign.threads);
+    const TrialExecutor executor(g, config_.campaign, inputs, workers);
+    for (std::size_t offset = 0; offset < pending.size();
+         offset += config_.check_every) {
+      // Early stop only once at least one full batch of evidence exists;
+      // checked at deterministic (batch) boundaries so a stopped run is
+      // still a prefix of the shard's trial sequence.
+      if (config_.target_half_width_pct > 0.0 &&
+          records.size() >= config_.check_every &&
+          half_width_pct() <= config_.target_half_width_pct)
+        break;
+      const std::size_t batch_n =
+          std::min(config_.check_every, pending.size() - offset);
+      std::vector<TrialRecord> batch(batch_n);
+      util::parallel_for_workers(
+          batch_n,
+          [&](unsigned worker, std::size_t i) {
+            const std::size_t t = pending[offset + i];
+            const TrialSpec spec = planner.plan(t);
+            const tensor::Tensor out =
+                executor.run_trial(worker, spec.input, spec.faults);
+            std::uint32_t mask = 0;
+            for (std::size_t j = 0; j < judges.size(); ++j)
+              if (judges[j]->is_sdc(executor.golden_output(spec.input),
+                                    out))
+                mask |= 1u << j;
+            TrialRecord& r = batch[i];
+            r.trial = t;
+            r.input = static_cast<std::uint32_t>(spec.input);
+            r.faults = spec.faults;
+            r.stratum = planner.stratum_key(spec.stratum);
+            r.sdc_mask = mask;
+          },
+          config_.campaign.threads);
+      for (TrialRecord& r : batch) {
+        if (file) append_trial_record(file.get(), r);
+        records.push_back(std::move(r));
+      }
+      if (file) std::fflush(file.get());
+    }
+  }
+
+  return build_report(std::move(records), judges.size(), shard_planned,
+                      weights);
+}
+
+}  // namespace rangerpp::fi

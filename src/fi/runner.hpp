@@ -1,0 +1,79 @@
+// CampaignRunner: the orchestration layer that turns the in-process
+// Campaign engine into a resumable, shardable campaign service.
+//
+//  * Deterministic sharding — shard i of N executes exactly the trials
+//    with index ≡ i (mod N).  Because TrialPlanner::plan(t) and the
+//    per-trial seed util::derive_seed(seed, t) depend only on the global
+//    trial index, any shard subset reproduces bit-identically on any
+//    machine, and the union of shards equals the single-process run
+//    trial for trial.
+//  * JSONL checkpointing — every executed trial is streamed to the
+//    checkpoint file as a self-contained record; a killed campaign
+//    resumes by re-reading the file and executing only the missing
+//    trials (the resumed run's records are bit-identical to an
+//    uninterrupted one).
+//  * Stratified sampling — optional (layer, bit-group) strata with
+//    per-stratum Wilson intervals and a weighted unbiased aggregate
+//    (report.hpp).
+//  * Early stopping — optionally stop once the aggregate Wilson-95
+//    half-width of the first judge drops below a target, checked at
+//    deterministic batch boundaries.
+#pragma once
+
+#include <string>
+
+#include "fi/campaign.hpp"
+#include "fi/report.hpp"
+
+namespace rangerpp::fi {
+
+struct RunnerConfig {
+  CampaignConfig campaign;
+  StratifiedOptions stratified;
+
+  // This process executes trials t with t % shard_count == shard_index.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+
+  // JSONL checkpoint path; empty = in-memory only.  An existing file is
+  // resumed (its header must match this config, else the run throws).
+  std::string checkpoint_path;
+
+  // Early stop: finish once the aggregate Wilson-95 half-width of judge 0
+  // falls below this many percent.  0 = run every planned trial.
+  double target_half_width_pct = 0.0;
+  // Trials per batch between checkpoint flushes / early-stop checks.
+  std::size_t check_every = 256;
+
+  // Cap on trials newly executed by this invocation (0 = unlimited) —
+  // lets a scheduler run a campaign in bounded slices, and lets tests
+  // simulate a killed job at an exact point.
+  std::size_t max_new_trials = 0;
+
+  // Recorded in the checkpoint header (model name etc.); informational.
+  std::string label;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(RunnerConfig config);
+
+  // Runs (or resumes) this shard of the campaign and returns the report
+  // over every record available — loaded plus newly executed.  The
+  // report's `planned` counts this shard's trials only; use
+  // merge_checkpoints to combine shards into the full-campaign report.
+  CampaignReport run(const graph::Graph& g, const std::vector<Feeds>& inputs,
+                     const std::vector<JudgePtr>& judges) const;
+
+  // The header `run` writes for this configuration (exposed for tests
+  // and for tools that pre-validate checkpoints).
+  CheckpointHeader make_header(std::size_t n_inputs,
+                               std::size_t judge_count) const;
+
+  const RunnerConfig& config() const { return config_; }
+
+ private:
+  RunnerConfig config_;
+};
+
+}  // namespace rangerpp::fi

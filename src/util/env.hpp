@@ -1,0 +1,43 @@
+// Environment-variable parsing shared by the bench binaries and the CLI
+// tools, so knobs like RANGERPP_TRIALS and the "i/N" shard grammar have
+// exactly one implementation (and one set of validation rules).
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+
+namespace rangerpp::util {
+
+// Positive integer from the environment; `fallback` when unset or not a
+// positive number.
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (!v) return fallback;
+  const long parsed = std::strtol(v, nullptr, 10);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+// A shard of a deterministic trial stream: run only trials t with
+// t % count == index.
+struct ShardSpec {
+  std::size_t index = 0;
+  std::size_t count = 1;
+};
+
+// Parses "i/N" strictly — decimal i and N, no trailing junk, N > 0,
+// i < N.  Returns nullopt on any violation so callers can refuse the
+// spec outright: a typo'd shard must never silently run the wrong (or a
+// duplicate) slice.
+inline std::optional<ShardSpec> parse_shard_spec(const char* s) {
+  if (!s) return std::nullopt;
+  char* end = nullptr;
+  const std::size_t index = std::strtoull(s, &end, 10);
+  if (end == s || *end != '/') return std::nullopt;
+  const char* count_str = end + 1;
+  const std::size_t count = std::strtoull(count_str, &end, 10);
+  if (end == count_str || *end != '\0' || count == 0 || index >= count)
+    return std::nullopt;
+  return ShardSpec{index, count};
+}
+
+}  // namespace rangerpp::util

@@ -67,6 +67,38 @@ Interval wilson95(std::size_t successes, std::size_t trials) {
   return {center, half};
 }
 
+Interval stratified95(std::span<const double> weights,
+                      std::span<const std::size_t> successes,
+                      std::span<const std::size_t> trials) {
+  if (weights.size() != successes.size() || weights.size() != trials.size())
+    throw std::invalid_argument("stratified95: size mismatch");
+  double total_weight = 0.0;
+  for (std::size_t s = 0; s < weights.size(); ++s) {
+    if (weights[s] < 0.0)
+      throw std::invalid_argument("stratified95: negative weight");
+    if (trials[s] > 0) total_weight += weights[s];
+  }
+  if (total_weight <= 0.0) return {};
+  double center = 0.0, var = 0.0;
+  for (std::size_t s = 0; s < weights.size(); ++s) {
+    if (trials[s] == 0) continue;
+    const double n = static_cast<double>(trials[s]);
+    const double p = static_cast<double>(successes[s]) / n;
+    const double w = weights[s] / total_weight;
+    center += w * p;
+    var += w * w * p * (1.0 - p) / n;
+  }
+  return {center, 1.959964 * std::sqrt(var)};
+}
+
+std::size_t trials_for_ci95(double p, double half) {
+  if (half <= 0.0 || p < 0.0 || p > 1.0)
+    throw std::invalid_argument("trials_for_ci95: bad arguments");
+  const double z = 1.959964;
+  const double n = z * z * p * (1.0 - p) / (half * half);
+  return static_cast<std::size_t>(std::ceil(n));
+}
+
 double percentile(std::span<const float> xs, double q) {
   if (xs.empty()) throw std::invalid_argument("percentile: empty sample");
   std::vector<float> sorted(xs.begin(), xs.end());

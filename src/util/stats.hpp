@@ -32,8 +32,25 @@ double ci95_proportion(std::size_t successes, std::size_t trials);
 struct Interval {
   double center = 0.0;
   double half_width = 0.0;
+
+  double lo() const { return center - half_width; }
+  double hi() const { return center + half_width; }
+  bool contains(double v) const { return v >= lo() && v <= hi(); }
 };
 Interval wilson95(std::size_t successes, std::size_t trials);
+
+// 95% CI for a weighted combination of independent binomial proportions —
+// the stratified-sampling estimator p = Σ w_s p_s with variance
+// Σ w_s² p_s(1-p_s)/n_s.  Weights are renormalised over the strata with
+// n_s > 0 (unobserved strata contribute nothing); spans must be the same
+// length.
+Interval stratified95(std::span<const double> weights,
+                      std::span<const std::size_t> successes,
+                      std::span<const std::size_t> trials);
+
+// Campaign-planning helper: trials needed for a 95% normal-approximation
+// CI of half-width `half` (both as fractions) at a guessed proportion `p`.
+std::size_t trials_for_ci95(double p, double half);
 
 // Linear-interpolated percentile of an *unsorted* sample, q in [0, 100].
 // Copies and sorts internally.

@@ -49,6 +49,42 @@ TEST(Stats, Wilson95BetterBehavedNearZero) {
   EXPECT_LT(i.center + i.half_width, 0.01);
 }
 
+TEST(Stats, IntervalEndpoints) {
+  const Interval i{0.5, 0.1};
+  EXPECT_DOUBLE_EQ(i.lo(), 0.4);
+  EXPECT_DOUBLE_EQ(i.hi(), 0.6);
+  EXPECT_TRUE(i.contains(0.45));
+  EXPECT_FALSE(i.contains(0.61));
+}
+
+TEST(Stats, Stratified95CollapsesToWilsonlikeSingleStratum) {
+  // One stratum with weight 1: centre is the raw proportion, half-width
+  // the normal-approximation one.
+  const double w[] = {1.0};
+  const std::size_t k[] = {150}, n[] = {1000};
+  const Interval i = stratified95(w, k, n);
+  EXPECT_DOUBLE_EQ(i.center, 0.15);
+  EXPECT_NEAR(i.half_width, ci95_proportion(150, 1000), 1e-12);
+}
+
+TEST(Stats, Stratified95WeightsAndRenormalises) {
+  // Two strata, one unobserved: weights renormalise over the observed.
+  const double w[] = {0.25, 0.25, 0.5};
+  const std::size_t k[] = {10, 40, 0}, n[] = {100, 100, 0};
+  const Interval i = stratified95(w, k, n);
+  EXPECT_NEAR(i.center, 0.25, 1e-12);  // (0.1 + 0.4) / 2
+  EXPECT_GT(i.half_width, 0.0);
+  EXPECT_THROW(stratified95({}, k, n), std::invalid_argument);
+}
+
+TEST(Stats, TrialsForCi95) {
+  // Classic n ≈ 384 for p=0.5, ±5%.
+  EXPECT_NEAR(static_cast<double>(trials_for_ci95(0.5, 0.05)), 384.0, 1.0);
+  // Tighter targets need quadratically more trials.
+  EXPECT_GT(trials_for_ci95(0.5, 0.01), 9000u);
+  EXPECT_THROW(trials_for_ci95(0.5, 0.0), std::invalid_argument);
+}
+
 TEST(Stats, PercentileInterpolates) {
   const std::vector<float> xs{4.0f, 1.0f, 3.0f, 2.0f};
   EXPECT_FLOAT_EQ(percentile(xs, 0.0), 1.0f);

@@ -1,0 +1,279 @@
+// campaign_cli — drive fault-injection campaigns from the shell and CI.
+//
+// Run a (shard of a) campaign:
+//   campaign_cli --model lenet --trials 100 --inputs 2 --seed 2021
+//                --shard 0/2 --checkpoint shard0.jsonl [--ranger]
+//                [--dtype fixed32|fixed16|float32] [--nbits K]
+//                [--consecutive] [--stratified [--bit-group N]]
+//                [--target-ci PCT] [--check-every N] [--max-new N]
+//                [--threads T] [--quiet]
+//
+// Re-running with the same --checkpoint resumes: only missing trials
+// execute, and the records are bit-identical to an uninterrupted run.
+//
+// Merge shard checkpoints into one campaign report:
+//   campaign_cli --merge shard0.jsonl shard1.jsonl [--out merged.jsonl]
+//                [--golden single.jsonl]
+//
+// --golden compares the merged per-trial records against a reference
+// checkpoint (e.g. an unsharded run) and exits 1 on any difference — the
+// CI gate for shard-merge reproducibility.
+//
+// Environment fallbacks (same knobs as the bench binaries): RANGERPP_TRIALS,
+// RANGERPP_INPUTS, RANGERPP_SEED, RANGERPP_SHARD (overridden by --shard).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/range_profiler.hpp"
+#include "core/ranger_transform.hpp"
+#include "fi/report.hpp"
+#include "fi/runner.hpp"
+#include "models/workload.hpp"
+#include "util/env.hpp"
+
+using namespace rangerpp;
+
+namespace {
+
+using util::env_size;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "campaign_cli: %s\n\n", msg);
+  std::fprintf(
+      stderr,
+      "usage: campaign_cli --model NAME [options]\n"
+      "       campaign_cli --merge FILE... [--out FILE] [--golden FILE]\n"
+      "\n"
+      "models: lenet alexnet vgg11 vgg16 resnet18 squeezenet dave\n"
+      "        dave-degrees comma\n"
+      "options:\n"
+      "  --ranger             campaign on the Ranger-protected graph\n"
+      "  --dtype D            fixed32 (default) | fixed16 | float32\n"
+      "  --nbits K            bit flips per trial (default 1)\n"
+      "  --consecutive        burst mode: K adjacent bits in one value\n"
+      "  --trials N           trials per input (default $RANGERPP_TRIALS"
+      " or 1000)\n"
+      "  --inputs N           FI inputs (default $RANGERPP_INPUTS or 8)\n"
+      "  --seed S             campaign seed (default $RANGERPP_SEED or"
+      " 2021)\n"
+      "  --threads T          worker threads (default: all cores)\n"
+      "  --shard i/N          run only trials t with t%%N == i\n"
+      "  --checkpoint FILE    stream per-trial JSONL records; resume if\n"
+      "                       the file exists\n"
+      "  --stratified         stratified (layer, bit-group) sampling\n"
+      "  --bit-group N        bits per stratum group (default 8)\n"
+      "  --target-ci PCT      stop once the Wilson-95 half-width of the\n"
+      "                       first metric is below PCT percent\n"
+      "  --check-every N      batch size between checkpoint flushes and\n"
+      "                       early-stop checks (default 256)\n"
+      "  --max-new N          execute at most N new trials this run\n"
+      "  --quiet              summary line only\n");
+  std::exit(2);
+}
+
+bool parse_model(const std::string& s, models::ModelId& out) {
+  const struct {
+    const char* name;
+    models::ModelId id;
+  } table[] = {
+      {"lenet", models::ModelId::kLeNet},
+      {"alexnet", models::ModelId::kAlexNet},
+      {"vgg11", models::ModelId::kVgg11},
+      {"vgg16", models::ModelId::kVgg16},
+      {"resnet18", models::ModelId::kResNet18},
+      {"squeezenet", models::ModelId::kSqueezeNet},
+      {"dave", models::ModelId::kDave},
+      {"dave-degrees", models::ModelId::kDaveDegrees},
+      {"comma", models::ModelId::kComma},
+  };
+  for (const auto& e : table)
+    if (s == e.name) {
+      out = e.id;
+      return true;
+    }
+  return false;
+}
+
+bool parse_dtype(const std::string& s, tensor::DType& out) {
+  if (s == "fixed32") out = tensor::DType::kFixed32;
+  else if (s == "fixed16") out = tensor::DType::kFixed16;
+  else if (s == "float32") out = tensor::DType::kFloat32;
+  else return false;
+  return true;
+}
+
+// Prints the machine-greppable summary line CI jobs key on.
+void print_totals(const fi::CampaignReport& report) {
+  std::string sdcs;
+  for (const fi::CampaignResult& r : report.aggregate) {
+    if (!sdcs.empty()) sdcs += ",";
+    sdcs += std::to_string(r.sdcs);
+  }
+  std::printf("TOTALS trials=%zu planned=%zu sdcs=%s\n", report.executed(),
+              report.planned, sdcs.c_str());
+}
+
+int run_merge(const std::vector<std::string>& paths, const std::string& out,
+              const std::string& golden_path, bool quiet) {
+  fi::CheckpointHeader header;
+  const fi::CampaignReport report = fi::merge_checkpoints(paths, &header);
+  if (!quiet) {
+    std::printf("merged %zu checkpoint(s): %s\n", paths.size(),
+                header.fingerprint().c_str());
+    fi::print_report(report);
+  }
+  print_totals(report);
+
+  if (!out.empty()) {
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "campaign_cli: cannot write %s\n", out.c_str());
+      return 2;
+    }
+    fi::write_checkpoint_header(f, header);
+    for (const fi::TrialRecord& r : report.records)
+      fi::append_trial_record(f, r);
+    std::fclose(f);
+    std::printf("wrote %s (%zu records)\n", out.c_str(),
+                report.records.size());
+  }
+
+  if (!golden_path.empty()) {
+    const fi::Checkpoint golden = fi::load_checkpoint(golden_path);
+    if (golden.header.fingerprint() != header.fingerprint()) {
+      std::fprintf(stderr,
+                   "FAIL: golden %s is a different campaign\n  merged  %s\n"
+                   "  golden  %s\n",
+                   golden_path.c_str(), header.fingerprint().c_str(),
+                   golden.header.fingerprint().c_str());
+      return 1;
+    }
+    const fi::CampaignReport golden_report = fi::build_report(
+        golden.records, golden.header.judges,
+        golden.header.trials_per_input * golden.header.inputs);
+    if (!fi::records_identical(report.records, golden_report.records)) {
+      std::fprintf(stderr,
+                   "FAIL: merged records differ from golden %s "
+                   "(%zu vs %zu records)\n",
+                   golden_path.c_str(), report.records.size(),
+                   golden_report.records.size());
+      return 1;
+    }
+    std::printf("OK: merged shards bit-identical to golden %s "
+                "(%zu trials)\n",
+                golden_path.c_str(), report.records.size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string model_arg, dtype_arg = "fixed32", checkpoint, merge_out,
+              golden;
+  std::vector<std::string> merge_paths;
+  bool merge_mode = false, ranger = false, quiet = false;
+
+  fi::RunnerConfig rc;
+  rc.campaign.trials_per_input = env_size("RANGERPP_TRIALS", 1000);
+  rc.campaign.seed = env_size("RANGERPP_SEED", 2021);
+  std::size_t n_inputs = env_size("RANGERPP_INPUTS", 8);
+  if (const char* s = std::getenv("RANGERPP_SHARD")) {
+    // Same grammar --shard takes (which overrides it); a typo must not
+    // silently run the wrong slice, so anything unparseable is fatal.
+    const auto spec = util::parse_shard_spec(s);
+    if (!spec) usage("bad RANGERPP_SHARD (want i/N with i < N)");
+    rc.shard_index = spec->index;
+    rc.shard_count = spec->count;
+  }
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--model") model_arg = value();
+    else if (arg == "--ranger") ranger = true;
+    else if (arg == "--dtype") dtype_arg = value();
+    else if (arg == "--nbits") rc.campaign.n_bits = std::atoi(value().c_str());
+    else if (arg == "--consecutive") rc.campaign.consecutive_bits = true;
+    else if (arg == "--trials")
+      rc.campaign.trials_per_input = std::strtoull(value().c_str(), nullptr, 10);
+    else if (arg == "--inputs")
+      n_inputs = std::strtoull(value().c_str(), nullptr, 10);
+    else if (arg == "--seed")
+      rc.campaign.seed = std::strtoull(value().c_str(), nullptr, 10);
+    else if (arg == "--threads")
+      rc.campaign.threads = static_cast<unsigned>(std::atoi(value().c_str()));
+    else if (arg == "--shard") {
+      const auto spec = util::parse_shard_spec(value().c_str());
+      if (!spec) usage("--shard wants i/N with i < N");
+      rc.shard_index = spec->index;
+      rc.shard_count = spec->count;
+    } else if (arg == "--checkpoint") rc.checkpoint_path = value();
+    else if (arg == "--stratified") rc.stratified.enabled = true;
+    else if (arg == "--bit-group")
+      rc.stratified.bit_group_size = std::atoi(value().c_str());
+    else if (arg == "--target-ci")
+      rc.target_half_width_pct = std::strtod(value().c_str(), nullptr);
+    else if (arg == "--check-every")
+      rc.check_every = std::strtoull(value().c_str(), nullptr, 10);
+    else if (arg == "--max-new")
+      rc.max_new_trials = std::strtoull(value().c_str(), nullptr, 10);
+    else if (arg == "--quiet") quiet = true;
+    else if (arg == "--merge") {
+      merge_mode = true;
+      while (i + 1 < argc && argv[i + 1][0] != '-')
+        merge_paths.push_back(argv[++i]);
+    } else if (arg == "--out") merge_out = value();
+    else if (arg == "--golden") golden = value();
+    else if (arg == "--help" || arg == "-h") usage();
+    else usage(("unknown flag " + arg).c_str());
+  }
+
+  try {
+    if (merge_mode) {
+      if (merge_paths.empty()) usage("--merge wants at least one file");
+      return run_merge(merge_paths, merge_out, golden, quiet);
+    }
+
+    models::ModelId id{};
+    if (model_arg.empty()) usage("--model is required");
+    if (!parse_model(model_arg, id)) usage("unknown model");
+    if (!parse_dtype(dtype_arg, rc.campaign.dtype)) usage("unknown dtype");
+
+    models::WorkloadOptions wo;
+    wo.eval_inputs = n_inputs;
+    wo.seed = rc.campaign.seed;
+    const models::Workload w = models::make_workload(id, wo);
+
+    graph::Graph protected_g;
+    const graph::Graph* g = &w.graph;
+    if (ranger) {
+      const core::Bounds bounds =
+          core::RangeProfiler{}.derive_bounds(w.graph, w.profile_feeds);
+      protected_g = core::RangerTransform{}.apply(w.graph, bounds);
+      g = &protected_g;
+    }
+    rc.label = models::model_name(id) + std::string(ranger ? "+ranger" : "");
+
+    const fi::CampaignRunner runner(rc);
+    const fi::CampaignReport report =
+        runner.run(*g, w.eval_feeds, models::default_judges(id));
+    if (!quiet) {
+      std::printf("%s  shard %zu/%zu  %s sampling\n", rc.label.c_str(),
+                  rc.shard_index, rc.shard_count,
+                  rc.stratified.enabled ? "stratified" : "uniform");
+      fi::print_report(report, models::judge_labels(id));
+    }
+    print_totals(report);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign_cli: %s\n", e.what());
+    return 2;
+  }
+}
