@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "util/rng.hpp"
+#include "ops/kernels_blocked.hpp"
 
 namespace rangerpp::core {
 
@@ -18,6 +19,22 @@ tensor::Shape unary_shape(std::span<const tensor::Shape> in) {
   if (in.size() != 1)
     throw std::invalid_argument("restriction op: wrong arity");
   return in[0];
+}
+
+// Fused restrict + quantise sweep over ops::blocked's shared block
+// scheduler; `fn(i, v)` must replicate the scalar compute's per-element
+// result exactly.
+template <typename Fn>
+tensor::Tensor fused_restrict(tensor::DType dtype, const tensor::Tensor& x,
+                              const Fn& fn) {
+  tensor::Tensor y = x.clone();
+  const std::span<float> yv = y.mutable_values();
+  ops::blocked::run_elementwise(yv.size(), [&](std::size_t lo,
+                                               std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) yv[i] = fn(i, yv[i]);
+    tensor::dtype_quantize_span(dtype, yv.subspan(lo, hi - lo));
+  });
+  return y;
 }
 
 }  // namespace
@@ -37,6 +54,17 @@ tensor::Tensor ZeroResetOp::compute(
   for (float& v : y.mutable_values())
     if (v < low_ || v > high_ || std::isnan(v)) v = 0.0f;
   return y;
+}
+
+ops::CompiledKernel ZeroResetOp::blocked_kernel(tensor::DType dtype) const {
+  const float low = low_, high = high_;
+  return {[low, high, dtype](std::span<const tensor::Tensor> in) {
+            return fused_restrict(
+                dtype, in[0], [low, high](std::size_t, float v) {
+                  return v < low || v > high || std::isnan(v) ? 0.0f : v;
+                });
+          },
+          true};
 }
 
 RandomReplaceOp::RandomReplaceOp(float low, float high, std::uint64_t seed)
@@ -60,6 +88,25 @@ tensor::Tensor RandomReplaceOp::compute(
     }
   }
   return y;
+}
+
+ops::CompiledKernel RandomReplaceOp::blocked_kernel(
+    tensor::DType dtype) const {
+  const float low = low_, high = high_;
+  const std::uint64_t seed = seed_;
+  // The replacement draw is keyed by (seed, element index), so the fused
+  // kernel stays deterministic under any block partitioning.
+  return {[low, high, seed, dtype](std::span<const tensor::Tensor> in) {
+            return fused_restrict(
+                dtype, in[0], [low, high, seed](std::size_t i, float v) {
+                  if (v < low || v > high || std::isnan(v)) {
+                    util::Rng rng(util::derive_seed(seed, i));
+                    return static_cast<float>(rng.uniform(low, high));
+                  }
+                  return v;
+                });
+          },
+          true};
 }
 
 }  // namespace rangerpp::core

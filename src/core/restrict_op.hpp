@@ -1,17 +1,26 @@
 // Range-restriction operator variants for the §VI-C design alternatives.
 // The default Ranger policy (clamp) uses ops::ClampOp; the zero-reset and
 // random-replacement alternatives live here.
+//
+// Both variants implement ops::BlockedKernelProvider: under the blocked
+// kernel backend they run as fused restriction kernels (restrict +
+// quantise in one sweep over parallel element blocks) that are
+// bit-identical to their scalar compute.  Neither derives the elementwise
+// base classes on purpose — RandomReplaceOp's result depends on the
+// element *index*, which would break the gather/scatter trick of the
+// element-sparse incremental kernels.
 #pragma once
 
 #include <cstdint>
 
+#include "ops/backend.hpp"
 #include "ops/op.hpp"
 
 namespace rangerpp::core {
 
 // Resets every out-of-bound value to 0 (the Minerva-style alternative the
 // paper shows destroys accuracy).
-class ZeroResetOp final : public ops::Op {
+class ZeroResetOp final : public ops::Op, public ops::BlockedKernelProvider {
  public:
   ZeroResetOp(float low, float high);
 
@@ -23,6 +32,7 @@ class ZeroResetOp final : public ops::Op {
   std::uint64_t flops(std::span<const tensor::Shape> in) const override {
     return 2 * in[0].elements();
   }
+  ops::CompiledKernel blocked_kernel(tensor::DType dtype) const override;
 
  private:
   float low_, high_;
@@ -31,7 +41,8 @@ class ZeroResetOp final : public ops::Op {
 // Replaces every out-of-bound value with a uniform draw from [low, high].
 // Deterministic given (seed, element index) so repeated executions of the
 // same graph are reproducible.
-class RandomReplaceOp final : public ops::Op {
+class RandomReplaceOp final : public ops::Op,
+                              public ops::BlockedKernelProvider {
  public:
   RandomReplaceOp(float low, float high, std::uint64_t seed);
 
@@ -43,6 +54,7 @@ class RandomReplaceOp final : public ops::Op {
   std::uint64_t flops(std::span<const tensor::Shape> in) const override {
     return 2 * in[0].elements();
   }
+  ops::CompiledKernel blocked_kernel(tensor::DType dtype) const override;
 
  private:
   float low_, high_;

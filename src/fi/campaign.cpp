@@ -153,7 +153,7 @@ TrialExecutor::TrialExecutor(const graph::Graph& g,
     : config_(config),
       inputs_(&inputs),
       exec_({config.dtype}),
-      plan_(g, config.dtype),
+      plan_(g, config.dtype, {.backend = config.backend}),
       arenas_(workers == 0 ? 1 : workers) {
   if (inputs.empty())
     throw std::invalid_argument("TrialExecutor: no inputs");
@@ -165,6 +165,50 @@ TrialExecutor::TrialExecutor(const graph::Graph& g,
     gs.output = exec_.run(plan_, f, arena);
     gs.activations = arena.outputs();  // cheap: tensors share storage
     golden_.push_back(std::move(gs));
+  }
+
+  if (config_.batch > 1 && graph::plan_supports_batch(g)) {
+    batch_plan_ = std::make_unique<graph::ExecutionPlan>(
+        g, config.dtype,
+        graph::PlanOptions{.backend = config.backend,
+                           .batch = config.batch});
+    // Only the state the configured mode will read is materialised:
+    // partial re-execution resumes from tiled goldens, full re-execution
+    // re-runs from tiled feeds.
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      if (config_.partial_reexecution) {
+        // Batched goldens are the single-image goldens tiled across rows
+        // (consts are shared, not per-row), so a batched partial run
+        // resumes from exactly the state trial-per-trial execution would.
+        std::vector<tensor::Tensor> tiled(plan_.size());
+        for (const graph::Node& n : plan_.graph().nodes()) {
+          const auto id = static_cast<std::size_t>(n.id);
+          tiled[id] =
+              batch_plan_->is_const(n.id)
+                  ? batch_plan_->const_output(n.id)
+                  : graph::tile_batch(golden_[i].activations[id],
+                                      config_.batch,
+                                      batch_plan_->shapes()[id]);
+        }
+        batch_golden_.push_back(std::move(tiled));
+      } else {
+        Feeds packed;
+        for (const graph::Node& n : plan_.graph().nodes()) {
+          if (!plan_.is_input(n.id)) continue;
+          const auto it = inputs[i].find(n.name);
+          if (it == inputs[i].end())
+            throw std::invalid_argument(
+                "TrialExecutor: missing feed for input '" + n.name + "'");
+          packed.emplace(
+              n.name,
+              graph::tile_batch(
+                  it->second, config_.batch,
+                  batch_plan_->shapes()[static_cast<std::size_t>(n.id)]));
+        }
+        batch_feeds_.push_back(std::move(packed));
+      }
+    }
+    batch_arenas_.resize(arenas_.size());
   }
 }
 
@@ -181,6 +225,40 @@ tensor::Tensor TrialExecutor::run_trial(unsigned worker,
              : exec_.run(plan_, (*inputs_)[input_idx], arena, hook);
 }
 
+std::vector<tensor::Tensor> TrialExecutor::run_trial_batch(
+    unsigned worker, std::size_t input_idx,
+    std::span<const FaultSet> row_faults) const {
+  if (!batch_plan_)
+    throw std::logic_error("TrialExecutor: batching unavailable");
+  if (row_faults.empty() || row_faults.size() > config_.batch)
+    throw std::invalid_argument("TrialExecutor: bad batch size");
+  const graph::PostOpHook hook =
+      make_batched_injection_hook(*batch_plan_, config_.dtype, row_faults);
+  graph::Arena& arena = batch_arenas_[worker];
+  tensor::Tensor out;
+  if (config_.partial_reexecution) {
+    // Injection roots are the union over the rows' fault sets; the hook
+    // only perturbs each trial's own row, so rows without a fault at a
+    // union root diff clean and collapse back to golden.
+    std::vector<graph::NodeId> roots;
+    for (const FaultSet& fs : row_faults)
+      for (const graph::NodeId id : fault_roots(batch_plan_->graph(), fs))
+        roots.push_back(id);
+    std::sort(roots.begin(), roots.end());
+    roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+    out = exec_.run_from(*batch_plan_, batch_golden_[input_idx], roots,
+                         arena, hook);
+  } else {
+    out = exec_.run(*batch_plan_, batch_feeds_[input_idx], arena, hook);
+  }
+  std::vector<tensor::Tensor> rows;
+  rows.reserve(row_faults.size());
+  const tensor::Shape& single = golden_[input_idx].output.shape();
+  for (std::size_t b = 0; b < row_faults.size(); ++b)
+    rows.push_back(graph::slice_batch(out, b, config_.batch, single));
+  return rows;
+}
+
 // ---- Campaign ---------------------------------------------------------------
 
 std::vector<CampaignResult> Campaign::run_multi(
@@ -193,16 +271,62 @@ std::vector<CampaignResult> Campaign::run_multi(
   const unsigned workers = util::worker_count(total, config_.threads);
   const TrialExecutor executor(g, config_, inputs, workers);
 
+  // Trials are grouped into same-input chunks of up to executor.batch()
+  // so each chunk rides one batched plan run; chunking never changes
+  // results (batched rows are bit-identical to per-trial runs), only how
+  // many trials share one dispatch.
+  const std::size_t bsz = std::max<std::size_t>(1, executor.batch());
+  struct Chunk {
+    std::size_t begin, count;
+  };
+  std::vector<Chunk> chunks;
+  chunks.reserve(total / bsz + inputs.size());
+  for (std::size_t t = 0; t < total;) {
+    const std::size_t input_end =
+        (t / config_.trials_per_input + 1) * config_.trials_per_input;
+    const std::size_t count =
+        std::min({bsz, total - t, input_end - t});
+    chunks.push_back({t, count});
+    t += count;
+  }
+
   std::vector<std::atomic<std::size_t>> sdcs(judges.size());
+  const auto judge_output = [&](std::size_t input,
+                                const tensor::Tensor& out) {
+    for (std::size_t j = 0; j < judges.size(); ++j)
+      if (judges[j]->is_sdc(executor.golden_output(input), out))
+        sdcs[j].fetch_add(1, std::memory_order_relaxed);
+  };
   util::parallel_for_workers(
-      total,
-      [&](unsigned worker, std::size_t t) {
-        const TrialSpec spec = planner.plan(t);
-        const tensor::Tensor out =
-            executor.run_trial(worker, spec.input, spec.faults);
-        for (std::size_t j = 0; j < judges.size(); ++j)
-          if (judges[j]->is_sdc(executor.golden_output(spec.input), out))
-            sdcs[j].fetch_add(1, std::memory_order_relaxed);
+      chunks.size(),
+      [&](unsigned worker, std::size_t c) {
+        const Chunk chunk = chunks[c];
+        if (chunk.count == 1 || executor.batch() == 1) {
+          for (std::size_t i = 0; i < chunk.count; ++i) {
+            const TrialSpec spec = planner.plan(chunk.begin + i);
+            judge_output(spec.input,
+                         executor.run_trial(worker, spec.input, spec.faults));
+          }
+          return;
+        }
+        std::vector<FaultSet> faults;
+        faults.reserve(chunk.count);
+        std::size_t input = 0;
+        for (std::size_t i = 0; i < chunk.count; ++i) {
+          TrialSpec spec = planner.plan(chunk.begin + i);
+          // Chunks were cut at trials_per_input boundaries; if the
+          // planner's input assignment ever stops matching that, fail
+          // loudly rather than judge trials against the wrong golden.
+          if (i > 0 && spec.input != input)
+            throw std::logic_error(
+                "Campaign: trial chunk spans inputs — planner/chunking "
+                "mismatch");
+          input = spec.input;
+          faults.push_back(std::move(spec.faults));
+        }
+        const std::vector<tensor::Tensor> outs =
+            executor.run_trial_batch(worker, input, faults);
+        for (const tensor::Tensor& out : outs) judge_output(input, out);
       },
       config_.threads);
 
@@ -237,8 +361,12 @@ std::vector<Campaign::PairedOutcome> Campaign::run_paired(
   const TrialPlanner planner(unprotected, config_, inputs.size());
   const std::size_t total = planner.total_trials();
   const unsigned workers = util::worker_count(total, config_.threads);
-  const TrialExecutor exec_u(unprotected, config_, inputs, workers);
-  const TrialExecutor exec_p(protected_g, config_, inputs, workers);
+  // The paired loop runs trial-by-trial (two graphs per trial), so the
+  // executors skip the batched-plan setup entirely.
+  CampaignConfig paired_config = config_;
+  paired_config.batch = 1;
+  const TrialExecutor exec_u(unprotected, paired_config, inputs, workers);
+  const TrialExecutor exec_p(protected_g, paired_config, inputs, workers);
 
   std::vector<PairedOutcome> outcomes(total);
   util::parallel_for_workers(

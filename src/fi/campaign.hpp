@@ -18,6 +18,8 @@
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -43,6 +45,17 @@ struct CampaignConfig {
   // graph execution per trial — only useful for A/B benchmarking the
   // speedup; results are bit-identical either way.
   bool partial_reexecution = true;
+  // Kernel backend the campaign's plans compile under; a pure performance
+  // knob (backends are bit-identical, see ops/backend.hpp), so it is
+  // excluded from checkpoint fingerprints.
+  ops::KernelBackend backend = ops::default_backend();
+  // Trials executed per plan run: up to `batch` same-input trials ride one
+  // batched plan execution, each in its own batch row, amortising plan
+  // dispatch and letting the blocked kernels work on wider blocks.  Also
+  // bit-identical to per-trial execution (rows are independent) and
+  // excluded from fingerprints.  1 disables batching; graphs that cannot
+  // compile batched (see plan_supports_batch) fall back to per-trial runs.
+  std::size_t batch = 8;
 };
 
 using Feeds = std::unordered_map<std::string, tensor::Tensor>;
@@ -136,10 +149,12 @@ class TrialPlanner {
 
 // ---- Execution layer --------------------------------------------------------
 
-// Owns everything one campaign needs to execute trials: the compiled plan,
-// the per-input golden outputs + activation snapshots, and one private
-// Arena per worker.  run_trial is safe to call concurrently for distinct
-// `worker` values.
+// Owns everything one campaign needs to execute trials: the compiled
+// plans (single-image, and — when CampaignConfig::batch > 1 and the graph
+// is batchable — a batched twin), the per-input golden outputs +
+// activation snapshots, and one private Arena per worker.  run_trial and
+// run_trial_batch are safe to call concurrently for distinct `worker`
+// values.
 class TrialExecutor {
  public:
   // `inputs` must outlive the executor.  `workers` sizes the arena pool
@@ -152,6 +167,21 @@ class TrialExecutor {
   // partial re-execution is disabled) — bit-identical either way.
   tensor::Tensor run_trial(unsigned worker, std::size_t input_idx,
                            const FaultSet& faults) const;
+
+  // Trials one batched plan run can carry (1 = batching unavailable:
+  // config.batch == 1 or the graph is not batchable).
+  std::size_t batch() const { return batch_plan_ ? config_.batch : 1; }
+
+  // Executes row_faults.size() (<= batch()) same-input trials as one
+  // batched plan run — trial b rides batch row b — and returns each
+  // trial's output.  Bit-identical to run_trial per trial: rows are
+  // independent, golden-prefix partial re-execution included (the batched
+  // golden is the single-image golden tiled across rows, and the
+  // element-sparse change tracking keeps each row's recomputation exactly
+  // what its single-image trial would do).
+  std::vector<tensor::Tensor> run_trial_batch(
+      unsigned worker, std::size_t input_idx,
+      std::span<const FaultSet> row_faults) const;
 
   const tensor::Tensor& golden_output(std::size_t input_idx) const {
     return golden_[input_idx].output;
@@ -170,6 +200,11 @@ class TrialExecutor {
   graph::ExecutionPlan plan_;
   std::vector<GoldenState> golden_;
   mutable std::vector<graph::Arena> arenas_;
+  // Batched execution state (null/empty when batch() == 1).
+  std::unique_ptr<graph::ExecutionPlan> batch_plan_;
+  std::vector<std::vector<tensor::Tensor>> batch_golden_;  // per input
+  std::vector<Feeds> batch_feeds_;                         // per input
+  mutable std::vector<graph::Arena> batch_arenas_;
 };
 
 // ---- In-process campaign API ------------------------------------------------

@@ -91,4 +91,35 @@ graph::PostOpHook make_injection_hook(const graph::Graph& g,
   };
 }
 
+graph::PostOpHook make_batched_injection_hook(
+    const graph::ExecutionPlan& plan, tensor::DType dtype,
+    std::span<const FaultSet> row_faults) {
+  struct BatchedFault {
+    std::size_t element;  // already offset into the batch row
+    int bit;
+  };
+  auto by_node = std::make_shared<
+      std::unordered_map<graph::NodeId, std::vector<BatchedFault>>>();
+  const graph::Graph& g = plan.graph();
+  for (std::size_t b = 0; b < row_faults.size(); ++b) {
+    for (const FaultPoint& f : row_faults[b]) {
+      const graph::NodeId id = g.find(f.node_name);
+      if (id == graph::kInvalidNode) continue;
+      const std::size_t per = plan.per_image_elements(id);
+      if (f.element >= per) continue;  // defensive; cannot happen
+      (*by_node)[id].push_back(BatchedFault{b * per + f.element, f.bit});
+    }
+  }
+  return [by_node, dtype](const graph::Node& node, tensor::Tensor& out) {
+    const auto it = by_node->find(node.id);
+    if (it == by_node->end()) return;
+    for (const BatchedFault& f : it->second) {
+      if (f.element >= out.elements()) continue;
+      const float faulty =
+          tensor::dtype_flip_value(dtype, out.at(f.element), f.bit);
+      out.set(f.element, faulty);
+    }
+  };
+}
+
 }  // namespace rangerpp::fi

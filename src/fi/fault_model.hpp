@@ -10,11 +10,13 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "graph/executor.hpp"
 #include "graph/graph.hpp"
+#include "graph/plan.hpp"
 #include "tensor/dtype.hpp"
 #include "util/rng.hpp"
 
@@ -86,5 +88,15 @@ class SiteSpace {
 graph::PostOpHook make_injection_hook(const graph::Graph& g,
                                       tensor::DType dtype,
                                       const FaultSet& faults);
+
+// Batched-trial variant: `row_faults[b]` is the fault set of the trial
+// riding in batch row b of a plan compiled with batch == row_faults.size().
+// Each fault's single-image element index is offset into its row of the
+// batched output (per-image element counts come from `plan`), so row b of
+// the batched run reproduces trial b's single-image injection
+// bit-identically and rows stay independent.
+graph::PostOpHook make_batched_injection_hook(
+    const graph::ExecutionPlan& plan, tensor::DType dtype,
+    std::span<const FaultSet> row_faults);
 
 }  // namespace rangerpp::fi

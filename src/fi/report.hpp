@@ -13,6 +13,19 @@
 // model, trial counts, sampling mode) so resume and merge can refuse
 // mismatched files; trial lines are self-contained records, so a file
 // truncated by a killed job loses at most the partially written last line.
+//
+// Determinism contract: a trial's record is a pure function of the
+// campaign fingerprint and the trial index — never of which machine,
+// shard, kernel backend, batch size or thread count executed it (backends
+// and batching are bit-identical by construction, which is why they are
+// deliberately NOT part of the fingerprint).  That is what makes
+// merge_checkpoints + records_identical a meaningful reproducibility
+// gate.
+//
+// Thread-safety: everything here is plain value manipulation plus
+// caller-owned FILE* streams; no function is safe to call concurrently on
+// the same FILE* or the same mutable object, and CampaignRunner is the
+// single writer of any checkpoint file.
 #pragma once
 
 #include <cstdio>

@@ -18,6 +18,20 @@
 //  * Early stopping — optionally stop once the aggregate Wilson-95
 //    half-width of the first judge drops below a target, checked at
 //    deterministic batch boundaries.
+//
+// Determinism contract: the records a run produces depend only on
+// (campaign fingerprint, shard spec, executed trial set).  Worker thread
+// count, kernel backend and trial batch size (CampaignConfig::threads /
+// backend / batch) are pure performance knobs — trials are planned from
+// the global index and executed bit-identically under every combination —
+// so none of them enter the checkpoint fingerprint, and a checkpoint
+// written under one combination resumes cleanly under another.
+//
+// Thread-safety: CampaignRunner is stateless after construction; run()
+// may be called concurrently on the same runner only with distinct
+// checkpoint paths (the checkpoint file has a single writer).  Internally
+// run() parallelises trial groups over util::parallel_for workers, each
+// owning a private Arena (see graph/plan.hpp for the arena contract).
 #pragma once
 
 #include <string>

@@ -5,15 +5,29 @@
 #include <cstdint>
 #include <stdexcept>
 
-#include "ops/basic_ops.hpp"
-
 namespace rangerpp::graph {
 
 namespace {
 
 void quantize_tensor(tensor::DType d, tensor::Tensor& t) {
   if (d == tensor::DType::kFloat32) return;
-  for (float& v : t.mutable_values()) v = tensor::dtype_quantize(d, v);
+  tensor::dtype_quantize_span(d, t.mutable_values());
+}
+
+// Runs a node's compiled kernel (or its scalar compute + quantisation
+// fallback) and coerces the result onto the plan's shape — Flatten under a
+// batched plan computes a rank-1 tensor that the plan knows as [B, k]; the
+// reshape is a view, not a copy.
+tensor::Tensor compute_node(const ExecutionPlan& plan, const Node& n,
+                            tensor::DType dtype,
+                            std::span<const tensor::Tensor> inputs) {
+  const ops::CompiledKernel& kern = plan.kernel(n.id);
+  tensor::Tensor value = kern.fn ? kern.fn(inputs) : n.op->compute(inputs);
+  if (!kern.fused_quantize) quantize_tensor(dtype, value);
+  const tensor::Shape& planned =
+      plan.shapes()[static_cast<std::size_t>(n.id)];
+  if (value.shape() != planned) value = value.reshaped(planned);
+  return value;
 }
 
 // Bitwise diff of a freshly computed tensor against its golden value:
@@ -120,8 +134,7 @@ tensor::Tensor Executor::execute(
         out[i] = std::move(value);
         continue;
       }
-      value = n.op->compute(scratch);
-      quantize_tensor(options_.dtype, value);
+      value = compute_node(plan, n, options_.dtype, scratch);
       // Hooks fire at injection roots only: sites outside the roots are
       // not observed in a partial run (see run_from's contract).
       if (is_root && hook) hook(n, value);
@@ -137,10 +150,13 @@ tensor::Tensor Executor::execute(
       if (it == feeds.end())
         throw std::invalid_argument("Executor: missing feed for input '" +
                                     n.name + "'");
-      const auto* input_op = static_cast<const ops::InputOp*>(n.op.get());
-      if (it->second.shape() != input_op->shape())
+      // Feeds are validated against the *plan's* shape, which is the
+      // InputOp shape widened to the plan's batch size.
+      if (it->second.shape() != plan.shapes()[i])
         throw std::invalid_argument("Executor: feed shape mismatch for '" +
-                                    n.name + "'");
+                                    n.name + "' (want " +
+                                    plan.shapes()[i].to_string() + ", got " +
+                                    it->second.shape().to_string() + ")");
       Arena::FeedSlot& slot = arena.feeds_[i];
       auto key = it->second.storage();
       if (slot.key != key) {
@@ -161,8 +177,7 @@ tensor::Tensor Executor::execute(
       scratch.reserve(n.inputs.size());
       for (const NodeId in : n.inputs)
         scratch.push_back(out[static_cast<std::size_t>(in)]);
-      tensor::Tensor value = n.op->compute(scratch);
-      quantize_tensor(options_.dtype, value);
+      tensor::Tensor value = compute_node(plan, n, options_.dtype, scratch);
       if (hook) hook(n, value);
       out[i] = std::move(value);
     }
@@ -175,6 +190,58 @@ tensor::Tensor Executor::run(
     const std::unordered_map<std::string, tensor::Tensor>& feeds,
     Arena& arena, const PostOpHook& hook) const {
   return execute(plan, feeds, arena, hook, nullptr, {});
+}
+
+std::vector<tensor::Tensor> Executor::run_batched(
+    const ExecutionPlan& plan,
+    std::span<const std::unordered_map<std::string, tensor::Tensor>> feeds,
+    Arena& arena, const PostOpHook& hook) const {
+  const std::size_t batch = feeds.size();
+  if (batch == 0)
+    throw std::invalid_argument("Executor::run_batched: no feeds");
+  if (plan.batch() != batch)
+    throw std::invalid_argument(
+        "Executor::run_batched: plan batch (" +
+        std::to_string(plan.batch()) + ") != feeds (" +
+        std::to_string(batch) + ")");
+
+  std::unordered_map<std::string, tensor::Tensor> packed;
+  std::vector<tensor::Tensor> images(batch);
+  for (const Node& n : plan.graph().nodes()) {
+    if (!plan.is_input(n.id)) continue;
+    for (std::size_t b = 0; b < batch; ++b) {
+      const auto it = feeds[b].find(n.name);
+      if (it == feeds[b].end())
+        throw std::invalid_argument(
+            "Executor::run_batched: missing feed for input '" + n.name +
+            "'");
+      images[b] = it->second;
+    }
+    packed.emplace(n.name, pack_batch(images));
+  }
+
+  const tensor::Tensor out = execute(plan, packed, arena, hook, nullptr, {});
+  const tensor::Shape& os = out.shape();
+  if (os.rank() < 2 || os.dim(0) != static_cast<int>(batch))
+    throw std::logic_error(
+        "Executor::run_batched: output lost its batch dimension");
+  tensor::Shape single;
+  switch (os.rank()) {
+    case 2:
+      single = tensor::Shape{1, os.dim(1)};
+      break;
+    case 3:
+      single = tensor::Shape{1, os.dim(1), os.dim(2)};
+      break;
+    default:
+      single = tensor::Shape{1, os.dim(1), os.dim(2), os.dim(3)};
+      break;
+  }
+  std::vector<tensor::Tensor> results;
+  results.reserve(batch);
+  for (std::size_t b = 0; b < batch; ++b)
+    results.push_back(slice_batch(out, b, batch, single));
+  return results;
 }
 
 tensor::Tensor Executor::run_from(const ExecutionPlan& plan,

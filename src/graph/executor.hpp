@@ -20,6 +20,7 @@
 #include <functional>
 #include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "graph/graph.hpp"
 #include "graph/plan.hpp"
@@ -53,6 +54,18 @@ class Executor {
                      const std::unordered_map<std::string, tensor::Tensor>&
                          feeds,
                      Arena& arena, const PostOpHook& hook = nullptr) const;
+
+  // Batched execution: runs a plan compiled with batch == feeds.size()
+  // once over all images, packing each input's per-image feeds along the
+  // leading dimension, and returns one output tensor per image (leading
+  // dimension restored to 1).  Because every supported op treats batch
+  // rows independently, result[b] is bit-identical to running image b
+  // through a single-image plan of the same graph/dtype/backend.  The
+  // hook (if any) observes *batched* node outputs.
+  std::vector<tensor::Tensor> run_batched(
+      const ExecutionPlan& plan,
+      std::span<const std::unordered_map<std::string, tensor::Tensor>> feeds,
+      Arena& arena, const PostOpHook& hook = nullptr) const;
 
   // Partial re-execution from cached golden activations: recomputes only
   // the nodes reachable from `roots` (the fault-injection sites) and

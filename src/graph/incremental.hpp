@@ -18,6 +18,18 @@
 // the gather/compute/scatter trick sound).  Everything else — MatMul,
 // Softmax, GlobalAvgPool and unknown ops — reports "no sparse kernel" and
 // the executor falls back to a dense recompute, which is always correct.
+//
+// Determinism contract: each sparse kernel recomputes an affected element
+// with exactly the dense kernels' per-element operation order (which both
+// backends of ops/backend.hpp share), so a partial re-execution is
+// bit-identical to a full one — under the scalar or the blocked backend,
+// and on batched plans, where element indices simply address the batched
+// tensor (every supported op treats batch rows independently, so a change
+// set never leaks across rows).
+//
+// Thread-safety: incremental_recompute is a pure function of its
+// arguments; concurrent calls are safe as long as each call owns its
+// `out`/`out_change` (the executor calls it from per-arena state).
 #pragma once
 
 #include <span>

@@ -2,30 +2,113 @@
 
 #include <atomic>
 #include <bit>
+#include <cstring>
 #include <stdexcept>
+
+#include "ops/basic_ops.hpp"
 
 namespace rangerpp::graph {
 
 namespace {
 
 void quantize_all(tensor::DType d, tensor::Tensor& t) {
-  if (d == tensor::DType::kFloat32) return;
-  for (float& v : t.mutable_values()) v = tensor::dtype_quantize(d, v);
+  tensor::dtype_quantize_span(d, t.mutable_values());
+}
+
+// `shape` with its leading dimension replaced by `batch`.
+tensor::Shape with_batch_dim(const tensor::Shape& shape, int batch) {
+  switch (shape.rank()) {
+    case 2:
+      return tensor::Shape{batch, shape.dim(1)};
+    case 4:
+      return tensor::Shape{batch, shape.dim(1), shape.dim(2), shape.dim(3)};
+    default:
+      throw std::invalid_argument(
+          "ExecutionPlan: batched input must be rank 2 or 4, got " +
+          shape.to_string());
+  }
+}
+
+bool batchable_input_shape(const tensor::Shape& s) {
+  return (s.rank() == 2 || s.rank() == 4) && s.dim(0) == 1;
+}
+
+// Shape inference under a batch size: Input shapes get their leading
+// dimension widened, Flatten keeps the batch axis, everything else runs
+// its own infer_shape (all supported ops carry the leading dimension
+// through).
+std::vector<tensor::Shape> infer_batched_shapes(const Graph& g,
+                                                std::size_t batch) {
+  std::vector<tensor::Shape> shapes(g.size());
+  std::vector<tensor::Shape> scratch;
+  for (const Node& n : g.nodes()) {
+    const auto i = static_cast<std::size_t>(n.id);
+    switch (n.op->kind()) {
+      case ops::OpKind::kInput: {
+        const auto* input = static_cast<const ops::InputOp*>(n.op.get());
+        if (!batchable_input_shape(input->shape()))
+          throw std::invalid_argument(
+              "ExecutionPlan: input '" + n.name +
+              "' is not batchable: " + input->shape().to_string());
+        shapes[i] = with_batch_dim(input->shape(), static_cast<int>(batch));
+        break;
+      }
+      case ops::OpKind::kFlatten: {
+        const tensor::Shape& s =
+            shapes[static_cast<std::size_t>(n.inputs.at(0))];
+        if (s.rank() < 2)
+          throw std::invalid_argument(
+              "ExecutionPlan: cannot batch Flatten of " + s.to_string());
+        shapes[i] = tensor::Shape{
+            s.dim(0), static_cast<int>(s.elements()) / s.dim(0)};
+        break;
+      }
+      case ops::OpKind::kReshape:
+        throw std::invalid_argument(
+            "ExecutionPlan: Reshape targets are single-image; graph cannot "
+            "be compiled with batch > 1");
+      default: {
+        scratch.clear();
+        scratch.reserve(n.inputs.size());
+        for (const NodeId in : n.inputs)
+          scratch.push_back(shapes[static_cast<std::size_t>(in)]);
+        shapes[i] = n.op->infer_shape(scratch);
+        break;
+      }
+    }
+  }
+  return shapes;
 }
 
 }  // namespace
 
-ExecutionPlan::ExecutionPlan(Graph g, tensor::DType dtype)
-    : graph_(std::move(g)), dtype_(dtype) {
+bool plan_supports_batch(const Graph& g) {
+  for (const Node& n : g.nodes()) {
+    if (n.op->kind() == ops::OpKind::kReshape) return false;
+    if (n.op->kind() == ops::OpKind::kInput &&
+        !batchable_input_shape(
+            static_cast<const ops::InputOp*>(n.op.get())->shape()))
+      return false;
+  }
+  return true;
+}
+
+ExecutionPlan::ExecutionPlan(Graph g, tensor::DType dtype,
+                             PlanOptions options)
+    : graph_(std::move(g)), dtype_(dtype), options_(options) {
   static std::atomic<std::uint64_t> next_serial{1};
   serial_ = next_serial.fetch_add(1, std::memory_order_relaxed);
   const std::size_t n = graph_.size();
   if (n == 0) throw std::invalid_argument("ExecutionPlan: empty graph");
-  shapes_ = graph_.infer_shapes();
+  if (options_.batch == 0)
+    throw std::invalid_argument("ExecutionPlan: batch == 0");
+  shapes_ = options_.batch == 1 ? graph_.infer_shapes()
+                                : infer_batched_shapes(graph_, options_.batch);
 
   is_input_.assign(n, 0);
   is_const_.assign(n, 0);
   consts_.assign(n, tensor::Tensor{});
+  kernels_.assign(n, ops::CompiledKernel{});
   for (const Node& node : graph_.nodes()) {
     const auto i = static_cast<std::size_t>(node.id);
     switch (node.op->kind()) {
@@ -38,6 +121,8 @@ ExecutionPlan::ExecutionPlan(Graph g, tensor::DType dtype)
         quantize_all(dtype_, consts_[i]);
         break;
       default:
+        kernels_[i] =
+            ops::select_kernel(*node.op, dtype_, options_.backend);
         break;
     }
   }
@@ -57,16 +142,31 @@ ExecutionPlan::ExecutionPlan(Graph g, tensor::DType dtype)
   }
 }
 
-std::span<const std::uint64_t> ExecutionPlan::row(NodeId id) const {
+void ExecutionPlan::check_id(NodeId id) const {
   if (id < 0 || static_cast<std::size_t>(id) >= size())
     throw std::out_of_range("ExecutionPlan: bad node id");
+}
+
+std::size_t ExecutionPlan::per_image_elements(NodeId id) const {
+  check_id(id);
+  const std::size_t elems = shapes_[static_cast<std::size_t>(id)].elements();
+  return is_const_[static_cast<std::size_t>(id)] ? elems
+                                                 : elems / options_.batch;
+}
+
+const ops::CompiledKernel& ExecutionPlan::kernel(NodeId id) const {
+  check_id(id);
+  return kernels_[static_cast<std::size_t>(id)];
+}
+
+std::span<const std::uint64_t> ExecutionPlan::row(NodeId id) const {
+  check_id(id);
   return {reach_.data() + static_cast<std::size_t>(id) * words_, words_};
 }
 
 bool ExecutionPlan::reaches(NodeId from, NodeId to) const {
   const auto r = row(from);
-  if (to < 0 || static_cast<std::size_t>(to) >= size())
-    throw std::out_of_range("ExecutionPlan: bad node id");
+  check_id(to);
   const auto t = static_cast<std::size_t>(to);
   return (r[t / 64] >> (t % 64)) & 1;
 }
@@ -128,6 +228,54 @@ std::size_t ExecutionPlan::mark_dirty(std::span<const NodeId> roots,
     }
   }
   return count;
+}
+
+// --- Batch packing helpers ---------------------------------------------------
+
+tensor::Tensor pack_batch(std::span<const tensor::Tensor> images) {
+  if (images.empty())
+    throw std::invalid_argument("pack_batch: no images");
+  const tensor::Shape& s = images[0].shape();
+  if (!((s.rank() == 2 || s.rank() == 4) && s.dim(0) == 1))
+    throw std::invalid_argument("pack_batch: image shape " + s.to_string() +
+                                " is not batchable");
+  const std::size_t per = images[0].elements();
+  tensor::Tensor batched(
+      with_batch_dim(s, static_cast<int>(images.size())));
+  const std::span<float> out = batched.mutable_values();
+  for (std::size_t b = 0; b < images.size(); ++b) {
+    if (images[b].shape() != s)
+      throw std::invalid_argument("pack_batch: image shape mismatch");
+    std::memcpy(out.data() + b * per, images[b].values().data(),
+                per * sizeof(float));
+  }
+  return batched;
+}
+
+tensor::Tensor slice_batch(const tensor::Tensor& batched, std::size_t index,
+                           std::size_t count, const tensor::Shape& single) {
+  if (count == 0 || index >= count)
+    throw std::invalid_argument("slice_batch: bad index/count");
+  if (batched.elements() != count * single.elements())
+    throw std::invalid_argument("slice_batch: element count mismatch");
+  const std::size_t per = single.elements();
+  tensor::Tensor out(single);
+  std::memcpy(out.mutable_values().data(),
+              batched.values().data() + index * per, per * sizeof(float));
+  return out;
+}
+
+tensor::Tensor tile_batch(const tensor::Tensor& single, std::size_t count,
+                          const tensor::Shape& batched_shape) {
+  if (batched_shape.elements() != count * single.elements())
+    throw std::invalid_argument("tile_batch: element count mismatch");
+  tensor::Tensor out(batched_shape);
+  const std::size_t per = single.elements();
+  const std::span<float> ov = out.mutable_values();
+  for (std::size_t b = 0; b < count; ++b)
+    std::memcpy(ov.data() + b * per, single.values().data(),
+                per * sizeof(float));
+  return out;
 }
 
 void Arena::bind(const ExecutionPlan& plan) {

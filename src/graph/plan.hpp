@@ -1,10 +1,11 @@
-// ExecutionPlan: a graph compiled once per (graph, datatype) into the form
-// the executor actually runs.  Compilation precomputes everything a
-// fault-injection campaign would otherwise redo on every single trial:
+// ExecutionPlan: a graph compiled once per (graph, datatype, options) into
+// the form the executor actually runs.  Compilation precomputes everything
+// a fault-injection campaign would otherwise redo on every single trial:
 //
 //  * the topological schedule and per-node input lists (append order is
 //    already topological; the plan validates and freezes it);
-//  * every node's output shape (Graph::infer_shapes run once);
+//  * every node's output shape (inferred once — under the plan's batch
+//    size when batching is enabled, see below);
 //  * per-node *downstream reachability* bitsets — for node k, the set of
 //    nodes whose value can change when k's output changes.  This is what
 //    makes golden-prefix partial re-execution possible: a trial that
@@ -14,17 +15,41 @@
 //    encoding them through the fixed-point codec per trial is pure waste;
 //  * input-feed quantisation caching (in the Arena): a campaign re-runs the
 //    same input thousands of times, so the quantised feed is cached keyed
-//    by the feed's storage identity.
+//    by the feed's storage identity;
+//  * the compiled kernel per node: PlanOptions::backend picks the kernel
+//    backend (see ops/backend.hpp) at compile time — under the blocked
+//    backend hot ops run blocked, multi-threaded, quantisation-fused
+//    kernels that are bit-identical to the scalar reference.
+//
+// Batched plans: PlanOptions::batch = N compiles the same graph for N
+// images per run — every Input shape's leading dimension becomes N and all
+// downstream shapes follow (Flatten keeps the batch axis: [N, h, w, c] ->
+// [N, h*w*c]).  Because every supported operator treats batch rows
+// independently and computes each element in a batch-independent order,
+// row b of a batched run is bit-identical to a single-image run of that
+// image — the property batched fault-injection trials and the
+// batched-golden amortisation in fi/campaign rely on.  Graphs containing
+// Reshape (whose target shape is written for one image) refuse to compile
+// with batch > 1.
 //
 // The plan owns its own copy of the graph, so it stays valid independently
 // of the graph object it was compiled from.  Node ids, names and shapes are
 // identical to the source graph's (Graph copies preserve ids), which is
 // what lets fault sites planned on one graph replay against its plan.
 //
-// An Arena is the mutable per-thread counterpart: the activation buffers
-// and caches one executing thread reuses across trials.  Plans are
-// immutable after compilation and safe to share across threads; each
-// worker gets its own Arena.
+// Thread-safety / determinism contract:
+//  * An ExecutionPlan is immutable after construction and safe to share
+//    across any number of threads without synchronisation.
+//  * An Arena is the mutable per-thread counterpart: the activation
+//    buffers and caches one executing thread reuses across trials.  Each
+//    worker thread must own its own Arena; an Arena must never be used
+//    from two threads at once and must not outlive the plan it is bound
+//    to.
+//  * Executing the same plan with the same feeds (and the same injection
+//    hook) yields bit-identical outputs on every run, regardless of
+//    backend, batch size, thread count or which arena is used — the
+//    backends are bit-identical by construction and kernels assign
+//    disjoint output blocks to threads in a fixed reduction order.
 #pragma once
 
 #include <cstdint>
@@ -33,23 +58,48 @@
 
 #include "graph/graph.hpp"
 #include "graph/incremental.hpp"
+#include "ops/backend.hpp"
 #include "tensor/dtype.hpp"
 
 namespace rangerpp::graph {
+
+struct PlanOptions {
+  // Kernel backend for every node's dense compute; defaults to
+  // RANGERPP_BACKEND (blocked when unset).
+  ops::KernelBackend backend = ops::default_backend();
+  // Images per plan run (1 = the classic single-image plan).
+  std::size_t batch = 1;
+};
+
+// True when `g` can be compiled with batch > 1: every Input is rank-2/4
+// with a leading dimension of 1, and no node is a Reshape.
+bool plan_supports_batch(const Graph& g);
 
 class ExecutionPlan {
  public:
   // Compiles `g` for execution under `dtype`.  Takes the graph by value:
   // pass a copy (cheap — ops are shared) or std::move a graph you no
   // longer need.
-  ExecutionPlan(Graph g, tensor::DType dtype);
+  ExecutionPlan(Graph g, tensor::DType dtype, PlanOptions options = {});
 
   const Graph& graph() const { return graph_; }
   tensor::DType dtype() const { return dtype_; }
+  ops::KernelBackend backend() const { return options_.backend; }
+  std::size_t batch() const { return options_.batch; }
   std::size_t size() const { return graph_.size(); }
 
-  // Output shape of every node (indexed by NodeId).
+  // Output shape of every node (indexed by NodeId), under the plan's
+  // batch size.
   const std::vector<tensor::Shape>& shapes() const { return shapes_; }
+
+  // Elements of one image's slice of a non-Const node's output (equal to
+  // shapes()[id].elements() when batch() == 1).  Const outputs are shared
+  // across the batch and are not sliced.
+  std::size_t per_image_elements(NodeId id) const;
+
+  // The compiled kernel of a node; fn == nullptr means "run the op's own
+  // compute and quantise afterwards" (see ops/backend.hpp).
+  const ops::CompiledKernel& kernel(NodeId id) const;
 
   // True when a change to `from`'s output can affect `to`'s output
   // (reflexive: reaches(k, k) is always true).
@@ -82,11 +132,14 @@ class ExecutionPlan {
 
  private:
   std::span<const std::uint64_t> row(NodeId id) const;
+  void check_id(NodeId id) const;
 
   Graph graph_;
   tensor::DType dtype_;
+  PlanOptions options_;
   std::uint64_t serial_ = 0;
   std::vector<tensor::Shape> shapes_;
+  std::vector<ops::CompiledKernel> kernels_;
   // Per-node flags, indexed by NodeId.
   std::vector<std::uint8_t> is_input_, is_const_;
   // Pre-quantized Const outputs (empty tensors for non-Const nodes).
@@ -96,10 +149,31 @@ class ExecutionPlan {
   std::vector<std::uint64_t> reach_;
 };
 
+// --- Batch packing helpers ---------------------------------------------------
+
+// Stacks per-image tensors (identical rank-2/4 shapes with a leading
+// dimension of 1 — the batchable-input precondition of
+// plan_supports_batch) into one batched tensor whose leading dimension
+// is images.size().
+tensor::Tensor pack_batch(std::span<const tensor::Tensor> images);
+
+// Extracts image `index`'s slice of a batched tensor as a tensor of
+// `single` shape (single.elements() * count == batched.elements()).
+tensor::Tensor slice_batch(const tensor::Tensor& batched, std::size_t index,
+                           std::size_t count, const tensor::Shape& single);
+
+// Repeats a single-image tensor `count` times into `batched_shape`
+// (batched_shape.elements() == count * single.elements()); used to build
+// batched golden activations from single-image ones.
+tensor::Tensor tile_batch(const tensor::Tensor& single, std::size_t count,
+                          const tensor::Shape& batched_shape);
+
 // Reusable per-thread execution state: node-output slots, the
 // quantised-feed cache and the dirty-set scratch buffer.  Binding an arena
 // to a different plan resets it; steady-state re-binding to the same plan
-// is free.  An arena must not outlive the plan it is bound to.
+// is free.  An arena must not outlive the plan it is bound to, and must
+// only ever be used by one thread at a time (see the plan's thread-safety
+// contract above).
 class Arena {
  public:
   Arena() = default;

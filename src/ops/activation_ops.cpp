@@ -53,15 +53,24 @@ tensor::Tensor SoftmaxOp::compute(std::span<const tensor::Tensor> in) const {
   tensor::Tensor y = in[0].clone();
   std::span<float> v = y.mutable_values();
   if (v.empty()) return y;
-  float max = v[0];
-  for (float x : v) max = std::max(max, x);
-  double sum = 0.0;
-  for (float& x : v) {
-    x = std::exp(x - max);
-    sum += x;
+  // Normalise over the last axis, one row at a time — so a batched [B, k]
+  // logit tensor softmaxes each image's row exactly as a single-image run
+  // would (rank-1 and [1, k] inputs are one row either way).
+  const tensor::Shape& s = in[0].shape();
+  const std::size_t row =
+      static_cast<std::size_t>(s.dim(s.rank() - 1));
+  for (std::size_t base = 0; base < v.size(); base += row) {
+    const std::span<float> r = v.subspan(base, row);
+    float max = r[0];
+    for (float x : r) max = std::max(max, x);
+    double sum = 0.0;
+    for (float& x : r) {
+      x = std::exp(x - max);
+      sum += x;
+    }
+    const float inv = sum > 0.0 ? static_cast<float>(1.0 / sum) : 0.0f;
+    for (float& x : r) x *= inv;
   }
-  const float inv = sum > 0.0 ? static_cast<float>(1.0 / sum) : 0.0f;
-  for (float& x : v) x *= inv;
   return y;
 }
 

@@ -15,6 +15,12 @@ class UnaryElementwiseOp : public Op {
   tensor::Shape infer_shape(std::span<const tensor::Shape> in) const final;
   std::uint64_t flops(std::span<const tensor::Shape> in) const override;
 
+  // The per-element function, exposed for the blocked kernel backend
+  // (which fuses it with quantisation) and the element-sparse incremental
+  // kernels.  Deriving classes promise it is a function of the value
+  // alone — never of the element's index or any mutable state.
+  float apply_value(float x) const { return apply(x); }
+
  protected:
   virtual float apply(float x) const = 0;
   // Approximate FLOPs per element (1 for comparisons, more for

@@ -1,0 +1,118 @@
+#include "ops/backend.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "ops/kernels_blocked.hpp"
+
+namespace rangerpp::ops {
+
+std::string_view backend_name(KernelBackend b) {
+  switch (b) {
+    case KernelBackend::kScalar:
+      return "scalar";
+    case KernelBackend::kBlocked:
+      return "blocked";
+  }
+  return "unknown";
+}
+
+std::optional<KernelBackend> parse_backend(std::string_view s) {
+  if (s == "scalar") return KernelBackend::kScalar;
+  if (s == "blocked") return KernelBackend::kBlocked;
+  return std::nullopt;
+}
+
+KernelBackend default_backend() {
+  static const KernelBackend cached = [] {
+    const char* v = std::getenv("RANGERPP_BACKEND");
+    if (!v) return KernelBackend::kBlocked;
+    if (const auto parsed = parse_backend(v)) return *parsed;
+    std::fprintf(stderr,
+                 "rangerpp: ignoring RANGERPP_BACKEND=%s "
+                 "(want scalar|blocked)\n",
+                 v);
+    return KernelBackend::kBlocked;
+  }();
+  return cached;
+}
+
+CompiledKernel select_kernel(const Op& op, tensor::DType dtype,
+                             KernelBackend backend) {
+  if (backend == KernelBackend::kScalar) return {};
+  // `op` outlives the returned kernel: kernels are compiled into an
+  // ExecutionPlan, which owns (a copy of) the graph whose nodes share the
+  // op objects.
+  const Op* o = &op;
+  switch (op.kind()) {
+    case OpKind::kConv2D:
+      return {[o, dtype](std::span<const tensor::Tensor> in) {
+                return blocked::conv2d(*static_cast<const Conv2DOp*>(o),
+                                       dtype, in);
+              },
+              true};
+    case OpKind::kMatMul:
+      return {[dtype](std::span<const tensor::Tensor> in) {
+                return blocked::matmul(dtype, in);
+              },
+              true};
+    case OpKind::kBiasAdd:
+      return {[dtype](std::span<const tensor::Tensor> in) {
+                return blocked::bias_add(dtype, in);
+              },
+              true};
+    case OpKind::kBatchNorm:
+      return {[o, dtype](std::span<const tensor::Tensor> in) {
+                return blocked::batch_norm(
+                    *static_cast<const BatchNormOp*>(o), dtype, in);
+              },
+              true};
+    case OpKind::kRelu:
+      return {[dtype](std::span<const tensor::Tensor> in) {
+                return blocked::relu(dtype, in);
+              },
+              true};
+    case OpKind::kMaxPool:
+    case OpKind::kAvgPool:
+      if (const auto* pool = dynamic_cast<const PoolOpBase*>(&op)) {
+        const bool is_max = op.kind() == OpKind::kMaxPool;
+        return {[pool, is_max, dtype](std::span<const tensor::Tensor> in) {
+                  return blocked::pool(*pool, is_max, dtype, in);
+                },
+                true};
+      }
+      break;
+    default:
+      break;
+  }
+  // Ops from other layers (core/ restriction variants) may carry their own
+  // blocked kernel.  Checked before the generic elementwise fallbacks so a
+  // provider always wins.
+  if (const auto* provider = dynamic_cast<const BlockedKernelProvider*>(&op))
+    return provider->blocked_kernel(dtype);
+  // The Ranger restriction clamp gets the fused fast path (no per-element
+  // virtual dispatch); kind() alone cannot identify it because the
+  // restriction-policy variants report kClamp too, hence the cast.
+  if (const auto* c = dynamic_cast<const ClampOp*>(&op)) {
+    const float low = c->low(), high = c->high();
+    return {[low, high, dtype](std::span<const tensor::Tensor> in) {
+              return blocked::clamp(low, high, dtype, in);
+            },
+            true};
+  }
+  if (const auto* u = dynamic_cast<const UnaryElementwiseOp*>(&op))
+    return {[u, dtype](std::span<const tensor::Tensor> in) {
+              return blocked::unary(*u, dtype, in);
+            },
+            true};
+  if (const auto* b = dynamic_cast<const BinaryElementwiseOp*>(&op))
+    return {[b, dtype](std::span<const tensor::Tensor> in) {
+              return blocked::binary(*b, dtype, in);
+            },
+            true};
+  // Softmax, shape ops, LRN, GlobalAvgPool, Const, Input, unknown ops:
+  // scalar compute + executor-side quantisation.
+  return {};
+}
+
+}  // namespace rangerpp::ops

@@ -1,0 +1,79 @@
+// Kernel backend selection: how operator outputs are *computed*, chosen
+// once per ExecutionPlan at compile time.
+//
+//  * kScalar  — the reference kernels: each Op's own `compute` (naive
+//    scalar loops) followed by an executor-side quantisation sweep.
+//  * kBlocked — blocked, multi-threaded kernels (kernels_blocked.cpp):
+//    im2col + blocked-GEMM convolution, tiled MatMul, direct pooling, and
+//    fused elementwise/restriction kernels that quantise in the same sweep
+//    that computes, parallelised over output blocks via
+//    util::parallel_for.
+//
+// The backends are *bit-identical*: every blocked kernel performs, for
+// each output element, exactly the floating-point operations of the
+// scalar reference in exactly the same order (same (ky, kx, ci)
+// accumulation order for Conv2D, same ascending-k reduction for MatMul,
+// same window visit order and NaN semantics for pooling, same
+// padding-skip behaviour everywhere).  Blocking only changes which
+// elements are computed together, never how one element is computed; and
+// thread partitioning only distributes disjoint output blocks, so results
+// are independent of thread count and run-to-run deterministic.  This is
+// what lets the golden-prefix partial re-execution (whose element-sparse
+// kernels mirror the scalar accumulation order) and the sharded-campaign
+// merge-vs-golden CI gates keep passing bit-identically under either
+// backend — the backend is a pure performance knob, excluded from
+// checkpoint fingerprints.
+//
+// Selection: the RANGERPP_BACKEND environment variable ("scalar" |
+// "blocked", read once per process) sets the default; PlanOptions can
+// override it per plan.  Blocked is the default.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "ops/op.hpp"
+#include "tensor/dtype.hpp"
+
+namespace rangerpp::ops {
+
+enum class KernelBackend { kScalar, kBlocked };
+
+std::string_view backend_name(KernelBackend b);
+
+// "scalar" / "blocked" -> backend; nullopt for anything else.
+std::optional<KernelBackend> parse_backend(std::string_view s);
+
+// Process-wide default: RANGERPP_BACKEND when set to a valid name,
+// otherwise kBlocked.  Read once (first call) so a plan compiled early and
+// a plan compiled late in the process always agree.
+KernelBackend default_backend();
+
+// A node's compiled compute function.  `fn == nullptr` means "no special
+// kernel": the executor calls Op::compute and quantises the result itself.
+// When `fused_quantize` is set, `fn`'s output is already quantised under
+// the dtype the kernel was selected for and the executor skips its sweep.
+struct CompiledKernel {
+  std::function<tensor::Tensor(std::span<const tensor::Tensor>)> fn;
+  bool fused_quantize = false;
+};
+
+// Ops defined outside ops/ (e.g. the core/ restriction-policy variants)
+// implement this to contribute a blocked kernel without the backend layer
+// knowing their concrete types.  The returned kernel must obey the
+// bit-identity contract above.
+class BlockedKernelProvider {
+ public:
+  virtual ~BlockedKernelProvider() = default;
+  virtual CompiledKernel blocked_kernel(tensor::DType dtype) const = 0;
+};
+
+// Picks the kernel for (op, dtype) under `backend`.  The scalar backend —
+// and any op the blocked backend has no kernel for (Softmax, shape ops,
+// …) — returns a null kernel, i.e. the Op::compute fallback.
+CompiledKernel select_kernel(const Op& op, tensor::DType dtype,
+                             KernelBackend backend);
+
+}  // namespace rangerpp::ops

@@ -13,6 +13,10 @@ class BinaryElementwiseOp : public Op {
     return in[0].elements();
   }
 
+  // Per-element function of the two values alone (see
+  // UnaryElementwiseOp::apply_value); used by the blocked kernel backend.
+  float apply_value(float a, float b) const { return apply(a, b); }
+
  protected:
   virtual float apply(float a, float b) const = 0;
 };

@@ -1,0 +1,74 @@
+// Blocked, multi-threaded kernel implementations behind
+// KernelBackend::kBlocked (selection lives in backend.cpp).
+//
+// Every kernel here is bit-identical to the corresponding Op::compute
+// followed by an executor quantisation sweep: for each output element the
+// same floating-point operations run in the same order (see backend.hpp
+// for the full contract).  What changes is the schedule — output elements
+// are grouped into cache-friendly blocks, bounds checks are hoisted out of
+// inner loops, quantisation is fused into the producing sweep, and blocks
+// large enough to pay for it are distributed over util::parallel_for
+// workers (inline when already inside a pool worker).
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "ops/activation_ops.hpp"
+#include "ops/elementwise_ops.hpp"
+#include "ops/nn_ops.hpp"
+#include "ops/norm_ops.hpp"
+#include "ops/pool_ops.hpp"
+#include "tensor/dtype.hpp"
+
+namespace rangerpp::ops::blocked {
+
+// Shared block scheduler for fused elementwise sweeps: calls
+// fn(lo, hi) over ~4k-element blocks, distributing blocks over
+// util::parallel_for when the tensor is large enough to pay for it.
+// Exposed so fused kernels outside ops/ (the core/ restriction
+// variants) share one scheduler and one set of tuning constants.
+void run_elementwise(
+    std::size_t total,
+    const std::function<void(std::size_t, std::size_t)>& fn);
+
+// All functions return the node's output already quantised under `dtype`.
+
+// im2col + blocked-GEMM convolution: interior output spans are packed into
+// contiguous patch rows and run through a register-tiled GEMM against the
+// (already GEMM-shaped [kh*kw*ic, oc]) filter; boundary columns take a
+// per-element path with the padding-skip semantics of the scalar kernel.
+tensor::Tensor conv2d(const Conv2DOp& op, tensor::DType dtype,
+                      std::span<const tensor::Tensor> in);
+
+// Row-blocked MatMul: loop-interchanged so the weight matrix streams
+// row-wise, tiled over output columns, parallel over (row, column-tile).
+tensor::Tensor matmul(tensor::DType dtype,
+                      std::span<const tensor::Tensor> in);
+
+// Direct pooling without the gather-into-a-window detour.
+tensor::Tensor pool(const PoolOpBase& op, bool is_max, tensor::DType dtype,
+                    std::span<const tensor::Tensor> in);
+
+tensor::Tensor bias_add(tensor::DType dtype,
+                        std::span<const tensor::Tensor> in);
+
+tensor::Tensor batch_norm(const BatchNormOp& op, tensor::DType dtype,
+                          std::span<const tensor::Tensor> in);
+
+// Fused restriction kernel: clamp + quantise in one sweep (the Ranger
+// restriction op is on every protected graph's hot path).
+tensor::Tensor clamp(float low, float high, tensor::DType dtype,
+                     std::span<const tensor::Tensor> in);
+
+// Inline ReLU + quantise (the most common activation — worth skipping the
+// generic kernel's per-element virtual dispatch).
+tensor::Tensor relu(tensor::DType dtype, std::span<const tensor::Tensor> in);
+
+// Generic fused elementwise kernels for every value-only unary/binary op.
+tensor::Tensor unary(const UnaryElementwiseOp& op, tensor::DType dtype,
+                     std::span<const tensor::Tensor> in);
+tensor::Tensor binary(const BinaryElementwiseOp& op, tensor::DType dtype,
+                      std::span<const tensor::Tensor> in);
+
+}  // namespace rangerpp::ops::blocked

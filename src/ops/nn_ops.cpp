@@ -122,29 +122,36 @@ tensor::Shape MatMulOp::infer_shape(std::span<const tensor::Shape> in) const {
   const int k = x.rank() == 2 ? x.dim(1) : x.dim(0);
   if (x.rank() > 2 || k != w.dim(0))
     throw std::invalid_argument("MatMul: inner dimension mismatch");
-  return tensor::Shape{1, w.dim(1)};
+  return tensor::Shape{x.rank() == 2 ? x.dim(0) : 1, w.dim(1)};
 }
 
 tensor::Tensor MatMulOp::compute(std::span<const tensor::Tensor> in) const {
   const tensor::Shape os = infer_shape(
       std::array{in[0].shape(), in[1].shape()});
+  const int b = os.dim(0);
   const int k = in[1].shape().dim(0);
   const int n = in[1].shape().dim(1);
   tensor::Tensor y(os);
   std::span<float> yv = y.mutable_values();
   std::span<const float> xv = in[0].values();
   std::span<const float> wv = in[1].values();
-  for (int j = 0; j < n; ++j) {
-    float acc = 0.0f;
-    for (int i = 0; i < k; ++i)
-      acc += xv[i] * wv[static_cast<std::size_t>(i) * n + j];
-    yv[j] = acc;
+  for (int r = 0; r < b; ++r) {
+    const float* xrow = &xv[static_cast<std::size_t>(r) * k];
+    float* yrow = &yv[static_cast<std::size_t>(r) * n];
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int i = 0; i < k; ++i)
+        acc += xrow[i] * wv[static_cast<std::size_t>(i) * n + j];
+      yrow[j] = acc;
+    }
   }
   return y;
 }
 
 std::uint64_t MatMulOp::flops(std::span<const tensor::Shape> in) const {
-  return 2ULL * in[1].dim(0) * in[1].dim(1);
+  const std::uint64_t rows =
+      in[0].rank() == 2 ? static_cast<std::uint64_t>(in[0].dim(0)) : 1;
+  return rows * 2ULL * in[1].dim(0) * in[1].dim(1);
 }
 
 tensor::Shape BiasAddOp::infer_shape(std::span<const tensor::Shape> in) const {

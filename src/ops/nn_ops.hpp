@@ -34,7 +34,9 @@ class Conv2DOp final : public Op {
   Conv2DParams params_;
 };
 
-// MatMul(x [1,k] or [k], w [k,n]) -> [1,n].
+// MatMul(x [b,k] or [k], w [k,n]) -> [b,n].  The batch dimension exists
+// for batched ExecutionPlans; single-image graphs use b == 1 (or a rank-1
+// x, treated as one row).
 class MatMulOp final : public Op {
  public:
   OpKind kind() const override { return OpKind::kMatMul; }

@@ -115,6 +115,55 @@ float dtype_decode(DType d, std::uint64_t bits) {
   throw std::invalid_argument("dtype_decode: bad dtype");
 }
 
+namespace {
+
+// Hoisted-constant round trip, bit-identical to
+// fixed_decode(f, fixed_encode(f, x)) for every input:
+//  * the encode comparisons run on the same llround(double) value;
+//  * the clamped raw is already sign-correct and in range, so the
+//    mask-then-sign-extend detour is the identity on it;
+//  * decode's division by 2^frac_bits is exact, so multiplying by the
+//    exactly-representable reciprocal yields the same double (and the
+//    same float after narrowing).
+template <int kTotal, int kFrac>
+void fixed_quantize_span(std::span<float> v) {
+  constexpr double kScale = static_cast<double>(1LL << kFrac);
+  constexpr double kInvScale = 1.0 / kScale;
+  constexpr std::int64_t kMaxRaw = (1LL << (kTotal - 1)) - 1;
+  constexpr std::int64_t kMinRaw = -(1LL << (kTotal - 1));
+  for (float& x : v) {
+    const double scaled =
+        std::llround(static_cast<double>(x) * kScale);
+    std::int64_t raw;
+    if (std::isnan(x)) {
+      raw = 0;
+    } else if (scaled >= static_cast<double>(kMaxRaw)) {
+      raw = kMaxRaw;
+    } else if (scaled <= static_cast<double>(kMinRaw)) {
+      raw = kMinRaw;
+    } else {
+      raw = static_cast<std::int64_t>(scaled);
+    }
+    x = static_cast<float>(static_cast<double>(raw) * kInvScale);
+  }
+}
+
+}  // namespace
+
+void dtype_quantize_span(DType d, std::span<float> v) {
+  switch (d) {
+    case DType::kFloat32:
+      return;
+    case DType::kFixed32:
+      fixed_quantize_span<32, 10>(v);
+      return;
+    case DType::kFixed16:
+      fixed_quantize_span<16, 2>(v);
+      return;
+  }
+  throw std::invalid_argument("dtype_quantize_span: bad dtype");
+}
+
 std::uint64_t dtype_flip_bit(DType d, std::uint64_t bits, int bit) {
   const int width = dtype_bits(d);
   if (bit < 0 || bit >= width)

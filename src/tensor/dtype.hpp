@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 
 namespace rangerpp::tensor {
@@ -49,6 +50,13 @@ inline float dtype_quantize(DType d, float value) {
   if (d == DType::kFloat32) return value;
   return dtype_decode(d, dtype_encode(d, value));
 }
+
+// Quantises every element of `v` in place — bit-identical to calling
+// dtype_quantize per element (it is the same encode/decode pair, hoisted
+// into one loop inside the codec's translation unit so the pair can
+// inline).  No-op for Float32.  The fused blocked kernels and the
+// executor's quantisation sweep both run through this.
+void dtype_quantize_span(DType d, std::span<float> v);
 
 // Flips bit `bit` (0 = LSB) of `bits` within the datatype's width.
 std::uint64_t dtype_flip_bit(DType d, std::uint64_t bits, int bit);

@@ -4,6 +4,14 @@
 
 namespace rangerpp::util {
 
+namespace {
+
+// True while the current thread is a parallel_for worker; nested
+// parallel_for calls run inline (see threadpool.hpp).
+thread_local bool g_in_pool_worker = false;
+
+}  // namespace
+
 unsigned default_thread_count() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 4 : hw;
@@ -20,7 +28,7 @@ void parallel_for_workers(
     unsigned threads) {
   const unsigned workers = worker_count(n, threads);
   if (workers == 0) return;
-  if (workers <= 1) {
+  if (workers <= 1 || g_in_pool_worker) {
     for (std::size_t i = 0; i < n; ++i) fn(0, i);
     return;
   }
@@ -29,6 +37,7 @@ void parallel_for_workers(
   pool.reserve(workers);
   for (unsigned t = 0; t < workers; ++t) {
     pool.emplace_back([&, t] {
+      g_in_pool_worker = true;
       for (;;) {
         const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) return;

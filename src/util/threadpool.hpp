@@ -18,6 +18,13 @@ namespace rangerpp::util {
 // distinct indices.  Exceptions thrown by `fn` terminate the process (tasks
 // are expected to be noexcept in practice); keeping the contract simple
 // avoids cross-thread exception marshalling in the hot path.
+//
+// Nesting: a parallel_for issued from inside a pool worker (e.g. a blocked
+// kernel running within a trial that the campaign already parallelised)
+// executes inline on the calling thread instead of spawning a second layer
+// of threads — the outer loop already owns the cores, and oversubscribing
+// would only add contention.  Results never depend on where tasks ran, so
+// this is purely a scheduling decision.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   unsigned threads = 0);
 

@@ -1,0 +1,334 @@
+// Kernel-backend and batched-execution contracts:
+//  * scalar vs blocked equivalence — bit-exact (the design guarantee) and
+//    therefore trivially within the paper-level tolerance — across conv
+//    shapes, strides, paddings, dtypes and odd batch sizes;
+//  * run-to-run bit-identity of the blocked backend;
+//  * batched plan runs reproduce per-image runs bit-identically, and
+//    batched campaign trials reproduce per-trial campaigns bit-identically
+//    (the property the shard-merge golden gates rest on).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/restrict_op.hpp"
+#include "fi/campaign.hpp"
+#include "graph/builder.hpp"
+#include "graph/executor.hpp"
+#include "graph/plan.hpp"
+#include "ops/backend.hpp"
+#include "util/rng.hpp"
+
+namespace rangerpp {
+namespace {
+
+tensor::Tensor random_tensor(tensor::Shape shape, util::Rng& rng,
+                             float scale = 1.0f) {
+  std::vector<float> v(shape.elements());
+  for (float& x : v) x = static_cast<float>(rng.uniform(-scale, scale));
+  return tensor::Tensor(shape, std::move(v));
+}
+
+void expect_bit_identical(const tensor::Tensor& a, const tensor::Tensor& b,
+                          const std::string& what) {
+  ASSERT_EQ(a.elements(), b.elements()) << what;
+  const auto av = a.values();
+  const auto bv = b.values();
+  for (std::size_t i = 0; i < av.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint32_t>(av[i]),
+              std::bit_cast<std::uint32_t>(bv[i]))
+        << what << " differs at element " << i << ": " << av[i] << " vs "
+        << bv[i];
+  }
+}
+
+// Runs one op as a tiny graph under both backends and checks bit-identity
+// (which implies any numeric tolerance) of the full executor pipeline,
+// including quantisation.
+void check_backend_equivalence(graph::Graph g,
+                               const fi::Feeds& feeds,
+                               tensor::DType dtype,
+                               const std::string& what) {
+  const graph::Executor exec({dtype});
+  graph::Arena a_scalar, a_blocked;
+  const graph::ExecutionPlan scalar(
+      g, dtype, {.backend = ops::KernelBackend::kScalar});
+  const graph::ExecutionPlan blocked(
+      g, dtype, {.backend = ops::KernelBackend::kBlocked});
+  const tensor::Tensor out_s = exec.run(scalar, feeds, a_scalar);
+  const tensor::Tensor out_b = exec.run(blocked, feeds, a_blocked);
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    expect_bit_identical(a_scalar.outputs()[i], a_blocked.outputs()[i],
+                         what + " node " + std::to_string(i));
+    // The design contract is bit-identity; assert the paper-level numeric
+    // tolerance too so a future backend that only promises tolerance has
+    // the test it needs.
+    const auto sv = a_scalar.outputs()[i].values();
+    const auto bv = a_blocked.outputs()[i].values();
+    for (std::size_t e = 0; e < sv.size(); ++e)
+      if (!std::isnan(sv[e]))
+        ASSERT_NEAR(sv[e], bv[e], 1e-5) << what;
+  }
+  expect_bit_identical(out_s, out_b, what + " output");
+}
+
+TEST(BackendTest, ParseAndNames) {
+  EXPECT_EQ(ops::parse_backend("scalar"), ops::KernelBackend::kScalar);
+  EXPECT_EQ(ops::parse_backend("blocked"), ops::KernelBackend::kBlocked);
+  EXPECT_FALSE(ops::parse_backend("gpu").has_value());
+  EXPECT_EQ(ops::backend_name(ops::KernelBackend::kBlocked), "blocked");
+}
+
+TEST(BackendTest, ConvEquivalenceAcrossShapesStridesPaddings) {
+  util::Rng rng(17);
+  struct Case {
+    int ih, iw, ic, kh, kw, oc, sh, sw;
+    ops::Padding pad;
+  };
+  const Case cases[] = {
+      {12, 12, 3, 3, 3, 8, 1, 1, ops::Padding::kSame},
+      {12, 12, 3, 3, 3, 8, 1, 1, ops::Padding::kValid},
+      {16, 16, 4, 5, 5, 19, 1, 1, ops::Padding::kSame},
+      {16, 16, 4, 5, 5, 19, 2, 2, ops::Padding::kSame},
+      {15, 11, 6, 3, 5, 7, 2, 3, ops::Padding::kValid},
+      {9, 9, 16, 3, 3, 33, 1, 1, ops::Padding::kSame},
+      {28, 28, 1, 5, 5, 6, 1, 1, ops::Padding::kSame},
+      {7, 7, 2, 7, 7, 5, 1, 1, ops::Padding::kSame},
+  };
+  for (const Case& c : cases) {
+    for (const tensor::DType dtype :
+         {tensor::DType::kFixed32, tensor::DType::kFloat32}) {
+      graph::GraphBuilder b;
+      b.input("input", tensor::Shape{1, c.ih, c.iw, c.ic});
+      b.conv2d("conv",
+               random_tensor({c.kh, c.kw, c.ic, c.oc}, rng, 0.5f),
+               random_tensor({c.oc}, rng, 0.1f),
+               {c.sh, c.sw, c.pad});
+      const fi::Feeds feeds{
+          {"input", random_tensor({1, c.ih, c.iw, c.ic}, rng, 2.0f)}};
+      check_backend_equivalence(
+          b.finish(), feeds, dtype,
+          "conv " + std::to_string(c.ih) + "x" + std::to_string(c.iw) +
+              "x" + std::to_string(c.ic) + " k" + std::to_string(c.kh) +
+              "x" + std::to_string(c.kw) + " oc" + std::to_string(c.oc) +
+              " s" + std::to_string(c.sh) + std::to_string(c.sw));
+    }
+  }
+}
+
+TEST(BackendTest, MixedOpGraphEquivalence) {
+  util::Rng rng(23);
+  graph::GraphBuilder b2;
+  b2.input("input", tensor::Shape{1, 14, 14, 3});
+  b2.conv2d("conv1", random_tensor({3, 3, 3, 12}, rng, 0.4f),
+            random_tensor({12}, rng, 0.1f), {1, 1, ops::Padding::kSame});
+  b2.batch_norm("bn", std::vector<float>(12, 1.1f),
+                std::vector<float>(12, -0.05f));
+  b2.activation("relu", ops::OpKind::kRelu);
+  b2.max_pool("maxpool", {2, 2, 2, 2, ops::Padding::kValid});
+  b2.avg_pool("avgpool", {3, 3, 1, 1, ops::Padding::kSame});
+  b2.activation("tanh", ops::OpKind::kTanh);
+  b2.append("clamp", std::make_shared<ops::ClampOp>(-0.5f, 0.9f),
+            {b2.current()});
+  b2.append("zero_reset", std::make_shared<core::ZeroResetOp>(-0.4f, 0.8f),
+            {b2.current()});
+  b2.append("rand_replace",
+            std::make_shared<core::RandomReplaceOp>(-0.3f, 0.7f, 99),
+            {b2.current()});
+  b2.flatten("flatten");
+  b2.dense("fc", random_tensor({7 * 7 * 12, 10}, rng, 0.2f),
+           random_tensor({10}, rng, 0.05f));
+  b2.softmax("softmax");
+  const fi::Feeds feeds{
+      {"input", random_tensor({1, 14, 14, 3}, rng, 2.0f)}};
+  const graph::Graph g = b2.finish();
+  for (const tensor::DType dtype :
+       {tensor::DType::kFixed32, tensor::DType::kFixed16,
+        tensor::DType::kFloat32})
+    check_backend_equivalence(g, feeds, dtype, "mixed graph");
+}
+
+TEST(BackendTest, BlockedBackendRunToRunBitIdentity) {
+  util::Rng rng(31);
+  graph::GraphBuilder b;
+  b.input("input", tensor::Shape{1, 16, 16, 8});
+  b.conv2d("conv", random_tensor({3, 3, 8, 24}, rng, 0.3f),
+           random_tensor({24}, rng, 0.1f), {1, 1, ops::Padding::kSame});
+  b.activation("relu", ops::OpKind::kRelu);
+  const graph::Graph g = b.finish();
+  const fi::Feeds feeds{{"input", random_tensor({1, 16, 16, 8}, rng)}};
+  const graph::ExecutionPlan plan(
+      g, tensor::DType::kFixed32,
+      {.backend = ops::KernelBackend::kBlocked});
+  const graph::Executor exec({tensor::DType::kFixed32});
+  graph::Arena a1, a2;
+  const tensor::Tensor first = exec.run(plan, feeds, a1);
+  for (int i = 0; i < 3; ++i)
+    expect_bit_identical(first, exec.run(plan, feeds, a2),
+                         "run-to-run " + std::to_string(i));
+}
+
+graph::Graph small_classifier(util::Rng& rng) {
+  graph::GraphBuilder b;
+  b.input("input", tensor::Shape{1, 10, 10, 2});
+  b.conv2d("conv1", random_tensor({3, 3, 2, 6}, rng, 0.4f),
+           random_tensor({6}, rng, 0.1f), {1, 1, ops::Padding::kSame});
+  b.activation("relu1", ops::OpKind::kRelu);
+  b.max_pool("pool1", {2, 2, 2, 2, ops::Padding::kValid});
+  b.flatten("flatten");
+  b.dense("fc", random_tensor({5 * 5 * 6, 4}, rng, 0.3f),
+          random_tensor({4}, rng, 0.05f), /*injectable=*/false);
+  b.softmax("softmax");
+  return b.finish();
+}
+
+TEST(BatchedPlanTest, BatchedRunMatchesPerImageRunsBitIdentically) {
+  util::Rng rng(47);
+  const graph::Graph g = small_classifier(rng);
+  ASSERT_TRUE(graph::plan_supports_batch(g));
+  const graph::Executor exec({tensor::DType::kFixed32});
+  const graph::ExecutionPlan single(g, tensor::DType::kFixed32);
+  // Odd batch sizes included: nothing in the contract requires powers of
+  // two.
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{5}, std::size_t{8}}) {
+    const graph::ExecutionPlan batched(g, tensor::DType::kFixed32,
+                                       {.batch = batch});
+    std::vector<fi::Feeds> feeds;
+    for (std::size_t i = 0; i < batch; ++i)
+      feeds.push_back({{"input", random_tensor({1, 10, 10, 2}, rng)}});
+    graph::Arena ab;
+    const std::vector<tensor::Tensor> rows =
+        exec.run_batched(batched, feeds, ab);
+    ASSERT_EQ(rows.size(), batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      graph::Arena a;
+      expect_bit_identical(
+          rows[i], exec.run(single, feeds[i], a),
+          "batch " + std::to_string(batch) + " row " + std::to_string(i));
+    }
+  }
+}
+
+TEST(BatchedPlanTest, ReshapeGraphsRefuseBatch) {
+  graph::GraphBuilder b;
+  b.input("input", tensor::Shape{1, 4, 4, 1});
+  b.reshape("reshape", tensor::Shape{1, 16});
+  const graph::Graph g = b.finish();
+  EXPECT_FALSE(graph::plan_supports_batch(g));
+  EXPECT_THROW(
+      graph::ExecutionPlan(g, tensor::DType::kFloat32, {.batch = 2}),
+      std::invalid_argument);
+}
+
+TEST(BatchedPlanTest, PackAndSliceRoundTrip) {
+  util::Rng rng(5);
+  std::vector<tensor::Tensor> images;
+  for (int i = 0; i < 3; ++i)
+    images.push_back(random_tensor({1, 2, 3, 4}, rng));
+  const tensor::Tensor packed = graph::pack_batch(images);
+  EXPECT_EQ(packed.shape(), (tensor::Shape{3, 2, 3, 4}));
+  for (std::size_t i = 0; i < images.size(); ++i)
+    expect_bit_identical(
+        graph::slice_batch(packed, i, 3, tensor::Shape{1, 2, 3, 4}),
+        images[i], "slice " + std::to_string(i));
+  const tensor::Tensor tiled =
+      graph::tile_batch(images[0], 2, tensor::Shape{2, 2, 3, 4});
+  expect_bit_identical(
+      graph::slice_batch(tiled, 1, 2, tensor::Shape{1, 2, 3, 4}),
+      images[0], "tile");
+}
+
+// The hard end-to-end property: campaigns — batched or not, scalar or
+// blocked — produce identical SDC verdicts trial for trial.
+TEST(BatchedCampaignTest, BatchingAndBackendNeverChangeSdcCounts) {
+  util::Rng rng(61);
+  const graph::Graph g = small_classifier(rng);
+  std::vector<fi::Feeds> inputs;
+  for (int i = 0; i < 2; ++i)
+    inputs.push_back({{"input", random_tensor({1, 10, 10, 2}, rng)}});
+  const fi::Top1Judge judge;
+
+  std::vector<std::size_t> sdc_counts;
+  for (const ops::KernelBackend backend :
+       {ops::KernelBackend::kScalar, ops::KernelBackend::kBlocked}) {
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{4}}) {
+      for (const bool partial : {true, false}) {
+        fi::CampaignConfig cc;
+        cc.dtype = tensor::DType::kFixed32;
+        cc.trials_per_input = 60;
+        cc.seed = 2024;
+        cc.backend = backend;
+        cc.batch = batch;
+        cc.partial_reexecution = partial;
+        const fi::CampaignResult r = fi::Campaign(cc).run(g, inputs, judge);
+        EXPECT_EQ(r.trials, 120u);
+        sdc_counts.push_back(r.sdcs);
+      }
+    }
+  }
+  for (std::size_t i = 1; i < sdc_counts.size(); ++i)
+    EXPECT_EQ(sdc_counts[i], sdc_counts[0])
+        << "configuration " << i
+        << " diverged: backends/batching must be bit-identical";
+}
+
+TEST(BatchedCampaignTest, TrialBatchOutputsMatchPerTrialOutputs) {
+  util::Rng rng(71);
+  const graph::Graph g = small_classifier(rng);
+  std::vector<fi::Feeds> inputs;
+  inputs.push_back({{"input", random_tensor({1, 10, 10, 2}, rng)}});
+
+  fi::CampaignConfig cc;
+  cc.dtype = tensor::DType::kFixed32;
+  cc.trials_per_input = 16;
+  cc.seed = 7;
+  cc.batch = 4;
+  const fi::TrialPlanner planner(g, cc, inputs.size());
+  const fi::TrialExecutor executor(g, cc, inputs, 1);
+  ASSERT_EQ(executor.batch(), 4u);
+
+  for (std::size_t t0 = 0; t0 < 16; t0 += 4) {
+    std::vector<fi::FaultSet> faults;
+    for (std::size_t t = t0; t < t0 + 4; ++t)
+      faults.push_back(planner.plan(t).faults);
+    const std::vector<tensor::Tensor> rows =
+        executor.run_trial_batch(0, 0, faults);
+    ASSERT_EQ(rows.size(), 4u);
+    for (std::size_t b = 0; b < 4; ++b)
+      expect_bit_identical(rows[b], executor.run_trial(0, 0, faults[b]),
+                           "trial " + std::to_string(t0 + b));
+  }
+}
+
+TEST(QuantizeSpanTest, MatchesPerElementCodec) {
+  util::Rng rng(83);
+  std::vector<float> values;
+  for (int i = 0; i < 4096; ++i)
+    values.push_back(static_cast<float>(rng.uniform(-3e6, 3e6)));
+  values.insert(values.end(),
+                {0.0f, -0.0f, 1e30f, -1e30f,
+                 std::numeric_limits<float>::infinity(),
+                 -std::numeric_limits<float>::infinity(),
+                 std::numeric_limits<float>::quiet_NaN(), 0.125f,
+                 -0.1253f});
+  for (const tensor::DType d :
+       {tensor::DType::kFixed32, tensor::DType::kFixed16,
+        tensor::DType::kFloat32}) {
+    std::vector<float> spanned = values;
+    tensor::dtype_quantize_span(d, spanned);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const float expected = tensor::dtype_quantize(d, values[i]);
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(spanned[i]),
+                std::bit_cast<std::uint32_t>(expected))
+          << tensor::dtype_name(d) << " element " << i << " value "
+          << values[i];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rangerpp

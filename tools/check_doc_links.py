@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo links in README.md and docs/*.md.
+
+Checks every markdown link whose target is a repository path (relative
+links, optionally with a #fragment).  External links (http/https/mailto)
+are ignored — CI must not depend on the network.  For links with a
+fragment pointing at another markdown file, the fragment is validated
+against the target's headings using GitHub's anchor rules (lowercase,
+spaces to dashes, punctuation stripped).
+
+Usage: tools/check_doc_links.py [repo_root]
+Exit status: 0 = all links resolve, 1 = at least one broken link.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def heading_anchor(text: str) -> str:
+    text = re.sub(r"`([^`]*)`", r"\1", text).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def markdown_anchors(path: str) -> set:
+    anchors = set()
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                anchors.add(heading_anchor(m.group(1)))
+    return anchors
+
+
+def iter_links(path: str):
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                yield lineno, m.group(1)
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    doc_files = []
+    readme = os.path.join(root, "README.md")
+    if os.path.isfile(readme):
+        doc_files.append(readme)
+    docs_dir = os.path.join(root, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                doc_files.append(os.path.join(docs_dir, name))
+
+    errors = []
+    for doc in doc_files:
+        base = os.path.dirname(doc)
+        for lineno, target in iter_links(doc):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+                continue
+            path_part, _, fragment = target.partition("#")
+            rel = os.path.relpath(doc, root)
+            if not path_part:
+                # same-file anchor
+                if fragment and heading_anchor(fragment) not in \
+                        markdown_anchors(doc) and fragment not in \
+                        markdown_anchors(doc):
+                    errors.append(f"{rel}:{lineno}: broken anchor "
+                                  f"'#{fragment}'")
+                continue
+            resolved = os.path.normpath(os.path.join(base, path_part))
+            if not os.path.exists(resolved):
+                errors.append(f"{rel}:{lineno}: broken link '{target}' "
+                              f"(no such file: {os.path.relpath(resolved, root)})")
+                continue
+            if fragment and resolved.endswith(".md"):
+                anchors = markdown_anchors(resolved)
+                if fragment not in anchors and \
+                        heading_anchor(fragment) not in anchors:
+                    errors.append(f"{rel}:{lineno}: broken anchor "
+                                  f"'{target}'")
+
+    if errors:
+        for e in errors:
+            print(e, file=sys.stderr)
+        print(f"check_doc_links: {len(errors)} broken link(s) in "
+              f"{len(doc_files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"check_doc_links: OK ({len(doc_files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
