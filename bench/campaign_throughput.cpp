@@ -253,6 +253,7 @@ int main() {
        {"conv_blocked_speedup", blocked_speedup},
        {"conv_sdcs_scalar", static_cast<double>(conv_scalar.sdcs)},
        {"conv_sdcs_blocked", static_cast<double>(conv_blocked.sdcs)},
-       {"conv_sdc_counts_identical", conv_identical ? 1.0 : 0.0}});
+       {"conv_sdc_counts_identical", conv_identical ? 1.0 : 0.0}},
+      &cfg);
   return identical && conv_identical ? 0 : 1;
 }

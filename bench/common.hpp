@@ -18,12 +18,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/range_profiler.hpp"
 #include "core/ranger_transform.hpp"
 #include "fi/runner.hpp"
+#include "fi/suite.hpp"
 #include "models/workload.hpp"
+#include "ops/backend.hpp"
 #include "util/env.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -55,19 +58,28 @@ struct BenchConfig {
 
   bool sharded() const { return shard_count > 1; }
 
+  // The shared suite/bench trial-count rule (ImageNet-scale models run a
+  // quarter of the small-model count, as in the paper).
   std::size_t trials_for(models::ModelId id) const {
-    // ImageNet-scale models are ~10x the inference cost; the paper
-    // likewise reduces their trial count (3000 vs 5000).
-    switch (id) {
-      case models::ModelId::kVgg16:
-      case models::ModelId::kResNet18:
-      case models::ModelId::kSqueezeNet:
-        return std::max<std::size_t>(100, trials_small / 4);
-      default:
-        return trials_small;
-    }
+    return models::scaled_trials(id, trials_small);
   }
 };
+
+// The fi::SuiteSpec equivalent of this bench environment: same trial
+// scaling, inputs, seed and (suite-level) sharding, so a bench ported
+// onto the suite draws the identical deterministic trial streams its
+// standalone campaigns would.
+inline fi::SuiteSpec suite_spec_from_env(const BenchConfig& cfg,
+                                         std::string name) {
+  fi::SuiteSpec spec;
+  spec.name = std::move(name);
+  spec.trials_small = cfg.trials_small;
+  spec.inputs = cfg.inputs;
+  spec.seed = cfg.seed;
+  spec.shard_index = cfg.shard_index;
+  spec.shard_count = cfg.shard_count;
+  return spec;
+}
 
 // Builds the workload + its Ranger-protected twin with 100th-percentile
 // (conservative) bounds.
@@ -144,14 +156,11 @@ inline SdcComparison compare_sdc(const ProtectedWorkload& pw,
   return out;
 }
 
+// Wilson centre ± half-width — the one formatter the suite report layer
+// and the remaining standalone benches share (fi::pct_pm), so the
+// "suite tables == bench tables" contract cannot drift on formatting.
 inline std::string pct_pm(const fi::CampaignResult& r) {
-  // Wilson centre ± half-width (util::stats): the normal approximation
-  // collapses to ±0 at the 0-SDC rates Ranger drives campaigns toward,
-  // and quoting the raw proportion against the Wilson half-width would
-  // misstate the interval (it is centred on the adjusted estimate).
-  const util::Interval w = r.wilson95();
-  return util::Table::fmt(100.0 * w.center, 2) + " ±" +
-         util::Table::fmt(100.0 * w.half_width, 2);
+  return fi::pct_pm(r);
 }
 
 // Banner for sharded figure runs, so partial rates are never mistaken for
@@ -171,10 +180,16 @@ inline void print_header(const char* experiment, const char* paper_ref) {
 // $RANGERPP_BENCH_DIR (default: the working directory) so CI can track
 // bench metrics (e.g. the campaign speedup) across PRs without the
 // binaries littering the source tree.  Metrics are flat name -> number
-// pairs.
+// pairs; a `host` block (hardware_concurrency, kernel backend, seed,
+// trial counts) makes artifacts from different machines comparable —
+// throughput numbers like the conv blocked-vs-scalar speedup are
+// host-dependent even though results are not.  Pass the bench's own
+// `cfg` so the block records the *effective* configuration; nullptr
+// falls back to a fresh env-derived one.
 inline void emit_bench_json(
     const std::string& name,
-    const std::vector<std::pair<std::string, double>>& metrics) {
+    const std::vector<std::pair<std::string, double>>& metrics,
+    const BenchConfig* bench_cfg = nullptr) {
   std::string dir;
   if (const char* d = std::getenv("RANGERPP_BENCH_DIR")) {
     dir = d;
@@ -186,7 +201,16 @@ inline void emit_bench_json(
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"%s\"", name.c_str());
+  const BenchConfig cfg = bench_cfg ? *bench_cfg : BenchConfig{};
+  std::fprintf(f, "{\n  \"bench\": \"%s\",", name.c_str());
+  std::fprintf(f,
+               "\n  \"host\": {\"hardware_concurrency\": %u, \"backend\": "
+               "\"%s\", \"seed\": %llu, \"trials\": %zu, \"inputs\": %zu, "
+               "\"shard\": \"%zu/%zu\"}",
+               std::thread::hardware_concurrency(),
+               std::string(ops::backend_name(ops::default_backend())).c_str(),
+               static_cast<unsigned long long>(cfg.seed), cfg.trials_small,
+               cfg.inputs, cfg.shard_index, cfg.shard_count);
   for (const auto& [key, value] : metrics)
     std::fprintf(f, ",\n  \"%s\": %.17g", key.c_str(), value);
   std::fprintf(f, "\n}\n");

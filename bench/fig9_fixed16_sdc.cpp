@@ -2,6 +2,10 @@
 // fixed-point datatype (Q13.2 — "14 bits for the integer and 2 for the
 // fractional part"), original vs Ranger.  Paper: 15.11% -> 0.93% average
 // (16x); Ranger's effectiveness is datatype-independent.
+//
+// Runs on fi::Suite: the eight-model × fixed16 × {unprotected, ranger}
+// grid shares each model's workload/bounds/plans across cells and the
+// table comes from the suite report layer.
 #include "bench/common.hpp"
 
 using namespace rangerpp;
@@ -12,35 +16,17 @@ int main() {
                       "Fig. 9 / RQ4");
   bench::print_shard_note(cfg);
 
-  const models::ModelId ids[] = {
+  fi::SuiteSpec spec = bench::suite_spec_from_env(cfg, "fig9");
+  spec.models = {
       models::ModelId::kLeNet,      models::ModelId::kAlexNet,
       models::ModelId::kVgg11,      models::ModelId::kSqueezeNet,
       models::ModelId::kResNet18,   models::ModelId::kVgg16,
       models::ModelId::kDave,       models::ModelId::kComma};
+  spec.dtypes = {tensor::DType::kFixed16};
 
-  util::Table table({"model (avg over metrics)", "SDC orig (%)",
-                     "SDC Ranger (%)"});
-  double sum_orig = 0.0, sum_ranger = 0.0;
-  for (const models::ModelId id : ids) {
-    const bench::ProtectedWorkload pw = bench::make_protected(id, cfg);
-    const bench::SdcComparison r =
-        bench::compare_sdc(pw, cfg, tensor::DType::kFixed16);
-    double so = 0.0, sr = 0.0;
-    for (std::size_t j = 0; j < r.original.size(); ++j) {
-      so += r.original[j].sdc_rate_pct();
-      sr += r.ranger[j].sdc_rate_pct();
-    }
-    so /= static_cast<double>(r.original.size());
-    sr /= static_cast<double>(r.original.size());
-    sum_orig += so;
-    sum_ranger += sr;
-    table.add_row({models::model_name(id), util::Table::fmt(so, 2),
-                   util::Table::fmt(sr, 2)});
-  }
-  const double n = static_cast<double>(std::size(ids));
-  table.add_row({"Average", util::Table::fmt(sum_orig / n, 2),
-                 util::Table::fmt(sum_ranger / n, 2)});
-  table.print();
+  fi::Suite suite(std::move(spec));
+  const fi::SuiteResult result = suite.run();
+  fi::print_fig9(result);
   std::printf("Paper: 15.11%% -> 0.93%% average under 16-bit fixed point.\n");
   return 0;
 }

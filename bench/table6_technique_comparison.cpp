@@ -4,12 +4,24 @@
 // that a technique corrects or detects; overhead = FLOPs relative to the
 // unprotected model.
 //
+// The Ranger and Hong et al. rows run on the zoo-wide suite (fi::Suite):
+//  * Ranger coverage is the record join of an (unprotected,
+//    ranger-paired) cell pair — fault sites planned on the unprotected
+//    graph, replayed on the protected twin, judged against the
+//    unprotected goldens — the exact replay the old in-bench loop did;
+//  * Hong et al. is the relative SDC reduction of the Tanh-substituted
+//    activation variant, i.e. two unprotected cells on the suite's act
+//    axis.
+// The five baseline techniques (src/baselines/) keep the paired replay
+// evaluator below but share the suite's workload cache, so every row of
+// the table is built from one workload/bounds/plan construction per
+// model.
+//
 // Paper's cited operating points: TMR 100%/200%; selective duplication
 // ~60%/30%; symptom-based detector 99.5%/74.48%; ML-based corrector
 // 66.95%/0.95%; Hong et al. 31.54%/0%; ABFT 29.98%/<8%; Ranger
 // 97.05%/0.53%.
 #include <memory>
-#include <optional>
 
 #include "baselines/abft.hpp"
 #include "baselines/duplication.hpp"
@@ -95,72 +107,13 @@ void eval_technique(baselines::Technique& tech,
   }
 }
 
-// Ranger expressed in the same interface: correction via the protected
-// graph, no detection signal.
-class RangerTechnique final : public baselines::Technique {
- public:
-  std::string name() const override { return "Ranger (this work)"; }
-  void prepare(const graph::ExecutionPlan& plan,
-               const std::vector<fi::Feeds>& profile) override {
-    const core::Bounds bounds =
-        core::RangeProfiler{}.derive_bounds(plan.graph(), profile);
-    core::RangerTransform transform;
-    protected_ = transform.apply(plan.graph(), bounds);
-    // The protected graph gets its own plan under the campaign dtype;
-    // fault sites planned on the unprotected graph replay here by name.
-    protected_plan_.emplace(protected_, plan.dtype());
-  }
-  baselines::TrialOutcome run_trial(const graph::ExecutionPlan&,
-                                    graph::Arena& arena,
-                                    const fi::Feeds& feeds,
-                                    const fi::FaultSet& faults) const override {
-    const graph::Executor exec({protected_plan_->dtype()});
-    // The worker's arena binds to the protected plan on first use and is
-    // reused across trials from then on.
-    return {exec.run(*protected_plan_, feeds, arena,
-                     fi::make_injection_hook(protected_,
-                                             protected_plan_->dtype(),
-                                             faults)),
-            false};
-  }
-  double overhead_pct(const graph::Graph& g) const override {
-    return core::flops_overhead_pct(g, protected_);
-  }
-
- private:
-  graph::Graph protected_;
-  std::optional<graph::ExecutionPlan> protected_plan_;
-};
-
-// Hong et al.'s defense is a *model substitution* (swap every activation
-// to Tanh), so unlike the in-place techniques it cannot be judged against
-// the original model's golden output.  Its coverage is the relative SDC
-// reduction of the Tanh variant over the base model — the same metric the
-// paper uses in Fig 8 and cites in Table VI.
-double hong_coverage_pct(models::ModelId id, const bench::BenchConfig& cfg) {
-  const auto sdc_of = [&](ops::OpKind act) {
-    models::WorkloadOptions wo;
-    wo.act = act;
-    wo.eval_inputs = cfg.inputs;
-    wo.seed = cfg.seed;
-    const models::Workload w = models::make_workload(id, wo);
-    fi::RunnerConfig rc;
-    rc.campaign.dtype = tensor::DType::kFixed32;
-    rc.campaign.trials_per_input = cfg.trials_for(id) / 2;
-    rc.campaign.seed = cfg.seed;
-    rc.shard_index = cfg.shard_index;
-    rc.shard_count = cfg.shard_count;
-    rc.label = models::model_name(id);
-    const fi::CampaignReport report = fi::CampaignRunner(rc).run(
-        w.graph, w.eval_feeds, models::default_judges(id));
-    double sum = 0.0;
-    for (const auto& r : report.aggregate) sum += r.sdc_rate();
-    return sum / static_cast<double>(report.aggregate.size());
-  };
-  const double base = sdc_of(ops::OpKind::kRelu);
-  const double tanh = sdc_of(ops::OpKind::kTanh);
-  if (base <= 0.0) return 0.0;
-  return 100.0 * (base - tanh) / base;
+// Mean-over-judges SDC rate of an unprotected suite cell.
+double mean_sdc_rate(const fi::SuiteCellResult& c) {
+  double sum = 0.0;
+  for (const auto& r : c.report.aggregate) sum += r.sdc_rate();
+  return c.report.aggregate.empty()
+             ? 0.0
+             : sum / static_cast<double>(c.report.aggregate.size());
 }
 
 }  // namespace
@@ -174,9 +127,37 @@ int main() {
   // Representative workloads spanning a classifier, an LRN-bearing
   // classifier and a steering model (full 8-model sweeps of every
   // technique would multiply runtime ~7x for no additional insight).
-  const models::ModelId ids[] = {models::ModelId::kLeNet,
-                                 models::ModelId::kAlexNet,
-                                 models::ModelId::kComma};
+  const std::vector<models::ModelId> ids = {models::ModelId::kLeNet,
+                                            models::ModelId::kAlexNet,
+                                            models::ModelId::kComma};
+
+  // One workload cache feeds the suites and the baseline evaluators.
+  models::WorkloadOptions wo;
+  wo.eval_inputs = cfg.inputs;
+  wo.seed = cfg.seed;
+  models::WorkloadCache cache(wo);
+
+  // Ranger row: (unprotected, ranger-paired) cell pairs at half trials —
+  // the Table VI campaign configuration.
+  fi::SuiteSpec paired_spec = bench::suite_spec_from_env(cfg, "table6");
+  paired_spec.models = ids;
+  paired_spec.dtypes = {tensor::DType::kFixed32};
+  paired_spec.techniques = {fi::Technique::kUnprotected,
+                            fi::Technique::kRangerPaired};
+  paired_spec.trials_divisor = 2;
+  fi::Suite paired_suite(paired_spec, &cache);
+  const fi::SuiteResult paired = paired_suite.run();
+
+  // Hong et al. row: the Tanh activation substitution, evaluated as the
+  // relative SDC reduction over the ReLU variant (Fig 8's metric).
+  fi::SuiteSpec hong_spec = bench::suite_spec_from_env(cfg, "table6-hong");
+  hong_spec.models = ids;
+  hong_spec.acts = {ops::OpKind::kRelu, ops::OpKind::kTanh};
+  hong_spec.dtypes = {tensor::DType::kFixed32};
+  hong_spec.techniques = {fi::Technique::kUnprotected};
+  hong_spec.trials_divisor = 2;
+  fi::Suite hong_suite(hong_spec, &cache);
+  const fi::SuiteResult hong = hong_suite.run();
 
   std::vector<Row> rows;
   rows.reserve(16);  // references below must stay valid across add() calls
@@ -194,26 +175,47 @@ int main() {
   Row& ranger_row = add("Ranger (Ours)");
 
   for (const models::ModelId id : ids) {
-    models::WorkloadOptions wo;
-    wo.eval_inputs = cfg.inputs;
-    wo.seed = cfg.seed;
-    const models::Workload w = models::make_workload(id, wo);
+    const models::Workload& w = cache.get(id);
 
     baselines::Tmr tmr;
     baselines::SelectiveDuplication dup(30.0);
     baselines::SymptomDetector sym(1.1);
     baselines::MlCorrector ml(200, cfg.seed);
     baselines::AbftConv abft;
-    RangerTechnique ranger;
 
     eval_technique(tmr, w, cfg, tmr_row);
     eval_technique(dup, w, cfg, dup_row);
     eval_technique(sym, w, cfg, sym_row);
     eval_technique(ml, w, cfg, ml_row);
     eval_technique(abft, w, cfg, abft_row);
-    eval_technique(ranger, w, cfg, ranger_row);
+  }
 
-    hong_row.coverage_sum += hong_coverage_pct(id, cfg);
+  // Ranger: join each model's paired cells.
+  for (std::size_t i = 0; i < paired.cells.size(); ++i) {
+    const auto cov = fi::paired_coverage(paired, i);
+    if (!cov || cov->sdcs == 0) continue;
+    const fi::SuiteCell& c = paired.cells[i].cell;
+    ranger_row.coverage_sum += cov->pct();
+    ranger_row.overhead_sum += core::flops_overhead_pct(
+        cache.get(c.model).graph,
+        paired_suite.protected_graph(c.model, c.act));
+    ++ranger_row.count;
+  }
+
+  // Hong: relative SDC reduction Tanh vs ReLU per model.
+  for (const models::ModelId id : ids) {
+    const fi::SuiteCellResult* relu = nullptr;
+    const fi::SuiteCellResult* tanh = nullptr;
+    for (const fi::SuiteCellResult& c : hong.cells) {
+      if (c.cell.model != id) continue;
+      if (c.cell.act == ops::OpKind::kRelu) relu = &c;
+      if (c.cell.act == ops::OpKind::kTanh) tanh = &c;
+    }
+    if (!relu || !tanh) continue;
+    const double base = mean_sdc_rate(*relu);
+    hong_row.coverage_sum +=
+        base <= 0.0 ? 0.0
+                    : 100.0 * (base - mean_sdc_rate(*tanh)) / base;
     hong_row.overhead_sum += 0.0;  // architecture change, no runtime cost
     ++hong_row.count;
   }

@@ -187,6 +187,11 @@ class TrialExecutor {
     return golden_[input_idx].output;
   }
   const graph::ExecutionPlan& plan() const { return plan_; }
+  const CampaignConfig& config() const { return config_; }
+  // Worker slots this executor was sized for (run_trial's `worker` must
+  // stay below it) — callers sharing one executor across campaigns (the
+  // suite) use it to cap their parallelism.
+  unsigned workers() const { return static_cast<unsigned>(arenas_.size()); }
 
  private:
   struct GoldenState {

@@ -208,8 +208,18 @@ Checkpoint load_checkpoint(const std::string& path) {
     if (!find_raw(lines[i], "type", type) || type != "trial" ||
         !parse_trial_line(lines[i], r)) {
       if (i + 1 == lines.size()) break;  // torn final line: killed writer
-      throw std::runtime_error("checkpoint: malformed line " +
-                               std::to_string(i + 1) + " in " + path);
+      // A torn line mid-file (disk-full write, a writer killed while the
+      // tail was later appended to, interleaved NFS writes) must not
+      // discard the surrounding valid records: every trial line is
+      // self-contained, so recovery keeps everything that parses and the
+      // runner simply re-executes the lost trials on resume.  Warn so an
+      // unexpectedly corrupted file is still visible.
+      std::fprintf(stderr,
+                   "checkpoint: warning: skipping malformed line %zu in %s "
+                   "(recovering the remaining records; missing trials will "
+                   "be re-executed on resume)\n",
+                   i + 1, path.c_str());
+      continue;
     }
     cp.records.push_back(std::move(r));
   }

@@ -87,8 +87,12 @@ void write_checkpoint_header(std::FILE* f, const CheckpointHeader& h);
 void append_trial_record(std::FILE* f, const TrialRecord& r);
 
 // Loads a checkpoint file; throws std::runtime_error on a missing file,
-// missing header, or malformed (non-truncation) content.  A torn final
-// line — the signature of a killed writer — is dropped silently.
+// empty file, or malformed header.  Trial lines are self-contained, so a
+// torn or malformed line anywhere in the body only loses itself: a torn
+// *final* line — the signature of a killed writer — is dropped silently,
+// and a torn line mid-file (disk-full, interleaved writer crash) is
+// skipped with a stderr warning while every other record is recovered
+// (the runner re-executes the lost trials on resume).
 Checkpoint load_checkpoint(const std::string& path);
 
 // ---- Report -----------------------------------------------------------------

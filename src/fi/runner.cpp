@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -57,13 +58,33 @@ CheckpointHeader CampaignRunner::make_header(std::size_t n_inputs,
 CampaignReport CampaignRunner::run(const graph::Graph& g,
                                    const std::vector<Feeds>& inputs,
                                    const std::vector<JudgePtr>& judges) const {
+  RunContext ctx;
+  ctx.plan_graph = &g;
+  return run(ctx, inputs, judges);
+}
+
+CampaignReport CampaignRunner::run(const RunContext& ctx,
+                                   const std::vector<Feeds>& inputs,
+                                   const std::vector<JudgePtr>& judges) const {
+  if (!ctx.plan_graph)
+    throw std::invalid_argument("CampaignRunner: RunContext without a "
+                                "plan_graph");
   if (inputs.empty())
     throw std::invalid_argument("CampaignRunner: no inputs");
   if (judges.empty() || judges.size() > 32)
     throw std::invalid_argument("CampaignRunner: need 1..32 judges");
+  if (ctx.executor &&
+      ctx.executor->config().dtype != config_.campaign.dtype)
+    throw std::invalid_argument(
+        "CampaignRunner: shared executor dtype differs from the campaign's");
+  if (ctx.judge_golden && ctx.judge_golden->size() != inputs.size())
+    throw std::invalid_argument(
+        "CampaignRunner: judge_golden must hold one output per input");
+  const graph::Graph& exec_graph =
+      ctx.exec_graph ? *ctx.exec_graph : *ctx.plan_graph;
 
-  const TrialPlanner planner(g, config_.campaign, inputs.size(),
-                             config_.stratified);
+  const TrialPlanner planner(*ctx.plan_graph, config_.campaign,
+                             inputs.size(), config_.stratified);
   const std::size_t total = planner.total_trials();
 
   std::map<std::string, double> weights;
@@ -157,10 +178,17 @@ CampaignReport CampaignRunner::run(const graph::Graph& g,
   };
 
   if (!pending.empty()) {
-    const unsigned workers = util::worker_count(
+    // With a shared executor the caller sized the arena pool; cap the
+    // parallel width to it so worker indices never outrun the arenas.
+    unsigned workers = util::worker_count(
         std::min(pending.size(), config_.check_every),
         config_.campaign.threads);
-    const TrialExecutor executor(g, config_.campaign, inputs, workers);
+    if (ctx.executor) workers = std::min(workers, ctx.executor->workers());
+    std::optional<TrialExecutor> local_executor;
+    if (!ctx.executor)
+      local_executor.emplace(exec_graph, config_.campaign, inputs, workers);
+    const TrialExecutor& executor =
+        ctx.executor ? *ctx.executor : *local_executor;
     for (std::size_t offset = 0; offset < pending.size();
          offset += config_.check_every) {
       // Early stop only once at least one full batch of evidence exists;
@@ -197,10 +225,12 @@ CampaignReport CampaignRunner::run(const graph::Graph& g,
       }
       const auto record_trial = [&](std::size_t i, const TrialSpec& spec,
                                     const tensor::Tensor& out) {
+        const tensor::Tensor& golden =
+            ctx.judge_golden ? (*ctx.judge_golden)[spec.input]
+                             : executor.golden_output(spec.input);
         std::uint32_t mask = 0;
         for (std::size_t j = 0; j < judges.size(); ++j)
-          if (judges[j]->is_sdc(executor.golden_output(spec.input), out))
-            mask |= 1u << j;
+          if (judges[j]->is_sdc(golden, out)) mask |= 1u << j;
         TrialRecord& r = batch[i];
         r.trial = spec.trial;
         r.input = static_cast<std::uint32_t>(spec.input);
@@ -242,7 +272,7 @@ CampaignReport CampaignRunner::run(const graph::Graph& g,
             for (std::size_t i = 0; i < group.count; ++i)
               record_trial(group.offset + i, specs[i], outs[i]);
           },
-          config_.campaign.threads);
+          workers);
       for (TrialRecord& r : batch) {
         if (file) append_trial_record(file.get(), r);
         records.push_back(std::move(r));

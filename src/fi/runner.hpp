@@ -68,6 +68,33 @@ struct RunnerConfig {
   std::string label;
 };
 
+// Everything one run() invocation needs beyond the runner config.  The
+// default (only plan_graph set) is the classic single-graph campaign;
+// the optional fields exist for the suite orchestrator, which shares
+// compiled state across many cells:
+//
+//  * exec_graph — trials execute here while fault sites are planned on
+//    plan_graph.  Node names shared by both graphs resolve the planned
+//    faults onto the executed graph (the Ranger transform preserves
+//    names), which is how Table-VI-style paired coverage replays the
+//    unprotected fault stream on the protected twin.  Note the
+//    checkpoint fingerprint derives from the *planning* graph, so a
+//    paired cell and its unprotected sibling share a fingerprint — keep
+//    their checkpoint paths distinct.
+//  * executor — a pre-built TrialExecutor for exec_graph, reused across
+//    campaigns (plans + goldens compiled once per (graph, dtype)).  Its
+//    dtype must match the campaign's; its worker capacity caps the
+//    runner's parallelism.
+//  * judge_golden — per-input outputs to judge trials against instead of
+//    the executed graph's own goldens (paired coverage judges the
+//    protected output against the unprotected golden).
+struct RunContext {
+  const graph::Graph* plan_graph = nullptr;
+  const graph::Graph* exec_graph = nullptr;    // null = plan_graph
+  const TrialExecutor* executor = nullptr;     // null = build internally
+  const std::vector<tensor::Tensor>* judge_golden = nullptr;
+};
+
 class CampaignRunner {
  public:
   explicit CampaignRunner(RunnerConfig config);
@@ -77,6 +104,11 @@ class CampaignRunner {
   // report's `planned` counts this shard's trials only; use
   // merge_checkpoints to combine shards into the full-campaign report.
   CampaignReport run(const graph::Graph& g, const std::vector<Feeds>& inputs,
+                     const std::vector<JudgePtr>& judges) const;
+
+  // As above, with the planning/execution split and shared compiled
+  // state of `ctx` (see RunContext).  ctx.plan_graph is required.
+  CampaignReport run(const RunContext& ctx, const std::vector<Feeds>& inputs,
                      const std::vector<JudgePtr>& judges) const;
 
   // The header `run` writes for this configuration (exposed for tests

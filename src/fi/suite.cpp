@@ -1,0 +1,796 @@
+#include "fi/suite.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <thread>
+
+#include "core/flops_profiler.hpp"
+#include "core/range_profiler.hpp"
+#include "core/ranger_transform.hpp"
+#include "ops/backend.hpp"
+#include "util/table.hpp"
+#include "util/threadpool.hpp"
+
+namespace rangerpp::fi {
+
+namespace {
+
+std::string_view act_token_impl(ops::OpKind act) {
+  switch (act) {
+    case ops::OpKind::kInput: return "default";
+    case ops::OpKind::kRelu: return "relu";
+    case ops::OpKind::kTanh: return "tanh";
+    case ops::OpKind::kSigmoid: return "sigmoid";
+    case ops::OpKind::kElu: return "elu";
+    default: return "act";
+  }
+}
+
+std::string fault_token(const FaultModelSpec& f) {
+  return "b" + std::to_string(f.n_bits) + (f.consecutive ? "c" : "");
+}
+
+
+std::string cell_id_of(const SuiteCell& c) {
+  std::string id = models::model_token(c.model);
+  if (c.act != ops::OpKind::kInput)
+    id += "+" + std::string(act_token_impl(c.act));
+  id += "." + std::string(dtype_token(c.dtype)) + "." +
+        fault_token(c.fault) + "." + std::string(technique_token(c.technique));
+  return id;
+}
+
+std::string cell_label_of(const SuiteCell& c) {
+  std::string label = models::model_name(c.model);
+  if (c.act != ops::OpKind::kInput)
+    label += "+" + std::string(act_token_impl(c.act));
+  if (c.technique == Technique::kRanger) label += "+ranger";
+  else if (c.technique == Technique::kRangerPaired) label += "+ranger-paired";
+  return label;
+}
+
+std::string checkpoint_filename(const SuiteSpec& spec, const SuiteCell& c) {
+  return spec.name + "." + c.id + ".s" +
+         std::to_string(spec.shard_index) + "of" +
+         std::to_string(spec.shard_count) + ".jsonl";
+}
+
+bool same_dims(const SuiteCell& a, const SuiteCell& b) {
+  return a.model == b.model && a.act == b.act && a.dtype == b.dtype &&
+         a.fault.n_bits == b.fault.n_bits &&
+         a.fault.consecutive == b.fault.consecutive;
+}
+
+const SuiteCellResult* find_cell(const SuiteResult& r, models::ModelId id,
+                                 ops::OpKind act, tensor::DType dtype,
+                                 const FaultModelSpec& fault, Technique t) {
+  for (const SuiteCellResult& c : r.cells)
+    if (c.cell.model == id && c.cell.act == act && c.cell.dtype == dtype &&
+        c.cell.fault.n_bits == fault.n_bits &&
+        c.cell.fault.consecutive == fault.consecutive &&
+        c.cell.technique == t)
+      return &c;
+  return nullptr;
+}
+
+std::string reduction_str(double orig, double prot) {
+  return prot > 0.0 ? util::Table::fmt(orig / prot, 1) + "x" : "inf";
+}
+
+}  // namespace
+
+std::string_view technique_token(Technique t) {
+  switch (t) {
+    case Technique::kUnprotected: return "unprotected";
+    case Technique::kRanger: return "ranger";
+    case Technique::kRangerPaired: return "ranger-paired";
+  }
+  return "?";
+}
+
+std::optional<Technique> technique_from_token(std::string_view s) {
+  if (s == "unprotected") return Technique::kUnprotected;
+  if (s == "ranger") return Technique::kRanger;
+  if (s == "ranger-paired") return Technique::kRangerPaired;
+  return std::nullopt;
+}
+
+std::string_view act_token(ops::OpKind act) { return act_token_impl(act); }
+
+std::string_view dtype_token(tensor::DType d) {
+  switch (d) {
+    case tensor::DType::kFixed32: return "fixed32";
+    case tensor::DType::kFixed16: return "fixed16";
+    case tensor::DType::kFloat32: return "float32";
+  }
+  return "?";
+}
+
+std::optional<tensor::DType> dtype_from_token(std::string_view s) {
+  if (s == "fixed32") return tensor::DType::kFixed32;
+  if (s == "fixed16") return tensor::DType::kFixed16;
+  if (s == "float32") return tensor::DType::kFloat32;
+  return std::nullopt;
+}
+
+std::optional<ops::OpKind> act_from_token(std::string_view s) {
+  if (s == "default") return ops::OpKind::kInput;
+  if (s == "relu") return ops::OpKind::kRelu;
+  if (s == "tanh") return ops::OpKind::kTanh;
+  if (s == "sigmoid") return ops::OpKind::kSigmoid;
+  if (s == "elu") return ops::OpKind::kElu;
+  return std::nullopt;
+}
+
+std::size_t cell_shard_index(std::size_t suite_shard_index,
+                             std::size_t shard_count,
+                             std::size_t global_offset) {
+  // Suite trial g = offset + t runs when g % N == i, i.e. the cell-local
+  // stream is sharded at index (i - offset) mod N.
+  return (suite_shard_index + shard_count - global_offset % shard_count) %
+         shard_count;
+}
+
+SuitePlan compile_suite(const SuiteSpec& spec) {
+  if (spec.models.empty())
+    throw std::invalid_argument("compile_suite: no models");
+  if (spec.acts.empty() || spec.dtypes.empty() || spec.faults.empty() ||
+      spec.techniques.empty())
+    throw std::invalid_argument("compile_suite: empty grid dimension");
+  if (spec.inputs == 0)
+    throw std::invalid_argument("compile_suite: inputs == 0");
+  if (spec.trials_divisor == 0)
+    throw std::invalid_argument("compile_suite: trials_divisor == 0");
+  if (spec.shard_count == 0 || spec.shard_index >= spec.shard_count)
+    throw std::invalid_argument(
+        "compile_suite: bad shard spec (want i/N with i < N)");
+  // The name lands in checkpoint filenames and unescaped in the JSON
+  // manifest: restrict it to a safe identifier alphabet.
+  if (spec.name.empty())
+    throw std::invalid_argument("compile_suite: empty suite name");
+  for (const char c : spec.name)
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '_' || c == '-'))
+      throw std::invalid_argument(
+          "compile_suite: suite name must use only [A-Za-z0-9._-], got '" +
+          spec.name + "'");
+  for (const FaultModelSpec& f : spec.faults)
+    if (f.n_bits < 1)
+      throw std::invalid_argument("compile_suite: n_bits < 1");
+  // Duplicate grid values would compile two cells with the same id —
+  // and therefore the same checkpoint file; refuse rather than silently
+  // double-count (or abort mid-run on the shard-header mismatch).
+  const auto reject_duplicates = [](const auto& values, const char* dim) {
+    for (std::size_t i = 0; i < values.size(); ++i)
+      for (std::size_t j = i + 1; j < values.size(); ++j)
+        if (values[i] == values[j])
+          throw std::invalid_argument(
+              std::string("compile_suite: duplicate ") + dim +
+              " in the grid");
+  };
+  reject_duplicates(spec.models, "model");
+  reject_duplicates(spec.acts, "act");
+  reject_duplicates(spec.dtypes, "dtype");
+  reject_duplicates(spec.techniques, "technique");
+  for (std::size_t i = 0; i < spec.faults.size(); ++i)
+    for (std::size_t j = i + 1; j < spec.faults.size(); ++j)
+      if (spec.faults[i].n_bits == spec.faults[j].n_bits &&
+          spec.faults[i].consecutive == spec.faults[j].consecutive)
+        throw std::invalid_argument(
+            "compile_suite: duplicate fault model in the grid");
+
+  SuitePlan plan;
+  plan.spec = spec;
+  for (const models::ModelId model : spec.models)
+    for (const ops::OpKind act : spec.acts)
+      for (const tensor::DType dtype : spec.dtypes)
+        for (const FaultModelSpec& fault : spec.faults)
+          for (const Technique technique : spec.techniques) {
+            SuiteCell c;
+            c.model = model;
+            c.act = act;
+            c.dtype = dtype;
+            c.fault = fault;
+            c.technique = technique;
+            c.trials_per_input =
+                models::scaled_trials(model, spec.trials_small) /
+                spec.trials_divisor;
+            c.total_trials = c.trials_per_input * spec.inputs;
+            c.global_offset = plan.total_trials;
+            c.shard_offset = c.global_offset;
+            c.id = cell_id_of(c);
+            c.label = cell_label_of(c);
+            plan.total_trials += c.total_trials;
+            plan.cells.push_back(std::move(c));
+          }
+  // Phase-align each paired cell with its unprotected sibling (see
+  // SuiteCell::shard_offset): the coverage join needs both cells to run
+  // the same shard-local trial subset.
+  for (SuiteCell& c : plan.cells) {
+    if (c.technique != Technique::kRangerPaired) continue;
+    for (const SuiteCell& sibling : plan.cells)
+      if (sibling.technique == Technique::kUnprotected &&
+          same_dims(sibling, c)) {
+        c.shard_offset = sibling.global_offset;
+        break;
+      }
+  }
+  return plan;
+}
+
+Suite::Suite(SuiteSpec spec, models::WorkloadCache* shared_workloads)
+    : plan_(compile_suite(spec)), shared_(shared_workloads) {
+  if (!shared_) {
+    models::WorkloadOptions wo;
+    wo.eval_inputs = plan_.spec.inputs;
+    wo.seed = plan_.spec.seed;
+    owned_ = std::make_unique<models::WorkloadCache>(wo);
+    return;
+  }
+  // A shared cache built for a different seed or input count would hand
+  // out workloads whose goldens disagree with what the checkpoint
+  // fingerprints claim (they record spec.seed, nothing
+  // workload-derived) — refuse up front rather than mix campaigns.
+  if (shared_->options().seed != plan_.spec.seed ||
+      shared_->options().eval_inputs != plan_.spec.inputs)
+    throw std::invalid_argument(
+        "Suite: shared WorkloadCache options (seed/eval_inputs) disagree "
+        "with the SuiteSpec");
+}
+
+const core::Bounds& Suite::bounds(models::ModelId id, ops::OpKind act) {
+  const auto key = std::make_pair(static_cast<int>(id),
+                                  static_cast<int>(act));
+  auto it = bounds_.find(key);
+  if (it == bounds_.end()) {
+    const models::Workload& w = workloads().get(id, act);
+    it = bounds_
+             .emplace(key, core::RangeProfiler{}.derive_bounds(
+                               w.graph, w.profile_feeds))
+             .first;
+  }
+  return it->second;
+}
+
+const graph::Graph& Suite::protected_graph(models::ModelId id,
+                                           ops::OpKind act) {
+  const auto key = std::make_pair(static_cast<int>(id),
+                                  static_cast<int>(act));
+  auto it = protected_.find(key);
+  if (it == protected_.end()) {
+    const models::Workload& w = workloads().get(id, act);
+    it = protected_
+             .emplace(key, core::RangerTransform{}.apply(w.graph,
+                                                         bounds(id, act)))
+             .first;
+  }
+  return it->second;
+}
+
+const TrialExecutor& Suite::executor(const SuiteCell& cell,
+                                     const graph::Graph& g,
+                                     const std::vector<Feeds>& inputs,
+                                     bool is_protected) {
+  const auto key = std::make_tuple(
+      static_cast<int>(cell.model), static_cast<int>(cell.act),
+      is_protected ? 1 : 0, static_cast<int>(cell.dtype));
+  auto it = executors_.find(key);
+  if (it == executors_.end()) {
+    // The fault model, trial count and seed never reach the executor —
+    // only (graph, dtype, backend, batch) do — so one compiled executor
+    // serves every cell of this (model, act, variant, dtype).
+    CampaignConfig ec;
+    ec.dtype = cell.dtype;
+    ec.threads = plan_.spec.threads;
+    const unsigned workers = util::worker_count(
+        std::max<std::size_t>(1, plan_.spec.check_every),
+        plan_.spec.threads);
+    it = executors_
+             .emplace(key, std::make_unique<TrialExecutor>(g, ec, inputs,
+                                                           workers))
+             .first;
+  }
+  return *it->second;
+}
+
+const std::vector<tensor::Tensor>& Suite::unprotected_goldens(
+    const SuiteCell& cell) {
+  const auto key = std::make_tuple(static_cast<int>(cell.model),
+                                   static_cast<int>(cell.act),
+                                   static_cast<int>(cell.dtype));
+  auto it = goldens_.find(key);
+  if (it == goldens_.end()) {
+    const models::Workload& w = workloads().get(cell.model, cell.act);
+    const TrialExecutor& ex =
+        executor(cell, w.graph, w.eval_feeds, /*is_protected=*/false);
+    std::vector<tensor::Tensor> golds;
+    golds.reserve(w.eval_feeds.size());
+    for (std::size_t i = 0; i < w.eval_feeds.size(); ++i)
+      golds.push_back(ex.golden_output(i));
+    it = goldens_.emplace(key, std::move(golds)).first;
+  }
+  return it->second;
+}
+
+SuiteResult Suite::run() {
+  const SuiteSpec& spec = plan_.spec;
+  if (!spec.checkpoint_dir.empty())
+    std::filesystem::create_directories(spec.checkpoint_dir);
+
+  SuiteResult out;
+  out.plan = plan_;
+  out.cells.reserve(plan_.cells.size());
+  for (const SuiteCell& cell : plan_.cells) {
+    const models::Workload& w = workloads().get(cell.model, cell.act);
+    if (w.eval_feeds.size() != spec.inputs)
+      throw std::runtime_error(
+          "Suite: workload produced " +
+          std::to_string(w.eval_feeds.size()) + " eval inputs for cell " +
+          cell.id + ", spec expects " + std::to_string(spec.inputs));
+
+    const bool is_protected = cell.technique != Technique::kUnprotected;
+    const graph::Graph* exec_g = &w.graph;
+    const graph::Graph* plan_g = &w.graph;
+    if (is_protected) {
+      exec_g = &protected_graph(cell.model, cell.act);
+      if (cell.technique == Technique::kRanger) plan_g = exec_g;
+    }
+
+    RunContext ctx;
+    ctx.plan_graph = plan_g;
+    ctx.exec_graph = exec_g;
+    ctx.executor = &executor(cell, *exec_g, w.eval_feeds, is_protected);
+    if (cell.technique == Technique::kRangerPaired)
+      ctx.judge_golden = &unprotected_goldens(cell);
+
+    RunnerConfig rc;
+    rc.campaign.dtype = cell.dtype;
+    rc.campaign.n_bits = cell.fault.n_bits;
+    rc.campaign.consecutive_bits = cell.fault.consecutive;
+    rc.campaign.trials_per_input = cell.trials_per_input;
+    rc.campaign.seed = spec.seed;
+    rc.campaign.threads = spec.threads;
+    rc.check_every = spec.check_every;
+    rc.max_new_trials = spec.max_new_trials;
+    rc.target_half_width_pct = spec.target_half_width_pct;
+    rc.shard_count = spec.shard_count;
+    rc.shard_index = cell_shard_index(spec.shard_index, spec.shard_count,
+                                      cell.shard_offset);
+    rc.label = cell.label;
+    if (!spec.checkpoint_dir.empty())
+      rc.checkpoint_path = (std::filesystem::path(spec.checkpoint_dir) /
+                            checkpoint_filename(spec, cell))
+                               .string();
+
+    const CampaignRunner runner(rc);
+    out.cells.push_back(
+        {cell, runner.run(ctx, w.eval_feeds,
+                          models::default_judges(cell.model))});
+  }
+  return out;
+}
+
+SuiteResult Suite::merge(const std::vector<std::string>& dirs) const {
+  const SuiteSpec& spec = plan_.spec;
+  SuiteResult out;
+  out.plan = plan_;
+  out.cells.reserve(plan_.cells.size());
+  for (const SuiteCell& cell : plan_.cells) {
+    const std::string prefix = spec.name + "." + cell.id + ".s";
+    std::vector<std::string> paths;
+    for (const std::string& dir : dirs) {
+      if (!std::filesystem::is_directory(dir)) continue;
+      for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        const std::string name = entry.path().filename().string();
+        if (name.starts_with(prefix) && name.ends_with(".jsonl"))
+          paths.push_back(entry.path().string());
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+    if (paths.empty())
+      throw std::runtime_error("Suite::merge: no checkpoints for cell " +
+                               cell.id);
+    CheckpointHeader header;
+    CampaignReport report = merge_checkpoints(paths, &header);
+    if (header.seed != spec.seed || header.inputs != spec.inputs ||
+        header.trials_per_input != cell.trials_per_input ||
+        header.dtype != tensor::dtype_name(cell.dtype) ||
+        header.n_bits != cell.fault.n_bits ||
+        header.consecutive_bits != cell.fault.consecutive)
+      throw std::runtime_error(
+          "Suite::merge: checkpoints for cell " + cell.id +
+          " were written by a different suite configuration");
+    out.cells.push_back({cell, std::move(report)});
+  }
+  return out;
+}
+
+// ---- Manifest ---------------------------------------------------------------
+
+void write_suite_manifest(const std::string& path, const SuiteResult& r) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f)
+    throw std::runtime_error("write_suite_manifest: cannot write " + path);
+  const SuiteSpec& spec = r.plan.spec;
+  std::fprintf(f,
+               "{\n"
+               "  \"suite\": \"%s\",\n"
+               "  \"seed\": %" PRIu64 ",\n"
+               "  \"inputs\": %zu,\n"
+               "  \"trials_small\": %zu,\n"
+               "  \"trials_divisor\": %zu,\n"
+               "  \"shard\": \"%zu/%zu\",\n"
+               "  \"total_trials\": %zu,\n",
+               spec.name.c_str(), spec.seed, spec.inputs, spec.trials_small,
+               spec.trials_divisor, spec.shard_index, spec.shard_count,
+               r.plan.total_trials);
+  // Host metadata, so artifacts from different machines are comparable
+  // (results are host-independent; throughput and thread counts are not).
+  std::fprintf(f,
+               "  \"host\": {\"hardware_concurrency\": %u, \"backend\": "
+               "\"%s\", \"threads\": %u},\n",
+               std::thread::hardware_concurrency(),
+               std::string(ops::backend_name(ops::default_backend())).c_str(),
+               spec.threads);
+
+  std::fprintf(f, "  \"cells\": [");
+  for (std::size_t i = 0; i < r.cells.size(); ++i) {
+    const SuiteCell& c = r.cells[i].cell;
+    const CampaignReport& rep = r.cells[i].report;
+    std::fprintf(f,
+                 "%s\n    {\"id\": \"%s\", \"label\": \"%s\", \"model\": "
+                 "\"%s\", \"act\": \"%s\", \"dtype\": \"%s\", \"n_bits\": "
+                 "%d, \"consecutive\": %d, \"technique\": \"%s\", "
+                 "\"trials_per_input\": %zu, \"planned\": %zu, "
+                 "\"executed\": %zu, \"judges\": [",
+                 i ? "," : "", c.id.c_str(), c.label.c_str(),
+                 models::model_token(c.model).c_str(),
+                 std::string(act_token(c.act)).c_str(),
+                 std::string(dtype_token(c.dtype)).c_str(),
+                 c.fault.n_bits, c.fault.consecutive ? 1 : 0,
+                 std::string(technique_token(c.technique)).c_str(),
+                 c.trials_per_input, c.total_trials, rep.executed());
+    for (std::size_t j = 0; j < rep.aggregate.size(); ++j) {
+      const CampaignResult& a = rep.aggregate[j];
+      const util::Interval w = a.wilson95();
+      std::fprintf(f,
+                   "%s{\"trials\": %zu, \"sdcs\": %zu, \"rate_pct\": "
+                   "%.17g, \"wilson_pct\": %.17g, \"wilson_half_pct\": "
+                   "%.17g}",
+                   j ? ", " : "", a.trials, a.sdcs, a.sdc_rate_pct(),
+                   100.0 * w.center, 100.0 * w.half_width);
+    }
+    std::fprintf(f, "]}");
+  }
+  std::fprintf(f, "\n  ],\n");
+
+  std::fprintf(f, "  \"coverage\": [");
+  bool first = true;
+  for (std::size_t i = 0; i < r.cells.size(); ++i) {
+    const auto cov = paired_coverage(r, i);
+    if (!cov) continue;
+    std::fprintf(f,
+                 "%s\n    {\"cell\": \"%s\", \"sdcs\": %zu, \"covered\": "
+                 "%zu, \"coverage_pct\": %.17g}",
+                 first ? "" : ",", r.cells[i].cell.id.c_str(), cov->sdcs,
+                 cov->covered, cov->pct());
+    first = false;
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+}
+
+// ---- Report layer -----------------------------------------------------------
+
+std::string pct_pm(const CampaignResult& r) {
+  const util::Interval w = r.wilson95();
+  return util::Table::fmt(100.0 * w.center, 2) + " ±" +
+         util::Table::fmt(100.0 * w.half_width, 2);
+}
+
+std::optional<PairedCoverage> paired_coverage(
+    const SuiteResult& r, std::size_t paired_cell_index) {
+  if (paired_cell_index >= r.cells.size()) return std::nullopt;
+  const SuiteCellResult& paired = r.cells[paired_cell_index];
+  if (paired.cell.technique != Technique::kRangerPaired)
+    return std::nullopt;
+  const SuiteCellResult* plain = nullptr;
+  for (const SuiteCellResult& c : r.cells)
+    if (c.cell.technique == Technique::kUnprotected &&
+        same_dims(c.cell, paired.cell)) {
+      plain = &c;
+      break;
+    }
+  if (!plain) return std::nullopt;
+
+  // Both cells draw the identical fault stream (same planner config on
+  // the same planning graph), so records join one-to-one on the trial
+  // index; partial runs join on the intersection.
+  PairedCoverage cov;
+  std::size_t a = 0, b = 0;
+  const auto& ru = plain->report.records;
+  const auto& rp = paired.report.records;
+  while (a < ru.size() && b < rp.size()) {
+    if (ru[a].trial < rp[b].trial) ++a;
+    else if (ru[a].trial > rp[b].trial) ++b;
+    else {
+      if (ru[a].sdc_mask != 0) {
+        ++cov.sdcs;
+        if (rp[b].sdc_mask == 0) ++cov.covered;
+      }
+      ++a;
+      ++b;
+    }
+  }
+  return cov;
+}
+
+namespace {
+
+// Models in spec order that have both techniques for (dtype, fault) and
+// satisfy `steering` — the row sources of every figure table.
+struct CellPair {
+  models::ModelId model{};
+  const SuiteCellResult* plain = nullptr;
+  const SuiteCellResult* ranger = nullptr;
+};
+
+std::vector<CellPair> collect_pairs(const SuiteResult& r,
+                                    tensor::DType dtype,
+                                    const FaultModelSpec& fault,
+                                    bool steering) {
+  std::vector<CellPair> out;
+  for (const models::ModelId id : r.plan.spec.models) {
+    if (models::is_steering(id) != steering) continue;
+    const SuiteCellResult* plain =
+        find_cell(r, id, ops::OpKind::kInput, dtype, fault,
+                  Technique::kUnprotected);
+    const SuiteCellResult* ranger = find_cell(
+        r, id, ops::OpKind::kInput, dtype, fault, Technique::kRanger);
+    if (plain && ranger) out.push_back({id, plain, ranger});
+  }
+  return out;
+}
+
+}  // namespace
+
+void print_fig6(const SuiteResult& r) {
+  const auto pairs =
+      collect_pairs(r, tensor::DType::kFixed32, {1, false}, false);
+  if (pairs.empty()) {
+    std::printf("fig6: grid has no classifier fixed32 single-bit "
+                "{unprotected, ranger} cells\n");
+    return;
+  }
+  util::Table table({"model", "SDC orig (%)", "SDC Ranger (%)",
+                     "reduction"});
+  double sum_orig = 0.0, sum_ranger = 0.0;
+  std::size_t rows = 0;
+  for (const CellPair& p : pairs) {
+    const auto labels = models::judge_labels(p.model);
+    for (std::size_t j = 0; j < labels.size(); ++j) {
+      const CampaignResult& o = p.plain->report.aggregate[j];
+      const CampaignResult& g = p.ranger->report.aggregate[j];
+      sum_orig += o.sdc_rate_pct();
+      sum_ranger += g.sdc_rate_pct();
+      ++rows;
+      table.add_row({labels[j], pct_pm(o), pct_pm(g),
+                     reduction_str(o.sdc_rate_pct(), g.sdc_rate_pct())});
+    }
+  }
+  table.add_row({"Average",
+                 util::Table::fmt(sum_orig / static_cast<double>(rows), 2),
+                 util::Table::fmt(sum_ranger / static_cast<double>(rows), 2),
+                 reduction_str(sum_orig, sum_ranger)});
+  table.print();
+}
+
+void print_fig7(const SuiteResult& r) {
+  const auto pairs =
+      collect_pairs(r, tensor::DType::kFixed32, {1, false}, true);
+  if (pairs.empty()) {
+    std::printf("fig7: grid has no steering fixed32 single-bit "
+                "{unprotected, ranger} cells\n");
+    return;
+  }
+  util::Table table({"model-threshold", "SDC orig (%)", "SDC Ranger (%)"});
+  for (const CellPair& p : pairs) {
+    const auto labels = models::judge_labels(p.model);
+    double so = 0.0, sr = 0.0;
+    for (std::size_t j = 0; j < labels.size(); ++j) {
+      const CampaignResult& o = p.plain->report.aggregate[j];
+      const CampaignResult& g = p.ranger->report.aggregate[j];
+      so += o.sdc_rate_pct();
+      sr += g.sdc_rate_pct();
+      table.add_row({labels[j], pct_pm(o), pct_pm(g)});
+    }
+    const double n = static_cast<double>(labels.size());
+    table.add_row({models::model_name(p.model) + " (Avg.)",
+                   util::Table::fmt(so / n, 2),
+                   util::Table::fmt(sr / n, 2)});
+  }
+  table.print();
+}
+
+void print_fig9(const SuiteResult& r) {
+  util::Table table({"model (avg over metrics)", "SDC orig (%)",
+                     "SDC Ranger (%)"});
+  double sum_orig = 0.0, sum_ranger = 0.0;
+  std::size_t rows = 0;
+  for (const models::ModelId id : r.plan.spec.models) {
+    const SuiteCellResult* plain =
+        find_cell(r, id, ops::OpKind::kInput, tensor::DType::kFixed16,
+                  {1, false}, Technique::kUnprotected);
+    const SuiteCellResult* ranger =
+        find_cell(r, id, ops::OpKind::kInput, tensor::DType::kFixed16,
+                  {1, false}, Technique::kRanger);
+    if (!plain || !ranger) continue;
+    double so = 0.0, sr = 0.0;
+    const std::size_t judges = plain->report.aggregate.size();
+    for (std::size_t j = 0; j < judges; ++j) {
+      so += plain->report.aggregate[j].sdc_rate_pct();
+      sr += ranger->report.aggregate[j].sdc_rate_pct();
+    }
+    so /= static_cast<double>(judges);
+    sr /= static_cast<double>(judges);
+    sum_orig += so;
+    sum_ranger += sr;
+    ++rows;
+    table.add_row({models::model_name(id), util::Table::fmt(so, 2),
+                   util::Table::fmt(sr, 2)});
+  }
+  if (rows == 0) {
+    std::printf("fig9: grid has no fixed16 single-bit "
+                "{unprotected, ranger} cells\n");
+    return;
+  }
+  const double n = static_cast<double>(rows);
+  table.add_row({"Average", util::Table::fmt(sum_orig / n, 2),
+                 util::Table::fmt(sum_ranger / n, 2)});
+  table.print();
+}
+
+namespace {
+
+// Shared shape of the two multi-bit figures (11: classifiers per judge,
+// 12: steering averaged over thresholds).
+void print_multibit(const SuiteResult& r, bool steering, bool per_judge,
+                    const char* missing_note) {
+  util::Table table({"model", "bits", "SDC orig (%)", "SDC Ranger (%)"});
+  double sum_orig = 0.0, sum_ranger = 0.0;
+  std::size_t rows = 0;
+  for (const models::ModelId id : r.plan.spec.models) {
+    if (models::is_steering(id) != steering) continue;
+    for (int bits = 2; bits <= 5; ++bits) {
+      const SuiteCellResult* plain =
+          find_cell(r, id, ops::OpKind::kInput, tensor::DType::kFixed32,
+                    {bits, false}, Technique::kUnprotected);
+      const SuiteCellResult* ranger =
+          find_cell(r, id, ops::OpKind::kInput, tensor::DType::kFixed32,
+                    {bits, false}, Technique::kRanger);
+      if (!plain || !ranger) continue;
+      if (per_judge) {
+        const auto labels = models::judge_labels(id);
+        for (std::size_t j = 0; j < labels.size(); ++j) {
+          const CampaignResult& o = plain->report.aggregate[j];
+          const CampaignResult& g = ranger->report.aggregate[j];
+          sum_orig += o.sdc_rate_pct();
+          sum_ranger += g.sdc_rate_pct();
+          ++rows;
+          table.add_row({labels[j], std::to_string(bits), pct_pm(o),
+                         pct_pm(g)});
+        }
+      } else {
+        double so = 0.0, sr = 0.0;
+        const std::size_t judges = plain->report.aggregate.size();
+        for (std::size_t j = 0; j < judges; ++j) {
+          so += plain->report.aggregate[j].sdc_rate_pct();
+          sr += ranger->report.aggregate[j].sdc_rate_pct();
+        }
+        so /= static_cast<double>(judges);
+        sr /= static_cast<double>(judges);
+        sum_orig += so;
+        sum_ranger += sr;
+        ++rows;
+        table.add_row({models::model_name(id), std::to_string(bits),
+                       util::Table::fmt(so, 2), util::Table::fmt(sr, 2)});
+      }
+    }
+  }
+  if (rows == 0) {
+    std::printf("%s\n", missing_note);
+    return;
+  }
+  const double n = static_cast<double>(rows);
+  table.add_row({"Average", "2-5", util::Table::fmt(sum_orig / n, 2),
+                 util::Table::fmt(sum_ranger / n, 2)});
+  table.print();
+}
+
+}  // namespace
+
+void print_fig11(const SuiteResult& r) {
+  print_multibit(r, /*steering=*/false, /*per_judge=*/true,
+                 "fig11: grid has no classifier multi-bit (2-5) "
+                 "{unprotected, ranger} cells");
+}
+
+void print_fig12(const SuiteResult& r) {
+  print_multibit(r, /*steering=*/true, /*per_judge=*/false,
+                 "fig12: grid has no steering multi-bit (2-5) "
+                 "{unprotected, ranger} cells");
+}
+
+void print_table6_coverage(const SuiteResult& r, Suite* suite) {
+  util::Table table({"model", "Ranger SDC coverage", "overhead"});
+  double cov_sum = 0.0, ovh_sum = 0.0;
+  std::size_t rows = 0;
+  bool have_overhead = suite != nullptr;
+  for (std::size_t i = 0; i < r.cells.size(); ++i) {
+    const auto cov = paired_coverage(r, i);
+    if (!cov) continue;
+    const SuiteCell& c = r.cells[i].cell;
+    std::string overhead = "-";
+    if (suite) {
+      const models::Workload& w = suite->workloads().get(c.model, c.act);
+      const double pct = core::flops_overhead_pct(
+          w.graph, suite->protected_graph(c.model, c.act));
+      ovh_sum += pct;
+      overhead = util::Table::pct(pct, 2);
+    }
+    cov_sum += cov->pct();
+    ++rows;
+    table.add_row({r.cells[i].cell.label, util::Table::pct(cov->pct(), 2),
+                   overhead});
+  }
+  if (rows == 0) {
+    std::printf("table6: grid has no (unprotected, ranger-paired) cell "
+                "pairs to join coverage from\n");
+    return;
+  }
+  const double n = static_cast<double>(rows);
+  table.add_row({"Average", util::Table::pct(cov_sum / n, 2),
+                 have_overhead ? util::Table::pct(ovh_sum / n, 2) : "-"});
+  table.print();
+}
+
+namespace {
+
+void print_cells(const SuiteResult& r) {
+  util::Table table({"cell", "planned", "executed", "SDCs per metric"});
+  for (const SuiteCellResult& c : r.cells) {
+    std::string sdcs;
+    for (const CampaignResult& a : c.report.aggregate) {
+      if (!sdcs.empty()) sdcs += ",";
+      sdcs += std::to_string(a.sdcs);
+    }
+    table.add_row({c.cell.id, std::to_string(c.cell.total_trials),
+                   std::to_string(c.report.executed()), sdcs});
+  }
+  table.print();
+}
+
+}  // namespace
+
+void print_suite_report(const SuiteResult& r, const std::string& mode,
+                        Suite* suite) {
+  const bool all = mode == "all";
+  if (all || mode == "cells") print_cells(r);
+  const auto section = [&](const char* name, auto&& fn) {
+    if (!all && mode != name) return;
+    std::printf("\n-- %s --\n", name);
+    fn();
+  };
+  section("fig6", [&] { print_fig6(r); });
+  section("fig7", [&] { print_fig7(r); });
+  section("fig9", [&] { print_fig9(r); });
+  section("fig11", [&] { print_fig11(r); });
+  section("fig12", [&] { print_fig12(r); });
+  section("table6", [&] { print_table6_coverage(r, suite); });
+}
+
+}  // namespace rangerpp::fi

@@ -301,4 +301,29 @@ SteeringMetrics steering_metrics(const graph::Graph& g,
                          util::avg_abs_deviation(pred, target)};
 }
 
+const Workload& WorkloadCache::get(ModelId id, ops::OpKind act) {
+  const auto key =
+      std::make_pair(static_cast<int>(id), static_cast<int>(act));
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    WorkloadOptions wo = base_;
+    wo.act = act;
+    it = cache_
+             .emplace(key, std::make_unique<Workload>(make_workload(id, wo)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::size_t scaled_trials(ModelId id, std::size_t trials_small) {
+  switch (id) {
+    case ModelId::kVgg16:
+    case ModelId::kResNet18:
+    case ModelId::kSqueezeNet:
+      return std::max<std::size_t>(100, trials_small / 4);
+    default:
+      return trials_small;
+  }
+}
+
 }  // namespace rangerpp::models

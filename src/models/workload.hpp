@@ -4,6 +4,9 @@
 // and caching them on disk), and builds the unprotected inference graph.
 #pragma once
 
+#include <map>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "data/synthetic.hpp"
@@ -39,6 +42,35 @@ struct Workload {
 };
 
 Workload make_workload(ModelId id, const WorkloadOptions& options = {});
+
+// Builds each (model, activation-variant) workload at most once and hands
+// out stable references — the construction (training or loading weights,
+// synthesising datasets) dominates small campaigns, and a suite of many
+// cells over the same models must not pay it per cell.  Options other
+// than `act` are fixed at cache construction so every cached workload is
+// comparable.  Not thread-safe; the orchestrators that own one build
+// cells sequentially.
+class WorkloadCache {
+ public:
+  explicit WorkloadCache(WorkloadOptions base = {}) : base_(base) {}
+
+  // `act` uses the WorkloadOptions convention (kInput sentinel = the
+  // model's published activation).
+  const Workload& get(ModelId id, ops::OpKind act = ops::OpKind::kInput);
+
+  const WorkloadOptions& options() const { return base_; }
+  std::size_t size() const { return cache_.size(); }
+
+ private:
+  WorkloadOptions base_;
+  std::map<std::pair<int, int>, std::unique_ptr<Workload>> cache_;
+};
+
+// The shared trial-count rule for campaign suites and benches: the
+// ImageNet-scale models are ~10x the inference cost, so they run a
+// quarter of the small-model trial count (the paper likewise reduces
+// their campaigns, 3000 vs 5000), floored at 100 trials.
+std::size_t scaled_trials(ModelId id, std::size_t trials_small);
 
 // SDC judges appropriate for a model: {top1} for small classifiers,
 // {top1, top5} for the ImageNet-scale ones, or the four steering-deviation

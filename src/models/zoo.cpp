@@ -310,6 +310,31 @@ std::string model_name(ModelId id) {
   return "?";
 }
 
+std::string model_token(ModelId id) {
+  switch (id) {
+    case ModelId::kLeNet: return "lenet";
+    case ModelId::kAlexNet: return "alexnet";
+    case ModelId::kVgg11: return "vgg11";
+    case ModelId::kVgg16: return "vgg16";
+    case ModelId::kResNet18: return "resnet18";
+    case ModelId::kSqueezeNet: return "squeezenet";
+    case ModelId::kDave: return "dave";
+    case ModelId::kDaveDegrees: return "dave-degrees";
+    case ModelId::kComma: return "comma";
+  }
+  return "?";
+}
+
+std::optional<ModelId> model_from_token(std::string_view token) {
+  static constexpr ModelId kAll[] = {
+      ModelId::kLeNet,      ModelId::kAlexNet, ModelId::kVgg11,
+      ModelId::kVgg16,      ModelId::kResNet18, ModelId::kSqueezeNet,
+      ModelId::kDave,       ModelId::kDaveDegrees, ModelId::kComma};
+  for (const ModelId id : kAll)
+    if (token == model_token(id)) return id;
+  return std::nullopt;
+}
+
 bool reports_top5(ModelId id) {
   return id == ModelId::kVgg16 || id == ModelId::kResNet18 ||
          id == ModelId::kSqueezeNet;

@@ -16,7 +16,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "graph/graph.hpp"
 #include "models/arch.hpp"
@@ -36,6 +38,12 @@ enum class ModelId {
 };
 
 std::string model_name(ModelId id);
+
+// Stable lowercase CLI/identifier token ("lenet", "resnet18", …) and its
+// inverse — the grammar campaign_cli/suite_cli and the suite's cell ids
+// share, so a cell id written by one tool parses in another.
+std::string model_token(ModelId id);
+std::optional<ModelId> model_from_token(std::string_view token);
 
 // True for the ImageNet-scale classifiers where the paper reports both
 // top-1 and top-5 SDC rates.

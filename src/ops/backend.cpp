@@ -23,16 +23,23 @@ std::optional<KernelBackend> parse_backend(std::string_view s) {
   return std::nullopt;
 }
 
+KernelBackend backend_from_env(const char* value, std::string* warning) {
+  if (warning) warning->clear();
+  if (!value) return KernelBackend::kBlocked;
+  if (const auto parsed = parse_backend(value)) return *parsed;
+  if (warning)
+    *warning = std::string("rangerpp: ignoring RANGERPP_BACKEND=") + value +
+               " (want scalar|blocked)";
+  return KernelBackend::kBlocked;
+}
+
 KernelBackend default_backend() {
   static const KernelBackend cached = [] {
-    const char* v = std::getenv("RANGERPP_BACKEND");
-    if (!v) return KernelBackend::kBlocked;
-    if (const auto parsed = parse_backend(v)) return *parsed;
-    std::fprintf(stderr,
-                 "rangerpp: ignoring RANGERPP_BACKEND=%s "
-                 "(want scalar|blocked)\n",
-                 v);
-    return KernelBackend::kBlocked;
+    std::string warning;
+    const KernelBackend b =
+        backend_from_env(std::getenv("RANGERPP_BACKEND"), &warning);
+    if (!warning.empty()) std::fprintf(stderr, "%s\n", warning.c_str());
+    return b;
   }();
   return cached;
 }

@@ -32,6 +32,7 @@
 #include <functional>
 #include <optional>
 #include <span>
+#include <string>
 #include <string_view>
 
 #include "ops/op.hpp"
@@ -46,9 +47,18 @@ std::string_view backend_name(KernelBackend b);
 // "scalar" / "blocked" -> backend; nullopt for anything else.
 std::optional<KernelBackend> parse_backend(std::string_view s);
 
+// Resolves an environment override value (nullptr = unset) to the backend
+// to use.  An unparseable value falls back to kBlocked and, when `warning`
+// is non-null, stores the message the caller should print — factored out
+// of default_backend() so the fallback path is unit-testable despite the
+// process-wide cache.
+KernelBackend backend_from_env(const char* value,
+                               std::string* warning = nullptr);
+
 // Process-wide default: RANGERPP_BACKEND when set to a valid name,
-// otherwise kBlocked.  Read once (first call) so a plan compiled early and
-// a plan compiled late in the process always agree.
+// otherwise kBlocked (a malformed value warns to stderr once and is
+// ignored).  Read once (first call) so a plan compiled early and a plan
+// compiled late in the process always agree.
 KernelBackend default_backend();
 
 // A node's compiled compute function.  `fn == nullptr` means "no special

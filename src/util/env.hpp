@@ -3,18 +3,31 @@
 // exactly one implementation (and one set of validation rules).
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <optional>
 
+#include "util/parse.hpp"
+
 namespace rangerpp::util {
 
-// Positive integer from the environment; `fallback` when unset or not a
-// positive number.
+// Non-negative integer from the environment; `fallback` when unset.  A
+// malformed value — trailing junk ("10x"), non-numeric ("abc"), negative,
+// out of range — must never silently coerce into a different trial count,
+// so it warns to stderr and keeps the default (same fallback convention
+// as RANGERPP_BACKEND in ops/backend.cpp).
 inline std::size_t env_size(const char* name, std::size_t fallback) {
   const char* v = std::getenv(name);
   if (!v) return fallback;
-  const long parsed = std::strtol(v, nullptr, 10);
-  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+  std::uint64_t parsed = 0;
+  if (!parse_u64(v, parsed)) {
+    std::fprintf(stderr,
+                 "rangerpp: ignoring %s=%s (want a non-negative integer); "
+                 "using %zu\n",
+                 name, v, fallback);
+    return fallback;
+  }
+  return static_cast<std::size_t>(parsed);
 }
 
 // A shard of a deterministic trial stream: run only trials t with

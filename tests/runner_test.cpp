@@ -6,10 +6,12 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "fi/report.hpp"
 #include "fi/runner.hpp"
 #include "graph/builder.hpp"
+#include "ops/backend.hpp"
 
 namespace rangerpp::fi {
 namespace {
@@ -306,6 +308,81 @@ TEST(Checkpoint, TornFinalLineIsDropped) {
   const Checkpoint cp = load_checkpoint(path);
   EXPECT_EQ(cp.records.size(), 179u);
   std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TornMidFileLineIsRecoveredAndResumeIsBitIdentical) {
+  // A torn line *mid-file* (disk-full write, interleaved writer crash)
+  // must lose only itself: the surrounding records are recovered with a
+  // warning, and a resume re-executes exactly the lost trial,
+  // reproducing the uninterrupted run bit for bit.
+  const graph::Graph g = relu_net();
+  const auto inputs = two_inputs();
+  const auto judges = dev1_judges();
+  const std::string path = temp_path("torn_mid.jsonl");
+  std::remove(path.c_str());
+
+  const CampaignReport ref =
+      CampaignRunner(base_config()).run(g, inputs, judges);
+
+  RunnerConfig rc = base_config();
+  rc.checkpoint_path = path;
+  CampaignRunner(rc).run(g, inputs, judges);
+
+  // Tear record line 50 (1-based file line 51) mid-record, keeping every
+  // line after it intact.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_GT(lines.size(), 60u);
+  const std::size_t torn = 50;
+  const std::size_t cut = lines[torn].find("\"stratum\"");
+  ASSERT_NE(cut, std::string::npos);
+  lines[torn] = lines[torn].substr(0, cut);
+  {
+    std::ofstream out(path, std::ios::trunc);
+    for (const std::string& l : lines) out << l << "\n";
+  }
+
+  // The load recovers all 179 intact records (180 minus the torn line).
+  const Checkpoint cp = load_checkpoint(path);
+  EXPECT_EQ(cp.records.size(), 179u);
+
+  // Resume executes only the lost trial and matches the reference.
+  const CampaignReport resumed = CampaignRunner(rc).run(g, inputs, judges);
+  EXPECT_TRUE(records_identical(resumed.records, ref.records));
+  // The rewritten file is canonical again.
+  const Checkpoint canonical = load_checkpoint(path);
+  EXPECT_EQ(canonical.records.size(), 180u);
+  std::remove(path.c_str());
+}
+
+TEST(Runner, InvalidBackendEnvWarnsAndFallsBack) {
+  // The campaign's kernel backend comes from RANGERPP_BACKEND; a typo
+  // must fall back to the default with a warning, never silently change
+  // behaviour (results are bit-identical across backends, but the
+  // operator should learn their override was ignored).
+  std::string warning;
+  EXPECT_EQ(ops::backend_from_env(nullptr, &warning),
+            ops::KernelBackend::kBlocked);
+  EXPECT_TRUE(warning.empty());
+
+  EXPECT_EQ(ops::backend_from_env("scalar", &warning),
+            ops::KernelBackend::kScalar);
+  EXPECT_TRUE(warning.empty());
+  EXPECT_EQ(ops::backend_from_env("blocked", &warning),
+            ops::KernelBackend::kBlocked);
+  EXPECT_TRUE(warning.empty());
+
+  EXPECT_EQ(ops::backend_from_env("blockedd", &warning),
+            ops::KernelBackend::kBlocked);
+  EXPECT_NE(warning.find("RANGERPP_BACKEND=blockedd"), std::string::npos);
+  // A later valid value clears the previous warning.
+  EXPECT_EQ(ops::backend_from_env("scalar", &warning),
+            ops::KernelBackend::kScalar);
+  EXPECT_TRUE(warning.empty());
 }
 
 TEST(Checkpoint, HeaderFingerprintDiscriminates) {

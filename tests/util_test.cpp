@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "util/env.hpp"
+#include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -11,6 +13,60 @@
 
 namespace rangerpp::util {
 namespace {
+
+TEST(Parse, U64RequiresTheWholeString) {
+  std::uint64_t v = 99;
+  EXPECT_TRUE(parse_u64("0", v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(parse_u64("1234", v));
+  EXPECT_EQ(v, 1234u);
+
+  EXPECT_FALSE(parse_u64("", v));
+  EXPECT_FALSE(parse_u64(nullptr, v));
+  EXPECT_FALSE(parse_u64("10x", v));   // trailing junk must not become 10
+  EXPECT_FALSE(parse_u64("abc", v));   // must not become 0
+  EXPECT_FALSE(parse_u64(" 12", v));
+  EXPECT_FALSE(parse_u64("-3", v));    // must not wrap into a huge value
+  EXPECT_FALSE(parse_u64("+3", v));
+  EXPECT_FALSE(parse_u64("99999999999999999999999", v));  // overflow
+}
+
+TEST(Parse, I64AndF64) {
+  std::int64_t i = 0;
+  EXPECT_TRUE(parse_i64("-42", i));
+  EXPECT_EQ(i, -42);
+  EXPECT_FALSE(parse_i64("42.5", i));
+  EXPECT_FALSE(parse_i64("", i));
+
+  double d = 0.0;
+  EXPECT_TRUE(parse_f64("2.5", d));
+  EXPECT_DOUBLE_EQ(d, 2.5);
+  EXPECT_TRUE(parse_f64("-1e3", d));
+  EXPECT_DOUBLE_EQ(d, -1000.0);
+  EXPECT_FALSE(parse_f64("2.5pct", d));
+  EXPECT_FALSE(parse_f64("", d));
+}
+
+TEST(Env, EnvSizeWarnsAndKeepsDefaultOnMalformedValues) {
+  const char* name = "RANGERPP_ENV_SIZE_TEST";
+  unsetenv(name);
+  EXPECT_EQ(env_size(name, 7), 7u);
+
+  setenv(name, "12", 1);
+  EXPECT_EQ(env_size(name, 7), 12u);
+  setenv(name, "0", 1);
+  EXPECT_EQ(env_size(name, 7), 0u);
+
+  // Malformed values fall back to the default instead of silently
+  // running a different trial count ("10x" used to become 10).
+  setenv(name, "10x", 1);
+  EXPECT_EQ(env_size(name, 7), 7u);
+  setenv(name, "abc", 1);
+  EXPECT_EQ(env_size(name, 7), 7u);
+  setenv(name, "-5", 1);
+  EXPECT_EQ(env_size(name, 7), 7u);
+  unsetenv(name);
+}
 
 TEST(Stats, MeanVarianceStddev) {
   const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};

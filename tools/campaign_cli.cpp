@@ -31,7 +31,9 @@
 #include "core/ranger_transform.hpp"
 #include "fi/report.hpp"
 #include "fi/runner.hpp"
+#include "fi/suite.hpp"
 #include "models/workload.hpp"
+#include "tools/cli_flags.hpp"
 #include "util/env.hpp"
 
 using namespace rangerpp;
@@ -74,34 +76,23 @@ using util::env_size;
   std::exit(2);
 }
 
-bool parse_model(const std::string& s, models::ModelId& out) {
-  const struct {
-    const char* name;
-    models::ModelId id;
-  } table[] = {
-      {"lenet", models::ModelId::kLeNet},
-      {"alexnet", models::ModelId::kAlexNet},
-      {"vgg11", models::ModelId::kVgg11},
-      {"vgg16", models::ModelId::kVgg16},
-      {"resnet18", models::ModelId::kResNet18},
-      {"squeezenet", models::ModelId::kSqueezeNet},
-      {"dave", models::ModelId::kDave},
-      {"dave-degrees", models::ModelId::kDaveDegrees},
-      {"comma", models::ModelId::kComma},
-  };
-  for (const auto& e : table)
-    if (s == e.name) {
-      out = e.id;
-      return true;
-    }
-  return false;
+// Checked numeric flag parsing (tools/cli_flags.hpp): a malformed value
+// exits with the usage message, never silently coerces to 0/garbage.
+std::size_t size_flag(const std::string& flag, const std::string& v) {
+  return cli::size_flag(&usage, flag, v);
+}
+int int_flag(const std::string& flag, const std::string& v, int lo,
+             int hi) {
+  return cli::int_flag(&usage, flag, v, lo, hi);
+}
+double double_flag(const std::string& flag, const std::string& v) {
+  return cli::double_flag(&usage, flag, v);
 }
 
 bool parse_dtype(const std::string& s, tensor::DType& out) {
-  if (s == "fixed32") out = tensor::DType::kFixed32;
-  else if (s == "fixed16") out = tensor::DType::kFixed16;
-  else if (s == "float32") out = tensor::DType::kFloat32;
-  else return false;
+  const auto dtype = fi::dtype_from_token(s);
+  if (!dtype) return false;
+  out = *dtype;
   return true;
 }
 
@@ -199,16 +190,16 @@ int main(int argc, char** argv) {
     if (arg == "--model") model_arg = value();
     else if (arg == "--ranger") ranger = true;
     else if (arg == "--dtype") dtype_arg = value();
-    else if (arg == "--nbits") rc.campaign.n_bits = std::atoi(value().c_str());
+    else if (arg == "--nbits")
+      rc.campaign.n_bits = int_flag(arg, value(), 1, 64);
     else if (arg == "--consecutive") rc.campaign.consecutive_bits = true;
     else if (arg == "--trials")
-      rc.campaign.trials_per_input = std::strtoull(value().c_str(), nullptr, 10);
-    else if (arg == "--inputs")
-      n_inputs = std::strtoull(value().c_str(), nullptr, 10);
-    else if (arg == "--seed")
-      rc.campaign.seed = std::strtoull(value().c_str(), nullptr, 10);
+      rc.campaign.trials_per_input = size_flag(arg, value());
+    else if (arg == "--inputs") n_inputs = size_flag(arg, value());
+    else if (arg == "--seed") rc.campaign.seed = size_flag(arg, value());
     else if (arg == "--threads")
-      rc.campaign.threads = static_cast<unsigned>(std::atoi(value().c_str()));
+      rc.campaign.threads =
+          static_cast<unsigned>(int_flag(arg, value(), 0, 1 << 16));
     else if (arg == "--shard") {
       const auto spec = util::parse_shard_spec(value().c_str());
       if (!spec) usage("--shard wants i/N with i < N");
@@ -217,13 +208,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--checkpoint") rc.checkpoint_path = value();
     else if (arg == "--stratified") rc.stratified.enabled = true;
     else if (arg == "--bit-group")
-      rc.stratified.bit_group_size = std::atoi(value().c_str());
+      rc.stratified.bit_group_size = int_flag(arg, value(), 1, 64);
     else if (arg == "--target-ci")
-      rc.target_half_width_pct = std::strtod(value().c_str(), nullptr);
+      rc.target_half_width_pct = double_flag(arg, value());
     else if (arg == "--check-every")
-      rc.check_every = std::strtoull(value().c_str(), nullptr, 10);
+      rc.check_every = size_flag(arg, value());
     else if (arg == "--max-new")
-      rc.max_new_trials = std::strtoull(value().c_str(), nullptr, 10);
+      rc.max_new_trials = size_flag(arg, value());
     else if (arg == "--quiet") quiet = true;
     else if (arg == "--merge") {
       merge_mode = true;
@@ -241,9 +232,10 @@ int main(int argc, char** argv) {
       return run_merge(merge_paths, merge_out, golden, quiet);
     }
 
-    models::ModelId id{};
     if (model_arg.empty()) usage("--model is required");
-    if (!parse_model(model_arg, id)) usage("unknown model");
+    const auto model = models::model_from_token(model_arg);
+    if (!model) usage("unknown model");
+    const models::ModelId id = *model;
     if (!parse_dtype(dtype_arg, rc.campaign.dtype)) usage("unknown dtype");
 
     models::WorkloadOptions wo;

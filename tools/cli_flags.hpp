@@ -1,0 +1,46 @@
+// Checked numeric flag parsing shared by campaign_cli and suite_cli —
+// one copy of the "malformed value exits with the tool's usage message"
+// policy, built on the strict full-string parsers in util/parse.hpp.
+// `--nbits foo` or `--trials 10x` must never silently coerce to 0/10
+// and corrupt a campaign config.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/parse.hpp"
+
+namespace rangerpp::cli {
+
+// Each tool passes its own [[noreturn]] usage printer.
+using UsageFn = void (*)(const char*);
+
+inline std::size_t size_flag(UsageFn usage, const std::string& flag,
+                             const std::string& v) {
+  std::uint64_t out = 0;
+  if (!util::parse_u64(v.c_str(), out))
+    usage((flag + " wants a non-negative integer, got '" + v + "'").c_str());
+  return static_cast<std::size_t>(out);
+}
+
+inline int int_flag(UsageFn usage, const std::string& flag,
+                    const std::string& v, int min_value, int max_value) {
+  std::int64_t out = 0;
+  if (!util::parse_i64(v.c_str(), out) || out < min_value ||
+      out > max_value)
+    usage((flag + " wants an integer in [" + std::to_string(min_value) +
+           ", " + std::to_string(max_value) + "], got '" + v + "'")
+              .c_str());
+  return static_cast<int>(out);
+}
+
+inline double double_flag(UsageFn usage, const std::string& flag,
+                          const std::string& v) {
+  double out = 0.0;
+  if (!util::parse_f64(v.c_str(), out) || out < 0.0)
+    usage((flag + " wants a non-negative number, got '" + v + "'").c_str());
+  return out;
+}
+
+}  // namespace rangerpp::cli

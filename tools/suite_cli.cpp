@@ -1,0 +1,258 @@
+// suite_cli — run the zoo-wide campaign suite (fi::Suite) from the shell
+// and CI: one declarative grid of (model × act × dtype × fault-model ×
+// technique) cells, executed on the shared-cache orchestrator with
+// per-cell JSONL checkpoints, suite-level sharding, an aggregated
+// SUITE_<name>.json manifest and the figure/table report layer.
+//
+// Run (or resume) a shard of a suite:
+//   suite_cli --name smoke --models lenet,alexnet,dave
+//             --dtypes fixed32,fixed16 --techniques unprotected,ranger
+//             --trials 100 --inputs 2 --seed 2021
+//             [--shard 0/2] --dir build/suite [--report all]
+//
+// Merge the shard checkpoints written above (same grid flags; no trials
+// execute) and write the full-suite manifest:
+//   suite_cli --merge --name smoke ...same grid flags...
+//             --dir build/suite --out build/suite/SUITE_smoke.json
+//
+// The manifest is derived only from per-trial records and the spec, so a
+// merged-shards manifest is byte-identical to an unsharded run's — the
+// CI suite-smoke job gates on exactly that with `cmp`.
+//
+// Environment fallbacks (shared with the benches): RANGERPP_TRIALS,
+// RANGERPP_INPUTS, RANGERPP_SEED, RANGERPP_SHARD (overridden by --shard).
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fi/suite.hpp"
+#include "tools/cli_flags.hpp"
+#include "util/env.hpp"
+
+using namespace rangerpp;
+
+namespace {
+
+using util::env_size;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "suite_cli: %s\n\n", msg);
+  std::fprintf(
+      stderr,
+      "usage: suite_cli --models M[,M...] [options]\n"
+      "       suite_cli --merge --models M[,M...] [options] [--out FILE]\n"
+      "\n"
+      "grid dimensions:\n"
+      "  --models LIST        lenet alexnet vgg11 vgg16 resnet18\n"
+      "                       squeezenet dave dave-degrees comma\n"
+      "  --acts LIST          default | relu | tanh | sigmoid | elu\n"
+      "                       (default: default — the published act)\n"
+      "  --dtypes LIST        fixed32 | fixed16 | float32 (default fixed32)\n"
+      "  --nbits LIST         flips per trial, e.g. 1 or 2,3,4,5 (default 1)\n"
+      "  --consecutive        burst fault model: adjacent bits in one value\n"
+      "  --techniques LIST    unprotected | ranger | ranger-paired\n"
+      "                       (default unprotected,ranger; ranger-paired\n"
+      "                       plans faults on the unprotected graph and\n"
+      "                       replays them on the protected twin — the\n"
+      "                       Table VI coverage setup)\n"
+      "suite options:\n"
+      "  --name NAME          suite name (checkpoint/manifest prefix;\n"
+      "                       default 'suite')\n"
+      "  --trials N           trials per input for the small models\n"
+      "                       (ImageNet-scale models run N/4; default\n"
+      "                       $RANGERPP_TRIALS or 1000)\n"
+      "  --trials-divisor D   divide every cell's trials by D (Table VI\n"
+      "                       runs at half trials; default 1)\n"
+      "  --inputs N           FI inputs (default $RANGERPP_INPUTS or 8)\n"
+      "  --seed S             campaign seed (default $RANGERPP_SEED or 2021)\n"
+      "  --threads T          worker threads (default: all cores)\n"
+      "  --shard i/N          run only suite-global trials g with g%%N == i\n"
+      "  --dir DIR            checkpoint + manifest directory (default:\n"
+      "                       in-memory, manifest in the working dir)\n"
+      "  --check-every N      trials per checkpoint flush (default 256)\n"
+      "  --max-new N          at most N new trials per cell this run\n"
+      "  --target-ci PCT      per-cell early stop once judge 0's\n"
+      "                       Wilson-95 half-width is below PCT percent\n"
+      "                       (early-stopped cells execute a prefix, so\n"
+      "                       skip the merged-manifest cmp gate)\n"
+      "  --report MODE        cells | fig6 | fig7 | fig9 | fig11 | fig12 |\n"
+      "                       table6 | all | none (default cells)\n"
+      "  --out FILE           manifest path (default:\n"
+      "                       DIR/SUITE_<name>[.s<i>of<N>].json)\n"
+      "  --quiet              manifest only, no tables\n");
+  std::exit(2);
+}
+
+// Checked numeric flag parsing shared with campaign_cli
+// (tools/cli_flags.hpp).
+std::size_t size_flag(const std::string& flag, const std::string& v) {
+  return cli::size_flag(&usage, flag, v);
+}
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t end = s.find(',', start);
+    if (end == std::string::npos) end = s.size();
+    if (end > start) out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fi::SuiteSpec spec;
+  spec.trials_small = env_size("RANGERPP_TRIALS", 1000);
+  spec.inputs = env_size("RANGERPP_INPUTS", 8);
+  spec.seed = env_size("RANGERPP_SEED", 2021);
+  if (const char* s = std::getenv("RANGERPP_SHARD")) {
+    const auto shard = util::parse_shard_spec(s);
+    if (!shard) usage("bad RANGERPP_SHARD (want i/N with i < N)");
+    spec.shard_index = shard->index;
+    spec.shard_count = shard->count;
+  }
+  spec.models.clear();
+  spec.techniques = {fi::Technique::kUnprotected, fi::Technique::kRanger};
+
+  bool merge_mode = false, quiet = false, consecutive = false;
+  std::vector<int> nbits = {1};
+  std::string report_mode = "cells", out_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--models") {
+      for (const std::string& m : split_list(value())) {
+        const auto id = models::model_from_token(m);
+        if (!id) usage(("unknown model '" + m + "'").c_str());
+        spec.models.push_back(*id);
+      }
+    } else if (arg == "--acts") {
+      spec.acts.clear();
+      for (const std::string& a : split_list(value())) {
+        const auto act = fi::act_from_token(a);
+        if (!act) usage(("unknown act '" + a + "'").c_str());
+        spec.acts.push_back(*act);
+      }
+    } else if (arg == "--dtypes") {
+      spec.dtypes.clear();
+      for (const std::string& d : split_list(value())) {
+        const auto dtype = fi::dtype_from_token(d);
+        if (!dtype) usage(("unknown dtype '" + d + "'").c_str());
+        spec.dtypes.push_back(*dtype);
+      }
+    } else if (arg == "--nbits") {
+      nbits.clear();
+      for (const std::string& b : split_list(value()))
+        nbits.push_back(cli::int_flag(&usage, "--nbits", b, 1, 64));
+      if (nbits.empty()) usage("--nbits wants at least one value");
+    } else if (arg == "--consecutive") consecutive = true;
+    else if (arg == "--techniques") {
+      spec.techniques.clear();
+      for (const std::string& t : split_list(value())) {
+        const auto tech = fi::technique_from_token(t);
+        if (!tech) usage(("unknown technique '" + t + "'").c_str());
+        spec.techniques.push_back(*tech);
+      }
+    } else if (arg == "--name") spec.name = value();
+    else if (arg == "--trials") spec.trials_small = size_flag(arg, value());
+    else if (arg == "--trials-divisor") {
+      spec.trials_divisor = size_flag(arg, value());
+      if (spec.trials_divisor == 0) usage("--trials-divisor wants >= 1");
+    } else if (arg == "--inputs") spec.inputs = size_flag(arg, value());
+    else if (arg == "--seed") spec.seed = size_flag(arg, value());
+    else if (arg == "--threads")
+      spec.threads =
+          static_cast<unsigned>(cli::int_flag(&usage, arg, value(), 0,
+                                              1 << 16));
+    else if (arg == "--shard") {
+      const auto shard = util::parse_shard_spec(value().c_str());
+      if (!shard) usage("--shard wants i/N with i < N");
+      spec.shard_index = shard->index;
+      spec.shard_count = shard->count;
+    } else if (arg == "--dir") spec.checkpoint_dir = value();
+    else if (arg == "--check-every") {
+      spec.check_every = size_flag(arg, value());
+      if (spec.check_every == 0) usage("--check-every wants >= 1");
+    } else if (arg == "--max-new")
+      spec.max_new_trials = size_flag(arg, value());
+    else if (arg == "--target-ci")
+      spec.target_half_width_pct = cli::double_flag(&usage, arg, value());
+    else if (arg == "--report") {
+      report_mode = value();
+      const char* known[] = {"cells", "fig6",  "fig7",   "fig9", "fig11",
+                             "fig12", "table6", "all",   "none"};
+      bool ok = false;
+      for (const char* k : known) ok = ok || report_mode == k;
+      if (!ok) usage(("unknown report mode '" + report_mode + "'").c_str());
+    } else if (arg == "--merge") merge_mode = true;
+    else if (arg == "--out") out_path = value();
+    else if (arg == "--quiet") quiet = true;
+    else if (arg == "--help" || arg == "-h") usage();
+    else usage(("unknown flag " + arg).c_str());
+  }
+
+  if (spec.models.empty()) usage("--models is required");
+  spec.faults.clear();
+  for (const int b : nbits) {
+    fi::FaultModelSpec f;
+    f.n_bits = b;
+    f.consecutive = consecutive && b > 1;
+    spec.faults.push_back(f);
+  }
+
+  try {
+    fi::Suite suite(spec);
+    const fi::SuiteResult result =
+        merge_mode ? suite.merge({spec.checkpoint_dir.empty()
+                                      ? std::string(".")
+                                      : spec.checkpoint_dir})
+                   : suite.run();
+
+    if (out_path.empty()) {
+      std::string name = "SUITE_" + spec.name;
+      if (!merge_mode && spec.shard_count > 1)
+        name += ".s" + std::to_string(spec.shard_index) + "of" +
+                std::to_string(spec.shard_count);
+      name += ".json";
+      out_path = spec.checkpoint_dir.empty()
+                     ? name
+                     : (std::filesystem::path(spec.checkpoint_dir) / name)
+                           .string();
+    }
+    // A merged manifest describes the full suite, not one shard.
+    if (merge_mode) {
+      fi::SuitePlan full = result.plan;
+      // merge() already reports full-campaign records; the manifest's
+      // shard field must say 0/1 so it compares equal to an unsharded
+      // run's.
+      full.spec.shard_index = 0;
+      full.spec.shard_count = 1;
+      fi::SuiteResult relabelled{full, result.cells};
+      fi::write_suite_manifest(out_path, relabelled);
+      // Merge executes no trials; don't let the table6 overhead column
+      // pull in workload construction either (it prints "-" instead).
+      if (!quiet && report_mode != "none")
+        fi::print_suite_report(relabelled, report_mode, nullptr);
+    } else {
+      fi::write_suite_manifest(out_path, result);
+      if (!quiet && report_mode != "none")
+        fi::print_suite_report(result, report_mode, &suite);
+    }
+    std::printf("wrote %s (%zu cells, %zu trials planned)\n",
+                out_path.c_str(), result.plan.cells.size(),
+                result.plan.total_trials);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "suite_cli: %s\n", e.what());
+    return 2;
+  }
+}
