@@ -17,6 +17,7 @@
 #include "fi/campaign.hpp"
 #include "graph/dot_export.hpp"
 #include "models/workload.hpp"
+#include "util/parse.hpp"
 
 using namespace rangerpp;
 
@@ -84,20 +85,34 @@ std::optional<Args> parse(int argc, char** argv) {
       else if (*v == "fixed16") a.dtype = tensor::DType::kFixed16;
       else return std::nullopt;
     } else if (flag == "--trials") {
+      // Strict full-string parses (util/parse.hpp): "100x" or "abc" must
+      // refuse loudly, never silently run 100 (or 0) trials.
       const auto v = next();
-      if (!v) return std::nullopt;
-      a.trials = static_cast<std::size_t>(std::strtoul(v->c_str(), nullptr,
-                                                       10));
+      std::uint64_t trials = 0;
+      if (!v || !util::parse_u64(v->c_str(), trials)) {
+        std::fprintf(stderr, "--trials wants a non-negative integer\n");
+        return std::nullopt;
+      }
+      a.trials = static_cast<std::size_t>(trials);
     } else if (flag == "--bits") {
       const auto v = next();
-      if (!v) return std::nullopt;
-      a.bits = std::atoi(v->c_str());
+      std::int64_t bits = 0;
+      if (!v || !util::parse_i64(v->c_str(), bits)) {
+        std::fprintf(stderr, "--bits wants an integer\n");
+        return std::nullopt;
+      }
+      a.bits = static_cast<int>(bits);
     } else if (flag == "--consecutive") {
       a.consecutive = true;
     } else if (flag == "--percentile") {
       const auto v = next();
-      if (!v) return std::nullopt;
-      a.percentile = std::atof(v->c_str());
+      double pct = 0.0;
+      if (!v || !util::parse_f64(v->c_str(), pct) || pct < 0.0 ||
+          pct > 100.0) {
+        std::fprintf(stderr, "--percentile wants a number in [0, 100]\n");
+        return std::nullopt;
+      }
+      a.percentile = pct;
     } else if (flag == "--policy") {
       const auto v = next();
       if (!v) return std::nullopt;
@@ -111,8 +126,12 @@ std::optional<Args> parse(int argc, char** argv) {
       a.dot_path = *v;
     } else if (flag == "--seed") {
       const auto v = next();
-      if (!v) return std::nullopt;
-      a.seed = std::strtoull(v->c_str(), nullptr, 10);
+      std::uint64_t seed = 0;
+      if (!v || !util::parse_u64(v->c_str(), seed)) {
+        std::fprintf(stderr, "--seed wants a non-negative integer\n");
+        return std::nullopt;
+      }
+      a.seed = seed;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       return std::nullopt;

@@ -30,16 +30,20 @@ std::vector<graph::NodeId> fault_roots(const graph::Graph& g,
 TrialPlanner::TrialPlanner(const graph::Graph& g,
                            const CampaignConfig& config, std::size_t n_inputs,
                            StratifiedOptions stratified)
-    : config_(config),
-      n_inputs_(n_inputs),
-      stratified_(stratified),
-      sites_(g, config.dtype) {
+    : config_(config), n_inputs_(n_inputs), stratified_(stratified) {
   if (n_inputs_ == 0)
     throw std::invalid_argument("TrialPlanner: no inputs");
   // Validate here, on the caller's thread: plan() runs inside thread-pool
   // workers, where a throw would terminate the process.
   if (config_.n_bits < 1)
     throw std::invalid_argument("TrialPlanner: n_bits < 1");
+  const bool weight = config_.fault_class == FaultClass::kWeight;
+  if (weight && config_.weight_fault.n_bits < 1)
+    throw std::invalid_argument("TrialPlanner: weight_fault.n_bits < 1");
+  if (stratified_.enabled && weight)
+    throw std::invalid_argument(
+        "TrialPlanner: stratified sampling is not defined for weight-fault "
+        "campaigns (records are still post-stratified per const tensor)");
   if (stratified_.enabled &&
       (config_.n_bits != 1 || config_.consecutive_bits))
     throw std::invalid_argument(
@@ -48,21 +52,35 @@ TrialPlanner::TrialPlanner(const graph::Graph& g,
   if (stratified_.bit_group_size < 1)
     throw std::invalid_argument("TrialPlanner: bit_group_size < 1");
 
-  const int bits = sites_.dtype_bits();
+  // Exactly one site population exists per campaign; both expose the same
+  // (site × bit-group) strata shape, so the report layer is class-blind.
+  if (weight)
+    wsites_.emplace(g, config_.dtype);
+  else
+    sites_.emplace(g, config_.dtype);
+  const int bits = weight ? wsites_->dtype_bits() : sites_->dtype_bits();
+  const std::size_t n_sites =
+      weight ? wsites_->injectable_tensors() : sites_->injectable_nodes();
+  const auto site_name = [&](std::size_t i) -> const std::string& {
+    return weight ? wsites_->site_name(i) : sites_->site_name(i);
+  };
+  const auto site_elements = [&](std::size_t i) {
+    return weight ? wsites_->site_elements(i) : sites_->site_elements(i);
+  };
+  const double total = static_cast<double>(
+      weight ? wsites_->total_elements() : sites_->total_elements());
   const int group = std::min(stratified_.bit_group_size, bits);
   bit_groups_ =
       static_cast<std::size_t>((bits + group - 1) / group);
-  const double total =
-      static_cast<double>(sites_.total_elements());
-  for (std::size_t i = 0; i < sites_.injectable_nodes(); ++i) {
+  for (std::size_t i = 0; i < n_sites; ++i) {
     for (std::size_t b = 0; b < bit_groups_; ++b) {
       Stratum s;
       s.site = i;
       s.bit_lo = static_cast<int>(b) * group;
       s.bit_span = std::min(group, bits - s.bit_lo);
-      s.key = sites_.site_name(i) + ":b" + std::to_string(s.bit_lo) + "-" +
+      s.key = site_name(i) + ":b" + std::to_string(s.bit_lo) + "-" +
               std::to_string(s.bit_lo + s.bit_span - 1);
-      s.weight = (static_cast<double>(sites_.site_elements(i)) / total) *
+      s.weight = (static_cast<double>(site_elements(i)) / total) *
                  (static_cast<double>(s.bit_span) / bits);
       strata_.push_back(std::move(s));
     }
@@ -73,9 +91,11 @@ std::size_t TrialPlanner::stratum_of(const FaultSet& faults) const {
   // Classified by the first fault point (the only one under the default
   // single-bit model; a representative one under multi-bit).
   const FaultPoint& f = faults.front();
-  const std::size_t site = sites_.site_index(f.node_name);
+  const bool weight = config_.fault_class == FaultClass::kWeight;
+  const std::size_t site = weight ? wsites_->site_index(f.node_name)
+                                  : sites_->site_index(f.node_name);
   if (site == SIZE_MAX) return 0;
-  const int bits = sites_.dtype_bits();
+  const int bits = weight ? wsites_->dtype_bits() : sites_->dtype_bits();
   const int group = std::min(stratified_.bit_group_size, bits);
   return site * bit_groups_ + static_cast<std::size_t>(f.bit / group);
 }
@@ -122,12 +142,29 @@ std::size_t TrialPlanner::stratum_for_index(std::size_t t) const {
 TrialSpec TrialPlanner::plan(std::size_t t) const {
   TrialSpec spec;
   spec.trial = t;
+  if (config_.fault_class == FaultClass::kWeight) {
+    // Input sweep: consecutive trials iterate every input under one
+    // persistent fault.  The fault stream is keyed on the fault index
+    // alone (not the trial index), so all n_inputs trials of fault f
+    // corrupt memory identically and the executor patches the consts
+    // once per fault.  The ECC coverage draws ride the same stream,
+    // making the applied set a pure function of (seed, fault index).
+    spec.input = t % n_inputs_;
+    const std::size_t fault_idx = t / n_inputs_;
+    util::Rng rng(util::derive_seed(
+        config_.seed ^ 0x5745494748545321ULL, fault_idx));
+    spec.faults = wsites_->sample(rng, config_.weight_fault);
+    spec.applied = apply_ecc(spec.faults, config_.ecc, rng);
+    spec.stratum = stratum_of(spec.faults);
+    return spec;
+  }
   spec.input = t / config_.trials_per_input;
   util::Rng rng(util::derive_seed(config_.seed, t));
   if (!stratified_.enabled) {
     spec.faults = config_.consecutive_bits
-                      ? sites_.sample_consecutive(rng, config_.n_bits)
-                      : sites_.sample(rng, config_.n_bits);
+                      ? sites_->sample_consecutive(rng, config_.n_bits)
+                      : sites_->sample(rng, config_.n_bits);
+    spec.applied = spec.faults;
     spec.stratum = stratum_of(spec.faults);
     return spec;
   }
@@ -136,11 +173,12 @@ TrialSpec TrialPlanner::plan(std::size_t t) const {
   spec.stratum = stratum_for_index(t);
   const Stratum& s = strata_[spec.stratum];
   const std::size_t element =
-      rng.uniform_index(sites_.site_elements(s.site));
+      rng.uniform_index(sites_->site_elements(s.site));
   const int bit =
       s.bit_lo + static_cast<int>(rng.uniform_index(
                      static_cast<std::uint64_t>(s.bit_span)));
-  spec.faults = {FaultPoint{sites_.site_name(s.site), element, bit}};
+  spec.faults = {FaultPoint{sites_->site_name(s.site), element, bit}};
+  spec.applied = spec.faults;
   return spec;
 }
 
@@ -167,7 +205,10 @@ TrialExecutor::TrialExecutor(const graph::Graph& g,
     golden_.push_back(std::move(gs));
   }
 
-  if (config_.batch > 1 && graph::plan_supports_batch(g)) {
+  // Weight campaigns never batch: batch rows share the const tensors, so
+  // two different persistent faults cannot ride one plan run.
+  if (config_.fault_class == FaultClass::kActivation && config_.batch > 1 &&
+      graph::plan_supports_batch(g)) {
     batch_plan_ = std::make_unique<graph::ExecutionPlan>(
         g, config.dtype,
         graph::PlanOptions{.backend = config.backend,
@@ -259,6 +300,29 @@ std::vector<tensor::Tensor> TrialExecutor::run_trial_batch(
   return rows;
 }
 
+TrialExecutor::PatchedConsts TrialExecutor::patch_consts(
+    const FaultSet& applied) const {
+  PatchedConsts patch;
+  patch.overrides = make_const_overrides(plan_, applied);
+  patch.roots.reserve(patch.overrides.size());
+  for (const graph::ConstOverride& ov : patch.overrides)
+    patch.roots.push_back(ov.node);
+  return patch;
+}
+
+tensor::Tensor TrialExecutor::run_weight_trial(
+    unsigned worker, std::size_t input_idx,
+    const PatchedConsts& patch) const {
+  if (patch.overrides.empty())
+    return golden_[input_idx].output;  // ECC corrected the sample
+  graph::Arena& arena = arenas_[worker];
+  return config_.partial_reexecution
+             ? exec_.run_from(plan_, golden_[input_idx].activations,
+                              patch.roots, arena, patch.overrides)
+             : exec_.run(plan_, (*inputs_)[input_idx], arena,
+                         patch.overrides);
+}
+
 // ---- Campaign ---------------------------------------------------------------
 
 std::vector<CampaignResult> Campaign::run_multi(
@@ -270,6 +334,32 @@ std::vector<CampaignResult> Campaign::run_multi(
   const std::size_t total = planner.total_trials();
   const unsigned workers = util::worker_count(total, config_.threads);
   const TrialExecutor executor(g, config_, inputs, workers);
+
+  if (config_.fault_class == FaultClass::kWeight) {
+    // Input-sweep execution: one parallel task per fault — the patched
+    // const tensors are built once and swept across every input.
+    std::vector<std::atomic<std::size_t>> wsdcs(judges.size());
+    const std::size_t n_faults = config_.trials_per_input;
+    util::parallel_for_workers(
+        n_faults,
+        [&](unsigned worker, std::size_t f) {
+          const TrialSpec first = planner.plan(f * inputs.size());
+          const TrialExecutor::PatchedConsts patch =
+              executor.patch_consts(first.applied);
+          for (std::size_t i = 0; i < inputs.size(); ++i) {
+            const tensor::Tensor out =
+                executor.run_weight_trial(worker, i, patch);
+            for (std::size_t j = 0; j < judges.size(); ++j)
+              if (judges[j]->is_sdc(executor.golden_output(i), out))
+                wsdcs[j].fetch_add(1, std::memory_order_relaxed);
+          }
+        },
+        config_.threads);
+    std::vector<CampaignResult> results;
+    results.reserve(judges.size());
+    for (auto& s : wsdcs) results.push_back(CampaignResult{total, s.load()});
+    return results;
+  }
 
   // Trials are grouped into same-input chunks of up to executor.batch()
   // so each chunk rides one batched plan run; chunking never changes
@@ -369,22 +459,46 @@ std::vector<Campaign::PairedOutcome> Campaign::run_paired(
   const TrialExecutor exec_p(protected_g, paired_config, inputs, workers);
 
   std::vector<PairedOutcome> outcomes(total);
+  const auto judge_pair = [&](std::size_t t, const TrialSpec& spec,
+                              const tensor::Tensor& out_u,
+                              const tensor::Tensor& out_p) {
+    PairedOutcome& o = outcomes[t];
+    o.sdc_unprotected =
+        judge.is_sdc(exec_u.golden_output(spec.input), out_u);
+    o.sdc_protected =
+        judge.is_sdc(exec_p.golden_output(spec.input), out_p);
+    if (detector)
+      o.detected = detector(protected_g, inputs[spec.input], spec.faults);
+  };
+  if (config_.fault_class == FaultClass::kWeight) {
+    // One parallel task per fault: persistent faults replay on each twin
+    // through its own const patch (resolved by name — the transform
+    // preserves them), built once per fault and swept over every input.
+    util::parallel_for_workers(
+        config_.trials_per_input,
+        [&](unsigned worker, std::size_t f) {
+          const std::size_t base = f * inputs.size();
+          const TrialSpec first = planner.plan(base);
+          const TrialExecutor::PatchedConsts patch_u =
+              exec_u.patch_consts(first.applied);
+          const TrialExecutor::PatchedConsts patch_p =
+              exec_p.patch_consts(first.applied);
+          for (std::size_t i = 0; i < inputs.size(); ++i) {
+            const TrialSpec spec = planner.plan(base + i);
+            judge_pair(base + i, spec,
+                       exec_u.run_weight_trial(worker, spec.input, patch_u),
+                       exec_p.run_weight_trial(worker, spec.input, patch_p));
+          }
+        },
+        config_.threads);
+    return outcomes;
+  }
   util::parallel_for_workers(
       total,
       [&](unsigned worker, std::size_t t) {
         const TrialSpec spec = planner.plan(t);
-        const tensor::Tensor out_u =
-            exec_u.run_trial(worker, spec.input, spec.faults);
-        const tensor::Tensor out_p =
-            exec_p.run_trial(worker, spec.input, spec.faults);
-
-        PairedOutcome& o = outcomes[t];
-        o.sdc_unprotected =
-            judge.is_sdc(exec_u.golden_output(spec.input), out_u);
-        o.sdc_protected =
-            judge.is_sdc(exec_p.golden_output(spec.input), out_p);
-        if (detector)
-          o.detected = detector(protected_g, inputs[spec.input], spec.faults);
+        judge_pair(t, spec, exec_u.run_trial(worker, spec.input, spec.faults),
+                   exec_p.run_trial(worker, spec.input, spec.faults));
       },
       config_.threads);
   return outcomes;

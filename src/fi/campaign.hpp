@@ -19,12 +19,14 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "fi/fault_model.hpp"
 #include "fi/sdc.hpp"
+#include "fi/weight_fault.hpp"
 #include "graph/executor.hpp"
 #include "graph/plan.hpp"
 #include "util/stats.hpp"
@@ -56,6 +58,22 @@ struct CampaignConfig {
   // excluded from fingerprints.  1 disables batching; graphs that cannot
   // compile batched (see plan_supports_batch) fall back to per-trial runs.
   std::size_t batch = 8;
+
+  // ---- Weight-memory fault campaigns (fault_class == kWeight) ----------
+  // Persistent parameter corruption instead of transient activation
+  // flips.  The trial stream is an *input sweep*: trial t applies fault
+  // t / n_inputs to input t % n_inputs, so the n_inputs consecutive
+  // trials of one fault share a single set of patched const tensors
+  // (TrialExecutor::patch_consts) — one corruption amortised over every
+  // input, no per-trial plan recompilation.  trials_per_input therefore
+  // counts the *faults* each input sees; the campaign size
+  // trials_per_input × n_inputs is unchanged.  Batched plan riding is
+  // disabled under kWeight (batch rows share the const tensors, so two
+  // faults cannot ride one run); `weight_fault`/`ecc` are fingerprinted
+  // (report.hpp) while `batch`/`backend` stay performance-only.
+  FaultClass fault_class = FaultClass::kActivation;
+  WeightFaultModel weight_fault;  // used when fault_class == kWeight
+  EccModel ecc;                   // filters sampled weight faults
 };
 
 using Feeds = std::unordered_map<std::string, tensor::Tensor>;
@@ -97,7 +115,13 @@ struct TrialSpec {
   std::size_t trial = 0;
   std::size_t input = 0;    // index into the campaign's input list
   std::size_t stratum = 0;  // index into the planner's strata
-  FaultSet faults;
+  FaultSet faults;          // sampled faults (recorded in checkpoints)
+  // Faults that actually corrupt state after ECC filtering — what the
+  // executor applies.  Equal to `faults` for activation campaigns and
+  // for weight campaigns without ECC; may be empty when SEC-DED corrects
+  // the whole sample (the trial then reproduces the golden output by
+  // construction).
+  FaultSet applied;
 };
 
 class TrialPlanner {
@@ -113,7 +137,9 @@ class TrialPlanner {
   TrialSpec plan(std::size_t t) const;
 
   // Strata are defined for both sampling modes (uniform trials are
-  // post-stratified by their sampled fault), keyed "node:bLO-HI".
+  // post-stratified by their sampled fault), keyed "node:bLO-HI" — over
+  // operator-output sites for activation campaigns, over Const-tensor
+  // sites for weight campaigns.
   std::size_t strata_count() const { return strata_.size(); }
   const std::string& stratum_key(std::size_t s) const {
     return strata_[s].key;
@@ -123,7 +149,10 @@ class TrialPlanner {
   // rates back into an unbiased aggregate under stratified sampling.
   double stratum_weight(std::size_t s) const { return strata_[s].weight; }
 
-  const SiteSpace& sites() const { return sites_; }
+  // Activation campaigns only (the planner builds exactly one space).
+  const SiteSpace& sites() const { return *sites_; }
+  // Weight campaigns only.
+  const WeightSiteSpace& weight_sites() const { return *wsites_; }
   const CampaignConfig& config() const { return config_; }
   const StratifiedOptions& stratified() const { return stratified_; }
 
@@ -142,7 +171,8 @@ class TrialPlanner {
   CampaignConfig config_;
   std::size_t n_inputs_;
   StratifiedOptions stratified_;
-  SiteSpace sites_;
+  std::optional<SiteSpace> sites_;         // activation campaigns
+  std::optional<WeightSiteSpace> wsites_;  // weight campaigns
   std::vector<Stratum> strata_;
   std::size_t bit_groups_ = 1;
 };
@@ -182,6 +212,29 @@ class TrialExecutor {
   std::vector<tensor::Tensor> run_trial_batch(
       unsigned worker, std::size_t input_idx,
       std::span<const FaultSet> row_faults) const;
+
+  // --- Weight-fault trials (fault_class == kWeight) ---------------------
+
+  // One fault's patched parameter state: the corrupted const tensors and
+  // their injection-root node ids, built once per fault and reused across
+  // the whole input sweep.
+  struct PatchedConsts {
+    std::vector<graph::ConstOverride> overrides;
+    std::vector<graph::NodeId> roots;
+  };
+
+  // Resolves `applied` (the post-ECC fault set) against this executor's
+  // plan by node name; unknown names are ignored (cross-graph replay).
+  // An ECC-corrected (empty) set yields an empty patch.
+  PatchedConsts patch_consts(const FaultSet& applied) const;
+
+  // Runs input `input_idx` under one fault's patched consts, resuming
+  // from the cached goldens (only the consts' downstream cones recompute)
+  // or re-running the full plan when partial re-execution is disabled —
+  // bit-identical either way.  An empty patch returns the golden output
+  // outright (ECC corrected the fault before it touched memory).
+  tensor::Tensor run_weight_trial(unsigned worker, std::size_t input_idx,
+                                  const PatchedConsts& patch) const;
 
   const tensor::Tensor& golden_output(std::size_t input_idx) const {
     return golden_[input_idx].output;

@@ -6,6 +6,19 @@
 
 namespace rangerpp::fi {
 
+float apply_fault_value(tensor::DType dtype, float value,
+                        const FaultPoint& f) {
+  switch (f.action) {
+    case FaultAction::kFlip:
+      return tensor::dtype_flip_value(dtype, value, f.bit);
+    case FaultAction::kStuck0:
+      return tensor::dtype_write_bit_value(dtype, value, f.bit, false);
+    case FaultAction::kStuck1:
+      return tensor::dtype_write_bit_value(dtype, value, f.bit, true);
+  }
+  return value;
+}
+
 SiteSpace::SiteSpace(const graph::Graph& g, tensor::DType dtype)
     : dtype_bits_(tensor::dtype_bits(dtype)) {
   const std::vector<tensor::Shape> shapes = g.infer_shapes();
@@ -84,9 +97,7 @@ graph::PostOpHook make_injection_hook(const graph::Graph& g,
     if (it == by_node->end()) return;
     for (const FaultPoint& f : it->second) {
       if (f.element >= out.elements()) continue;  // defensive; cannot happen
-      const float faulty =
-          tensor::dtype_flip_value(dtype, out.at(f.element), f.bit);
-      out.set(f.element, faulty);
+      out.set(f.element, apply_fault_value(dtype, out.at(f.element), f));
     }
   };
 }
@@ -97,6 +108,7 @@ graph::PostOpHook make_batched_injection_hook(
   struct BatchedFault {
     std::size_t element;  // already offset into the batch row
     int bit;
+    FaultAction action;
   };
   auto by_node = std::make_shared<
       std::unordered_map<graph::NodeId, std::vector<BatchedFault>>>();
@@ -107,7 +119,8 @@ graph::PostOpHook make_batched_injection_hook(
       if (id == graph::kInvalidNode) continue;
       const std::size_t per = plan.per_image_elements(id);
       if (f.element >= per) continue;  // defensive; cannot happen
-      (*by_node)[id].push_back(BatchedFault{b * per + f.element, f.bit});
+      (*by_node)[id].push_back(
+          BatchedFault{b * per + f.element, f.bit, f.action});
     }
   }
   return [by_node, dtype](const graph::Node& node, tensor::Tensor& out) {
@@ -115,9 +128,9 @@ graph::PostOpHook make_batched_injection_hook(
     if (it == by_node->end()) return;
     for (const BatchedFault& f : it->second) {
       if (f.element >= out.elements()) continue;
-      const float faulty =
-          tensor::dtype_flip_value(dtype, out.at(f.element), f.bit);
-      out.set(f.element, faulty);
+      out.set(f.element,
+              apply_fault_value(dtype, out.at(f.element),
+                                FaultPoint{"", f.element, f.bit, f.action}));
     }
   };
 }

@@ -22,15 +22,29 @@
 
 namespace rangerpp::fi {
 
-// One bit flip at one element of one operator's output.  Nodes are
-// addressed by *name* so a fault planned on an unprotected graph can be
-// replayed on its Ranger-transformed twin (names are preserved by the
-// transform).
+// How a fault point perturbs its target bit.  kFlip is the transient
+// datapath model (XOR); the stuck-at actions model a failed parameter-
+// memory cell that reads a fixed level — forcing a bit to its stored
+// value is a no-op, which is exactly the physical behaviour.
+enum class FaultAction : std::uint8_t { kFlip, kStuck0, kStuck1 };
+
+// One bit fault at one element of one node's output (an operator output
+// under the activation fault class, a Const tensor under the weight
+// class).  Nodes are addressed by *name* so a fault planned on an
+// unprotected graph can be replayed on its Ranger-transformed twin
+// (names are preserved by the transform).
 struct FaultPoint {
   std::string node_name;
   std::size_t element = 0;
   int bit = 0;
+  FaultAction action = FaultAction::kFlip;
 };
+
+// Applies one fault point's bit action to a value through the datatype
+// codec (the value is encoded, the bit flipped/forced, and the result
+// decoded — so the output is always representable).
+float apply_fault_value(tensor::DType dtype, float value,
+                        const FaultPoint& f);
 
 // The set of flips applied during one inference (size 1 under the default
 // single-bit model, 2-5 under the multi-bit model).

@@ -55,13 +55,18 @@ std::string sanitise_label(const std::string& s) {
 }
 
 // "node@element:bit,node@element:bit" — node names never contain '@' or
-// ','; element and bit are decimal.
+// ','; element and bit are decimal.  Stuck-at points (weight campaigns)
+// append "s0"/"s1" after the bit; plain flips keep the bare grammar, so
+// activation records are byte-identical to the pre-weight-subsystem
+// format.
 std::string encode_faults(const FaultSet& faults) {
   std::string out;
   for (const FaultPoint& f : faults) {
     if (!out.empty()) out.push_back(',');
     out += f.node_name + "@" + std::to_string(f.element) + ":" +
            std::to_string(f.bit);
+    if (f.action == FaultAction::kStuck0) out += "s0";
+    else if (f.action == FaultAction::kStuck1) out += "s1";
   }
   return out;
 }
@@ -81,8 +86,13 @@ bool decode_faults(const std::string& s, FaultSet& out) {
     FaultPoint f;
     f.node_name = part.substr(0, at);
     f.element = std::strtoull(part.c_str() + at + 1, nullptr, 10);
-    f.bit = static_cast<int>(std::strtol(part.c_str() + colon + 1, nullptr,
-                                         10));
+    char* bit_end = nullptr;
+    f.bit = static_cast<int>(
+        std::strtol(part.c_str() + colon + 1, &bit_end, 10));
+    const std::string suffix(bit_end ? bit_end : "");
+    if (suffix == "s0") f.action = FaultAction::kStuck0;
+    else if (suffix == "s1") f.action = FaultAction::kStuck1;
+    else if (!suffix.empty()) return false;
     out.push_back(std::move(f));
     start = end + 1;
   }
@@ -116,7 +126,7 @@ bool operator==(const TrialRecord& a, const TrialRecord& b) {
     const FaultPoint& x = a.faults[i];
     const FaultPoint& y = b.faults[i];
     if (x.node_name != y.node_name || x.element != y.element ||
-        x.bit != y.bit)
+        x.bit != y.bit || x.action != y.action)
       return false;
   }
   return true;
@@ -130,14 +140,20 @@ std::string CheckpointHeader::fingerprint() const {
   std::uint64_t graph_hash = 0xcbf29ce484222325ULL;  // FNV-1a
   for (unsigned char c : strata_weights)
     graph_hash = (graph_hash ^ c) * 0x100000001b3ULL;
-  return "seed=" + std::to_string(seed) + "|dtype=" + dtype +
-         "|n_bits=" + std::to_string(n_bits) +
-         "|consecutive=" + std::to_string(consecutive_bits ? 1 : 0) +
-         "|trials_per_input=" + std::to_string(trials_per_input) +
-         "|inputs=" + std::to_string(inputs) +
-         "|judges=" + std::to_string(judges) + "|sampling=" + sampling +
-         "|bit_group=" + std::to_string(bit_group_size) +
-         "|graph=" + std::to_string(graph_hash);
+  std::string fp =
+      "seed=" + std::to_string(seed) + "|dtype=" + dtype +
+      "|n_bits=" + std::to_string(n_bits) +
+      "|consecutive=" + std::to_string(consecutive_bits ? 1 : 0) +
+      "|trials_per_input=" + std::to_string(trials_per_input) +
+      "|inputs=" + std::to_string(inputs) +
+      "|judges=" + std::to_string(judges) + "|sampling=" + sampling +
+      "|bit_group=" + std::to_string(bit_group_size) +
+      "|graph=" + std::to_string(graph_hash);
+  // Weight campaigns fingerprint their fault-model kind and ECC;
+  // activation campaigns keep the historical string byte-identical.
+  if (fault_class != "activation")
+    fp += "|class=" + fault_class + "|wkind=" + weight_kind + "|ecc=" + ecc;
+  return fp;
 }
 
 void write_checkpoint_header(std::FILE* f, const CheckpointHeader& h) {
@@ -145,13 +161,15 @@ void write_checkpoint_header(std::FILE* f, const CheckpointHeader& h) {
       f,
       "{\"type\":\"header\",\"label\":\"%s\",\"seed\":%" PRIu64
       ",\"dtype\":\"%s\",\"n_bits\":%d,\"consecutive\":%d,"
+      "\"fault_class\":\"%s\",\"weight_kind\":\"%s\",\"ecc\":\"%s\","
       "\"trials_per_input\":%zu,\"inputs\":%zu,\"judges\":%zu,"
       "\"sampling\":\"%s\",\"bit_group\":%d,\"shard_index\":%zu,"
       "\"shard_count\":%zu,\"strata\":\"%s\"}\n",
       sanitise_label(h.label).c_str(), h.seed, h.dtype.c_str(), h.n_bits,
-      h.consecutive_bits ? 1 : 0, h.trials_per_input, h.inputs, h.judges,
-      h.sampling.c_str(), h.bit_group_size, h.shard_index, h.shard_count,
-      h.strata_weights.c_str());
+      h.consecutive_bits ? 1 : 0, h.fault_class.c_str(),
+      h.weight_kind.c_str(), h.ecc.c_str(), h.trials_per_input, h.inputs,
+      h.judges, h.sampling.c_str(), h.bit_group_size, h.shard_index,
+      h.shard_count, h.strata_weights.c_str());
   std::fflush(f);
 }
 
@@ -188,6 +206,11 @@ Checkpoint load_checkpoint(const std::string& path) {
     throw std::runtime_error("checkpoint: bad header (dtype) in " + path);
   if (find_u64(lines[0], "n_bits", u)) h.n_bits = static_cast<int>(u);
   if (find_u64(lines[0], "consecutive", u)) h.consecutive_bits = u != 0;
+  // Absent in pre-weight-subsystem files; the defaults are the
+  // activation fault class those files were written under.
+  find_raw(lines[0], "fault_class", h.fault_class);
+  find_raw(lines[0], "weight_kind", h.weight_kind);
+  find_raw(lines[0], "ecc", h.ecc);
   std::uint64_t tpi = 0, inputs = 0, judges = 0;
   if (!find_u64(lines[0], "trials_per_input", tpi) ||
       !find_u64(lines[0], "inputs", inputs) ||

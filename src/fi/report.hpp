@@ -56,6 +56,14 @@ struct CheckpointHeader {
   std::string dtype;
   int n_bits = 1;
   bool consecutive_bits = false;
+  // Fault-class axis (weight-memory campaigns).  "activation" keeps the
+  // pre-weight-subsystem fingerprint string byte-identical, so existing
+  // activation checkpoints stay resumable; weight campaigns append
+  // class/kind/ecc to the fingerprint (a weight checkpoint can never be
+  // confused with an activation one, nor SEC-DED with unprotected).
+  std::string fault_class = "activation";  // "activation" | "weight"
+  std::string weight_kind = "single";      // WeightFaultKind token
+  std::string ecc = "none";                // EccModel token
   std::size_t trials_per_input = 0;
   std::size_t inputs = 0;
   std::size_t judges = 0;

@@ -48,6 +48,11 @@ CheckpointHeader CampaignRunner::make_header(std::size_t n_inputs,
   h.trials_per_input = config_.campaign.trials_per_input;
   h.inputs = n_inputs;
   h.judges = judge_count;
+  h.fault_class =
+      std::string(fault_class_token(config_.campaign.fault_class));
+  h.weight_kind = std::string(
+      weight_fault_kind_token(config_.campaign.weight_fault.kind));
+  h.ecc = ecc_token(config_.campaign.ecc);
   h.sampling = config_.stratified.enabled ? "stratified" : "uniform";
   h.bit_group_size = config_.stratified.bit_group_size;
   h.shard_index = config_.shard_index;
@@ -204,21 +209,27 @@ CampaignReport CampaignRunner::run(const RunContext& ctx,
       // Consecutive pending trials of the same input ride one batched
       // plan run (pending is ascending, so same-input runs are already
       // contiguous); grouping never changes the records — batched rows
-      // are bit-identical to per-trial execution.
+      // are bit-identical to per-trial execution.  Weight campaigns group
+      // by *fault* instead: the n_inputs consecutive trials of one
+      // persistent fault share a single const patch (the input sweep).
+      const bool weight =
+          config_.campaign.fault_class == FaultClass::kWeight;
       const std::size_t bsz = std::max<std::size_t>(1, executor.batch());
+      const std::size_t group_cap = weight ? inputs.size() : bsz;
+      const auto group_key = [&](std::size_t t) {
+        return weight ? t / inputs.size()
+                      : t / config_.campaign.trials_per_input;
+      };
       struct Group {
         std::size_t offset, count;
       };
       std::vector<Group> groups;
-      groups.reserve(batch_n / bsz + 1);
+      groups.reserve(batch_n / group_cap + 1);
       for (std::size_t i = 0; i < batch_n;) {
-        const std::size_t input =
-            pending[offset + i] / config_.campaign.trials_per_input;
+        const std::size_t key = group_key(pending[offset + i]);
         std::size_t count = 1;
-        while (count < bsz && i + count < batch_n &&
-               pending[offset + i + count] /
-                       config_.campaign.trials_per_input ==
-                   input)
+        while (count < group_cap && i + count < batch_n &&
+               group_key(pending[offset + i + count]) == key)
           ++count;
         groups.push_back({i, count});
         i += count;
@@ -242,6 +253,24 @@ CampaignReport CampaignRunner::run(const RunContext& ctx,
           groups.size(),
           [&](unsigned worker, std::size_t gi) {
             const Group group = groups[gi];
+            if (weight) {
+              // One persistent fault, patched once, swept over the
+              // group's inputs.  Every trial of the group shares the
+              // fault stream (plan() keys it on t / n_inputs), so the
+              // first spec's applied set is the group's.
+              const TrialSpec first =
+                  planner.plan(pending[offset + group.offset]);
+              const TrialExecutor::PatchedConsts patch =
+                  executor.patch_consts(first.applied);
+              for (std::size_t i = group.offset;
+                   i < group.offset + group.count; ++i) {
+                const TrialSpec spec = planner.plan(pending[offset + i]);
+                record_trial(i, spec,
+                             executor.run_weight_trial(worker, spec.input,
+                                                       patch));
+              }
+              return;
+            }
             if (group.count == 1 || executor.batch() == 1) {
               for (std::size_t i = group.offset;
                    i < group.offset + group.count; ++i) {

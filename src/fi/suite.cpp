@@ -30,7 +30,25 @@ std::string_view act_token_impl(ops::OpKind act) {
   }
 }
 
+// Whether a weight-fault kind consumes the n_bits count parameter.
+// fault_token and same_fault must agree on this: a kind that ignores
+// n_bits must neither encode it in the cell id nor let it distinguish
+// two otherwise-identical cells (which would compile two cells sharing
+// one checkpoint filename and abort the suite mid-run).
+bool weight_kind_uses_count(WeightFaultKind k) {
+  return k == WeightFaultKind::kMultiBit ||
+         k == WeightFaultKind::kConsecutiveBurst ||
+         k == WeightFaultKind::kRowBurst;
+}
+
 std::string fault_token(const FaultModelSpec& f) {
+  if (f.cls == FaultClass::kWeight) {
+    std::string t = "w";
+    t += weight_fault_kind_token(f.wkind);
+    if (weight_kind_uses_count(f.wkind)) t += std::to_string(f.n_bits);
+    if (f.ecc.kind != EccKind::kNone) t += "-" + ecc_token(f.ecc);
+    return t;
+  }
   return "b" + std::to_string(f.n_bits) + (f.consecutive ? "c" : "");
 }
 
@@ -59,10 +77,18 @@ std::string checkpoint_filename(const SuiteSpec& spec, const SuiteCell& c) {
          std::to_string(spec.shard_count) + ".jsonl";
 }
 
+bool same_fault(const FaultModelSpec& a, const FaultModelSpec& b) {
+  if (a.cls != b.cls) return false;
+  if (a.cls == FaultClass::kWeight)
+    return a.wkind == b.wkind &&
+           (!weight_kind_uses_count(a.wkind) || a.n_bits == b.n_bits) &&
+           a.ecc.kind == b.ecc.kind && a.ecc.coverage == b.ecc.coverage;
+  return a.n_bits == b.n_bits && a.consecutive == b.consecutive;
+}
+
 bool same_dims(const SuiteCell& a, const SuiteCell& b) {
   return a.model == b.model && a.act == b.act && a.dtype == b.dtype &&
-         a.fault.n_bits == b.fault.n_bits &&
-         a.fault.consecutive == b.fault.consecutive;
+         same_fault(a.fault, b.fault);
 }
 
 const SuiteCellResult* find_cell(const SuiteResult& r, models::ModelId id,
@@ -70,9 +96,7 @@ const SuiteCellResult* find_cell(const SuiteResult& r, models::ModelId id,
                                  const FaultModelSpec& fault, Technique t) {
   for (const SuiteCellResult& c : r.cells)
     if (c.cell.model == id && c.cell.act == act && c.cell.dtype == dtype &&
-        c.cell.fault.n_bits == fault.n_bits &&
-        c.cell.fault.consecutive == fault.consecutive &&
-        c.cell.technique == t)
+        same_fault(c.cell.fault, fault) && c.cell.technique == t)
       return &c;
   return nullptr;
 }
@@ -82,6 +106,10 @@ std::string reduction_str(double orig, double prot) {
 }
 
 }  // namespace
+
+std::string fault_spec_token(const FaultModelSpec& f) {
+  return fault_token(f);
+}
 
 std::string_view technique_token(Technique t) {
   switch (t) {
@@ -158,9 +186,14 @@ SuitePlan compile_suite(const SuiteSpec& spec) {
       throw std::invalid_argument(
           "compile_suite: suite name must use only [A-Za-z0-9._-], got '" +
           spec.name + "'");
-  for (const FaultModelSpec& f : spec.faults)
+  for (const FaultModelSpec& f : spec.faults) {
     if (f.n_bits < 1)
       throw std::invalid_argument("compile_suite: n_bits < 1");
+    if (f.cls == FaultClass::kWeight &&
+        (f.ecc.coverage < 0.0 || f.ecc.coverage > 1.0))
+      throw std::invalid_argument(
+          "compile_suite: ecc coverage must be in [0, 1]");
+  }
   // Duplicate grid values would compile two cells with the same id —
   // and therefore the same checkpoint file; refuse rather than silently
   // double-count (or abort mid-run on the shard-header mismatch).
@@ -178,8 +211,7 @@ SuitePlan compile_suite(const SuiteSpec& spec) {
   reject_duplicates(spec.techniques, "technique");
   for (std::size_t i = 0; i < spec.faults.size(); ++i)
     for (std::size_t j = i + 1; j < spec.faults.size(); ++j)
-      if (spec.faults[i].n_bits == spec.faults[j].n_bits &&
-          spec.faults[i].consecutive == spec.faults[j].consecutive)
+      if (same_fault(spec.faults[i], spec.faults[j]))
         throw std::invalid_argument(
             "compile_suite: duplicate fault model in the grid");
 
@@ -351,6 +383,10 @@ SuiteResult Suite::run() {
     rc.campaign.dtype = cell.dtype;
     rc.campaign.n_bits = cell.fault.n_bits;
     rc.campaign.consecutive_bits = cell.fault.consecutive;
+    rc.campaign.fault_class = cell.fault.cls;
+    rc.campaign.weight_fault =
+        WeightFaultModel{cell.fault.wkind, cell.fault.n_bits};
+    rc.campaign.ecc = cell.fault.ecc;
     rc.campaign.trials_per_input = cell.trials_per_input;
     rc.campaign.seed = spec.seed;
     rc.campaign.threads = spec.threads;
@@ -400,7 +436,11 @@ SuiteResult Suite::merge(const std::vector<std::string>& dirs) const {
         header.trials_per_input != cell.trials_per_input ||
         header.dtype != tensor::dtype_name(cell.dtype) ||
         header.n_bits != cell.fault.n_bits ||
-        header.consecutive_bits != cell.fault.consecutive)
+        header.consecutive_bits != cell.fault.consecutive ||
+        header.fault_class != fault_class_token(cell.fault.cls) ||
+        (cell.fault.cls == FaultClass::kWeight &&
+         (header.weight_kind != weight_fault_kind_token(cell.fault.wkind) ||
+          header.ecc != ecc_token(cell.fault.ecc))))
       throw std::runtime_error(
           "Suite::merge: checkpoints for cell " + cell.id +
           " were written by a different suite configuration");
@@ -444,7 +484,9 @@ void write_suite_manifest(const std::string& path, const SuiteResult& r) {
     std::fprintf(f,
                  "%s\n    {\"id\": \"%s\", \"label\": \"%s\", \"model\": "
                  "\"%s\", \"act\": \"%s\", \"dtype\": \"%s\", \"n_bits\": "
-                 "%d, \"consecutive\": %d, \"technique\": \"%s\", "
+                 "%d, \"consecutive\": %d, \"fault_class\": \"%s\", "
+                 "\"weight_kind\": \"%s\", \"ecc\": \"%s\", "
+                 "\"technique\": \"%s\", "
                  "\"trials_per_input\": %zu, \"planned\": %zu, "
                  "\"executed\": %zu, \"judges\": [",
                  i ? "," : "", c.id.c_str(), c.label.c_str(),
@@ -452,6 +494,9 @@ void write_suite_manifest(const std::string& path, const SuiteResult& r) {
                  std::string(act_token(c.act)).c_str(),
                  std::string(dtype_token(c.dtype)).c_str(),
                  c.fault.n_bits, c.fault.consecutive ? 1 : 0,
+                 std::string(fault_class_token(c.fault.cls)).c_str(),
+                 std::string(weight_fault_kind_token(c.fault.wkind)).c_str(),
+                 ecc_token(c.fault.ecc).c_str(),
                  std::string(technique_token(c.technique)).c_str(),
                  c.trials_per_input, c.total_trials, rep.executed());
     for (std::size_t j = 0; j < rep.aggregate.size(); ++j) {

@@ -76,7 +76,20 @@ std::optional<tensor::DType> dtype_from_token(std::string_view s);
 struct FaultModelSpec {
   int n_bits = 1;
   bool consecutive = false;  // burst: adjacent bits within one value
+  // Weight-memory fault axis: cls == kWeight draws faults from Const
+  // (weight/bias) tensors under `wkind` (n_bits doubles as the kind's
+  // count parameter), optionally filtered through `ecc`, and runs the
+  // persistent-fault input sweep (one patched plan per fault reused
+  // across every input).  cls == kActivation ignores wkind/ecc.
+  FaultClass cls = FaultClass::kActivation;
+  WeightFaultKind wkind = WeightFaultKind::kSingleBit;
+  EccModel ecc;
 };
+
+// Cell-id token of a fault spec: "b1"/"b3c" for activation cells
+// (unchanged from the pre-weight grammar), "w<kind>[<n>][-<ecc>]" for
+// weight cells (e.g. "wsingle", "wmulti3-secded", "wrow4-cov0.5").
+std::string fault_spec_token(const FaultModelSpec& f);
 
 struct SuiteSpec {
   std::string name = "suite";

@@ -58,15 +58,39 @@ tensor::Tensor Executor::execute(
     const std::unordered_map<std::string, tensor::Tensor>& feeds,
     Arena& arena, const PostOpHook& hook,
     const std::vector<tensor::Tensor>* golden,
-    std::span<const NodeId> roots) const {
+    std::span<const NodeId> roots,
+    std::span<const ConstOverride> overrides) const {
   if (plan.dtype() != options_.dtype)
     throw std::invalid_argument(
         "Executor: plan dtype does not match executor dtype");
+  for (const ConstOverride& ov : overrides) {
+    if (!plan.is_const(ov.node))
+      throw std::invalid_argument(
+          "Executor: ConstOverride targets a non-Const node");
+    if (ov.value.elements() != plan.const_output(ov.node).elements())
+      throw std::invalid_argument(
+          "Executor: ConstOverride element count mismatch for '" +
+          plan.graph().node(ov.node).name + "'");
+  }
+  const auto find_override = [&overrides](NodeId id) -> const ConstOverride* {
+    for (const ConstOverride& ov : overrides)
+      if (ov.node == id) return &ov;
+    return nullptr;
+  };
   arena.bind(plan);
   const Graph& g = plan.graph();
   std::vector<tensor::Tensor>& out = arena.outputs_;
 
   const bool partial = golden != nullptr;
+  // Overridden Consts are injection roots of the partial run: their cones
+  // must be marked dirty even when the caller only listed op-node roots.
+  std::vector<NodeId> roots_with_consts;
+  if (partial && !overrides.empty()) {
+    roots_with_consts.assign(roots.begin(), roots.end());
+    for (const ConstOverride& ov : overrides)
+      roots_with_consts.push_back(ov.node);
+    roots = roots_with_consts;
+  }
   if (partial) {
     if (golden->size() != plan.size())
       throw std::invalid_argument(
@@ -90,6 +114,20 @@ tensor::Tensor Executor::execute(
       //  3. element-sparse — a node whose inputs changed in few elements
       //     recomputes only the affected output patch (incremental.hpp),
       //     bit-identically mirroring the dense kernels.
+      if (plan.is_const(n.id)) {
+        // An overridden Const is a root: its change set (override vs the
+        // pre-quantized golden tensor) seeds downstream recomputation.
+        // Every other Const — and an override that turned out to be a
+        // bitwise no-op — collapses back to golden.
+        if (const ConstOverride* ov = find_override(n.id)) {
+          ChangeSet& ch = arena.change_[i];
+          diff_against_golden(ov->value, (*golden)[i], ch);
+          out[i] = ch.clean() ? (*golden)[i] : ov->value;
+        } else {
+          out[i] = (*golden)[i];
+        }
+        continue;
+      }
       const bool is_root = arena.roots_[i];
       bool inputs_changed = false;
       if (arena.dirty_[i])
@@ -99,10 +137,10 @@ tensor::Tensor Executor::execute(
             break;
           }
       if (!arena.dirty_[i] || (!is_root && !inputs_changed) ||
-          plan.is_input(n.id) || plan.is_const(n.id)) {
-        // Feeds and weights are fixed for the lifetime of a golden
-        // snapshot, so even a root naming an Input/Const node reproduces
-        // the golden value.
+          plan.is_input(n.id)) {
+        // Feeds are fixed for the lifetime of a golden snapshot, so even
+        // a root naming an Input node reproduces the golden value (Const
+        // nodes were handled above: only an override perturbs them).
         out[i] = (*golden)[i];
         continue;
       }
@@ -170,7 +208,9 @@ tensor::Tensor Executor::execute(
       }
       out[i] = slot.quantized;
     } else if (plan.is_const(n.id)) {
-      out[i] = plan.const_output(n.id);  // pre-quantized at compile time
+      const ConstOverride* ov = find_override(n.id);
+      out[i] = ov ? ov->value
+                  : plan.const_output(n.id);  // pre-quantized at compile time
     } else {
       auto& scratch = arena.input_scratch_;
       scratch.clear();
@@ -257,6 +297,22 @@ tensor::Tensor Executor::run_from(const ExecutionPlan& plan,
                                   const PostOpHook& hook) const {
   const NodeId roots[] = {start};
   return execute(plan, {}, arena, hook, &golden, roots);
+}
+
+tensor::Tensor Executor::run(
+    const ExecutionPlan& plan,
+    const std::unordered_map<std::string, tensor::Tensor>& feeds,
+    Arena& arena, std::span<const ConstOverride> overrides,
+    const PostOpHook& hook) const {
+  return execute(plan, feeds, arena, hook, nullptr, {}, overrides);
+}
+
+tensor::Tensor Executor::run_from(const ExecutionPlan& plan,
+                                  const std::vector<tensor::Tensor>& golden,
+                                  std::span<const NodeId> roots, Arena& arena,
+                                  std::span<const ConstOverride> overrides,
+                                  const PostOpHook& hook) const {
+  return execute(plan, {}, arena, hook, &golden, roots, overrides);
 }
 
 tensor::Tensor Executor::run_all(

@@ -91,6 +91,34 @@ class Executor {
                           NodeId start, Arena& arena,
                           const PostOpHook& hook = nullptr) const;
 
+  // --- Const-override execution (persistent parameter faults) -----------
+
+  // As the plan-based `run`, with `overrides` replacing the named Const
+  // nodes' pre-quantized outputs for this run only (the plan is not
+  // touched).  Override values must match the const's element count and
+  // be quantized under the plan's dtype (see ConstOverride).
+  tensor::Tensor run(const ExecutionPlan& plan,
+                     const std::unordered_map<std::string, tensor::Tensor>&
+                         feeds,
+                     Arena& arena, std::span<const ConstOverride> overrides,
+                     const PostOpHook& hook = nullptr) const;
+
+  // Partial re-execution under const overrides: each overridden Const is
+  // treated as an injection root — its element-level change set (override
+  // vs golden) seeds the same dynamic-masking / element-sparse pruning an
+  // activation fault gets, so only the const's downstream-reachability
+  // cone recomputes and a no-op override (e.g. a stuck-at cell whose bit
+  // already held the stuck value) collapses back to golden outright.
+  // Overridden Const ids are added to `roots` automatically; `golden`
+  // must come from a fault-free run (its const slots equal the plan's
+  // pre-quantized tensors).  Bit-identical to a full `run` with the same
+  // overrides.
+  tensor::Tensor run_from(const ExecutionPlan& plan,
+                          const std::vector<tensor::Tensor>& golden,
+                          std::span<const NodeId> roots, Arena& arena,
+                          std::span<const ConstOverride> overrides,
+                          const PostOpHook& hook = nullptr) const;
+
   // --- Graph-based execution (one-shot convenience) ---------------------
 
   // Compiles a transient plan and runs it once.
@@ -116,7 +144,8 @@ class Executor {
                                                   tensor::Tensor>& feeds,
                          Arena& arena, const PostOpHook& hook,
                          const std::vector<tensor::Tensor>* golden,
-                         std::span<const NodeId> roots) const;
+                         std::span<const NodeId> roots,
+                         std::span<const ConstOverride> overrides = {}) const;
 
   ExecOptions options_;
 };

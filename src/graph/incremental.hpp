@@ -27,6 +27,18 @@
 // tensor (every supported op treats batch rows independently, so a change
 // set never leaks across rows).
 //
+// Const (weight) faults: a ConstOverride run seeds the overridden
+// Const's ChangeSet with the corrupted elements, so the invalidation is
+// exactly the downstream-reachability cone of the const — i.e. of its
+// first consumer(s).  The weight-consuming kernels here (Conv2D filter,
+// BiasAdd bias, the second input of a BinaryElementwiseOp) treat a
+// changed *parameter* input as "recompute dense at this node" (see the
+// changes[1] guards below): the parameter perturbs every output element
+// of that one consumer, which is the correct dense frontier — but from
+// there on the element-sparse tracking resumes as usual, and a fault
+// masked at the consumer (ReLU/pool/clamp) still collapses the rest of
+// the cone back to golden.
+//
 // Thread-safety: incremental_recompute is a pure function of its
 // arguments; concurrent calls are safe as long as each call owns its
 // `out`/`out_change` (the executor calls it from per-arena state).

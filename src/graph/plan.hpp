@@ -149,6 +149,20 @@ class ExecutionPlan {
   std::vector<std::uint64_t> reach_;
 };
 
+// --- Const overrides ---------------------------------------------------------
+
+// A per-run replacement for one Const node's pre-quantized output — the
+// mechanism persistent weight/parameter faults ride on (fi/weight_fault):
+// the plan itself stays immutable and shared, while one trial's corrupted
+// parameter tensors are supplied alongside the run.  `value` must have
+// the const's element count and already be quantized under the plan's
+// dtype (fi::make_const_overrides corrupts the pre-quantized bytes
+// through the codec, so this holds by construction).
+struct ConstOverride {
+  NodeId node = kInvalidNode;
+  tensor::Tensor value;
+};
+
 // --- Batch packing helpers ---------------------------------------------------
 
 // Stacks per-image tensors (identical rank-2/4 shapes with a leading

@@ -90,42 +90,66 @@ void save_weights(const Weights& w, const std::string& path) {
 
 bool load_weights(Weights& w, const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
+  if (!in) return false;  // absent: the caller trains and writes the cache
+  const std::uintmax_t file_size = std::filesystem::file_size(path);
+  // Expected byte count, accumulated from the file's own header fields as
+  // they parse; a mismatch against the actual size means the file was
+  // truncated by a killed writer or otherwise corrupted — fail loudly
+  // with both numbers rather than silently retraining over it.
+  std::uintmax_t expected = sizeof(std::uint32_t);  // entry count
+  const auto corrupt = [&](const std::string& what) -> bool {
+    throw std::runtime_error("load_weights: " + path + " is corrupt (" +
+                             what + "; file has " +
+                             std::to_string(file_size) + " bytes, header "
+                             "describes " + std::to_string(expected) + ")");
+  };
   auto get_u32 = [&in]() {
     std::uint32_t v = 0;
     in.read(reinterpret_cast<char*>(&v), sizeof(v));
     return v;
   };
   const std::uint32_t count = get_u32();
+  if (!in) return corrupt("unreadable entry count");
   Weights loaded;
-  for (std::uint32_t e = 0; e < count && in; ++e) {
+  for (std::uint32_t e = 0; e < count; ++e) {
     const std::uint32_t name_len = get_u32();
+    expected += 2 * sizeof(std::uint32_t) + name_len;  // name_len+name+rank
+    if (!in || expected > file_size)
+      return corrupt("entry " + std::to_string(e) + " name");
     std::string name(name_len, '\0');
     in.read(name.data(), name_len);
     const std::uint32_t rank = get_u32();
+    if (!in || rank < 1 || rank > 4)
+      return corrupt("entry " + std::to_string(e) + " rank");
     std::vector<int> dims(rank);
     std::size_t elems = 1;
+    expected += rank * sizeof(std::uint32_t);
+    if (expected > file_size)
+      return corrupt("entry " + std::to_string(e) + " dims");
     for (std::uint32_t i = 0; i < rank; ++i) {
       dims[i] = static_cast<int>(get_u32());
       elems *= static_cast<std::size_t>(dims[i]);
     }
+    expected += static_cast<std::uintmax_t>(elems) * sizeof(float);
+    if (!in || expected > file_size)
+      return corrupt("entry " + std::to_string(e) + " tensor data");
     std::vector<float> data(elems);
     in.read(reinterpret_cast<char*>(data.data()),
             static_cast<std::streamsize>(elems * sizeof(float)));
+    if (!in) return corrupt("entry " + std::to_string(e) + " tensor data");
     tensor::Shape shape;
     switch (rank) {
       case 1: shape = tensor::Shape{dims[0]}; break;
       case 2: shape = tensor::Shape{dims[0], dims[1]}; break;
       case 3: shape = tensor::Shape{dims[0], dims[1], dims[2]}; break;
-      case 4:
+      default:
         shape = tensor::Shape{dims[0], dims[1], dims[2], dims[3]};
         break;
-      default:
-        return false;
     }
     loaded.emplace(std::move(name), tensor::Tensor(shape, std::move(data)));
   }
-  if (!in) return false;
+  if (expected != file_size)
+    return corrupt("trailing bytes after the last entry");
   w = std::move(loaded);
   return true;
 }

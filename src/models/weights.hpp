@@ -30,7 +30,15 @@ tensor::Tensor zero_bias(int n);
 // Binary (de)serialisation of a Weights map.  Format: u32 count, then per
 // entry: u32 name length, name bytes, u32 rank, u32 dims..., f32 data.
 void save_weights(const Weights& w, const std::string& path);
-bool load_weights(Weights& w, const std::string& path);  // false if absent
+
+// Loads a weight cache.  Returns false when `path` does not exist (the
+// caller trains and writes the cache).  A file that *does* exist but is
+// truncated or corrupt — its size does not match the byte count its own
+// header describes, or its header is malformed — throws
+// std::runtime_error naming the path and the expected/actual byte
+// counts, instead of silently retraining over (and then clobbering) a
+// cache some other run may still be using.
+bool load_weights(Weights& w, const std::string& path);
 
 // Directory used by the pretrained-model cache; created on demand.
 // Defaults to "./rangerpp_weights", overridable via the

@@ -176,4 +176,17 @@ float dtype_flip_value(DType d, float value, int bit) {
   return dtype_decode(d, dtype_flip_bit(d, bits, bit));
 }
 
+std::uint64_t dtype_write_bit(DType d, std::uint64_t bits, int bit,
+                              bool set) {
+  const int width = dtype_bits(d);
+  if (bit < 0 || bit >= width)
+    throw std::out_of_range("dtype_write_bit: bit out of range");
+  return set ? bits | (1ULL << bit) : bits & ~(1ULL << bit);
+}
+
+float dtype_write_bit_value(DType d, float value, int bit, bool set) {
+  const std::uint64_t bits = dtype_encode(d, value);
+  return dtype_decode(d, dtype_write_bit(d, bits, bit, set));
+}
+
 }  // namespace rangerpp::tensor

@@ -64,6 +64,14 @@ std::uint64_t dtype_flip_bit(DType d, std::uint64_t bits, int bit);
 // Convenience: quantise + flip + decode in one step.
 float dtype_flip_value(DType d, float value, int bit);
 
+// Forces bit `bit` to `set` (stuck-at faults in parameter memory model a
+// cell that reads a fixed level regardless of the stored value).
+std::uint64_t dtype_write_bit(DType d, std::uint64_t bits, int bit, bool set);
+
+// Convenience: quantise + force-bit + decode in one step (identity when
+// the stored bit already equals `set`).
+float dtype_write_bit_value(DType d, float value, int bit, bool set);
+
 // Parameters of the fixed-point formats, exposed for tests and docs.
 struct FixedPointFormat {
   int total_bits;  // including sign

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <iterator>
+
 #include "core/range_profiler.hpp"
 #include "core/ranger_transform.hpp"
 #include "graph/executor.hpp"
@@ -169,6 +172,55 @@ TEST(Workload, JudgesMatchModelKind) {
   EXPECT_EQ(default_judges(ModelId::kDave).size(), 4u);
   EXPECT_EQ(judge_labels(ModelId::kDave).size(), 4u);
   EXPECT_EQ(judge_labels(ModelId::kResNet18)[1], "ResNet-18 (top-5)");
+}
+
+TEST(WeightIo, RoundTripsAndValidatesFileSize) {
+  Weights w;
+  w.emplace("conv/filter", Tensor::full(Shape{3, 3, 1, 2}, 0.25f));
+  w.emplace("fc/bias", Tensor::full(Shape{4}, -1.0f));
+  const std::string path = testing::TempDir() + "/weights_roundtrip.bin";
+  save_weights(w, path);
+
+  Weights loaded;
+  ASSERT_TRUE(load_weights(loaded, path));
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.at("conv/filter").shape(), (Shape{3, 3, 1, 2}));
+  EXPECT_FLOAT_EQ(loaded.at("fc/bias").at(0), -1.0f);
+
+  // Absent file: plain false (the caller trains and writes the cache).
+  Weights none;
+  EXPECT_FALSE(load_weights(none, testing::TempDir() + "/no_such.bin"));
+
+  // Truncated file: the size its own header describes no longer matches —
+  // must throw a clear error, never silently accept or retrain over it.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  const std::string truncated = testing::TempDir() + "/weights_trunc.bin";
+  {
+    std::ofstream out(truncated, std::ios::binary);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() - 7));
+  }
+  Weights t;
+  try {
+    load_weights(t, truncated);
+    FAIL() << "truncated cache was silently accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(truncated), std::string::npos) << msg;
+    EXPECT_NE(msg.find("bytes"), std::string::npos) << msg;
+  }
+
+  // Trailing garbage after the last entry is corruption too.
+  const std::string padded = testing::TempDir() + "/weights_padded.bin";
+  {
+    std::ofstream out(padded, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.write("junk", 4);
+  }
+  EXPECT_THROW(load_weights(t, padded), std::runtime_error);
 }
 
 TEST(Workload, TrainedLeNetReachesUsableAccuracy) {

@@ -19,6 +19,18 @@
 // checkpoint (e.g. an unsharded run) and exits 1 on any difference — the
 // CI gate for shard-merge reproducibility.
 //
+// Weight-memory fault campaigns (persistent parameter corruption, see
+// fi/weight_fault.hpp):
+//   campaign_cli --model lenet --fault-class weight --trials 100
+//                [--weight-kind single|multi|burst|stuck0|stuck1|row]
+//                [--ecc none|secded|cov<FRACTION>] [--sweep-inputs N]
+// Trials sweep every input under one fixed fault (--trials counts the
+// faults); --sweep-inputs N is shorthand for --fault-class weight
+// --inputs N.
+//
+// Discovery: campaign_cli --list prints every model/axis token and
+// exits 0.
+//
 // Environment fallbacks (same knobs as the bench binaries): RANGERPP_TRIALS,
 // RANGERPP_INPUTS, RANGERPP_SEED, RANGERPP_SHARD (overridden by --shard).
 #include <cstdio>
@@ -48,14 +60,24 @@ using util::env_size;
       stderr,
       "usage: campaign_cli --model NAME [options]\n"
       "       campaign_cli --merge FILE... [--out FILE] [--golden FILE]\n"
+      "       campaign_cli --list\n"
       "\n"
       "models: lenet alexnet vgg11 vgg16 resnet18 squeezenet dave\n"
       "        dave-degrees comma\n"
       "options:\n"
+      "  --list               print every model/axis token and exit 0\n"
       "  --ranger             campaign on the Ranger-protected graph\n"
       "  --dtype D            fixed32 (default) | fixed16 | float32\n"
       "  --nbits K            bit flips per trial (default 1)\n"
       "  --consecutive        burst mode: K adjacent bits in one value\n"
+      "  --fault-class C      activation (default) | weight — weight runs\n"
+      "                       the persistent-fault input sweep: --trials\n"
+      "                       counts faults, each applied to every input\n"
+      "  --weight-kind K      single (default) | multi | burst | stuck0 |\n"
+      "                       stuck1 | row (--nbits is the kind's count)\n"
+      "  --ecc E              none (default) | secded | cov<FRACTION> —\n"
+      "                       ECC filter on sampled weight faults\n"
+      "  --sweep-inputs N     shorthand: --fault-class weight --inputs N\n"
       "  --trials N           trials per input (default $RANGERPP_TRIALS"
       " or 1000)\n"
       "  --inputs N           FI inputs (default $RANGERPP_INPUTS or 8)\n"
@@ -181,6 +203,7 @@ int main(int argc, char** argv) {
     rc.shard_count = spec->count;
   }
 
+  bool weight_kind_set = false, ecc_set = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&]() -> std::string {
@@ -188,11 +211,33 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--model") model_arg = value();
-    else if (arg == "--ranger") ranger = true;
+    else if (arg == "--list") {
+      cli::print_axes(stdout);
+      return 0;
+    } else if (arg == "--ranger") ranger = true;
     else if (arg == "--dtype") dtype_arg = value();
     else if (arg == "--nbits")
       rc.campaign.n_bits = int_flag(arg, value(), 1, 64);
     else if (arg == "--consecutive") rc.campaign.consecutive_bits = true;
+    else if (arg == "--fault-class") {
+      const auto cls = fi::fault_class_from_token(value());
+      if (!cls) usage("--fault-class wants activation|weight");
+      rc.campaign.fault_class = *cls;
+    } else if (arg == "--weight-kind") {
+      const auto kind = fi::weight_fault_kind_from_token(value());
+      if (!kind) usage("--weight-kind wants single|multi|burst|stuck0|"
+                       "stuck1|row");
+      rc.campaign.weight_fault.kind = *kind;
+      weight_kind_set = true;
+    } else if (arg == "--ecc") {
+      const auto ecc = fi::ecc_from_token(value());
+      if (!ecc) usage("--ecc wants none|secded|cov<FRACTION in [0,1]>");
+      rc.campaign.ecc = *ecc;
+      ecc_set = true;
+    } else if (arg == "--sweep-inputs") {
+      rc.campaign.fault_class = fi::FaultClass::kWeight;
+      n_inputs = size_flag(arg, value());
+    }
     else if (arg == "--trials")
       rc.campaign.trials_per_input = size_flag(arg, value());
     else if (arg == "--inputs") n_inputs = size_flag(arg, value());
@@ -226,6 +271,16 @@ int main(int argc, char** argv) {
     else usage(("unknown flag " + arg).c_str());
   }
 
+  // A silently ignored fault-model flag means a misread experiment —
+  // refuse the combinations that would drop one.
+  if (rc.campaign.fault_class == fi::FaultClass::kActivation &&
+      (weight_kind_set || ecc_set))
+    usage("--weight-kind/--ecc require --fault-class weight");
+  if (rc.campaign.fault_class == fi::FaultClass::kWeight &&
+      rc.campaign.consecutive_bits)
+    usage("--consecutive is the activation burst model; use "
+          "--weight-kind burst for weight faults");
+
   try {
     if (merge_mode) {
       if (merge_paths.empty()) usage("--merge wants at least one file");
@@ -237,6 +292,9 @@ int main(int argc, char** argv) {
     if (!model) usage("unknown model");
     const models::ModelId id = *model;
     if (!parse_dtype(dtype_arg, rc.campaign.dtype)) usage("unknown dtype");
+    // --nbits doubles as the weight-fault kind's count parameter (flips
+    // for multi, adjacent bits for burst, elements for row).
+    rc.campaign.weight_fault.n_bits = rc.campaign.n_bits;
 
     models::WorkloadOptions wo;
     wo.eval_inputs = n_inputs;
@@ -260,6 +318,15 @@ int main(int argc, char** argv) {
       std::printf("%s  shard %zu/%zu  %s sampling\n", rc.label.c_str(),
                   rc.shard_index, rc.shard_count,
                   rc.stratified.enabled ? "stratified" : "uniform");
+      if (rc.campaign.fault_class == fi::FaultClass::kWeight)
+        std::printf("weight faults: kind=%s nbits=%d ecc=%s "
+                    "(input sweep: %zu faults x %zu inputs)\n",
+                    std::string(fi::weight_fault_kind_token(
+                                    rc.campaign.weight_fault.kind))
+                        .c_str(),
+                    rc.campaign.weight_fault.n_bits,
+                    fi::ecc_token(rc.campaign.ecc).c_str(),
+                    rc.campaign.trials_per_input, n_inputs);
       fi::print_report(report, models::judge_labels(id));
     }
     print_totals(report);

@@ -7,8 +7,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <string>
 
+#include "fi/suite.hpp"
 #include "util/parse.hpp"
 
 namespace rangerpp::cli {
@@ -41,6 +43,52 @@ inline double double_flag(UsageFn usage, const std::string& flag,
   if (!util::parse_f64(v.c_str(), out) || out < 0.0)
     usage((flag + " wants a non-negative number, got '" + v + "'").c_str());
   return out;
+}
+
+// `--list` discovery output shared by campaign_cli and suite_cli: every
+// grid-axis token a flag accepts, printed from the same token tables the
+// parsers use, so the listing can never drift from what actually parses.
+inline void print_axes(std::FILE* f) {
+  std::fprintf(f, "models:");
+  for (const models::ModelId id :
+       {models::ModelId::kLeNet, models::ModelId::kAlexNet,
+        models::ModelId::kVgg11, models::ModelId::kVgg16,
+        models::ModelId::kResNet18, models::ModelId::kSqueezeNet,
+        models::ModelId::kDave, models::ModelId::kDaveDegrees,
+        models::ModelId::kComma})
+    std::fprintf(f, " %s", models::model_token(id).c_str());
+  std::fprintf(f, "\nactivations:");
+  for (const ops::OpKind act :
+       {ops::OpKind::kInput, ops::OpKind::kRelu, ops::OpKind::kTanh,
+        ops::OpKind::kSigmoid, ops::OpKind::kElu})
+    std::fprintf(f, " %s", std::string(fi::act_token(act)).c_str());
+  std::fprintf(f, "\ndtypes:");
+  for (const tensor::DType d :
+       {tensor::DType::kFixed32, tensor::DType::kFixed16,
+        tensor::DType::kFloat32})
+    std::fprintf(f, " %s", std::string(fi::dtype_token(d)).c_str());
+  std::fprintf(f, "\nfault classes:");
+  for (const fi::FaultClass c :
+       {fi::FaultClass::kActivation, fi::FaultClass::kWeight})
+    std::fprintf(f, " %s", std::string(fi::fault_class_token(c)).c_str());
+  std::fprintf(f,
+               "\nactivation fault models: single-bit (--nbits 1), "
+               "multi-bit (--nbits K), burst (--nbits K --consecutive)");
+  std::fprintf(f, "\nweight fault kinds:");
+  for (const fi::WeightFaultKind k :
+       {fi::WeightFaultKind::kSingleBit, fi::WeightFaultKind::kMultiBit,
+        fi::WeightFaultKind::kConsecutiveBurst,
+        fi::WeightFaultKind::kStuckAt0, fi::WeightFaultKind::kStuckAt1,
+        fi::WeightFaultKind::kRowBurst})
+    std::fprintf(f, " %s",
+                 std::string(fi::weight_fault_kind_token(k)).c_str());
+  std::fprintf(f, "\necc models: none secded cov<FRACTION> (e.g. cov0.5)");
+  std::fprintf(f, "\ntechniques:");
+  for (const fi::Technique t :
+       {fi::Technique::kUnprotected, fi::Technique::kRanger,
+        fi::Technique::kRangerPaired})
+    std::fprintf(f, " %s", std::string(fi::technique_token(t)).c_str());
+  std::fprintf(f, "\n");
 }
 
 }  // namespace rangerpp::cli

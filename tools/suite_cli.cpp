@@ -43,6 +43,7 @@ using util::env_size;
       stderr,
       "usage: suite_cli --models M[,M...] [options]\n"
       "       suite_cli --merge --models M[,M...] [options] [--out FILE]\n"
+      "       suite_cli --list\n"
       "\n"
       "grid dimensions:\n"
       "  --models LIST        lenet alexnet vgg11 vgg16 resnet18\n"
@@ -52,6 +53,13 @@ using util::env_size;
       "  --dtypes LIST        fixed32 | fixed16 | float32 (default fixed32)\n"
       "  --nbits LIST         flips per trial, e.g. 1 or 2,3,4,5 (default 1)\n"
       "  --consecutive        burst fault model: adjacent bits in one value\n"
+      "  --fault-class C      activation (default) | weight: draw faults\n"
+      "                       from Const (weight/bias) tensors and run the\n"
+      "                       persistent-fault input sweep per cell\n"
+      "  --weight-kind K      single | multi | burst | stuck0 | stuck1 |\n"
+      "                       row (weight cells; --nbits is the count)\n"
+      "  --ecc LIST           none | secded | cov<FRACTION> — each entry\n"
+      "                       adds a weight-cell grid column (default none)\n"
       "  --techniques LIST    unprotected | ranger | ranger-paired\n"
       "                       (default unprotected,ranger; ranger-paired\n"
       "                       plans faults on the unprotected graph and\n"
@@ -120,7 +128,11 @@ int main(int argc, char** argv) {
   spec.techniques = {fi::Technique::kUnprotected, fi::Technique::kRanger};
 
   bool merge_mode = false, quiet = false, consecutive = false;
+  bool weight_kind_set = false, ecc_set = false;
   std::vector<int> nbits = {1};
+  fi::FaultClass fault_class = fi::FaultClass::kActivation;
+  fi::WeightFaultKind weight_kind = fi::WeightFaultKind::kSingleBit;
+  std::vector<fi::EccModel> eccs = {fi::EccModel{}};
   std::string report_mode = "cells", out_path;
 
   for (int i = 1; i < argc; ++i) {
@@ -155,7 +167,29 @@ int main(int argc, char** argv) {
         nbits.push_back(cli::int_flag(&usage, "--nbits", b, 1, 64));
       if (nbits.empty()) usage("--nbits wants at least one value");
     } else if (arg == "--consecutive") consecutive = true;
-    else if (arg == "--techniques") {
+    else if (arg == "--fault-class") {
+      const auto cls = fi::fault_class_from_token(value());
+      if (!cls) usage("--fault-class wants activation|weight");
+      fault_class = *cls;
+    } else if (arg == "--weight-kind") {
+      const auto kind = fi::weight_fault_kind_from_token(value());
+      if (!kind) usage("--weight-kind wants single|multi|burst|stuck0|"
+                       "stuck1|row");
+      weight_kind = *kind;
+      weight_kind_set = true;
+    } else if (arg == "--ecc") {
+      eccs.clear();
+      for (const std::string& e : split_list(value())) {
+        const auto ecc = fi::ecc_from_token(e);
+        if (!ecc) usage(("unknown ecc model '" + e + "'").c_str());
+        eccs.push_back(*ecc);
+      }
+      if (eccs.empty()) usage("--ecc wants at least one value");
+      ecc_set = true;
+    } else if (arg == "--list") {
+      cli::print_axes(stdout);
+      return 0;
+    } else if (arg == "--techniques") {
       spec.techniques.clear();
       for (const std::string& t : split_list(value())) {
         const auto tech = fi::technique_from_token(t);
@@ -201,8 +235,28 @@ int main(int argc, char** argv) {
   }
 
   if (spec.models.empty()) usage("--models is required");
+  // A silently ignored fault-model flag means a misread grid — refuse
+  // the combinations that would drop one.
+  if (fault_class == fi::FaultClass::kActivation &&
+      (weight_kind_set || ecc_set))
+    usage("--weight-kind/--ecc require --fault-class weight");
+  if (fault_class == fi::FaultClass::kWeight && consecutive)
+    usage("--consecutive is the activation burst model; use "
+          "--weight-kind burst for weight cells");
   spec.faults.clear();
   for (const int b : nbits) {
+    if (fault_class == fi::FaultClass::kWeight) {
+      // Each ECC model is its own grid column of the weight-fault axis.
+      for (const fi::EccModel& ecc : eccs) {
+        fi::FaultModelSpec f;
+        f.cls = fi::FaultClass::kWeight;
+        f.wkind = weight_kind;
+        f.n_bits = b;
+        f.ecc = ecc;
+        spec.faults.push_back(f);
+      }
+      continue;
+    }
     fi::FaultModelSpec f;
     f.n_bits = b;
     f.consecutive = consecutive && b > 1;
