@@ -1,0 +1,227 @@
+// Backend × datatype throughput matrix, plus the tolerance-judged
+// equivalence verdict the simd backend ships under (ops/backend.hpp,
+// fi/equivalence.hpp).
+//
+// Rows: {scalar, blocked, simd} × {fixed32, int8} full-re-execution
+// campaigns on an AlexNet-shaped synthetic conv tower (the kernel-stress
+// configuration: dense per-trial execution, conv dominates).  For each
+// cell the table reports trials/sec; the scalar/blocked pair must keep
+// bit-identical SDC counts (the byte contract), while simd is judged by
+// the equivalence module instead:
+//   * clean runs: per-input argmax agreement vs scalar and a
+//     ToleranceSpec tensor compare of the final outputs;
+//   * campaigns: Wilson-95 interval overlap of the simd vs scalar SDC
+//     proportions.
+//
+// The headline metric is simd vs blocked trials/sec on fixed32 (target:
+// >= 1.3x on AVX2 hosts; reported honestly either way — on machines
+// without AVX2 the simd backend delegates to blocked and the ratio is
+// ~1.0).  Emits BENCH_backend_matrix.json for cross-PR tracking.
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/calibration.hpp"
+#include "fi/equivalence.hpp"
+#include "graph/builder.hpp"
+#include "ops/cpu_features.hpp"
+
+using namespace rangerpp;
+
+namespace {
+
+struct Measurement {
+  double seconds = 0.0;
+  std::size_t trials = 0;
+  std::size_t sdcs = 0;
+  double trials_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(trials) / seconds : 0.0;
+  }
+};
+
+tensor::Tensor random_tensor(tensor::Shape s, util::Rng& rng, float scale) {
+  std::vector<float> v(s.elements());
+  for (float& x : v) x = static_cast<float>(rng.uniform(-scale, scale));
+  return tensor::Tensor(s, std::move(v));
+}
+
+// AlexNet-shaped synthetic conv tower (weights random but seed-fixed: a
+// throughput workload, not an accuracy one).
+graph::Graph build_conv_tower(std::uint64_t seed) {
+  util::Rng rng(util::derive_seed(seed, 0x434f4e56));
+  graph::GraphBuilder b;
+  b.input("input", tensor::Shape{1, 32, 32, 3});
+  b.conv2d("conv1", random_tensor({5, 5, 3, 32}, rng, 0.2f),
+           random_tensor({32}, rng, 0.05f), {1, 1, ops::Padding::kSame});
+  b.activation("act1", ops::OpKind::kRelu);
+  b.max_pool("pool1", {2, 2, 2, 2, ops::Padding::kValid});
+  b.conv2d("conv2", random_tensor({5, 5, 32, 64}, rng, 0.1f),
+           random_tensor({64}, rng, 0.05f), {1, 1, ops::Padding::kSame});
+  b.activation("act2", ops::OpKind::kRelu);
+  b.max_pool("pool2", {2, 2, 2, 2, ops::Padding::kValid});
+  b.conv2d("conv3", random_tensor({3, 3, 64, 96}, rng, 0.1f),
+           random_tensor({96}, rng, 0.05f), {1, 1, ops::Padding::kSame});
+  b.activation("act3", ops::OpKind::kRelu);
+  b.flatten("flatten");
+  b.dense("fc", random_tensor({8 * 8 * 96, 10}, rng, 0.05f),
+          random_tensor({10}, rng, 0.05f), /*injectable=*/false);
+  b.softmax("softmax");
+  return b.finish();
+}
+
+Measurement run_cell(const graph::Graph& g,
+                     const std::vector<fi::Feeds>& inputs,
+                     const bench::BenchConfig& cfg, tensor::DType dtype,
+                     ops::KernelBackend backend,
+                     const core::Int8Formats& formats) {
+  fi::CampaignConfig cc;
+  cc.dtype = dtype;
+  cc.trials_per_input = std::max<std::size_t>(50, cfg.trials_small / 4);
+  cc.seed = cfg.seed;
+  cc.partial_reexecution = false;  // dense per-trial: kernel stress
+  cc.backend = backend;
+  cc.batch = 8;
+  if (dtype == tensor::DType::kInt8) cc.int8_formats = formats;
+  const fi::Top1Judge judge;
+  util::Timer timer;
+  const fi::CampaignResult r = fi::Campaign(cc).run(g, inputs, judge);
+  Measurement m;
+  m.seconds = timer.elapsed_seconds();
+  m.trials = r.trials;
+  m.sdcs = r.sdcs;
+  return m;
+}
+
+// Clean (fault-free) outputs of every input under one backend.
+std::vector<tensor::Tensor> clean_outputs(
+    const graph::Graph& g, const std::vector<fi::Feeds>& inputs,
+    tensor::DType dtype, ops::KernelBackend backend,
+    const core::Int8Formats& formats) {
+  graph::PlanOptions po;
+  po.backend = backend;
+  if (dtype == tensor::DType::kInt8) po.int8_formats = formats;
+  const graph::ExecutionPlan plan(g, dtype, po);
+  const graph::Executor exec({dtype});
+  graph::Arena arena;
+  std::vector<tensor::Tensor> outs;
+  outs.reserve(inputs.size());
+  for (const fi::Feeds& f : inputs) outs.push_back(exec.run(plan, f, arena));
+  return outs;
+}
+
+}  // namespace
+
+int main() {
+  const bench::BenchConfig cfg;
+  bench::print_header(
+      "Backend x datatype matrix: throughput + simd equivalence",
+      "the two-tier backend contract, measured end to end");
+  std::printf("simd level: %s\n\n",
+              std::string(ops::simd_level_name(ops::simd_level())).c_str());
+
+  const graph::Graph tower = build_conv_tower(cfg.seed);
+  std::vector<fi::Feeds> inputs;
+  {
+    util::Rng rng(util::derive_seed(cfg.seed, 0x494e5055));
+    for (std::size_t i = 0; i < std::min<std::size_t>(cfg.inputs, 4); ++i)
+      inputs.push_back({{"input", random_tensor({1, 32, 32, 3}, rng, 1.0f)}});
+  }
+  // int8 activation formats from profiled float32 bounds — the same
+  // derivation the suite uses for its int8 cells.
+  const core::Bounds bounds =
+      core::RangeProfiler{}.derive_bounds(tower, inputs);
+  const core::Int8Formats formats = core::int8_calibration(bounds);
+
+  const std::pair<ops::KernelBackend, const char*> backends[] = {
+      {ops::KernelBackend::kScalar, "scalar"},
+      {ops::KernelBackend::kBlocked, "blocked"},
+      {ops::KernelBackend::kSimd, "simd"}};
+  const std::pair<tensor::DType, const char*> dtypes[] = {
+      {tensor::DType::kFixed32, "fixed32"}, {tensor::DType::kInt8, "int8"}};
+
+  util::Table table(
+      {"backend", "dtype", "trials", "SDCs", "seconds", "trials/sec"});
+  Measurement m[3][2];
+  for (int bi = 0; bi < 3; ++bi)
+    for (int di = 0; di < 2; ++di) {
+      m[bi][di] = run_cell(tower, inputs, cfg, dtypes[di].first,
+                           backends[bi].first, formats);
+      table.add_row({backends[bi].second, dtypes[di].second,
+                     std::to_string(m[bi][di].trials),
+                     std::to_string(m[bi][di].sdcs),
+                     util::Table::fmt(m[bi][di].seconds, 2),
+                     util::Table::fmt(m[bi][di].trials_per_sec(), 0)});
+    }
+  table.print();
+
+  // Tier 1: scalar and blocked share the byte contract — SDC counts must
+  // be bit-identical per dtype.
+  const bool byte_tier_ok =
+      m[0][0].sdcs == m[1][0].sdcs && m[0][1].sdcs == m[1][1].sdcs;
+
+  // Tier 2: simd is tolerance-judged against scalar.
+  bool simd_ok = true;
+  double clean_agreement[2] = {0.0, 0.0};
+  for (int di = 0; di < 2; ++di) {
+    const tensor::DType d = dtypes[di].first;
+    const auto scalar_outs = clean_outputs(
+        tower, inputs, d, ops::KernelBackend::kScalar, formats);
+    const auto simd_outs = clean_outputs(
+        tower, inputs, d, ops::KernelBackend::kSimd, formats);
+    clean_agreement[di] = fi::argmax_agreement(scalar_outs, simd_outs);
+    const fi::ToleranceSpec tol =
+        fi::ToleranceSpec::for_scheme(tensor::QScheme(d));
+    bool within = true;
+    for (std::size_t i = 0; i < scalar_outs.size(); ++i)
+      within = within &&
+               fi::compare_tensors(scalar_outs[i], simd_outs[i], tol).within;
+    const bool rates_ok = fi::rates_statistically_equal(
+        m[0][di].sdcs, m[0][di].trials, m[2][di].sdcs, m[2][di].trials);
+    std::printf(
+        "%s: clean argmax agreement %.4f, outputs %s tolerance, "
+        "SDC Wilson-95 intervals %s\n",
+        dtypes[di].second, clean_agreement[di],
+        within ? "within" : "OUTSIDE", rates_ok ? "overlap" : "DISJOINT");
+    simd_ok = simd_ok && clean_agreement[di] >= 0.999 && within && rates_ok;
+  }
+
+  const double simd_vs_blocked =
+      m[1][0].seconds > 0.0 && m[2][0].seconds > 0.0
+          ? m[2][0].trials_per_sec() / m[1][0].trials_per_sec()
+          : 0.0;
+  const bool avx2 = ops::simd_level() == ops::SimdLevel::kAvx2;
+  std::printf("\nsimd vs blocked (fixed32): %.2fx — target 1.3x %s\n",
+              simd_vs_blocked,
+              simd_vs_blocked >= 1.3
+                  ? "MET"
+                  : (avx2 ? "MISSED (reported honestly)"
+                          : "N/A (no AVX2: simd delegates to blocked)"));
+  std::printf("scalar/blocked SDC counts %s; simd tolerance judge %s\n",
+              byte_tier_ok ? "bit-identical" : "MISMATCH (bug)",
+              simd_ok ? "PASS" : "FAIL");
+
+  bench::emit_bench_json(
+      "backend_matrix",
+      {{"scalar_fixed32_trials_per_sec", m[0][0].trials_per_sec()},
+       {"blocked_fixed32_trials_per_sec", m[1][0].trials_per_sec()},
+       {"simd_fixed32_trials_per_sec", m[2][0].trials_per_sec()},
+       {"scalar_int8_trials_per_sec", m[0][1].trials_per_sec()},
+       {"blocked_int8_trials_per_sec", m[1][1].trials_per_sec()},
+       {"simd_int8_trials_per_sec", m[2][1].trials_per_sec()},
+       {"simd_vs_blocked_fixed32", simd_vs_blocked},
+       {"avx2", avx2 ? 1.0 : 0.0},
+       {"clean_argmax_agreement_fixed32", clean_agreement[0]},
+       {"clean_argmax_agreement_int8", clean_agreement[1]},
+       {"sdcs_scalar_fixed32", static_cast<double>(m[0][0].sdcs)},
+       {"sdcs_blocked_fixed32", static_cast<double>(m[1][0].sdcs)},
+       {"sdcs_simd_fixed32", static_cast<double>(m[2][0].sdcs)},
+       {"sdcs_scalar_int8", static_cast<double>(m[0][1].sdcs)},
+       {"sdcs_blocked_int8", static_cast<double>(m[1][1].sdcs)},
+       {"sdcs_simd_int8", static_cast<double>(m[2][1].sdcs)},
+       {"byte_tier_identical", byte_tier_ok ? 1.0 : 0.0},
+       {"simd_tolerance_pass", simd_ok ? 1.0 : 0.0}},
+      &cfg);
+  // Correctness gates the exit code; the 1.3x throughput target is
+  // tracked via the JSON artifact, not enforced here.
+  return byte_tier_ok && simd_ok ? 0 : 1;
+}

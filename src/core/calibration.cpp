@@ -1,0 +1,16 @@
+#include "core/calibration.hpp"
+
+namespace rangerpp::core {
+
+Int8Formats int8_calibration(const Bounds& bounds) {
+  Int8Formats formats;
+  formats.reserve(bounds.size());
+  for (const auto& [name, b] : bounds)
+    formats.emplace(name,
+                    tensor::int8_format_for_range(
+                        static_cast<double>(b.low),
+                        static_cast<double>(b.up)));
+  return formats;
+}
+
+}  // namespace rangerpp::core

@@ -1,0 +1,28 @@
+// Post-training int8 calibration: turns the per-layer (low, up) bounds the
+// RangeProfiler already derives (paper §III-C step 1) into per-node int8
+// fixed-point formats.  This is the PTQ analogue of Ranger's own insight —
+// the profiler knows each activation's realistic value range, so 8 bits of
+// code space can be spent on that range instead of a one-size-fits-all
+// Q4.3 layout.  Keyed by node name for the same reason Bounds is: formats
+// derived on the unprotected graph apply to any graph that preserves
+// names, including the Ranger-transformed one (inserted restrict nodes
+// inherit their input's scheme at plan time).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "core/bounds.hpp"
+#include "tensor/dtype.hpp"
+
+namespace rangerpp::core {
+
+using Int8Formats = std::unordered_map<std::string, tensor::FixedPointFormat>;
+
+// One calibrated format per bounded node, via
+// tensor::int8_format_for_range.  Deterministic in the bounds (and hence
+// in whatever seed/inputs produced them), which is what lets int8
+// campaigns stay shard/resume compatible.
+Int8Formats int8_calibration(const Bounds& bounds);
+
+}  // namespace rangerpp::core

@@ -5,6 +5,7 @@
 
 #include "util/rng.hpp"
 #include "ops/kernels_blocked.hpp"
+#include "ops/kernels_simd.hpp"
 
 namespace rangerpp::core {
 
@@ -25,14 +26,14 @@ tensor::Shape unary_shape(std::span<const tensor::Shape> in) {
 // scheduler; `fn(i, v)` must replicate the scalar compute's per-element
 // result exactly.
 template <typename Fn>
-tensor::Tensor fused_restrict(tensor::DType dtype, const tensor::Tensor& x,
-                              const Fn& fn) {
+tensor::Tensor fused_restrict(const tensor::QScheme& scheme,
+                              const tensor::Tensor& x, const Fn& fn) {
   tensor::Tensor y = x.clone();
   const std::span<float> yv = y.mutable_values();
   ops::blocked::run_elementwise(yv.size(), [&](std::size_t lo,
                                                std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) yv[i] = fn(i, yv[i]);
-    tensor::dtype_quantize_span(dtype, yv.subspan(lo, hi - lo));
+    tensor::q_quantize_span(scheme, yv.subspan(lo, hi - lo));
   });
   return y;
 }
@@ -56,13 +57,23 @@ tensor::Tensor ZeroResetOp::compute(
   return y;
 }
 
-ops::CompiledKernel ZeroResetOp::blocked_kernel(tensor::DType dtype) const {
+ops::CompiledKernel ZeroResetOp::blocked_kernel(
+    const tensor::QScheme& scheme) const {
   const float low = low_, high = high_;
-  return {[low, high, dtype](std::span<const tensor::Tensor> in) {
+  return {[low, high, scheme](std::span<const tensor::Tensor> in) {
             return fused_restrict(
-                dtype, in[0], [low, high](std::size_t, float v) {
+                scheme, in[0], [low, high](std::size_t, float v) {
                   return v < low || v > high || std::isnan(v) ? 0.0f : v;
                 });
+          },
+          true};
+}
+
+ops::CompiledKernel ZeroResetOp::simd_kernel(
+    const tensor::QScheme& scheme) const {
+  const float low = low_, high = high_;
+  return {[low, high, scheme](std::span<const tensor::Tensor> in) {
+            return ops::simd::zero_reset(low, high, scheme, in);
           },
           true};
 }
@@ -91,14 +102,14 @@ tensor::Tensor RandomReplaceOp::compute(
 }
 
 ops::CompiledKernel RandomReplaceOp::blocked_kernel(
-    tensor::DType dtype) const {
+    const tensor::QScheme& scheme) const {
   const float low = low_, high = high_;
   const std::uint64_t seed = seed_;
   // The replacement draw is keyed by (seed, element index), so the fused
   // kernel stays deterministic under any block partitioning.
-  return {[low, high, seed, dtype](std::span<const tensor::Tensor> in) {
+  return {[low, high, seed, scheme](std::span<const tensor::Tensor> in) {
             return fused_restrict(
-                dtype, in[0], [low, high, seed](std::size_t i, float v) {
+                scheme, in[0], [low, high, seed](std::size_t i, float v) {
                   if (v < low || v > high || std::isnan(v)) {
                     util::Rng rng(util::derive_seed(seed, i));
                     return static_cast<float>(rng.uniform(low, high));

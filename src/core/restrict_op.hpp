@@ -32,7 +32,13 @@ class ZeroResetOp final : public ops::Op, public ops::BlockedKernelProvider {
   std::uint64_t flops(std::span<const tensor::Shape> in) const override {
     return 2 * in[0].elements();
   }
-  ops::CompiledKernel blocked_kernel(tensor::DType dtype) const override;
+  ops::CompiledKernel blocked_kernel(
+      const tensor::QScheme& scheme) const override;
+  // Zero-reset vectorizes per-element-identically (compare-mask + blend),
+  // so the simd backend gets a true vector kernel, not just the blocked
+  // fallback.
+  ops::CompiledKernel simd_kernel(
+      const tensor::QScheme& scheme) const override;
 
  private:
   float low_, high_;
@@ -54,7 +60,8 @@ class RandomReplaceOp final : public ops::Op,
   std::uint64_t flops(std::span<const tensor::Shape> in) const override {
     return 2 * in[0].elements();
   }
-  ops::CompiledKernel blocked_kernel(tensor::DType dtype) const override;
+  ops::CompiledKernel blocked_kernel(
+      const tensor::QScheme& scheme) const override;
 
  private:
   float low_, high_;

@@ -191,7 +191,8 @@ TrialExecutor::TrialExecutor(const graph::Graph& g,
     : config_(config),
       inputs_(&inputs),
       exec_({config.dtype}),
-      plan_(g, config.dtype, {.backend = config.backend}),
+      plan_(g, config.dtype,
+            {.backend = config.backend, .int8_formats = config.int8_formats}),
       arenas_(workers == 0 ? 1 : workers) {
   if (inputs.empty())
     throw std::invalid_argument("TrialExecutor: no inputs");
@@ -212,7 +213,8 @@ TrialExecutor::TrialExecutor(const graph::Graph& g,
     batch_plan_ = std::make_unique<graph::ExecutionPlan>(
         g, config.dtype,
         graph::PlanOptions{.backend = config.backend,
-                           .batch = config.batch});
+                           .batch = config.batch,
+                           .int8_formats = config.int8_formats});
     // Only the state the configured mode will read is materialised:
     // partial re-execution resumes from tiled goldens, full re-execution
     // re-runs from tiled feeds.
@@ -256,8 +258,7 @@ TrialExecutor::TrialExecutor(const graph::Graph& g,
 tensor::Tensor TrialExecutor::run_trial(unsigned worker,
                                         std::size_t input_idx,
                                         const FaultSet& faults) const {
-  const graph::PostOpHook hook =
-      make_injection_hook(plan_.graph(), config_.dtype, faults);
+  const graph::PostOpHook hook = make_injection_hook(plan_, faults);
   graph::Arena& arena = arenas_[worker];
   return config_.partial_reexecution
              ? exec_.run_from(plan_, golden_[input_idx].activations,
@@ -274,7 +275,7 @@ std::vector<tensor::Tensor> TrialExecutor::run_trial_batch(
   if (row_faults.empty() || row_faults.size() > config_.batch)
     throw std::invalid_argument("TrialExecutor: bad batch size");
   const graph::PostOpHook hook =
-      make_batched_injection_hook(*batch_plan_, config_.dtype, row_faults);
+      make_batched_injection_hook(*batch_plan_, row_faults);
   graph::Arena& arena = batch_arenas_[worker];
   tensor::Tensor out;
   if (config_.partial_reexecution) {

@@ -74,6 +74,15 @@ struct CampaignConfig {
   FaultClass fault_class = FaultClass::kActivation;
   WeightFaultModel weight_fault;  // used when fault_class == kWeight
   EccModel ecc;                   // filters sampled weight faults
+
+  // ---- int8 calibration (dtype == kInt8 only) --------------------------
+  // Per-node activation formats (node name -> format), normally
+  // core::int8_calibration(bounds) from the model's RangeProfiler bounds —
+  // the same bounds Ranger derives its restriction thresholds from.
+  // Forwarded into PlanOptions::int8_formats; ignored for other dtypes.
+  // Deterministic given (model, seed, inputs), so it needs no checkpoint
+  // fingerprint entry of its own: `dtype` already covers it.
+  std::unordered_map<std::string, tensor::FixedPointFormat> int8_formats;
 };
 
 using Feeds = std::unordered_map<std::string, tensor::Tensor>;

@@ -1,0 +1,88 @@
+#include "fi/equivalence.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/executor.hpp"
+#include "util/stats.hpp"
+
+namespace rangerpp::fi {
+
+namespace {
+
+// Sign-magnitude float bits mapped onto a monotone unsigned scale, so the
+// ulp distance of two finite floats is plain unsigned subtraction (the
+// classic trick; handles mixed signs and ±0 correctly — +0 and -0 are one
+// step apart, which the abs branch forgives).
+std::uint32_t monotone_bits(float v) {
+  const auto bits = std::bit_cast<std::uint32_t>(v);
+  return (bits & 0x80000000u) ? 0x80000000u - (bits & 0x7fffffffu)
+                              : 0x80000000u + bits;
+}
+
+std::uint32_t ulp_distance(float a, float b) {
+  const std::uint32_t ma = monotone_bits(a);
+  const std::uint32_t mb = monotone_bits(b);
+  return ma > mb ? ma - mb : mb - ma;
+}
+
+}  // namespace
+
+ToleranceSpec ToleranceSpec::for_scheme(const tensor::QScheme& scheme,
+                                        int steps) {
+  ToleranceSpec tol;
+  if (scheme.dtype != tensor::DType::kFloat32)
+    tol.abs_tol = scheme.fmt.resolution() * static_cast<double>(steps);
+  return tol;
+}
+
+TensorCompareReport compare_tensors(const tensor::Tensor& a,
+                                    const tensor::Tensor& b,
+                                    const ToleranceSpec& tol) {
+  TensorCompareReport r;
+  if (a.elements() != b.elements()) return r;  // within stays false
+  const std::span<const float> av = a.values();
+  const std::span<const float> bv = b.values();
+  r.compared = av.size();
+  for (std::size_t i = 0; i < av.size(); ++i) {
+    const float x = av[i], y = bv[i];
+    const bool nx = std::isnan(x), ny = std::isnan(y);
+    if (nx || ny) {
+      if (nx != ny) {
+        ++r.mismatched;
+        r.max_ulp_diff = UINT32_MAX;
+      }
+      continue;  // both NaN: equal by contract
+    }
+    const double ad = std::abs(static_cast<double>(x) -
+                               static_cast<double>(y));
+    const std::uint32_t ud = ulp_distance(x, y);
+    r.max_abs_diff = std::max(r.max_abs_diff, ad);
+    r.max_ulp_diff = std::max(r.max_ulp_diff, ud);
+    if (!(ad <= tol.abs_tol || ud <= tol.max_ulps)) ++r.mismatched;
+  }
+  r.within = r.mismatched == 0;
+  return r;
+}
+
+double argmax_agreement(std::span<const tensor::Tensor> a,
+                        std::span<const tensor::Tensor> b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("argmax_agreement: size mismatch");
+  if (a.empty()) return 1.0;
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (graph::argmax(a[i]) == graph::argmax(b[i])) ++agree;
+  return static_cast<double>(agree) / static_cast<double>(a.size());
+}
+
+bool rates_statistically_equal(std::size_t sdcs_a, std::size_t trials_a,
+                               std::size_t sdcs_b, std::size_t trials_b) {
+  const util::Interval ia = util::wilson95(sdcs_a, trials_a);
+  const util::Interval ib = util::wilson95(sdcs_b, trials_b);
+  return ia.lo() <= ib.hi() && ib.lo() <= ia.hi();
+}
+
+}  // namespace rangerpp::fi

@@ -1,0 +1,76 @@
+// Tolerance-judged equivalence between kernel backends.
+//
+// The scalar and blocked backends share a byte-for-byte determinism
+// contract, enforced with memcmp golden gates.  The simd backend trades
+// that away on purpose: its AVX2 GEMM core accumulates lanes with FMA, so
+// its conv/matmul outputs can differ from the reference in the last few
+// ulps.  This module is the contract it is held to instead — three judges,
+// each matched to what a Ranger-style fault-injection study actually
+// depends on:
+//
+//  * compare_tensors: per-element closeness (abs tolerance OR ulp
+//    distance), for clean-run activations and outputs;
+//  * argmax_agreement: top-1 classification agreement, the unit of SDC
+//    accounting — rounding that never moves the argmax cannot change an
+//    SDC verdict;
+//  * rates_statistically_equal: campaign-level SDC-rate equality, judged
+//    by overlapping Wilson 95% intervals (the paper's own error-bar
+//    machinery) — the end-to-end statement that backend choice does not
+//    move the science.
+//
+// Everything here is a pure function; no backend code is referenced, so
+// tests and benches can judge any pair of runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "tensor/dtype.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rangerpp::fi {
+
+// Per-element tolerance: an element pair passes when |a - b| <= abs_tol
+// OR ulp_distance(a, b) <= max_ulps.  The OR matters: an absolute bound
+// alone is meaningless for large magnitudes, a ulp bound alone is brutal
+// near zero.
+struct ToleranceSpec {
+  double abs_tol = 1e-4;
+  std::uint32_t max_ulps = 256;
+
+  // Tolerance matched to a quantisation scheme: `steps` resolution steps
+  // of absolute slack (quantised values differing by <= steps codes pass
+  // on the abs branch regardless of ulp distance).
+  static ToleranceSpec for_scheme(const tensor::QScheme& scheme,
+                                  int steps = 2);
+};
+
+struct TensorCompareReport {
+  std::size_t compared = 0;
+  std::size_t mismatched = 0;  // elements outside both tolerance branches
+  double max_abs_diff = 0.0;
+  std::uint32_t max_ulp_diff = 0;  // saturates at UINT32_MAX (NaN vs non-NaN)
+  bool within = false;             // mismatched == 0 and shapes matched
+};
+
+// Element-wise comparison of two same-shaped tensors under `tol`.
+// Both-NaN pairs are equal (the codecs round-trip NaN deterministically);
+// a NaN/non-NaN pair is an unconditional mismatch.
+TensorCompareReport compare_tensors(const tensor::Tensor& a,
+                                    const tensor::Tensor& b,
+                                    const ToleranceSpec& tol);
+
+// Fraction of output pairs whose argmax agrees (1.0 when both spans are
+// empty).  Ties break toward the lowest index in both, matching the
+// harness's top1 rule, so a tie is only a disagreement if the tied sets
+// differ.
+double argmax_agreement(std::span<const tensor::Tensor> a,
+                        std::span<const tensor::Tensor> b);
+
+// True when the Wilson 95% intervals of two SDC proportions overlap —
+// the acceptance test for "backend B reproduces backend A's SDC rate".
+bool rates_statistically_equal(std::size_t sdcs_a, std::size_t trials_a,
+                               std::size_t sdcs_b, std::size_t trials_b);
+
+}  // namespace rangerpp::fi

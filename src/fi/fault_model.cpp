@@ -19,6 +19,19 @@ float apply_fault_value(tensor::DType dtype, float value,
   return value;
 }
 
+float apply_fault_value(const tensor::QScheme& scheme, float value,
+                        const FaultPoint& f) {
+  switch (f.action) {
+    case FaultAction::kFlip:
+      return tensor::q_flip_value(scheme, value, f.bit);
+    case FaultAction::kStuck0:
+      return tensor::q_write_bit_value(scheme, value, f.bit, false);
+    case FaultAction::kStuck1:
+      return tensor::q_write_bit_value(scheme, value, f.bit, true);
+  }
+  return value;
+}
+
 SiteSpace::SiteSpace(const graph::Graph& g, tensor::DType dtype)
     : dtype_bits_(tensor::dtype_bits(dtype)) {
   const std::vector<tensor::Shape> shapes = g.infer_shapes();
@@ -102,9 +115,29 @@ graph::PostOpHook make_injection_hook(const graph::Graph& g,
   };
 }
 
+graph::PostOpHook make_injection_hook(const graph::ExecutionPlan& plan,
+                                      const FaultSet& faults) {
+  auto by_node = std::make_shared<
+      std::unordered_map<graph::NodeId, std::vector<FaultPoint>>>();
+  for (const FaultPoint& f : faults) {
+    const graph::NodeId id = plan.graph().find(f.node_name);
+    if (id == graph::kInvalidNode) continue;
+    (*by_node)[id].push_back(f);
+  }
+  const graph::ExecutionPlan* p = &plan;
+  return [by_node, p](const graph::Node& node, tensor::Tensor& out) {
+    const auto it = by_node->find(node.id);
+    if (it == by_node->end()) return;
+    const tensor::QScheme& scheme = p->qscheme(node.id);
+    for (const FaultPoint& f : it->second) {
+      if (f.element >= out.elements()) continue;  // defensive; cannot happen
+      out.set(f.element, apply_fault_value(scheme, out.at(f.element), f));
+    }
+  };
+}
+
 graph::PostOpHook make_batched_injection_hook(
-    const graph::ExecutionPlan& plan, tensor::DType dtype,
-    std::span<const FaultSet> row_faults) {
+    const graph::ExecutionPlan& plan, std::span<const FaultSet> row_faults) {
   struct BatchedFault {
     std::size_t element;  // already offset into the batch row
     int bit;
@@ -123,13 +156,15 @@ graph::PostOpHook make_batched_injection_hook(
           BatchedFault{b * per + f.element, f.bit, f.action});
     }
   }
-  return [by_node, dtype](const graph::Node& node, tensor::Tensor& out) {
+  const graph::ExecutionPlan* p = &plan;
+  return [by_node, p](const graph::Node& node, tensor::Tensor& out) {
     const auto it = by_node->find(node.id);
     if (it == by_node->end()) return;
+    const tensor::QScheme& scheme = p->qscheme(node.id);
     for (const BatchedFault& f : it->second) {
       if (f.element >= out.elements()) continue;
       out.set(f.element,
-              apply_fault_value(dtype, out.at(f.element),
+              apply_fault_value(scheme, out.at(f.element),
                                 FaultPoint{"", f.element, f.bit, f.action}));
     }
   };

@@ -46,6 +46,12 @@ struct FaultPoint {
 float apply_fault_value(tensor::DType dtype, float value,
                         const FaultPoint& f);
 
+// Scheme-aware variant: corrupts through the node's quantisation scheme
+// (identical to the dtype overload for canonical schemes; under int8 the
+// bit space is the node's calibrated per-tensor format).
+float apply_fault_value(const tensor::QScheme& scheme, float value,
+                        const FaultPoint& f);
+
 // The set of flips applied during one inference (size 1 under the default
 // single-bit model, 2-5 under the multi-bit model).
 using FaultSet = std::vector<FaultPoint>;
@@ -103,14 +109,21 @@ graph::PostOpHook make_injection_hook(const graph::Graph& g,
                                       tensor::DType dtype,
                                       const FaultSet& faults);
 
+// Plan-aware variant: corrupts each node through plan.qscheme(id), which
+// is what an int8 plan's per-tensor calibration requires (identical to
+// the graph overload for canonical dtypes).  The plan must outlive the
+// returned hook.
+graph::PostOpHook make_injection_hook(const graph::ExecutionPlan& plan,
+                                      const FaultSet& faults);
+
 // Batched-trial variant: `row_faults[b]` is the fault set of the trial
 // riding in batch row b of a plan compiled with batch == row_faults.size().
 // Each fault's single-image element index is offset into its row of the
 // batched output (per-image element counts come from `plan`), so row b of
 // the batched run reproduces trial b's single-image injection
-// bit-identically and rows stay independent.
+// bit-identically and rows stay independent.  Corrupts through
+// plan.qscheme(id); the plan must outlive the returned hook.
 graph::PostOpHook make_batched_injection_hook(
-    const graph::ExecutionPlan& plan, tensor::DType dtype,
-    std::span<const FaultSet> row_faults);
+    const graph::ExecutionPlan& plan, std::span<const FaultSet> row_faults);
 
 }  // namespace rangerpp::fi

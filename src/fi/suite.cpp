@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/calibration.hpp"
 #include "core/flops_profiler.hpp"
 #include "core/range_profiler.hpp"
 #include "core/ranger_transform.hpp"
@@ -133,6 +134,7 @@ std::string_view dtype_token(tensor::DType d) {
   switch (d) {
     case tensor::DType::kFixed32: return "fixed32";
     case tensor::DType::kFixed16: return "fixed16";
+    case tensor::DType::kInt8: return "int8";
     case tensor::DType::kFloat32: return "float32";
   }
   return "?";
@@ -141,6 +143,7 @@ std::string_view dtype_token(tensor::DType d) {
 std::optional<tensor::DType> dtype_from_token(std::string_view s) {
   if (s == "fixed32") return tensor::DType::kFixed32;
   if (s == "fixed16") return tensor::DType::kFixed16;
+  if (s == "int8") return tensor::DType::kInt8;
   if (s == "float32") return tensor::DType::kFloat32;
   return std::nullopt;
 }
@@ -318,6 +321,14 @@ const TrialExecutor& Suite::executor(const SuiteCell& cell,
     CampaignConfig ec;
     ec.dtype = cell.dtype;
     ec.threads = plan_.spec.threads;
+    // int8 cells calibrate activation formats from the same RangeProfiler
+    // bounds Ranger derives its thresholds from.  bounds() is a pure
+    // function of (model, act) at float32 profiling — independent of the
+    // cell's dtype, shard or resume state — so the calibrated plan (and
+    // with it the cell's trial stream) is identical across shards and
+    // resumes, keeping checkpoint fingerprints compatible.
+    if (cell.dtype == tensor::DType::kInt8)
+      ec.int8_formats = core::int8_calibration(bounds(cell.model, cell.act));
     const unsigned workers = util::worker_count(
         std::max<std::size_t>(1, plan_.spec.check_every),
         plan_.spec.threads);
@@ -661,18 +672,25 @@ void print_fig7(const SuiteResult& r) {
   table.print();
 }
 
-void print_fig9(const SuiteResult& r) {
+namespace {
+
+// Shared shape of the reduced-precision figures: fig9 is the paper's
+// fixed16 table; the int8 variant asks the same question one step lower —
+// does Ranger still contain single-bit faults once activations live in a
+// calibrated 8-bit code?
+void print_reduced_precision(const SuiteResult& r, tensor::DType dtype,
+                             const char* missing_note) {
   util::Table table({"model (avg over metrics)", "SDC orig (%)",
                      "SDC Ranger (%)"});
   double sum_orig = 0.0, sum_ranger = 0.0;
   std::size_t rows = 0;
   for (const models::ModelId id : r.plan.spec.models) {
     const SuiteCellResult* plain =
-        find_cell(r, id, ops::OpKind::kInput, tensor::DType::kFixed16,
-                  {1, false}, Technique::kUnprotected);
+        find_cell(r, id, ops::OpKind::kInput, dtype, {1, false},
+                  Technique::kUnprotected);
     const SuiteCellResult* ranger =
-        find_cell(r, id, ops::OpKind::kInput, tensor::DType::kFixed16,
-                  {1, false}, Technique::kRanger);
+        find_cell(r, id, ops::OpKind::kInput, dtype, {1, false},
+                  Technique::kRanger);
     if (!plain || !ranger) continue;
     double so = 0.0, sr = 0.0;
     const std::size_t judges = plain->report.aggregate.size();
@@ -689,14 +707,27 @@ void print_fig9(const SuiteResult& r) {
                    util::Table::fmt(sr, 2)});
   }
   if (rows == 0) {
-    std::printf("fig9: grid has no fixed16 single-bit "
-                "{unprotected, ranger} cells\n");
+    std::printf("%s\n", missing_note);
     return;
   }
   const double n = static_cast<double>(rows);
   table.add_row({"Average", util::Table::fmt(sum_orig / n, 2),
                  util::Table::fmt(sum_ranger / n, 2)});
   table.print();
+}
+
+}  // namespace
+
+void print_fig9(const SuiteResult& r) {
+  print_reduced_precision(r, tensor::DType::kFixed16,
+                          "fig9: grid has no fixed16 single-bit "
+                          "{unprotected, ranger} cells");
+}
+
+void print_fig9_int8(const SuiteResult& r) {
+  print_reduced_precision(r, tensor::DType::kInt8,
+                          "int8: grid has no int8 single-bit "
+                          "{unprotected, ranger} cells");
 }
 
 namespace {
@@ -833,6 +864,7 @@ void print_suite_report(const SuiteResult& r, const std::string& mode,
   section("fig6", [&] { print_fig6(r); });
   section("fig7", [&] { print_fig7(r); });
   section("fig9", [&] { print_fig9(r); });
+  section("int8", [&] { print_fig9_int8(r); });
   section("fig11", [&] { print_fig11(r); });
   section("fig12", [&] { print_fig12(r); });
   section("table6", [&] { print_table6_coverage(r, suite); });

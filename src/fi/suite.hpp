@@ -266,15 +266,19 @@ std::optional<PairedCoverage> paired_coverage(const SuiteResult& r,
 
 // Regenerate the paper-figure tables from a suite result (each prints
 // the cells it finds; a grid without the needed dimensions prints a
-// note instead).  `mode` ∈ {cells, fig6, fig7, fig9, fig11, fig12,
-// table6, all}.  `suite` (optional) supplies graphs for the Table-VI
-// FLOPs-overhead column.
+// note instead).  `mode` ∈ {cells, fig6, fig7, fig9, int8, fig11,
+// fig12, table6, all}.  `suite` (optional) supplies graphs for the
+// Table-VI FLOPs-overhead column.
 void print_suite_report(const SuiteResult& r, const std::string& mode,
                         Suite* suite = nullptr);
 
 void print_fig6(const SuiteResult& r);
 void print_fig7(const SuiteResult& r);
 void print_fig9(const SuiteResult& r);
+// Fig-9-shaped table over the int8 cells: does Ranger still contain
+// single-bit faults at calibrated 8-bit precision?  (`mode` token:
+// "int8".)
+void print_fig9_int8(const SuiteResult& r);
 void print_fig11(const SuiteResult& r);
 void print_fig12(const SuiteResult& r);
 void print_table6_coverage(const SuiteResult& r, Suite* suite = nullptr);

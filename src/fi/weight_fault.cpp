@@ -232,7 +232,7 @@ std::vector<graph::ConstOverride> make_const_overrides(
     tensor::Tensor t = plan.const_output(id).clone();
     for (const FaultPoint* f : points) {
       if (f->element >= t.elements()) continue;  // cross-graph tolerance
-      t.set(f->element, apply_fault_value(plan.dtype(), t.at(f->element),
+      t.set(f->element, apply_fault_value(plan.qscheme(id), t.at(f->element),
                                           *f));
     }
     out.push_back(graph::ConstOverride{id, std::move(t)});

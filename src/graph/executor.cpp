@@ -5,13 +5,15 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "ops/cpu_features.hpp"
+
 namespace rangerpp::graph {
 
 namespace {
 
-void quantize_tensor(tensor::DType d, tensor::Tensor& t) {
-  if (d == tensor::DType::kFloat32) return;
-  tensor::dtype_quantize_span(d, t.mutable_values());
+void quantize_tensor(const tensor::QScheme& s, tensor::Tensor& t) {
+  if (s.dtype == tensor::DType::kFloat32) return;
+  tensor::q_quantize_span(s, t.mutable_values());
 }
 
 // Runs a node's compiled kernel (or its scalar compute + quantisation
@@ -19,11 +21,10 @@ void quantize_tensor(tensor::DType d, tensor::Tensor& t) {
 // batched plan computes a rank-1 tensor that the plan knows as [B, k]; the
 // reshape is a view, not a copy.
 tensor::Tensor compute_node(const ExecutionPlan& plan, const Node& n,
-                            tensor::DType dtype,
                             std::span<const tensor::Tensor> inputs) {
   const ops::CompiledKernel& kern = plan.kernel(n.id);
   tensor::Tensor value = kern.fn ? kern.fn(inputs) : n.op->compute(inputs);
-  if (!kern.fused_quantize) quantize_tensor(dtype, value);
+  if (!kern.fused_quantize) quantize_tensor(plan.qscheme(n.id), value);
   const tensor::Shape& planned =
       plan.shapes()[static_cast<std::size_t>(n.id)];
   if (value.shape() != planned) value = value.reshaped(planned);
@@ -101,6 +102,16 @@ tensor::Tensor Executor::execute(
       arena.roots_[static_cast<std::size_t>(r)] = true;
     for (ChangeSet& c : arena.change_) c.reset();
   }
+  // The element-sparse incremental kernels mirror the *scalar*
+  // accumulation order.  Under an AVX2 simd plan the dense GEMM
+  // reassociates, so the sparse tier would diverge from the full run —
+  // disable it and let cone nodes recompute densely with the plan's own
+  // kernels, which keeps partial == full bit-identical under every
+  // backend.  (Without AVX2 the simd kernels delegate to blocked, whose
+  // element order is scalar's, so the sparse tier stays exact.)
+  const bool element_sparse =
+      plan.backend() != ops::KernelBackend::kSimd ||
+      ops::simd_level() != ops::SimdLevel::kAvx2;
 
   for (const Node& n : g.nodes()) {
     const auto i = static_cast<std::size_t>(n.id);
@@ -165,14 +176,14 @@ tensor::Tensor Executor::execute(
         in_changes.push_back(&arena.change_[static_cast<std::size_t>(in)]);
       }
       tensor::Tensor value;
-      if (!is_root && incremental_recompute(*n.op, options_.dtype, scratch,
-                                            in_changes, (*golden)[i], value,
-                                            ch)) {
+      if (element_sparse && !is_root &&
+          incremental_recompute(*n.op, plan.qscheme(n.id), scratch,
+                                in_changes, (*golden)[i], value, ch)) {
         if (2 * ch.idx.size() >= (*golden)[i].elements()) ch.mark_dense();
         out[i] = std::move(value);
         continue;
       }
-      value = compute_node(plan, n, options_.dtype, scratch);
+      value = compute_node(plan, n, scratch);
       // Hooks fire at injection roots only: sites outside the roots are
       // not observed in a partial run (see run_from's contract).
       if (is_root && hook) hook(n, value);
@@ -203,7 +214,7 @@ tensor::Tensor Executor::execute(
           slot.quantized = it->second;  // shares storage, no copy
         } else {
           slot.quantized = it->second.clone();
-          quantize_tensor(options_.dtype, slot.quantized);
+          quantize_tensor(plan.qscheme(n.id), slot.quantized);
         }
       }
       out[i] = slot.quantized;
@@ -217,7 +228,7 @@ tensor::Tensor Executor::execute(
       scratch.reserve(n.inputs.size());
       for (const NodeId in : n.inputs)
         scratch.push_back(out[static_cast<std::size_t>(in)]);
-      tensor::Tensor value = compute_node(plan, n, options_.dtype, scratch);
+      tensor::Tensor value = compute_node(plan, n, scratch);
       if (hook) hook(n, value);
       out[i] = std::move(value);
     }

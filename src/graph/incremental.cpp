@@ -47,7 +47,7 @@ AxisRange affected_axis(int s, int k, int stride, int pad, int out_dim) {
   return {lo, hi};
 }
 
-bool sparse_conv(const ops::Conv2DOp& op, tensor::DType dtype,
+bool sparse_conv(const ops::Conv2DOp& op, const tensor::QScheme& scheme,
                  const Tensor& x, const Tensor& f, const ChangeSet& cx,
                  const Tensor& golden, Tensor& out, ChangeSet& ch) {
   const tensor::Shape& os = golden.shape();
@@ -126,12 +126,12 @@ bool sparse_conv(const ops::Conv2DOp& op, tensor::DType dtype,
     const std::size_t base = pcode * static_cast<std::size_t>(oc);
     for (int co = 0; co < oc; ++co)
       store_if_changed(out, golden, base + static_cast<std::size_t>(co),
-                       tensor::dtype_quantize(dtype, acc[co]), ch);
+                       tensor::q_quantize(scheme, acc[co]), ch);
   }
   return true;
 }
 
-bool sparse_pool(const ops::PoolOpBase& op, bool is_max, tensor::DType dtype,
+bool sparse_pool(const ops::PoolOpBase& op, bool is_max, const tensor::QScheme& scheme,
                  const Tensor& x, const ChangeSet& cx, const Tensor& golden,
                  Tensor& out, ChangeSet& ch) {
   const tensor::Shape& os = golden.shape();
@@ -200,7 +200,7 @@ bool sparse_pool(const ops::PoolOpBase& op, bool is_max, tensor::DType dtype,
         v = s / static_cast<float>(window.size());
       }
     }
-    store_if_changed(out, golden, oidx, tensor::dtype_quantize(dtype, v), ch);
+    store_if_changed(out, golden, oidx, tensor::q_quantize(scheme, v), ch);
   }
   return true;
 }
@@ -211,7 +211,7 @@ bool sparse_pool(const ops::PoolOpBase& op, bool is_max, tensor::DType dtype,
 // function of values alone (index-dependent ops such as the random-
 // replacement restriction policy do not derive these bases and take the
 // dense path).
-bool sparse_unary(const ops::UnaryElementwiseOp& op, tensor::DType dtype,
+bool sparse_unary(const ops::UnaryElementwiseOp& op, const tensor::QScheme& scheme,
                   const Tensor& x, const ChangeSet& cx, const Tensor& golden,
                   Tensor& out, ChangeSet& ch) {
   if (2 * cx.idx.size() >= golden.elements()) return false;
@@ -224,11 +224,11 @@ bool sparse_unary(const ops::UnaryElementwiseOp& op, tensor::DType dtype,
   out = golden;
   for (std::size_t j = 0; j < cx.idx.size(); ++j)
     store_if_changed(out, golden, cx.idx[j],
-                     tensor::dtype_quantize(dtype, res.at(j)), ch);
+                     tensor::q_quantize(scheme, res.at(j)), ch);
   return true;
 }
 
-bool sparse_binary(const ops::BinaryElementwiseOp& op, tensor::DType dtype,
+bool sparse_binary(const ops::BinaryElementwiseOp& op, const tensor::QScheme& scheme,
                    const Tensor& a, const Tensor& b, const ChangeSet& ca,
                    const ChangeSet& cb, const Tensor& golden, Tensor& out,
                    ChangeSet& ch) {
@@ -252,11 +252,11 @@ bool sparse_binary(const ops::BinaryElementwiseOp& op, tensor::DType dtype,
   out = golden;
   for (std::size_t j = 0; j < cand.size(); ++j)
     store_if_changed(out, golden, cand[j],
-                     tensor::dtype_quantize(dtype, res.at(j)), ch);
+                     tensor::q_quantize(scheme, res.at(j)), ch);
   return true;
 }
 
-bool sparse_bias_add(tensor::DType dtype, const Tensor& x, const Tensor& bias,
+bool sparse_bias_add(const tensor::QScheme& scheme, const Tensor& x, const Tensor& bias,
                      const ChangeSet& cx, const Tensor& golden, Tensor& out,
                      ChangeSet& ch) {
   if (2 * cx.idx.size() >= golden.elements()) return false;
@@ -264,12 +264,12 @@ bool sparse_bias_add(tensor::DType dtype, const Tensor& x, const Tensor& bias,
   out = golden;
   for (const std::size_t i : cx.idx)
     store_if_changed(out, golden, i,
-                     tensor::dtype_quantize(dtype, x.at(i) + bias.at(i % c)),
+                     tensor::q_quantize(scheme, x.at(i) + bias.at(i % c)),
                      ch);
   return true;
 }
 
-bool sparse_batch_norm(const ops::BatchNormOp& op, tensor::DType dtype,
+bool sparse_batch_norm(const ops::BatchNormOp& op, const tensor::QScheme& scheme,
                        const Tensor& x, const ChangeSet& cx,
                        const Tensor& golden, Tensor& out, ChangeSet& ch) {
   if (2 * cx.idx.size() >= golden.elements()) return false;
@@ -280,7 +280,7 @@ bool sparse_batch_norm(const ops::BatchNormOp& op, tensor::DType dtype,
   for (const std::size_t i : cx.idx)
     store_if_changed(
         out, golden, i,
-        tensor::dtype_quantize(dtype, x.at(i) * scale[i % c] + shift[i % c]),
+        tensor::q_quantize(scheme, x.at(i) * scale[i % c] + shift[i % c]),
         ch);
   return true;
 }
@@ -288,7 +288,7 @@ bool sparse_batch_norm(const ops::BatchNormOp& op, tensor::DType dtype,
 // LRN couples channels within a depth_radius window at one spatial
 // position; a changed input element affects only the outputs of its
 // position's neighbouring channels.
-bool sparse_lrn(const ops::LrnOp& op, tensor::DType dtype, const Tensor& x,
+bool sparse_lrn(const ops::LrnOp& op, const tensor::QScheme& scheme, const Tensor& x,
                 const ChangeSet& cx, const Tensor& golden, Tensor& out,
                 ChangeSet& ch) {
   const tensor::Shape& s = x.shape();
@@ -321,13 +321,13 @@ bool sparse_lrn(const ops::LrnOp& op, tensor::DType dtype, const Tensor& x,
     }
     const float denom = std::pow(p.bias + p.alpha * sum_sq, p.beta);
     store_if_changed(out, golden, oidx,
-                     tensor::dtype_quantize(dtype, x.at(oidx) / denom), ch);
+                     tensor::q_quantize(scheme, x.at(oidx) / denom), ch);
   }
   return true;
 }
 
 // Channel-axis Concat maps each input element to one output element.
-bool sparse_concat(tensor::DType dtype, const Tensor& a, const Tensor& b,
+bool sparse_concat(const tensor::QScheme& scheme, const Tensor& a, const Tensor& b,
                    const ChangeSet& ca_set, const ChangeSet& cb_set,
                    const Tensor& golden, Tensor& out, ChangeSet& ch) {
   const int ca = a.shape().c();
@@ -358,26 +358,26 @@ bool sparse_concat(tensor::DType dtype, const Tensor& a, const Tensor& b,
             ? a.at(spatial * static_cast<std::size_t>(ca) + c)
             : b.at(spatial * static_cast<std::size_t>(cb) +
                    (c - static_cast<std::size_t>(ca)));
-    store_if_changed(out, golden, oidx, tensor::dtype_quantize(dtype, v), ch);
+    store_if_changed(out, golden, oidx, tensor::q_quantize(scheme, v), ch);
   }
   return true;
 }
 
 // Reshape/Flatten copy elements 1:1 in storage order.
-bool sparse_passthrough(tensor::DType dtype, const Tensor& x,
+bool sparse_passthrough(const tensor::QScheme& scheme, const Tensor& x,
                         const ChangeSet& cx, const Tensor& golden,
                         Tensor& out, ChangeSet& ch) {
   if (2 * cx.idx.size() >= golden.elements()) return false;
   out = golden;
   for (const std::size_t i : cx.idx)
-    store_if_changed(out, golden, i, tensor::dtype_quantize(dtype, x.at(i)),
+    store_if_changed(out, golden, i, tensor::q_quantize(scheme, x.at(i)),
                      ch);
   return true;
 }
 
 }  // namespace
 
-bool incremental_recompute(const ops::Op& op, tensor::DType dtype,
+bool incremental_recompute(const ops::Op& op, const tensor::QScheme& scheme,
                            std::span<const tensor::Tensor> inputs,
                            std::span<const ChangeSet* const> changes,
                            const tensor::Tensor& golden, tensor::Tensor& out,
@@ -388,40 +388,40 @@ bool incremental_recompute(const ops::Op& op, tensor::DType dtype,
   switch (op.kind()) {
     case ops::OpKind::kConv2D:
       if (!changes[1]->clean()) return false;  // filter changed: dense
-      return sparse_conv(static_cast<const ops::Conv2DOp&>(op), dtype,
+      return sparse_conv(static_cast<const ops::Conv2DOp&>(op), scheme,
                          inputs[0], inputs[1], *changes[0], golden, out,
                          out_change);
     case ops::OpKind::kBiasAdd:
       if (!changes[1]->clean()) return false;
-      return sparse_bias_add(dtype, inputs[0], inputs[1], *changes[0], golden,
+      return sparse_bias_add(scheme, inputs[0], inputs[1], *changes[0], golden,
                              out, out_change);
     case ops::OpKind::kBatchNorm:
       return sparse_batch_norm(static_cast<const ops::BatchNormOp&>(op),
-                               dtype, inputs[0], *changes[0], golden, out,
+                               scheme, inputs[0], *changes[0], golden, out,
                                out_change);
     case ops::OpKind::kMaxPool:
     case ops::OpKind::kAvgPool:
       return sparse_pool(static_cast<const ops::PoolOpBase&>(op),
-                         op.kind() == ops::OpKind::kMaxPool, dtype, inputs[0],
+                         op.kind() == ops::OpKind::kMaxPool, scheme, inputs[0],
                          *changes[0], golden, out, out_change);
     case ops::OpKind::kReshape:
     case ops::OpKind::kFlatten:
-      return sparse_passthrough(dtype, inputs[0], *changes[0], golden, out,
+      return sparse_passthrough(scheme, inputs[0], *changes[0], golden, out,
                                 out_change);
     case ops::OpKind::kLrn:
-      return sparse_lrn(static_cast<const ops::LrnOp&>(op), dtype, inputs[0],
+      return sparse_lrn(static_cast<const ops::LrnOp&>(op), scheme, inputs[0],
                         *changes[0], golden, out, out_change);
     case ops::OpKind::kConcat:
-      return sparse_concat(dtype, inputs[0], inputs[1], *changes[0],
+      return sparse_concat(scheme, inputs[0], inputs[1], *changes[0],
                            *changes[1], golden, out, out_change);
     default:
       break;
   }
   if (const auto* u = dynamic_cast<const ops::UnaryElementwiseOp*>(&op))
-    return sparse_unary(*u, dtype, inputs[0], *changes[0], golden, out,
+    return sparse_unary(*u, scheme, inputs[0], *changes[0], golden, out,
                         out_change);
   if (const auto* b = dynamic_cast<const ops::BinaryElementwiseOp*>(&op))
-    return sparse_binary(*b, dtype, inputs[0], inputs[1], *changes[0],
+    return sparse_binary(*b, scheme, inputs[0], inputs[1], *changes[0],
                          *changes[1], golden, out, out_change);
   return false;  // MatMul, Softmax, GlobalAvgPool, unknown
 }

@@ -76,7 +76,8 @@ struct ChangeSet {
 //    sets they are bit-identical to the golden run's inputs.
 //  * `changes[k]` describes how inputs[k] differs from golden.  Any dense
 //    input change disables the sparse path.
-//  * `golden` is the node's fault-free output (quantised under `dtype`).
+//  * `golden` is the node's fault-free output (quantised under `scheme` —
+//    the node's plan.qscheme, canonical except under int8).
 //
 // On success: `out` holds the updated output — sharing `golden`'s storage
 // when the change turned out to be fully masked — `out_change` lists the
@@ -84,7 +85,7 @@ struct ChangeSet {
 // Returns false when the op has no sparse kernel or the affected region is
 // so large that a dense recompute is cheaper; the caller handles that case
 // (and it is always correct to do so).
-bool incremental_recompute(const ops::Op& op, tensor::DType dtype,
+bool incremental_recompute(const ops::Op& op, const tensor::QScheme& scheme,
                            std::span<const tensor::Tensor> inputs,
                            std::span<const ChangeSet* const> changes,
                            const tensor::Tensor& golden, tensor::Tensor& out,

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <bit>
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 
@@ -11,8 +12,22 @@ namespace rangerpp::graph {
 
 namespace {
 
-void quantize_all(tensor::DType d, tensor::Tensor& t) {
-  tensor::dtype_quantize_span(d, t.mutable_values());
+void quantize_all(const tensor::QScheme& s, tensor::Tensor& t) {
+  tensor::q_quantize_span(s, t.mutable_values());
+}
+
+// A Const's calibration bound is its own value range — the weights are
+// right there, no profiling needed.
+tensor::FixedPointFormat const_int8_format(const tensor::Tensor& t) {
+  double lo = 0.0, hi = 0.0;
+  bool first = true;
+  for (const float v : t.values()) {
+    if (std::isnan(v)) continue;
+    if (first || v < lo) lo = v;
+    if (first || v > hi) hi = v;
+    first = false;
+  }
+  return tensor::int8_format_for_range(lo, hi);
 }
 
 // `shape` with its leading dimension replaced by `batch`.
@@ -109,20 +124,41 @@ ExecutionPlan::ExecutionPlan(Graph g, tensor::DType dtype,
   is_const_.assign(n, 0);
   consts_.assign(n, tensor::Tensor{});
   kernels_.assign(n, ops::CompiledKernel{});
+  // Per-node schemes: canonical everywhere except int8, where Consts
+  // self-calibrate from their values, profiled nodes take their
+  // calibrated format from options_.int8_formats, and everything else
+  // (restriction nodes the profiler never saw, shape ops, …) inherits its
+  // first input's scheme.  The walk is topological, so an inherited
+  // scheme is already final when read.
+  const bool int8 = dtype_ == tensor::DType::kInt8;
+  schemes_.assign(n, tensor::QScheme(dtype_));
   for (const Node& node : graph_.nodes()) {
     const auto i = static_cast<std::size_t>(node.id);
     switch (node.op->kind()) {
       case ops::OpKind::kInput:
         is_input_[i] = 1;
+        if (int8) {
+          if (const auto it = options_.int8_formats.find(node.name);
+              it != options_.int8_formats.end())
+            schemes_[i] = {dtype_, it->second};
+        }
         break;
       case ops::OpKind::kConst:
         is_const_[i] = 1;
         consts_[i] = node.op->compute({});
-        quantize_all(dtype_, consts_[i]);
+        if (int8) schemes_[i] = {dtype_, const_int8_format(consts_[i])};
+        quantize_all(schemes_[i], consts_[i]);
         break;
       default:
+        if (int8) {
+          if (const auto it = options_.int8_formats.find(node.name);
+              it != options_.int8_formats.end())
+            schemes_[i] = {dtype_, it->second};
+          else if (!node.inputs.empty())
+            schemes_[i] = schemes_[static_cast<std::size_t>(node.inputs[0])];
+        }
         kernels_[i] =
-            ops::select_kernel(*node.op, dtype_, options_.backend);
+            ops::select_kernel(*node.op, schemes_[i], options_.backend);
         break;
     }
   }
@@ -157,6 +193,11 @@ std::size_t ExecutionPlan::per_image_elements(NodeId id) const {
 const ops::CompiledKernel& ExecutionPlan::kernel(NodeId id) const {
   check_id(id);
   return kernels_[static_cast<std::size_t>(id)];
+}
+
+const tensor::QScheme& ExecutionPlan::qscheme(NodeId id) const {
+  check_id(id);
+  return schemes_[static_cast<std::size_t>(id)];
 }
 
 std::span<const std::uint64_t> ExecutionPlan::row(NodeId id) const {

@@ -54,6 +54,8 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -69,6 +71,14 @@ struct PlanOptions {
   ops::KernelBackend backend = ops::default_backend();
   // Images per plan run (1 = the classic single-image plan).
   std::size_t batch = 1;
+  // Per-node int8 calibration (node name -> format), normally built by
+  // core::int8_calibration from RangeProfiler bounds.  Only consulted when
+  // the plan dtype is kInt8; nodes not in the map inherit their first
+  // input's scheme (Const nodes self-calibrate from their own values, and
+  // sourceless nodes fall back to the canonical Q4.3 format).  Keeping
+  // this a name->format map keeps the graph layer ignorant of how bounds
+  // are derived.
+  std::unordered_map<std::string, tensor::FixedPointFormat> int8_formats;
 };
 
 // True when `g` can be compiled with batch > 1: every Input is rank-2/4
@@ -84,6 +94,14 @@ class ExecutionPlan {
 
   const Graph& graph() const { return graph_; }
   tensor::DType dtype() const { return dtype_; }
+
+  // The quantisation scheme of a node's output: the canonical scheme of
+  // the plan dtype for every dtype except int8, where it is the node's
+  // calibrated per-tensor format.  Everything that quantises or corrupts
+  // a node's value (executor sweeps, injection hooks, weight-fault const
+  // patching) must use this, not the bare dtype.
+  const tensor::QScheme& qscheme(NodeId id) const;
+
   ops::KernelBackend backend() const { return options_.backend; }
   std::size_t batch() const { return options_.batch; }
   std::size_t size() const { return graph_.size(); }
@@ -139,6 +157,8 @@ class ExecutionPlan {
   PlanOptions options_;
   std::uint64_t serial_ = 0;
   std::vector<tensor::Shape> shapes_;
+  // Per-node output quantisation scheme (canonical except under int8).
+  std::vector<tensor::QScheme> schemes_;
   std::vector<ops::CompiledKernel> kernels_;
   // Per-node flags, indexed by NodeId.
   std::vector<std::uint8_t> is_input_, is_const_;

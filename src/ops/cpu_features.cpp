@@ -1,0 +1,63 @@
+#include "ops/cpu_features.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace rangerpp::ops {
+
+std::string_view simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kPortable:
+      return "portable";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+SimdLevel detect_simd_level() {
+#if defined(__x86_64__) || defined(_M_X64)
+  // The AVX2 kernels use FMA only where tolerance-judged (the GEMM core),
+  // but they are compiled target("avx2,fma") as one unit, so both flags
+  // must be present to call them.
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+    return SimdLevel::kAvx2;
+#endif
+  return SimdLevel::kPortable;
+}
+
+SimdLevel simd_level_from_env(const char* value, SimdLevel detected,
+                              bool* warned) {
+  if (warned != nullptr) *warned = false;
+  if (value == nullptr || value[0] == '\0') return detected;
+  if (std::strcmp(value, "portable") == 0) return SimdLevel::kPortable;
+  if (std::strcmp(value, "avx2") == 0) {
+    // Never hand out a level the CPU can't execute.
+    if (detected == SimdLevel::kAvx2) return SimdLevel::kAvx2;
+    if (warned != nullptr) *warned = true;
+    return detected;
+  }
+  if (warned != nullptr) *warned = true;
+  return detected;
+}
+
+SimdLevel simd_level() {
+  static const SimdLevel cached = [] {
+    const SimdLevel detected = detect_simd_level();
+    const char* value = std::getenv("RANGERPP_SIMD");
+    bool warned = false;
+    const SimdLevel level = simd_level_from_env(value, detected, &warned);
+    if (warned)
+      std::fprintf(stderr,
+                   "rangerpp: ignoring RANGERPP_SIMD=%s "
+                   "(want avx2|portable, and avx2 needs CPU support); "
+                   "using %s\n",
+                   value, std::string(simd_level_name(level)).c_str());
+    return level;
+  }();
+  return cached;
+}
+
+}  // namespace rangerpp::ops

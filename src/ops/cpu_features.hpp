@@ -1,0 +1,39 @@
+// Runtime CPU capability detection for the simd kernel backend.
+//
+// The AVX2 kernels are compiled with per-function target attributes, so
+// the binary itself runs on any x86-64 (and non-x86 hosts compile the
+// portable path only); what must be decided at runtime is whether the
+// vector entry points may be *called*.  simd_level() answers that once,
+// caches the answer, and honours an explicit RANGERPP_SIMD override so CI
+// and experiments can force either path on any host:
+//
+//   RANGERPP_SIMD=avx2       use the AVX2 kernels (only honoured when the
+//                            CPU actually supports them — forcing vector
+//                            code onto a CPU without it would SIGILL)
+//   RANGERPP_SIMD=portable   ignore CPU support, use the portable path
+//                            (backend simd then delegates to blocked and
+//                            is bit-identical to it)
+#pragma once
+
+#include <string_view>
+
+namespace rangerpp::ops {
+
+enum class SimdLevel { kPortable, kAvx2 };
+
+std::string_view simd_level_name(SimdLevel level);
+
+// What the hardware supports, ignoring the environment.
+SimdLevel detect_simd_level();
+
+// Hardware detection filtered through RANGERPP_SIMD, computed once and
+// cached (mirrors backend_from_env: an unknown value warns on stderr and
+// falls back to detection).
+SimdLevel simd_level();
+
+// Parse helper split out for tests: applies `value` (may be null) on top
+// of `detected`.  Unknown values return `detected` and set *warned.
+SimdLevel simd_level_from_env(const char* value, SimdLevel detected,
+                              bool* warned = nullptr);
+
+}  // namespace rangerpp::ops

@@ -20,14 +20,18 @@ using tensor::Tensor;
 // a scheduling threshold — results are identical either way.
 constexpr std::size_t kParallelGrain = 1 << 18;
 
+}  // namespace
+
 void run_rows(std::size_t rows, std::size_t work_per_row,
-              const std::function<void(std::size_t)>& fn) {
+              util::FunctionRef<void(std::size_t)> fn) {
   if (rows > 1 && rows * work_per_row >= kParallelGrain) {
     util::parallel_for(rows, fn);
   } else {
     for (std::size_t r = 0; r < rows; ++r) fn(r);
   }
 }
+
+namespace {
 
 // Register-tiled GEMM microkernel: C[1 x NR] = A[1 x K] * B[K x NR] with
 // the K loop unsplit and ascending, so each C element accumulates in
@@ -38,7 +42,7 @@ void run_rows(std::size_t rows, std::size_t work_per_row,
 // is what the baseline-SSE2 register file sustains without spilling.
 template <int NR>
 void gemm_micro(const float* A, const float* B, std::size_t ldb,
-                std::size_t K, float* C, tensor::DType dtype) {
+                std::size_t K, float* C, tensor::QScheme scheme) {
   float acc[NR] = {};
   for (std::size_t k = 0; k < K; ++k) {
     const float a = A[k];
@@ -46,12 +50,12 @@ void gemm_micro(const float* A, const float* B, std::size_t ldb,
     for (int j = 0; j < NR; ++j) acc[j] += a * brow[j];
   }
   for (int j = 0; j < NR; ++j) C[j] = acc[j];
-  tensor::dtype_quantize_span(dtype, {C, static_cast<std::size_t>(NR)});
+  tensor::q_quantize_span(scheme, {C, static_cast<std::size_t>(NR)});
 }
 
 // Remainder columns (nr < 8), same reduction order.
 void gemm_edge(const float* A, const float* B, std::size_t ldb,
-               std::size_t K, float* C, int nr, tensor::DType dtype) {
+               std::size_t K, float* C, int nr, tensor::QScheme scheme) {
   float acc[8] = {};
   for (std::size_t k = 0; k < K; ++k) {
     const float a = A[k];
@@ -59,8 +63,20 @@ void gemm_edge(const float* A, const float* B, std::size_t ldb,
     for (int j = 0; j < nr; ++j) acc[j] += a * brow[j];
   }
   for (int j = 0; j < nr; ++j) C[j] = acc[j];
-  tensor::dtype_quantize_span(dtype, {C, static_cast<std::size_t>(nr)});
+  tensor::q_quantize_span(scheme, {C, static_cast<std::size_t>(nr)});
 }
+
+// Contiguous-C convenience wrapper (row stride ldc) over any GEMM core.
+void gemm_contig(GemmRowsFn gemm, const float* A, const float* B, float* C,
+                 std::size_t M, std::size_t N, std::size_t K,
+                 std::size_t ldc, tensor::QScheme scheme) {
+  static thread_local std::vector<float*> crows;
+  crows.resize(M);
+  for (std::size_t m = 0; m < M; ++m) crows[m] = C + m * ldc;
+  gemm(A, B, crows.data(), M, N, K, scheme);
+}
+
+}  // namespace
 
 // Tiles an M x N GEMM; A is M x K (row stride K), B is K x N (row stride
 // N), C row m starts at crows[m].  The column panel is the OUTER loop: a
@@ -68,15 +84,15 @@ void gemm_edge(const float* A, const float* B, std::size_t ldb,
 // B is read once per panel instead of once per output row — the scalar
 // MatMul/Conv kernels' biggest memory sin.  Indirect C rows let a batched
 // convolution run every image's output row through one panel sweep.
-void gemm_blocked_rows(const float* A, const float* B,
-                       float* const* crows, std::size_t M, std::size_t N,
-                       std::size_t K, tensor::DType dtype) {
+void gemm_rows(const float* A, const float* B, float* const* crows,
+               std::size_t M, std::size_t N, std::size_t K,
+               tensor::QScheme scheme) {
   std::size_t j0 = 0;
   const auto panel = [&](auto nr_tag) {
     constexpr int kNr = decltype(nr_tag)::value;
     while (N - j0 >= kNr) {
       for (std::size_t m = 0; m < M; ++m)
-        gemm_micro<kNr>(A + m * K, B + j0, N, K, crows[m] + j0, dtype);
+        gemm_micro<kNr>(A + m * K, B + j0, N, K, crows[m] + j0, scheme);
       j0 += kNr;
     }
   };
@@ -86,18 +102,10 @@ void gemm_blocked_rows(const float* A, const float* B,
   if (j0 < N)
     for (std::size_t m = 0; m < M; ++m)
       gemm_edge(A + m * K, B + j0, N, K, crows[m] + j0,
-                static_cast<int>(N - j0), dtype);
+                static_cast<int>(N - j0), scheme);
 }
 
-// Contiguous-C convenience wrapper (row stride ldc).
-void gemm_blocked(const float* A, const float* B, float* C, std::size_t M,
-                  std::size_t N, std::size_t K, std::size_t ldc,
-                  tensor::DType dtype) {
-  static thread_local std::vector<float*> crows;
-  crows.resize(M);
-  for (std::size_t m = 0; m < M; ++m) crows[m] = C + m * ldc;
-  gemm_blocked_rows(A, B, crows.data(), M, N, K, dtype);
-}
+namespace {
 
 struct ConvGeometry {
   int pad_top = 0, pad_left = 0;
@@ -117,8 +125,9 @@ ConvGeometry conv_padding(const Conv2DParams& p, const tensor::Shape& os,
 
 }  // namespace
 
-tensor::Tensor conv2d(const Conv2DOp& op, tensor::DType dtype,
-                      std::span<const tensor::Tensor> in) {
+tensor::Tensor conv2d_with(const Conv2DOp& op, tensor::QScheme scheme,
+                           std::span<const tensor::Tensor> in,
+                           GemmRowsFn gemm) {
   const tensor::Shape os =
       op.infer_shape(std::array{in[0].shape(), in[1].shape()});
   const Tensor& x = in[0];
@@ -180,7 +189,7 @@ tensor::Tensor conv2d(const Conv2DOp& op, tensor::DType dtype,
     float* out = &yv[(((static_cast<std::size_t>(n) * oh + oy) * ow) + ox) *
                      static_cast<std::size_t>(oc)];
     for (int co = 0; co < oc; ++co) out[co] = acc[co];
-    tensor::dtype_quantize_span(dtype, {out, static_cast<std::size_t>(oc)});
+    tensor::q_quantize_span(scheme, {out, static_cast<std::size_t>(oc)});
   };
 
   // Processes output rows [y0, y1) for every batch image.  When all rows
@@ -228,8 +237,8 @@ tensor::Tensor conv2d(const Conv2DOp& op, tensor::DType dtype,
           }
         }
       }
-      gemm_blocked_rows(patch.data(), fv.data(), crows.data(), M,
-                        static_cast<std::size_t>(oc), K, dtype);
+      gemm(patch.data(), fv.data(), crows.data(), M,
+           static_cast<std::size_t>(oc), K, scheme);
       for (int n = 0; n < batch; ++n)
         for (int oy = y0; oy < y1; ++oy) {
           for (int ox = 0; ox < x_lo; ++ox) edge_column(n, oy, ox, acc);
@@ -245,7 +254,7 @@ tensor::Tensor conv2d(const Conv2DOp& op, tensor::DType dtype,
       const int ky_lo = std::max(0, -base_y);
       const int ky_hi = std::min(kh, ih - base_y);
       if (ky_lo >= ky_hi) {
-        const float zero = tensor::dtype_quantize(dtype, 0.0f);
+        const float zero = tensor::q_quantize(scheme, 0.0f);
         for (int n = 0; n < batch; ++n) {
           float* yrow = &yv[(static_cast<std::size_t>(n) * oh + oy) *
                             static_cast<std::size_t>(ow) *
@@ -284,8 +293,8 @@ tensor::Tensor conv2d(const Conv2DOp& op, tensor::DType dtype,
             ++row;
           }
         }
-        gemm_blocked_rows(patch.data(), B, crows.data(), M,
-                          static_cast<std::size_t>(oc), K, dtype);
+        gemm(patch.data(), B, crows.data(), M,
+             static_cast<std::size_t>(oc), K, scheme);
       }
       for (int n = 0; n < batch; ++n) {
         for (int ox = 0; ox < x_lo; ++ox) edge_column(n, oy, ox, acc);
@@ -328,8 +337,14 @@ tensor::Tensor conv2d(const Conv2DOp& op, tensor::DType dtype,
   return y;
 }
 
-tensor::Tensor matmul(tensor::DType dtype,
+tensor::Tensor conv2d(const Conv2DOp& op, tensor::QScheme scheme,
                       std::span<const tensor::Tensor> in) {
+  return conv2d_with(op, scheme, in, &gemm_rows);
+}
+
+tensor::Tensor matmul_with(tensor::QScheme scheme,
+                           std::span<const tensor::Tensor> in,
+                           GemmRowsFn gemm) {
   const MatMulOp ref;
   const tensor::Shape os =
       ref.infer_shape(std::array{in[0].shape(), in[1].shape()});
@@ -350,17 +365,23 @@ tensor::Tensor matmul(tensor::DType dtype,
     const int r0 = static_cast<int>(block) * 4;
     const std::size_t rows =
         static_cast<std::size_t>(std::min(4, b - r0));
-    gemm_blocked(&xv[static_cast<std::size_t>(r0) * k], wv.data(),
-                 &yv[static_cast<std::size_t>(r0) * n], rows,
-                 static_cast<std::size_t>(n), static_cast<std::size_t>(k),
-                 static_cast<std::size_t>(n), dtype);
+    gemm_contig(gemm, &xv[static_cast<std::size_t>(r0) * k], wv.data(),
+                &yv[static_cast<std::size_t>(r0) * n], rows,
+                static_cast<std::size_t>(n), static_cast<std::size_t>(k),
+                static_cast<std::size_t>(n), scheme);
   };
   run_rows(static_cast<std::size_t>(row_blocks),
            static_cast<std::size_t>(k) * n * 4, compute_block);
   return y;
 }
 
-tensor::Tensor pool(const PoolOpBase& op, bool is_max, tensor::DType dtype,
+tensor::Tensor matmul(tensor::QScheme scheme,
+                      std::span<const tensor::Tensor> in) {
+  return matmul_with(scheme, in, &gemm_rows);
+}
+
+tensor::Tensor pool(const PoolOpBase& op, bool is_max,
+                    tensor::QScheme scheme,
                     std::span<const tensor::Tensor> in) {
   const tensor::Shape os = op.infer_shape(std::array{in[0].shape()});
   const tensor::Shape& xs = in[0].shape();
@@ -397,7 +418,7 @@ tensor::Tensor pool(const PoolOpBase& op, bool is_max, tensor::DType dtype,
       float* out = &yrow[static_cast<std::size_t>(ox) * c];
       if (ky_lo >= ky_hi || kx_lo >= kx_hi) {
         // Empty window: the scalar kernel emits 0.
-        const float zero = tensor::dtype_quantize(dtype, 0.0f);
+        const float zero = tensor::q_quantize(scheme, 0.0f);
         std::fill(out, out + c, zero);
         continue;
       }
@@ -433,7 +454,7 @@ tensor::Tensor pool(const PoolOpBase& op, bool is_max, tensor::DType dtype,
         for (int cc = 0; cc < c; ++cc) acc[cc] /= inv_count;
       }
       for (int cc = 0; cc < c; ++cc) out[cc] = acc[cc];
-      tensor::dtype_quantize_span(dtype, {out, static_cast<std::size_t>(c)});
+      tensor::q_quantize_span(scheme, {out, static_cast<std::size_t>(c)});
     }
   };
   run_rows(static_cast<std::size_t>(os.n()) * oh,
@@ -442,7 +463,7 @@ tensor::Tensor pool(const PoolOpBase& op, bool is_max, tensor::DType dtype,
   return y;
 }
 
-tensor::Tensor bias_add(tensor::DType dtype,
+tensor::Tensor bias_add(tensor::QScheme scheme,
                         std::span<const tensor::Tensor> in) {
   const BiasAddOp ref;
   ref.infer_shape(std::array{in[0].shape(), in[1].shape()});
@@ -456,12 +477,12 @@ tensor::Tensor bias_add(tensor::DType dtype,
   run_rows(rows, c, [&](std::size_t r) {
     const std::size_t base = r * c;
     for (std::size_t j = 0; j < c; ++j) yv[base + j] += bv[j];
-    tensor::dtype_quantize_span(dtype, yv.subspan(base, c));
+    tensor::q_quantize_span(scheme, yv.subspan(base, c));
   });
   return y;
 }
 
-tensor::Tensor batch_norm(const BatchNormOp& op, tensor::DType dtype,
+tensor::Tensor batch_norm(const BatchNormOp& op, tensor::QScheme scheme,
                           std::span<const tensor::Tensor> in) {
   op.infer_shape(std::array{in[0].shape()});
   Tensor y = in[0].clone();
@@ -474,13 +495,13 @@ tensor::Tensor batch_norm(const BatchNormOp& op, tensor::DType dtype,
     const std::size_t base = r * c;
     for (std::size_t j = 0; j < c; ++j)
       yv[base + j] = yv[base + j] * scale[j] + shift[j];
-    tensor::dtype_quantize_span(dtype, yv.subspan(base, c));
+    tensor::q_quantize_span(scheme, yv.subspan(base, c));
   });
   return y;
 }
 
 void run_elementwise(std::size_t total,
-                     const std::function<void(std::size_t, std::size_t)>& fn) {
+                     util::FunctionRef<void(std::size_t, std::size_t)> fn) {
   constexpr std::size_t kElementBlock = 4096;
   const std::size_t blocks = (total + kElementBlock - 1) / kElementBlock;
   run_rows(blocks, kElementBlock, [&](std::size_t b) {
@@ -489,7 +510,7 @@ void run_elementwise(std::size_t total,
   });
 }
 
-tensor::Tensor clamp(float low, float high, tensor::DType dtype,
+tensor::Tensor clamp(float low, float high, tensor::QScheme scheme,
                      std::span<const tensor::Tensor> in) {
   Tensor y = in[0].clone();
   const std::span<float> yv = y.mutable_values();
@@ -500,12 +521,12 @@ tensor::Tensor clamp(float low, float high, tensor::DType dtype,
       yv[i] = v < low ? low
                       : (v > high ? high : (std::isnan(v) ? low : v));
     }
-    tensor::dtype_quantize_span(dtype, yv.subspan(lo, hi - lo));
+    tensor::q_quantize_span(scheme, yv.subspan(lo, hi - lo));
   });
   return y;
 }
 
-tensor::Tensor relu(tensor::DType dtype,
+tensor::Tensor relu(tensor::QScheme scheme,
                     std::span<const tensor::Tensor> in) {
   Tensor y = in[0].clone();
   const std::span<float> yv = y.mutable_values();
@@ -515,24 +536,24 @@ tensor::Tensor relu(tensor::DType dtype,
       const float v = yv[i];
       yv[i] = v > 0.0f ? v : 0.0f;
     }
-    tensor::dtype_quantize_span(dtype, yv.subspan(lo, hi - lo));
+    tensor::q_quantize_span(scheme, yv.subspan(lo, hi - lo));
   });
   return y;
 }
 
-tensor::Tensor unary(const UnaryElementwiseOp& op, tensor::DType dtype,
+tensor::Tensor unary(const UnaryElementwiseOp& op, tensor::QScheme scheme,
                      std::span<const tensor::Tensor> in) {
   op.infer_shape(std::array{in[0].shape()});
   Tensor y = in[0].clone();
   const std::span<float> yv = y.mutable_values();
   run_elementwise(yv.size(), [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) yv[i] = op.apply_value(yv[i]);
-    tensor::dtype_quantize_span(dtype, yv.subspan(lo, hi - lo));
+    tensor::q_quantize_span(scheme, yv.subspan(lo, hi - lo));
   });
   return y;
 }
 
-tensor::Tensor binary(const BinaryElementwiseOp& op, tensor::DType dtype,
+tensor::Tensor binary(const BinaryElementwiseOp& op, tensor::QScheme scheme,
                       std::span<const tensor::Tensor> in) {
   op.infer_shape(std::array{in[0].shape(), in[1].shape()});
   Tensor y = in[0].clone();
@@ -541,7 +562,7 @@ tensor::Tensor binary(const BinaryElementwiseOp& op, tensor::DType dtype,
   run_elementwise(yv.size(), [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i)
       yv[i] = op.apply_value(yv[i], bv[i]);
-    tensor::dtype_quantize_span(dtype, yv.subspan(lo, hi - lo));
+    tensor::q_quantize_span(scheme, yv.subspan(lo, hi - lo));
   });
   return y;
 }

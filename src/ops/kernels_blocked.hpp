@@ -11,7 +11,6 @@
 // workers (inline when already inside a pool worker).
 #pragma once
 
-#include <functional>
 #include <span>
 
 #include "ops/activation_ops.hpp"
@@ -20,6 +19,7 @@
 #include "ops/norm_ops.hpp"
 #include "ops/pool_ops.hpp"
 #include "tensor/dtype.hpp"
+#include "util/function_ref.hpp"
 
 namespace rangerpp::ops::blocked {
 
@@ -27,48 +27,86 @@ namespace rangerpp::ops::blocked {
 // fn(lo, hi) over ~4k-element blocks, distributing blocks over
 // util::parallel_for when the tensor is large enough to pay for it.
 // Exposed so fused kernels outside ops/ (the core/ restriction
-// variants) share one scheduler and one set of tuning constants.
-void run_elementwise(
-    std::size_t total,
-    const std::function<void(std::size_t, std::size_t)>& fn);
+// variants and the simd backend) share one scheduler and one set of
+// tuning constants.
+void run_elementwise(std::size_t total,
+                     util::FunctionRef<void(std::size_t, std::size_t)> fn);
 
-// All functions return the node's output already quantised under `dtype`.
+// Row scheduler behind every blocked kernel (and the simd backend): runs
+// fn(r) for r in [0, rows), distributing rows over util::parallel_for
+// when rows * work_per_row clears the serial-worthwhile threshold.
+void run_rows(std::size_t rows, std::size_t work_per_row,
+              util::FunctionRef<void(std::size_t)> fn);
+
+// The inner GEMM the im2col conv and matmul drivers run their packed
+// panels through: C[m] += A[m,:] · B for m in [0, M), where A is the
+// row-major M×K patch block, B the row-major K×N weight block, and
+// crows[m] points at the (possibly strided) output row, quantised under
+// `scheme` before returning.  The drivers below are parameterised over
+// this so the simd backend reuses all the packing/segmenting/edge-column
+// machinery and swaps only the arithmetic core.
+using GemmRowsFn = void (*)(const float* a, const float* b,
+                            float* const* crows, std::size_t m,
+                            std::size_t n, std::size_t k,
+                            tensor::QScheme scheme);
+
+// The reference register-tiled GEMM core: scalar accumulation in the
+// exact per-element order of the scalar kernels (K ascending), so every
+// output element is bit-identical to Op::compute + quantise.
+void gemm_rows(const float* a, const float* b, float* const* crows,
+               std::size_t m, std::size_t n, std::size_t k,
+               tensor::QScheme scheme);
+
+// All functions return the node's output already quantised under `scheme`
+// (a plain DType converts implicitly to its canonical scheme).
 
 // im2col + blocked-GEMM convolution: interior output spans are packed into
 // contiguous patch rows and run through a register-tiled GEMM against the
 // (already GEMM-shaped [kh*kw*ic, oc]) filter; boundary columns take a
 // per-element path with the padding-skip semantics of the scalar kernel.
-tensor::Tensor conv2d(const Conv2DOp& op, tensor::DType dtype,
+tensor::Tensor conv2d(const Conv2DOp& op, tensor::QScheme scheme,
                       std::span<const tensor::Tensor> in);
+
+// As conv2d, with the GEMM core supplied by the caller.
+tensor::Tensor conv2d_with(const Conv2DOp& op, tensor::QScheme scheme,
+                           std::span<const tensor::Tensor> in,
+                           GemmRowsFn gemm);
 
 // Row-blocked MatMul: loop-interchanged so the weight matrix streams
 // row-wise, tiled over output columns, parallel over (row, column-tile).
-tensor::Tensor matmul(tensor::DType dtype,
+tensor::Tensor matmul(tensor::QScheme scheme,
                       std::span<const tensor::Tensor> in);
 
+// As matmul, with the GEMM core supplied by the caller.
+tensor::Tensor matmul_with(tensor::QScheme scheme,
+                           std::span<const tensor::Tensor> in,
+                           GemmRowsFn gemm);
+
 // Direct pooling without the gather-into-a-window detour.
-tensor::Tensor pool(const PoolOpBase& op, bool is_max, tensor::DType dtype,
+tensor::Tensor pool(const PoolOpBase& op, bool is_max,
+                    tensor::QScheme scheme,
                     std::span<const tensor::Tensor> in);
 
-tensor::Tensor bias_add(tensor::DType dtype,
+tensor::Tensor bias_add(tensor::QScheme scheme,
                         std::span<const tensor::Tensor> in);
 
-tensor::Tensor batch_norm(const BatchNormOp& op, tensor::DType dtype,
+tensor::Tensor batch_norm(const BatchNormOp& op, tensor::QScheme scheme,
                           std::span<const tensor::Tensor> in);
 
 // Fused restriction kernel: clamp + quantise in one sweep (the Ranger
 // restriction op is on every protected graph's hot path).
-tensor::Tensor clamp(float low, float high, tensor::DType dtype,
+tensor::Tensor clamp(float low, float high, tensor::QScheme scheme,
                      std::span<const tensor::Tensor> in);
 
 // Inline ReLU + quantise (the most common activation — worth skipping the
 // generic kernel's per-element virtual dispatch).
-tensor::Tensor relu(tensor::DType dtype, std::span<const tensor::Tensor> in);
+tensor::Tensor relu(tensor::QScheme scheme,
+                    std::span<const tensor::Tensor> in);
 
 // Generic fused elementwise kernels for every value-only unary/binary op.
-tensor::Tensor unary(const UnaryElementwiseOp& op, tensor::DType dtype,
+tensor::Tensor unary(const UnaryElementwiseOp& op, tensor::QScheme scheme,
                      std::span<const tensor::Tensor> in);
-tensor::Tensor binary(const BinaryElementwiseOp& op, tensor::DType dtype,
+tensor::Tensor binary(const BinaryElementwiseOp& op, tensor::QScheme scheme,
                       std::span<const tensor::Tensor> in);
 
 }  // namespace rangerpp::ops::blocked

@@ -1,0 +1,318 @@
+#include "ops/kernels_simd.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "ops/cpu_features.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define RANGERPP_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define RANGERPP_SIMD_X86 0
+#endif
+
+namespace rangerpp::ops::simd {
+
+namespace {
+
+using tensor::Tensor;
+
+}  // namespace
+
+bool available() { return simd_level() == SimdLevel::kAvx2; }
+
+#if RANGERPP_SIMD_X86
+
+namespace {
+
+// Lane-parallel dot-product remainder: columns [j0, n) too narrow for a
+// vector panel, scalar K-ascending like blocked::gemm_edge.  Writes raw
+// sums; the caller's final row sweep quantises.
+void gemm_scalar_tail(const float* a, const float* b, float* const* crows,
+                      std::size_t m, std::size_t n, std::size_t k,
+                      std::size_t j0) {
+  for (std::size_t mi = 0; mi < m; ++mi) {
+    const float* arow = a + mi * k;
+    for (std::size_t j = j0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk)
+        acc += arow[kk] * b[kk * n + j];
+      crows[mi][j] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+// 4x16 register tile: 8 ymm accumulators, 2 B loads + 4 broadcasts + 8
+// FMAs per K step.  FMA keeps the multiply unrounded inside the
+// accumulate — one more way this core's rounding differs from scalar,
+// hence tolerance-judged.
+__attribute__((target("avx2,fma"))) void gemm_rows_avx2(
+    const float* a, const float* b, float* const* crows, std::size_t m,
+    std::size_t n, std::size_t k, tensor::QScheme scheme) {
+  std::size_t j0 = 0;
+  for (; j0 + 16 <= n; j0 += 16) {
+    std::size_t mi = 0;
+    for (; mi + 4 <= m; mi += 4) {
+      __m256 acc[4][2];
+      for (int r = 0; r < 4; ++r)
+        acc[r][0] = acc[r][1] = _mm256_setzero_ps();
+      const float* arow[4];
+      for (int r = 0; r < 4; ++r) arow[r] = a + (mi + r) * k;
+      const float* bp = b + j0;
+      for (std::size_t kk = 0; kk < k; ++kk, bp += n) {
+        const __m256 b0 = _mm256_loadu_ps(bp);
+        const __m256 b1 = _mm256_loadu_ps(bp + 8);
+        for (int r = 0; r < 4; ++r) {
+          const __m256 av = _mm256_set1_ps(arow[r][kk]);
+          acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+          acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+        }
+      }
+      for (int r = 0; r < 4; ++r) {
+        _mm256_storeu_ps(crows[mi + r] + j0, acc[r][0]);
+        _mm256_storeu_ps(crows[mi + r] + j0 + 8, acc[r][1]);
+      }
+    }
+    for (; mi < m; ++mi) {
+      __m256 acc0 = _mm256_setzero_ps();
+      __m256 acc1 = _mm256_setzero_ps();
+      const float* arow = a + mi * k;
+      const float* bp = b + j0;
+      for (std::size_t kk = 0; kk < k; ++kk, bp += n) {
+        const __m256 av = _mm256_set1_ps(arow[kk]);
+        acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(bp), acc0);
+        acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(bp + 8), acc1);
+      }
+      _mm256_storeu_ps(crows[mi] + j0, acc0);
+      _mm256_storeu_ps(crows[mi] + j0 + 8, acc1);
+    }
+  }
+  for (; j0 + 8 <= n; j0 += 8) {
+    for (std::size_t mi = 0; mi < m; ++mi) {
+      __m256 acc = _mm256_setzero_ps();
+      const float* arow = a + mi * k;
+      const float* bp = b + j0;
+      for (std::size_t kk = 0; kk < k; ++kk, bp += n)
+        acc = _mm256_fmadd_ps(_mm256_set1_ps(arow[kk]),
+                              _mm256_loadu_ps(bp), acc);
+      _mm256_storeu_ps(crows[mi] + j0, acc);
+    }
+  }
+  if (j0 < n) gemm_scalar_tail(a, b, crows, m, n, k, j0);
+  // One quantisation sweep per output row — per-element, so equivalent
+  // to the blocked core's per-panel sweeps, and bit-exact in itself (the
+  // scalar codec).
+  for (std::size_t mi = 0; mi < m; ++mi)
+    tensor::q_quantize_span(scheme, {crows[mi], n});
+}
+
+namespace {
+
+// --- AVX2 elementwise bodies ---------------------------------------------
+// Each replicates its scalar per-element rule exactly (blend selection
+// preserves NaN and signed-zero behaviour); quantisation runs through the
+// scalar codec span, so these are bit-identical to the blocked kernels.
+
+__attribute__((target("avx2,fma"))) void relu_block(float* v,
+                                                    std::size_t count) {
+  const __m256 zero = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256 x = _mm256_loadu_ps(v + i);
+    // v > 0 ? v : 0 — NaN and -0.0 both fail the compare and become +0.0,
+    // exactly like the scalar ReluOp.
+    const __m256 keep = _mm256_cmp_ps(x, zero, _CMP_GT_OQ);
+    _mm256_storeu_ps(v + i, _mm256_blendv_ps(zero, x, keep));
+  }
+  for (; i < count; ++i) v[i] = v[i] > 0.0f ? v[i] : 0.0f;
+}
+
+__attribute__((target("avx2,fma"))) void clamp_block(float* v,
+                                                     std::size_t count,
+                                                     float low, float high) {
+  const __m256 lo = _mm256_set1_ps(low);
+  const __m256 hi = _mm256_set1_ps(high);
+  std::size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256 x = _mm256_loadu_ps(v + i);
+    // Blend cascade mirrors ClampOp::apply's ternary chain (all masks
+    // from the original x): v<low -> low, v>high -> high, NaN -> low.
+    __m256 r = _mm256_blendv_ps(x, lo, _mm256_cmp_ps(x, lo, _CMP_LT_OQ));
+    r = _mm256_blendv_ps(r, hi, _mm256_cmp_ps(x, hi, _CMP_GT_OQ));
+    r = _mm256_blendv_ps(r, lo, _mm256_cmp_ps(x, x, _CMP_UNORD_Q));
+    _mm256_storeu_ps(v + i, r);
+  }
+  for (; i < count; ++i) {
+    const float x = v[i];
+    v[i] = x < low ? low : (x > high ? high : (std::isnan(x) ? low : x));
+  }
+}
+
+__attribute__((target("avx2,fma"))) void zero_reset_block(
+    float* v, std::size_t count, float low, float high) {
+  const __m256 lo = _mm256_set1_ps(low);
+  const __m256 hi = _mm256_set1_ps(high);
+  const __m256 zero = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256 x = _mm256_loadu_ps(v + i);
+    // keep = low <= v <= high; NaN fails both ordered compares -> 0.
+    const __m256 keep =
+        _mm256_and_ps(_mm256_cmp_ps(x, lo, _CMP_GE_OQ),
+                      _mm256_cmp_ps(x, hi, _CMP_LE_OQ));
+    _mm256_storeu_ps(v + i, _mm256_blendv_ps(zero, x, keep));
+  }
+  for (; i < count; ++i) {
+    const float x = v[i];
+    v[i] = (x < low || x > high || std::isnan(x)) ? 0.0f : x;
+  }
+}
+
+__attribute__((target("avx2,fma"))) void bias_add_row(float* v,
+                                                      const float* bias,
+                                                      std::size_t count) {
+  std::size_t i = 0;
+  for (; i + 8 <= count; i += 8)
+    _mm256_storeu_ps(
+        v + i, _mm256_add_ps(_mm256_loadu_ps(v + i),
+                             _mm256_loadu_ps(bias + i)));
+  for (; i < count; ++i) v[i] += bias[i];
+}
+
+__attribute__((target("avx2,fma"))) void batch_norm_row(
+    float* v, const float* scale, const float* shift, std::size_t count) {
+  std::size_t i = 0;
+  // mul then add, NOT fmadd: the scalar kernel rounds the product before
+  // the add, and per-element bit-identity is the contract here.
+  for (; i + 8 <= count; i += 8) {
+    const __m256 prod =
+        _mm256_mul_ps(_mm256_loadu_ps(v + i), _mm256_loadu_ps(scale + i));
+    _mm256_storeu_ps(v + i,
+                     _mm256_add_ps(prod, _mm256_loadu_ps(shift + i)));
+  }
+  for (; i < count; ++i) v[i] = v[i] * scale[i] + shift[i];
+}
+
+}  // namespace
+
+#endif  // RANGERPP_SIMD_X86
+
+tensor::Tensor conv2d(const Conv2DOp& op, tensor::QScheme scheme,
+                      std::span<const tensor::Tensor> in) {
+#if RANGERPP_SIMD_X86
+  if (available()) return blocked::conv2d_with(op, scheme, in, &gemm_rows_avx2);
+#endif
+  return blocked::conv2d(op, scheme, in);
+}
+
+tensor::Tensor matmul(tensor::QScheme scheme,
+                      std::span<const tensor::Tensor> in) {
+#if RANGERPP_SIMD_X86
+  if (available()) return blocked::matmul_with(scheme, in, &gemm_rows_avx2);
+#endif
+  return blocked::matmul(scheme, in);
+}
+
+tensor::Tensor relu(tensor::QScheme scheme,
+                    std::span<const tensor::Tensor> in) {
+#if RANGERPP_SIMD_X86
+  if (available()) {
+    Tensor y = in[0].clone();
+    const std::span<float> yv = y.mutable_values();
+    blocked::run_elementwise(yv.size(), [&](std::size_t lo, std::size_t hi) {
+      relu_block(yv.data() + lo, hi - lo);
+      tensor::q_quantize_span(scheme, yv.subspan(lo, hi - lo));
+    });
+    return y;
+  }
+#endif
+  return blocked::relu(scheme, in);
+}
+
+tensor::Tensor clamp(float low, float high, tensor::QScheme scheme,
+                     std::span<const tensor::Tensor> in) {
+#if RANGERPP_SIMD_X86
+  if (available()) {
+    Tensor y = in[0].clone();
+    const std::span<float> yv = y.mutable_values();
+    blocked::run_elementwise(yv.size(), [&](std::size_t lo, std::size_t hi) {
+      clamp_block(yv.data() + lo, hi - lo, low, high);
+      tensor::q_quantize_span(scheme, yv.subspan(lo, hi - lo));
+    });
+    return y;
+  }
+#endif
+  return blocked::clamp(low, high, scheme, in);
+}
+
+tensor::Tensor bias_add(tensor::QScheme scheme,
+                        std::span<const tensor::Tensor> in) {
+#if RANGERPP_SIMD_X86
+  if (available()) {
+    const BiasAddOp ref;
+    ref.infer_shape(std::array{in[0].shape(), in[1].shape()});
+    Tensor y = in[0].clone();
+    const std::span<float> yv = y.mutable_values();
+    const std::span<const float> bv = in[1].values();
+    const std::size_t c = bv.size();
+    const std::size_t rows = yv.size() / c;
+    blocked::run_rows(rows, c, [&](std::size_t r) {
+      bias_add_row(yv.data() + r * c, bv.data(), c);
+      tensor::q_quantize_span(scheme, yv.subspan(r * c, c));
+    });
+    return y;
+  }
+#endif
+  return blocked::bias_add(scheme, in);
+}
+
+tensor::Tensor batch_norm(const BatchNormOp& op, tensor::QScheme scheme,
+                          std::span<const tensor::Tensor> in) {
+#if RANGERPP_SIMD_X86
+  if (available()) {
+    op.infer_shape(std::array{in[0].shape()});
+    Tensor y = in[0].clone();
+    const std::span<float> yv = y.mutable_values();
+    const std::vector<float>& scale = op.scale();
+    const std::vector<float>& shift = op.shift();
+    const std::size_t c = scale.size();
+    const std::size_t rows = yv.size() / c;
+    blocked::run_rows(rows, c, [&](std::size_t r) {
+      batch_norm_row(yv.data() + r * c, scale.data(), shift.data(), c);
+      tensor::q_quantize_span(scheme, yv.subspan(r * c, c));
+    });
+    return y;
+  }
+#endif
+  return blocked::batch_norm(op, scheme, in);
+}
+
+tensor::Tensor zero_reset(float low, float high, tensor::QScheme scheme,
+                          std::span<const tensor::Tensor> in) {
+  Tensor y = in[0].clone();
+  const std::span<float> yv = y.mutable_values();
+#if RANGERPP_SIMD_X86
+  if (available()) {
+    blocked::run_elementwise(yv.size(), [&](std::size_t lo, std::size_t hi) {
+      zero_reset_block(yv.data() + lo, hi - lo, low, high);
+      tensor::q_quantize_span(scheme, yv.subspan(lo, hi - lo));
+    });
+    return y;
+  }
+#endif
+  // Portable fallback, same per-element rule as core's fused restrict.
+  blocked::run_elementwise(yv.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const float x = yv[i];
+      yv[i] = (x < low || x > high || std::isnan(x)) ? 0.0f : x;
+    }
+    tensor::q_quantize_span(scheme, yv.subspan(lo, hi - lo));
+  });
+  return y;
+}
+
+}  // namespace rangerpp::ops::simd

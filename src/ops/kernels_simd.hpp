@@ -1,0 +1,63 @@
+// Explicitly vectorized (AVX2/FMA) kernels behind KernelBackend::kSimd.
+//
+// Determinism contract (differs from blocked — see backend.hpp): the
+// elementwise kernels (relu, clamp, bias_add, batch_norm, zero-reset) are
+// still bit-identical to scalar — a lane-wise max/blend/mul+add performs
+// the same float operation per element as the scalar loop, including
+// NaN and signed-zero behaviour.  The GEMM core is NOT: it accumulates
+// each output element in 8 parallel lanes with FMA and reduces them at
+// the end, a different float summation order/rounding than the scalar
+// K-ascending chain.  Simd outputs are therefore *tolerance-judged*
+// against scalar (fi::Equivalence) instead of byte-gated.
+//
+// Dispatch: all entry points are safe to call on any host.  When the CPU
+// lacks AVX2+FMA (or RANGERPP_SIMD=portable), they delegate to the
+// blocked kernels, making backend simd bit-identical to blocked on the
+// portable path.  The AVX2 bodies are compiled with per-function
+// target("avx2,fma") attributes, so no global -mavx2 flag is needed and
+// the binary stays runnable on baseline x86-64.
+//
+// The conv/matmul drivers are the blocked ones (conv2d_with/matmul_with)
+// with the AVX2 GEMM core plugged in, so im2col packing, segmenting,
+// boundary-column handling and parallel_for distribution are shared, and
+// any fix there benefits both backends.
+#pragma once
+
+#include <span>
+
+#include "ops/kernels_blocked.hpp"
+
+namespace rangerpp::ops::simd {
+
+// True when the AVX2 kernels will actually run on this host (CPU support
+// and RANGERPP_SIMD both permitting).  When false every kernel below
+// delegates to its blocked counterpart.
+bool available();
+
+// AVX2/FMA GEMM core, drop-in for blocked::gemm_rows.  4x16 register
+// tiles (8 ymm accumulators), lane-parallel K reduction — the one
+// tolerance-judged piece of this backend.
+void gemm_rows_avx2(const float* a, const float* b, float* const* crows,
+                    std::size_t m, std::size_t n, std::size_t k,
+                    tensor::QScheme scheme);
+
+tensor::Tensor conv2d(const Conv2DOp& op, tensor::QScheme scheme,
+                      std::span<const tensor::Tensor> in);
+tensor::Tensor matmul(tensor::QScheme scheme,
+                      std::span<const tensor::Tensor> in);
+tensor::Tensor relu(tensor::QScheme scheme,
+                    std::span<const tensor::Tensor> in);
+tensor::Tensor clamp(float low, float high, tensor::QScheme scheme,
+                     std::span<const tensor::Tensor> in);
+tensor::Tensor bias_add(tensor::QScheme scheme,
+                        std::span<const tensor::Tensor> in);
+tensor::Tensor batch_norm(const BatchNormOp& op, tensor::QScheme scheme,
+                          std::span<const tensor::Tensor> in);
+
+// Fused Ranger zero-reset restriction: (v < low || v > high || NaN) -> 0,
+// else v — vectorized with compare masks, bit-identical to the scalar
+// rule per element.
+tensor::Tensor zero_reset(float low, float high, tensor::QScheme scheme,
+                          std::span<const tensor::Tensor> in);
+
+}  // namespace rangerpp::ops::simd

@@ -10,22 +10,38 @@ namespace {
 
 constexpr FixedPointFormat kFixed32{32, 10};
 constexpr FixedPointFormat kFixed16{16, 2};
+constexpr FixedPointFormat kInt8{8, 3};
 
-// Encodes into two's-complement fixed point with saturation.
+// Encodes into two's-complement fixed point with saturation.  With
+// zero_point = 0 the `shifted` value equals the llround result exactly,
+// so every branch below matches the original symmetric encoder bit for
+// bit — the fixed32/fixed16 determinism gates rest on that.
 std::uint64_t fixed_encode(const FixedPointFormat& f, float value) {
-  const double scaled = std::llround(static_cast<double>(value) *
-                                     static_cast<double>(1LL << f.frac_bits));
   const std::int64_t max_raw = (1LL << (f.total_bits - 1)) - 1;
   const std::int64_t min_raw = -(1LL << (f.total_bits - 1));
   std::int64_t raw;
   if (std::isnan(value)) {
-    raw = 0;
-  } else if (scaled >= static_cast<double>(max_raw)) {
-    raw = max_raw;
-  } else if (scaled <= static_cast<double>(min_raw)) {
-    raw = min_raw;
+    // NaN decodes to 0.0: store the zero point, clamped into range.
+    raw = f.zero_point > max_raw   ? max_raw
+          : f.zero_point < min_raw ? min_raw
+                                   : f.zero_point;
+  } else if (std::isinf(value)) {
+    // llround(inf) is unspecified (glibc: LLONG_MIN for either sign) —
+    // saturate by sign, like any out-of-range finite value.
+    raw = value > 0.0f ? max_raw : min_raw;
   } else {
-    raw = static_cast<std::int64_t>(scaled);
+    const double shifted =
+        static_cast<double>(std::llround(
+            static_cast<double>(value) *
+            static_cast<double>(1LL << f.frac_bits))) +
+        static_cast<double>(f.zero_point);
+    if (shifted >= static_cast<double>(max_raw)) {
+      raw = max_raw;
+    } else if (shifted <= static_cast<double>(min_raw)) {
+      raw = min_raw;
+    } else {
+      raw = static_cast<std::int64_t>(shifted);
+    }
   }
   const std::uint64_t mask =
       f.total_bits == 64 ? ~0ULL : ((1ULL << f.total_bits) - 1);
@@ -44,19 +60,19 @@ float fixed_decode(const FixedPointFormat& f, std::uint64_t bits) {
   } else {
     value = static_cast<std::int64_t>(raw);
   }
-  return static_cast<float>(static_cast<double>(value) /
+  return static_cast<float>(static_cast<double>(value - f.zero_point) /
                             static_cast<double>(1LL << f.frac_bits));
 }
 
 }  // namespace
 
 double FixedPointFormat::max_value() const {
-  return static_cast<double>((1LL << (total_bits - 1)) - 1) /
+  return static_cast<double>((1LL << (total_bits - 1)) - 1 - zero_point) /
          static_cast<double>(1LL << frac_bits);
 }
 
 double FixedPointFormat::min_value() const {
-  return -static_cast<double>(1LL << (total_bits - 1)) /
+  return static_cast<double>(-(1LL << (total_bits - 1)) - zero_point) /
          static_cast<double>(1LL << frac_bits);
 }
 
@@ -66,6 +82,21 @@ double FixedPointFormat::resolution() const {
 
 FixedPointFormat fixed32_format() { return kFixed32; }
 FixedPointFormat fixed16_format() { return kFixed16; }
+FixedPointFormat int8_format() { return kInt8; }
+
+FixedPointFormat canonical_format(DType d) {
+  switch (d) {
+    case DType::kFloat32:
+      return {32, 0};  // placeholder; the Float32 codec ignores it
+    case DType::kFixed32:
+      return kFixed32;
+    case DType::kFixed16:
+      return kFixed16;
+    case DType::kInt8:
+      return kInt8;
+  }
+  throw std::invalid_argument("canonical_format: bad dtype");
+}
 
 std::string_view dtype_name(DType d) {
   switch (d) {
@@ -75,6 +106,8 @@ std::string_view dtype_name(DType d) {
       return "fixed32(Q21.10)";
     case DType::kFixed16:
       return "fixed16(Q13.2)";
+    case DType::kInt8:
+      return "int8(Q4.3)";
   }
   return "unknown";
 }
@@ -87,6 +120,8 @@ int dtype_bits(DType d) {
       return 32;
     case DType::kFixed16:
       return 16;
+    case DType::kInt8:
+      return 8;
   }
   return 0;
 }
@@ -99,6 +134,8 @@ std::uint64_t dtype_encode(DType d, float value) {
       return fixed_encode(kFixed32, value);
     case DType::kFixed16:
       return fixed_encode(kFixed16, value);
+    case DType::kInt8:
+      return fixed_encode(kInt8, value);
   }
   throw std::invalid_argument("dtype_encode: bad dtype");
 }
@@ -111,6 +148,8 @@ float dtype_decode(DType d, std::uint64_t bits) {
       return fixed_decode(kFixed32, bits);
     case DType::kFixed16:
       return fixed_decode(kFixed16, bits);
+    case DType::kInt8:
+      return fixed_decode(kInt8, bits);
   }
   throw std::invalid_argument("dtype_decode: bad dtype");
 }
@@ -132,19 +171,58 @@ void fixed_quantize_span(std::span<float> v) {
   constexpr std::int64_t kMaxRaw = (1LL << (kTotal - 1)) - 1;
   constexpr std::int64_t kMinRaw = -(1LL << (kTotal - 1));
   for (float& x : v) {
-    const double scaled =
-        std::llround(static_cast<double>(x) * kScale);
     std::int64_t raw;
     if (std::isnan(x)) {
       raw = 0;
-    } else if (scaled >= static_cast<double>(kMaxRaw)) {
-      raw = kMaxRaw;
-    } else if (scaled <= static_cast<double>(kMinRaw)) {
-      raw = kMinRaw;
+    } else if (std::isinf(x)) {
+      raw = x > 0.0f ? kMaxRaw : kMinRaw;
     } else {
-      raw = static_cast<std::int64_t>(scaled);
+      const double scaled =
+          std::llround(static_cast<double>(x) * kScale);
+      if (scaled >= static_cast<double>(kMaxRaw)) {
+        raw = kMaxRaw;
+      } else if (scaled <= static_cast<double>(kMinRaw)) {
+        raw = kMinRaw;
+      } else {
+        raw = static_cast<std::int64_t>(scaled);
+      }
     }
     x = static_cast<float>(static_cast<double>(raw) * kInvScale);
+  }
+}
+
+// Runtime-parameter variant for calibrated (non-canonical) formats —
+// same round trip as fixed_decode(f, fixed_encode(f, x)), with
+// frac_bits/zero_point as loop-hoisted runtime values instead of
+// template constants.
+void fixed_quantize_span_rt(const FixedPointFormat& f, std::span<float> v) {
+  const double scale = static_cast<double>(1LL << f.frac_bits);
+  const double inv_scale = 1.0 / scale;
+  const std::int64_t max_raw = (1LL << (f.total_bits - 1)) - 1;
+  const std::int64_t min_raw = -(1LL << (f.total_bits - 1));
+  const std::int64_t zp = f.zero_point;
+  const std::int64_t nan_raw = zp > max_raw ? max_raw
+                               : zp < min_raw ? min_raw
+                                              : zp;
+  for (float& x : v) {
+    std::int64_t raw;
+    if (std::isnan(x)) {
+      raw = nan_raw;
+    } else if (std::isinf(x)) {
+      raw = x > 0.0f ? max_raw : min_raw;
+    } else {
+      const double shifted =
+          static_cast<double>(std::llround(static_cast<double>(x) * scale)) +
+          static_cast<double>(zp);
+      if (shifted >= static_cast<double>(max_raw)) {
+        raw = max_raw;
+      } else if (shifted <= static_cast<double>(min_raw)) {
+        raw = min_raw;
+      } else {
+        raw = static_cast<std::int64_t>(shifted);
+      }
+    }
+    x = static_cast<float>(static_cast<double>(raw - zp) * inv_scale);
   }
 }
 
@@ -159,6 +237,9 @@ void dtype_quantize_span(DType d, std::span<float> v) {
       return;
     case DType::kFixed16:
       fixed_quantize_span<16, 2>(v);
+      return;
+    case DType::kInt8:
+      fixed_quantize_span<8, 3>(v);
       return;
   }
   throw std::invalid_argument("dtype_quantize_span: bad dtype");
@@ -187,6 +268,88 @@ std::uint64_t dtype_write_bit(DType d, std::uint64_t bits, int bit,
 float dtype_write_bit_value(DType d, float value, int bit, bool set) {
   const std::uint64_t bits = dtype_encode(d, value);
   return dtype_decode(d, dtype_write_bit(d, bits, bit, set));
+}
+
+namespace {
+
+bool is_canonical(const QScheme& s) {
+  return s.dtype == DType::kFloat32 || s.fmt == canonical_format(s.dtype);
+}
+
+}  // namespace
+
+std::uint64_t q_encode(const QScheme& s, float value) {
+  if (s.dtype == DType::kFloat32)
+    return std::bit_cast<std::uint32_t>(value);
+  return fixed_encode(s.fmt, value);
+}
+
+float q_decode(const QScheme& s, std::uint64_t bits) {
+  if (s.dtype == DType::kFloat32)
+    return std::bit_cast<float>(static_cast<std::uint32_t>(bits));
+  return fixed_decode(s.fmt, bits);
+}
+
+float q_quantize(const QScheme& s, float value) {
+  if (s.dtype == DType::kFloat32) return value;
+  return fixed_decode(s.fmt, fixed_encode(s.fmt, value));
+}
+
+void q_quantize_span(const QScheme& s, std::span<float> v) {
+  // Canonical schemes route through the templated spans so the
+  // dtype-only paths (and their byte gates) see the exact code they
+  // always have.
+  if (is_canonical(s)) {
+    dtype_quantize_span(s.dtype, v);
+    return;
+  }
+  fixed_quantize_span_rt(s.fmt, v);
+}
+
+float q_flip_value(const QScheme& s, float value, int bit) {
+  if (is_canonical(s)) return dtype_flip_value(s.dtype, value, bit);
+  const int width = s.fmt.total_bits;
+  if (bit < 0 || bit >= width)
+    throw std::out_of_range("q_flip_value: bit out of range");
+  return fixed_decode(s.fmt, fixed_encode(s.fmt, value) ^ (1ULL << bit));
+}
+
+float q_write_bit_value(const QScheme& s, float value, int bit, bool set) {
+  if (is_canonical(s)) return dtype_write_bit_value(s.dtype, value, bit, set);
+  const int width = s.fmt.total_bits;
+  if (bit < 0 || bit >= width)
+    throw std::out_of_range("q_write_bit_value: bit out of range");
+  const std::uint64_t bits = fixed_encode(s.fmt, value);
+  return fixed_decode(
+      s.fmt, set ? bits | (1ULL << bit) : bits & ~(1ULL << bit));
+}
+
+FixedPointFormat int8_format_for_range(double lo, double hi) {
+  if (!std::isfinite(lo) || !std::isfinite(hi) || !(lo < hi)) return kInt8;
+  // Largest frac_bits whose scaled span fits the raw range [-128, 127]
+  // with one step of headroom (span * 2^f <= 254).
+  const double span = hi - lo;
+  int frac_bits = -1;
+  for (int f = 24; f >= 0; --f) {
+    if (span * static_cast<double>(1LL << f) <= 254.0) {
+      frac_bits = f;
+      break;
+    }
+  }
+  if (frac_bits < 0) return kInt8;  // too wide even at 1.0 resolution
+  const double scale = static_cast<double>(1LL << frac_bits);
+  // Feasible zero points keep both endpoints representable:
+  //   lo*2^f + zp >= -128   and   hi*2^f + zp <= 127.
+  // The headroom above guarantees the interval is non-empty; centre the
+  // value span in the raw range within it.
+  const auto zp_min =
+      static_cast<std::int64_t>(std::ceil(-128.0 - lo * scale));
+  const auto zp_max =
+      static_cast<std::int64_t>(std::floor(127.0 - hi * scale));
+  std::int64_t zp = std::llround(-(lo + hi) * scale / 2.0);
+  if (zp < zp_min) zp = zp_min;
+  if (zp > zp_max) zp = zp_max;
+  return {8, frac_bits, zp};
 }
 
 }  // namespace rangerpp::tensor

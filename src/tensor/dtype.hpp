@@ -21,6 +21,15 @@
 //  * Fixed16     — two's-complement Q13.2 (1 sign, 13 integer, 2 fractional
 //                  bits); the paper's "14 bits for the integer and 2 for the
 //                  fractional part".
+//  * Int8        — 8-bit two's-complement post-training quantisation.  The
+//                  canonical layout is Q4.3 (1 sign, 4 integer, 3
+//                  fractional bits, zero point 0), but int8 is where a
+//                  single shared format stops working: 8 bits cannot cover
+//                  both conv activations in [0, 30] and logits in [-4, 4]
+//                  without either saturating or wasting most of the code
+//                  space.  Per-tensor formats (a QScheme) calibrated from
+//                  RangeProfiler bounds fix that — see
+//                  int8_format_for_range below.
 #pragma once
 
 #include <cstdint>
@@ -29,7 +38,7 @@
 
 namespace rangerpp::tensor {
 
-enum class DType { kFloat32, kFixed32, kFixed16 };
+enum class DType { kFloat32, kFixed32, kFixed16, kInt8 };
 
 std::string_view dtype_name(DType d);
 
@@ -72,15 +81,64 @@ std::uint64_t dtype_write_bit(DType d, std::uint64_t bits, int bit, bool set);
 // the stored bit already equals `set`).
 float dtype_write_bit_value(DType d, float value, int bit, bool set);
 
-// Parameters of the fixed-point formats, exposed for tests and docs.
+// Parameters of a two's-complement fixed-point format.  `zero_point`
+// shifts the stored raw integer (affine quantisation: raw = round(x *
+// 2^frac_bits) + zero_point), letting an asymmetric value range use the
+// full code space.  The canonical fixed32/fixed16 formats keep
+// zero_point = 0, where the affine codec degenerates to the original
+// symmetric one bit-for-bit — the determinism gates on those dtypes are
+// unaffected by its existence.
 struct FixedPointFormat {
   int total_bits;  // including sign
   int frac_bits;
+  std::int64_t zero_point = 0;
   double max_value() const;  // largest representable value
   double min_value() const;  // most negative representable value
   double resolution() const;
+  friend bool operator==(const FixedPointFormat&,
+                         const FixedPointFormat&) = default;
 };
 FixedPointFormat fixed32_format();
 FixedPointFormat fixed16_format();
+FixedPointFormat int8_format();  // canonical Q4.3, zero point 0
+
+// The format a bare DType implies: the canonical layouts above, and a
+// pass-through placeholder for Float32 (whose codec ignores it).
+FixedPointFormat canonical_format(DType d);
+
+// A quantisation scheme: the dtype plus the concrete fixed-point layout a
+// tensor is stored in.  Implicitly constructible from a DType (canonical
+// layout) so every pre-int8 call site — where dtype alone determined the
+// codec — keeps reading the same, and dtype-only paths stay bit-identical.
+// Per-tensor schemes only diverge from canonical for int8, where
+// calibration picks frac_bits/zero_point per node.
+struct QScheme {
+  DType dtype = DType::kFixed32;
+  FixedPointFormat fmt = {32, 10};
+  QScheme() = default;
+  QScheme(DType d) : dtype(d), fmt(canonical_format(d)) {}  // NOLINT
+  QScheme(DType d, FixedPointFormat f) : dtype(d), fmt(f) {}
+  friend bool operator==(const QScheme&, const QScheme&) = default;
+};
+
+// Scheme-aware codec family.  For canonical schemes these are
+// bit-identical to the dtype_* functions above (same code paths); for
+// calibrated int8 schemes they run the affine codec with the scheme's
+// frac_bits/zero_point.
+std::uint64_t q_encode(const QScheme& s, float value);
+float q_decode(const QScheme& s, std::uint64_t bits);
+float q_quantize(const QScheme& s, float value);
+void q_quantize_span(const QScheme& s, std::span<float> v);
+float q_flip_value(const QScheme& s, float value, int bit);
+float q_write_bit_value(const QScheme& s, float value, int bit, bool set);
+
+// Picks the int8 format for values bounded by [lo, hi]: the finest
+// resolution (largest frac_bits) whose scaled span fits the 8-bit raw
+// range with a step of headroom, and the zero point that centres the
+// span in it.  Falls back to the canonical Q4.3 format when the bound is
+// degenerate (lo >= hi after widening, non-finite) or too wide for any
+// non-negative frac_bits — saturation then does what it does for
+// fixed32/fixed16 today.
+FixedPointFormat int8_format_for_range(double lo, double hi);
 
 }  // namespace rangerpp::tensor

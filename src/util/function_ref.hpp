@@ -1,0 +1,50 @@
+// Non-owning callable reference, the hot-path alternative to
+// std::function.  std::function type-erases by *owning* a copy of the
+// callable — a heap allocation whenever the callable outgrows the SBO
+// buffer, paid on every kernel dispatch that builds one from a capturing
+// lambda.  FunctionRef erases with two words (object pointer + trampoline)
+// and never allocates, which is exactly right for parallel_for-style APIs
+// that invoke the callable only while the call that received it is still
+// on the stack.
+//
+// Lifetime contract: a FunctionRef must not outlive the callable it was
+// constructed from.  Every consumer in this codebase (parallel_for,
+// run_rows, run_elementwise) blocks until all invocations complete, so
+// binding a temporary lambda at the call site is safe by construction.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace rangerpp::util {
+
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept  // NOLINT: implicit by design, mirrors
+                               // std::function at the call sites
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace rangerpp::util

@@ -23,9 +23,9 @@ unsigned worker_count(std::size_t n, unsigned threads) {
   return static_cast<unsigned>(std::min<std::size_t>(threads, n));
 }
 
-void parallel_for_workers(
-    std::size_t n, const std::function<void(unsigned, std::size_t)>& fn,
-    unsigned threads) {
+void parallel_for_workers(std::size_t n,
+                          FunctionRef<void(unsigned, std::size_t)> fn,
+                          unsigned threads) {
   const unsigned workers = worker_count(n, threads);
   if (workers == 0) return;
   if (workers <= 1 || g_in_pool_worker) {
@@ -48,10 +48,10 @@ void parallel_for_workers(
   for (auto& w : pool) w.join();
 }
 
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+void parallel_for(std::size_t n, FunctionRef<void(std::size_t)> fn,
                   unsigned threads) {
   parallel_for_workers(
-      n, [&fn](unsigned, std::size_t i) { fn(i); }, threads);
+      n, [fn](unsigned, std::size_t i) { fn(i); }, threads);
 }
 
 }  // namespace rangerpp::util

@@ -7,9 +7,10 @@
 
 #include <atomic>
 #include <cstddef>
-#include <functional>
 #include <thread>
 #include <vector>
+
+#include "util/function_ref.hpp"
 
 namespace rangerpp::util {
 
@@ -25,16 +26,22 @@ namespace rangerpp::util {
 // of threads — the outer loop already owns the cores, and oversubscribing
 // would only add contention.  Results never depend on where tasks ran, so
 // this is purely a scheduling decision.
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+//
+// `fn` is a non-owning FunctionRef rather than a std::function: both calls
+// block until every index completes, so the callable outlives every
+// invocation, and the per-call type-erasure allocation std::function could
+// make is pure overhead on kernel hot paths (the blocked/simd kernels issue
+// a parallel_for per operator invocation).
+void parallel_for(std::size_t n, FunctionRef<void(std::size_t)> fn,
                   unsigned threads = 0);
 
 // As parallel_for, but `fn(worker, i)` also receives the executing
 // worker's index in [0, worker_count(n, threads)), so callers can hand
 // each worker private reusable state (e.g. an execution arena) without
 // locking.
-void parallel_for_workers(
-    std::size_t n, const std::function<void(unsigned, std::size_t)>& fn,
-    unsigned threads = 0);
+void parallel_for_workers(std::size_t n,
+                          FunctionRef<void(unsigned, std::size_t)> fn,
+                          unsigned threads = 0);
 
 // Number of workers parallel_for{,_workers} will launch for `n` tasks with
 // the given thread cap (0 = hardware concurrency); use it to size

@@ -16,6 +16,7 @@
 
 #include "core/restrict_op.hpp"
 #include "fi/campaign.hpp"
+#include "fi/equivalence.hpp"
 #include "graph/builder.hpp"
 #include "graph/executor.hpp"
 #include "graph/plan.hpp"
@@ -78,8 +79,10 @@ void check_backend_equivalence(graph::Graph g,
 TEST(BackendTest, ParseAndNames) {
   EXPECT_EQ(ops::parse_backend("scalar"), ops::KernelBackend::kScalar);
   EXPECT_EQ(ops::parse_backend("blocked"), ops::KernelBackend::kBlocked);
+  EXPECT_EQ(ops::parse_backend("simd"), ops::KernelBackend::kSimd);
   EXPECT_FALSE(ops::parse_backend("gpu").has_value());
   EXPECT_EQ(ops::backend_name(ops::KernelBackend::kBlocked), "blocked");
+  EXPECT_EQ(ops::backend_name(ops::KernelBackend::kSimd), "simd");
 }
 
 TEST(BackendTest, ConvEquivalenceAcrossShapesStridesPaddings) {
@@ -304,6 +307,141 @@ TEST(BatchedCampaignTest, TrialBatchOutputsMatchPerTrialOutputs) {
   }
 }
 
+// ---- simd backend: tolerance-judged equivalence ----------------------------
+//
+// The simd backend is NOT part of the byte contract: its AVX2 GEMM core
+// accumulates lanes with FMA, so conv/matmul outputs may differ from the
+// reference in the last ulps.  These tests hold it to the fi::Equivalence
+// contract instead (and must never be added to the bit-identity loops
+// above).  On hosts without AVX2 the simd backend delegates to blocked,
+// and the tolerance judge passes trivially — the test is still worth
+// running there as a dispatch smoke test.
+
+void check_simd_tolerance(graph::Graph g, const fi::Feeds& feeds,
+                          tensor::DType dtype, const std::string& what) {
+  const graph::Executor exec({dtype});
+  graph::Arena a_scalar, a_simd;
+  const graph::ExecutionPlan scalar(
+      g, dtype, {.backend = ops::KernelBackend::kScalar});
+  const graph::ExecutionPlan simd(
+      g, dtype, {.backend = ops::KernelBackend::kSimd});
+  const tensor::Tensor out_s = exec.run(scalar, feeds, a_scalar);
+  const tensor::Tensor out_v = exec.run(simd, feeds, a_simd);
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    const fi::ToleranceSpec tol = fi::ToleranceSpec::for_scheme(
+        scalar.qscheme(static_cast<graph::NodeId>(i)));
+    const fi::TensorCompareReport r = fi::compare_tensors(
+        a_scalar.outputs()[i], a_simd.outputs()[i], tol);
+    EXPECT_TRUE(r.within)
+        << what << " node " << i << ": " << r.mismatched << "/"
+        << r.compared << " outside tolerance (max abs "
+        << r.max_abs_diff << ", max ulp " << r.max_ulp_diff << ")";
+  }
+  const fi::TensorCompareReport r =
+      fi::compare_tensors(out_s, out_v, fi::ToleranceSpec{});
+  EXPECT_TRUE(r.within) << what << " output";
+}
+
+TEST(SimdBackendTest, ConvToleranceAcrossShapesStridesPaddings) {
+  util::Rng rng(17);  // same stream as the bit-identity conv suite
+  struct Case {
+    int ih, iw, ic, kh, kw, oc, sh, sw;
+    ops::Padding pad;
+  };
+  const Case cases[] = {
+      {12, 12, 3, 3, 3, 8, 1, 1, ops::Padding::kSame},
+      {12, 12, 3, 3, 3, 8, 1, 1, ops::Padding::kValid},
+      {16, 16, 4, 5, 5, 19, 1, 1, ops::Padding::kSame},
+      {16, 16, 4, 5, 5, 19, 2, 2, ops::Padding::kSame},
+      {15, 11, 6, 3, 5, 7, 2, 3, ops::Padding::kValid},
+      {9, 9, 16, 3, 3, 33, 1, 1, ops::Padding::kSame},
+      {28, 28, 1, 5, 5, 6, 1, 1, ops::Padding::kSame},
+      {7, 7, 2, 7, 7, 5, 1, 1, ops::Padding::kSame},
+  };
+  for (const Case& c : cases) {
+    for (const tensor::DType dtype :
+         {tensor::DType::kFixed32, tensor::DType::kFloat32}) {
+      graph::GraphBuilder b;
+      b.input("input", tensor::Shape{1, c.ih, c.iw, c.ic});
+      b.conv2d("conv",
+               random_tensor({c.kh, c.kw, c.ic, c.oc}, rng, 0.5f),
+               random_tensor({c.oc}, rng, 0.1f),
+               {c.sh, c.sw, c.pad});
+      const fi::Feeds feeds{
+          {"input", random_tensor({1, c.ih, c.iw, c.ic}, rng, 2.0f)}};
+      check_simd_tolerance(
+          b.finish(), feeds, dtype,
+          "simd conv " + std::to_string(c.ih) + "x" + std::to_string(c.iw) +
+              "x" + std::to_string(c.ic) + " k" + std::to_string(c.kh) +
+              "x" + std::to_string(c.kw) + " oc" + std::to_string(c.oc) +
+              " s" + std::to_string(c.sh) + std::to_string(c.sw));
+    }
+  }
+}
+
+TEST(SimdBackendTest, MixedGraphToleranceAndArgmaxAgreement) {
+  util::Rng rng(61);
+  const graph::Graph g = small_classifier(rng);
+  const graph::Executor exec({tensor::DType::kFixed32});
+  const graph::ExecutionPlan scalar(
+      g, tensor::DType::kFixed32, {.backend = ops::KernelBackend::kScalar});
+  const graph::ExecutionPlan simd(
+      g, tensor::DType::kFixed32, {.backend = ops::KernelBackend::kSimd});
+  std::vector<tensor::Tensor> outs_s, outs_v;
+  graph::Arena a1, a2;
+  for (int i = 0; i < 8; ++i) {
+    const fi::Feeds feeds{{"input", random_tensor({1, 10, 10, 2}, rng)}};
+    outs_s.push_back(exec.run(scalar, feeds, a1));
+    outs_v.push_back(exec.run(simd, feeds, a2));
+  }
+  // Clean-run argmax agreement is the acceptance bar from the issue:
+  // >= 99.9%.  On 8 inputs that means all 8.
+  EXPECT_EQ(fi::argmax_agreement(outs_s, outs_v), 1.0);
+}
+
+TEST(SimdBackendTest, RunToRunBitIdentity) {
+  // Tolerance-judged across backends, but the simd backend must still be
+  // deterministic with itself: same plan, same feeds, same bits.
+  util::Rng rng(31);
+  graph::GraphBuilder b;
+  b.input("input", tensor::Shape{1, 16, 16, 8});
+  b.conv2d("conv", random_tensor({3, 3, 8, 24}, rng, 0.3f),
+           random_tensor({24}, rng, 0.1f), {1, 1, ops::Padding::kSame});
+  b.activation("relu", ops::OpKind::kRelu);
+  const graph::Graph g = b.finish();
+  const fi::Feeds feeds{{"input", random_tensor({1, 16, 16, 8}, rng)}};
+  const graph::ExecutionPlan plan(
+      g, tensor::DType::kFixed32, {.backend = ops::KernelBackend::kSimd});
+  const graph::Executor exec({tensor::DType::kFixed32});
+  graph::Arena a1, a2;
+  const tensor::Tensor first = exec.run(plan, feeds, a1);
+  for (int i = 0; i < 3; ++i)
+    expect_bit_identical(first, exec.run(plan, feeds, a2),
+                         "simd run-to-run " + std::to_string(i));
+}
+
+TEST(SimdBackendTest, CampaignSdcRatesStatisticallyEqualToScalar) {
+  util::Rng rng(61);
+  const graph::Graph g = small_classifier(rng);
+  std::vector<fi::Feeds> inputs;
+  for (int i = 0; i < 2; ++i)
+    inputs.push_back({{"input", random_tensor({1, 10, 10, 2}, rng)}});
+  const fi::Top1Judge judge;
+  fi::CampaignConfig cc;
+  cc.dtype = tensor::DType::kFixed32;
+  cc.trials_per_input = 100;
+  cc.seed = 2024;
+  cc.backend = ops::KernelBackend::kScalar;
+  const fi::CampaignResult rs = fi::Campaign(cc).run(g, inputs, judge);
+  cc.backend = ops::KernelBackend::kSimd;
+  const fi::CampaignResult rv = fi::Campaign(cc).run(g, inputs, judge);
+  EXPECT_EQ(rs.trials, rv.trials);
+  EXPECT_TRUE(fi::rates_statistically_equal(rs.sdcs, rs.trials, rv.sdcs,
+                                            rv.trials))
+      << "scalar " << rs.sdcs << "/" << rs.trials << " vs simd " << rv.sdcs
+      << "/" << rv.trials;
+}
+
 TEST(QuantizeSpanTest, MatchesPerElementCodec) {
   util::Rng rng(83);
   std::vector<float> values;
@@ -317,7 +455,7 @@ TEST(QuantizeSpanTest, MatchesPerElementCodec) {
                  -0.1253f});
   for (const tensor::DType d :
        {tensor::DType::kFixed32, tensor::DType::kFixed16,
-        tensor::DType::kFloat32}) {
+        tensor::DType::kInt8, tensor::DType::kFloat32}) {
     std::vector<float> spanned = values;
     tensor::dtype_quantize_span(d, spanned);
     for (std::size_t i = 0; i < values.size(); ++i) {

@@ -216,6 +216,45 @@ TEST(Suite, KillAndResumeProducesBitIdenticalManifest) {
   EXPECT_EQ(slurp(a), slurp(b));
 }
 
+// int8 cells: per-node calibration is derived from the suite's cached
+// bounds inside executor construction, so it must be invisible to the
+// shard/resume machinery — a killed-and-resumed int8 cell produces
+// records (and a fingerprint) bit-identical to an uninterrupted run's.
+TEST(Suite, Int8CellsShardAndResumeBitIdentically) {
+  const std::string dir = temp_dir("suite_int8");
+
+  SuiteSpec spec = tiny_spec("int8");
+  spec.dtypes = {tensor::DType::kInt8};
+  Suite uninterrupted_suite(spec);
+  const SuiteResult uninterrupted = uninterrupted_suite.run();
+  ASSERT_EQ(uninterrupted.cells.size(), 2u);
+  EXPECT_EQ(uninterrupted.cells[0].cell.id, "lenet.int8.b1.unprotected");
+  for (const SuiteCellResult& c : uninterrupted.cells)
+    EXPECT_EQ(c.report.executed(), c.cell.total_trials);
+
+  SuiteSpec killed = spec;
+  killed.checkpoint_dir = dir;
+  killed.max_new_trials = 7;
+  Suite k(killed);
+  k.run();
+
+  SuiteSpec resumed_spec = spec;
+  resumed_spec.checkpoint_dir = dir;
+  Suite r(resumed_spec);
+  const SuiteResult resumed = r.run();
+  ASSERT_EQ(resumed.cells.size(), uninterrupted.cells.size());
+  for (std::size_t c = 0; c < resumed.cells.size(); ++c)
+    EXPECT_TRUE(records_identical(resumed.cells[c].report.records,
+                                  uninterrupted.cells[c].report.records))
+        << resumed.cells[c].cell.id;
+
+  const std::string a = dir + "/SUITE_a.json";
+  const std::string b = dir + "/SUITE_b.json";
+  write_suite_manifest(a, uninterrupted);
+  write_suite_manifest(b, resumed);
+  EXPECT_EQ(slurp(a), slurp(b));
+}
+
 // Table-VI contract: the paired-coverage join over (unprotected,
 // ranger-paired) cells equals a direct replay of the unprotected fault
 // stream through the protected plan — the computation the table6 bench

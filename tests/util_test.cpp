@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "util/env.hpp"
+#include "util/function_ref.hpp"
 #include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -202,6 +203,39 @@ TEST(Rng, DerivedSeedsDiffer) {
 TEST(Rng, UniformIndexInRange) {
   Rng r(3);
   for (int i = 0; i < 1000; ++i) EXPECT_LT(r.uniform_index(17), 17u);
+}
+
+int add_one(int x) { return x + 1; }
+
+TEST(FunctionRef, BindsLambdasFunctionPointersAndMutableState) {
+  // Capturing lambda: FunctionRef must see the live capture, not a copy.
+  // (The lambda is named — a FunctionRef must not outlive its callable,
+  // so initialising one from a temporary would dangle.)
+  int hits = 0;
+  auto bump_fn = [&](int by) { hits += by; };
+  FunctionRef<void(int)> bump = bump_fn;
+  bump(2);
+  bump(3);
+  EXPECT_EQ(hits, 5);
+
+  // Function pointer (the pointer object is the referenced callable, so
+  // it must outlive the ref — same contract as a lambda).
+  int (*fp)(int) = add_one;
+  FunctionRef<int(int)> f = fp;
+  EXPECT_EQ(f(41), 42);
+
+  // Return values and reference arguments pass through the trampoline.
+  std::vector<int> sink;
+  auto push_fn = [](std::vector<int>& v) { v.push_back(7); };
+  FunctionRef<void(std::vector<int>&)> push = push_fn;
+  push(sink);
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink[0], 7);
+
+  // Two words, never allocates: the whole point of replacing
+  // std::function on the parallel_for hot path.
+  static_assert(sizeof(FunctionRef<void(std::size_t)>) <=
+                2 * sizeof(void*));
 }
 
 TEST(ThreadPool, RunsEveryIndexExactlyOnce) {

@@ -3,7 +3,7 @@
 // Run a (shard of a) campaign:
 //   campaign_cli --model lenet --trials 100 --inputs 2 --seed 2021
 //                --shard 0/2 --checkpoint shard0.jsonl [--ranger]
-//                [--dtype fixed32|fixed16|float32] [--nbits K]
+//                [--dtype fixed32|fixed16|int8|float32] [--nbits K]
 //                [--consecutive] [--stratified [--bit-group N]]
 //                [--target-ci PCT] [--check-every N] [--max-new N]
 //                [--threads T] [--quiet]
@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "core/calibration.hpp"
 #include "core/range_profiler.hpp"
 #include "core/ranger_transform.hpp"
 #include "fi/report.hpp"
@@ -67,7 +68,8 @@ using util::env_size;
       "options:\n"
       "  --list               print every model/axis token and exit 0\n"
       "  --ranger             campaign on the Ranger-protected graph\n"
-      "  --dtype D            fixed32 (default) | fixed16 | float32\n"
+      "  --dtype D            fixed32 (default) | fixed16 | int8 |"
+      " float32\n"
       "  --nbits K            bit flips per trial (default 1)\n"
       "  --consecutive        burst mode: K adjacent bits in one value\n"
       "  --fault-class C      activation (default) | weight — weight runs\n"
@@ -303,9 +305,17 @@ int main(int argc, char** argv) {
 
     graph::Graph protected_g;
     const graph::Graph* g = &w.graph;
+    // Bounds serve two consumers: the Ranger transform's restriction
+    // thresholds and the int8 activation calibration.  Both derive from
+    // the same float32 range profile, so one pass covers either need.
+    const bool need_bounds =
+        ranger || rc.campaign.dtype == tensor::DType::kInt8;
+    core::Bounds bounds;
+    if (need_bounds)
+      bounds = core::RangeProfiler{}.derive_bounds(w.graph, w.profile_feeds);
+    if (rc.campaign.dtype == tensor::DType::kInt8)
+      rc.campaign.int8_formats = core::int8_calibration(bounds);
     if (ranger) {
-      const core::Bounds bounds =
-          core::RangeProfiler{}.derive_bounds(w.graph, w.profile_feeds);
       protected_g = core::RangerTransform{}.apply(w.graph, bounds);
       g = &protected_g;
     }

@@ -65,8 +65,13 @@ inline void print_axes(std::FILE* f) {
   std::fprintf(f, "\ndtypes:");
   for (const tensor::DType d :
        {tensor::DType::kFixed32, tensor::DType::kFixed16,
-        tensor::DType::kFloat32})
+        tensor::DType::kInt8, tensor::DType::kFloat32})
     std::fprintf(f, " %s", std::string(fi::dtype_token(d)).c_str());
+  std::fprintf(f, "\nbackends (RANGERPP_BACKEND):");
+  for (const ops::KernelBackend b :
+       {ops::KernelBackend::kScalar, ops::KernelBackend::kBlocked,
+        ops::KernelBackend::kSimd})
+    std::fprintf(f, " %s", std::string(ops::backend_name(b)).c_str());
   std::fprintf(f, "\nfault classes:");
   for (const fi::FaultClass c :
        {fi::FaultClass::kActivation, fi::FaultClass::kWeight})

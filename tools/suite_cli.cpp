@@ -50,7 +50,9 @@ using util::env_size;
       "                       squeezenet dave dave-degrees comma\n"
       "  --acts LIST          default | relu | tanh | sigmoid | elu\n"
       "                       (default: default — the published act)\n"
-      "  --dtypes LIST        fixed32 | fixed16 | float32 (default fixed32)\n"
+      "  --dtypes LIST        fixed32 | fixed16 | int8 | float32\n"
+      "                       (default fixed32; int8 calibrates per-node\n"
+      "                       formats from the model's profiled bounds)\n"
       "  --nbits LIST         flips per trial, e.g. 1 or 2,3,4,5 (default 1)\n"
       "  --consecutive        burst fault model: adjacent bits in one value\n"
       "  --fault-class C      activation (default) | weight: draw faults\n"
@@ -85,8 +87,8 @@ using util::env_size;
       "                       Wilson-95 half-width is below PCT percent\n"
       "                       (early-stopped cells execute a prefix, so\n"
       "                       skip the merged-manifest cmp gate)\n"
-      "  --report MODE        cells | fig6 | fig7 | fig9 | fig11 | fig12 |\n"
-      "                       table6 | all | none (default cells)\n"
+      "  --report MODE        cells | fig6 | fig7 | fig9 | int8 | fig11 |\n"
+      "                       fig12 | table6 | all | none (default cells)\n"
       "  --out FILE           manifest path (default:\n"
       "                       DIR/SUITE_<name>[.s<i>of<N>].json)\n"
       "  --quiet              manifest only, no tables\n");
@@ -222,8 +224,9 @@ int main(int argc, char** argv) {
       spec.target_half_width_pct = cli::double_flag(&usage, arg, value());
     else if (arg == "--report") {
       report_mode = value();
-      const char* known[] = {"cells", "fig6",  "fig7",   "fig9", "fig11",
-                             "fig12", "table6", "all",   "none"};
+      const char* known[] = {"cells",  "fig6",   "fig7", "fig9",
+                             "int8",   "fig11",  "fig12", "table6",
+                             "all",    "none"};
       bool ok = false;
       for (const char* k : known) ok = ok || report_mode == k;
       if (!ok) usage(("unknown report mode '" + report_mode + "'").c_str());
