@@ -233,6 +233,44 @@ int main() {
                   ? "bit-identical across backends"
                   : "MISMATCH (bug: backends must be bit-identical)");
 
+  // ---- Arena memory planning --------------------------------------------
+  // The compiler's memory-planning pass aliases non-overlapping activation
+  // lifetimes onto shared arena slots; on a pure-inference plan of the
+  // conv tower the peak must come in below the retain-all footprint.  The
+  // arena-planned plan must also stay exact: same top-1 as the legacy
+  // retain-all plan on every bench input.
+  bench::print_header("Arena memory planning",
+                      "peak activation bytes, planned vs retain-all");
+  const graph::ExecutionPlan arena_plan = graph::compile(
+      tower, {.dtype = tensor::DType::kFixed32,
+              .observe = graph::Observe::kNone,
+              .memory = graph::MemoryMode::kArena});
+  const std::size_t peak_arena_bytes =
+      arena_plan.report()->peak_arena_bytes;
+  const std::size_t unplanned_bytes = arena_plan.report()->unplanned_bytes;
+  bool arena_exact = true;
+  {
+    const graph::Executor exec({tensor::DType::kFixed32});
+    const graph::ExecutionPlan retain_plan(tower, tensor::DType::kFixed32);
+    graph::Arena a1, a2;
+    for (const fi::Feeds& f : tower_inputs)
+      arena_exact = arena_exact &&
+                    graph::argmax(exec.run(arena_plan, f, a1)) ==
+                        graph::argmax(exec.run(retain_plan, f, a2));
+  }
+  const double arena_reduction =
+      unplanned_bytes > 0
+          ? 1.0 - static_cast<double>(peak_arena_bytes) /
+                      static_cast<double>(unplanned_bytes)
+          : 0.0;
+  const bool arena_planned = peak_arena_bytes < unplanned_bytes;
+  std::printf(
+      "conv tower: peak_arena_bytes %zu vs retain-all %zu (%.1f%% "
+      "reduction, %zu slots)  output %s\n",
+      peak_arena_bytes, unplanned_bytes, 100.0 * arena_reduction,
+      arena_plan.memory_plan().slots,
+      arena_exact ? "identical" : "MISMATCH (bug: planning must be exact)");
+
   bench::emit_bench_json(
       "campaign_throughput",
       {{"trials", static_cast<double>(partial.trials)},
@@ -253,7 +291,12 @@ int main() {
        {"conv_blocked_speedup", blocked_speedup},
        {"conv_sdcs_scalar", static_cast<double>(conv_scalar.sdcs)},
        {"conv_sdcs_blocked", static_cast<double>(conv_blocked.sdcs)},
-       {"conv_sdc_counts_identical", conv_identical ? 1.0 : 0.0}},
+       {"conv_sdc_counts_identical", conv_identical ? 1.0 : 0.0},
+       {"peak_arena_bytes", static_cast<double>(peak_arena_bytes)},
+       {"unplanned_bytes", static_cast<double>(unplanned_bytes)},
+       {"arena_reduction", arena_reduction},
+       {"arena_planned", arena_planned ? 1.0 : 0.0},
+       {"arena_exact", arena_exact ? 1.0 : 0.0}},
       &cfg);
-  return identical && conv_identical ? 0 : 1;
+  return identical && conv_identical && arena_planned && arena_exact ? 0 : 1;
 }

@@ -33,5 +33,21 @@ int main() {
   std::printf(
       "Paper (TensorFlow graphs, laptop): LeNet 3s ... VGG16 320s; both "
       "are one-time, pre-deployment costs.\n");
+
+  // The same insertion as a compiler pass: graph::compile() with the
+  // ranger option runs ranger_insert as stage one of the pipeline, so the
+  // per-pass trace breaks the one-time cost down further (validate /
+  // const_fold / dce / fuse / lowering — what --dump-passes prints).
+  std::printf("\ncompile pipeline per model (ranger option, %s):\n",
+              std::string(ops::backend_name(ops::default_backend())).c_str());
+  for (const models::ModelId id : all) {
+    const bench::ProtectedWorkload pw = bench::make_protected(id, cfg);
+    const graph::ExecutionPlan probe = graph::compile(
+        pw.base.graph, {.dtype = tensor::DType::kFixed32,
+                        .observe = graph::Observe::kInjectable,
+                        .ranger = core::ranger_pass(pw.bounds)});
+    std::printf("%s:\n%s\n", models::model_name(id).c_str(),
+                probe.report()->to_string().c_str());
+  }
   return 0;
 }

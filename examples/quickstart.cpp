@@ -2,8 +2,10 @@
 //
 //   1. build (or load) a model as a rangerpp dataflow graph;
 //   2. derive restriction bounds by profiling training data;
-//   3. apply the Ranger transform -> a protected graph;
-//   4. run both graphs: fault-free outputs are identical;
+//   3. compile a protected plan straight from the unprotected graph —
+//      graph::compile()'s ranger option runs the Ranger transform as the
+//      first compiler pass;
+//   4. run both plans: fault-free outputs are identical;
 //   5. inject a transient fault: the unprotected model misclassifies,
 //      the protected one does not;
 //   6. measure statistically: a sharded, stratified fault-injection
@@ -35,21 +37,24 @@ int main() {
   for (const auto& [layer, b] : bounds)
     std::printf("  %-8s -> [%.3f, %.3f]\n", layer.c_str(), b.low, b.up);
 
-  // 3. Transform: duplicate the graph, splicing clamp operators after
-  //    every bounded activation and the pooling/reshape ops that follow.
-  core::RangerTransform transform;
-  const graph::Graph protected_g = transform.apply(w.graph, bounds);
-  std::printf("inserted %zu restriction ops in %.2f ms\n",
-              transform.last_stats().restriction_ops_inserted,
-              transform.last_stats().elapsed_seconds * 1e3);
-
-  // 4. Compile both graphs into execution plans (schedule, reachability
-  //    sets, pre-quantized weights) and check fault-free behaviour is
-  //    unchanged.  Plans + arenas are what every campaign runs on.
+  // 3. Compile both plans (schedule, reachability sets, pre-quantized
+  //    weights).  The protected plan is compiled straight from the
+  //    unprotected graph: CompileOptions::ranger splices the clamp
+  //    operators as the first pass of the compile pipeline — the old
+  //    separate protect -> RangerTransform -> plan dance in one call.
+  //    Plans + arenas are what every campaign runs on.
   const tensor::DType dtype = tensor::DType::kFixed32;
   const graph::Executor exec({dtype});
-  const graph::ExecutionPlan plan(w.graph, dtype);
-  const graph::ExecutionPlan plan_prot(protected_g, dtype);
+  const graph::ExecutionPlan plan = graph::compile(w.graph, {.dtype = dtype});
+  const graph::ExecutionPlan plan_prot = graph::compile(
+      w.graph, {.dtype = dtype, .ranger = core::ranger_pass(bounds)});
+  const graph::Graph& protected_g = plan_prot.graph();
+  for (const graph::PassTrace& t : plan_prot.report()->passes)
+    if (t.name == "ranger_insert")
+      std::printf("ranger_insert pass: %zu -> %zu nodes in %.2f ms\n",
+                  t.nodes_before, t.nodes_after, t.ms);
+
+  // 4. Check fault-free behaviour is unchanged by the protection.
   graph::Arena arena, arena_prot;
   const fi::Feeds& input = w.eval_feeds.front();
   const int label_plain = graph::argmax(exec.run(plan, input, arena));

@@ -27,6 +27,7 @@
 
 #include "core/bounds.hpp"
 #include "graph/graph.hpp"
+#include "graph/passes.hpp"
 
 namespace rangerpp::core {
 
@@ -75,5 +76,17 @@ class RangerTransform {
   TransformOptions options_;
   mutable TransformStats stats_;
 };
+
+// RangerTransform as a compiler pass (the "ranger_insert" stage): set
+// graph::CompileOptions::ranger to compile a protected plan straight from
+// the unprotected graph —
+//
+//   auto plan = graph::compile(g, {.ranger = core::ranger_pass(bounds)});
+//
+// replaces the historical three-step protect -> RangerTransform::apply ->
+// ExecutionPlan dance.  The inserted restriction nodes are injectable
+// (hence observable under the default Observe::kInjectable), so later
+// rewrite passes never fold or fuse them away.
+graph::PassPtr ranger_pass(Bounds bounds, TransformOptions options = {});
 
 }  // namespace rangerpp::core

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "graph/passes.hpp"
 #include "util/threadpool.hpp"
 
 namespace rangerpp::fi {
@@ -191,8 +192,16 @@ TrialExecutor::TrialExecutor(const graph::Graph& g,
     : config_(config),
       inputs_(&inputs),
       exec_({config.dtype}),
-      plan_(g, config.dtype,
-            {.backend = config.backend, .int8_formats = config.int8_formats}),
+      // Observe::kInjectable: every injection site (and profiled ceiling)
+      // lives on an injectable node, so rewrites only ever touch the
+      // non-injectable output head — site replay and golden snapshots are
+      // unaffected, and the fused plan stays bit-identical to the legacy
+      // one (the campaign-throughput identity gate checks this).
+      plan_(graph::compile(
+          g, {.dtype = config.dtype,
+              .backend = config.backend,
+              .int8_formats = config.int8_formats,
+              .observe = graph::Observe::kInjectable})),
       arenas_(workers == 0 ? 1 : workers) {
   if (inputs.empty())
     throw std::invalid_argument("TrialExecutor: no inputs");
@@ -210,11 +219,15 @@ TrialExecutor::TrialExecutor(const graph::Graph& g,
   // two different persistent faults cannot ride one plan run.
   if (config_.fault_class == FaultClass::kActivation && config_.batch > 1 &&
       graph::plan_supports_batch(g)) {
-    batch_plan_ = std::make_unique<graph::ExecutionPlan>(
-        g, config.dtype,
-        graph::PlanOptions{.backend = config.backend,
-                           .batch = config.batch,
-                           .int8_formats = config.int8_formats});
+    // Compiled with the same options (plus batch) as plan_: the rewrite
+    // passes are deterministic and batch-independent, so node ids line up
+    // between the two plans — which the tiled goldens below rely on.
+    batch_plan_ = std::make_unique<graph::ExecutionPlan>(graph::compile(
+        g, {.dtype = config.dtype,
+            .backend = config.backend,
+            .batch = config.batch,
+            .int8_formats = config.int8_formats,
+            .observe = graph::Observe::kInjectable}));
     // Only the state the configured mode will read is materialised:
     // partial re-execution resumes from tiled goldens, full re-execution
     // re-runs from tiled feeds.

@@ -83,6 +83,11 @@ tensor::Tensor Executor::execute(
   std::vector<tensor::Tensor>& out = arena.outputs_;
 
   const bool partial = golden != nullptr;
+  if (partial && plan.memory_mode() == MemoryMode::kArena)
+    throw std::invalid_argument(
+        "Executor::run_from: plan was compiled with MemoryMode::kArena, "
+        "which drops the activations partial re-execution reuses; compile "
+        "with MemoryMode::kRetainAll");
   // Overridden Consts are injection roots of the partial run: their cones
   // must be marked dirty even when the caller only listed op-node roots.
   std::vector<NodeId> roots_with_consts;
@@ -232,6 +237,13 @@ tensor::Tensor Executor::execute(
       if (hook) hook(n, value);
       out[i] = std::move(value);
     }
+    // Arena-planned full runs drop each activation right after its last
+    // consumer (the lifetime schedule from plan_memory); partial runs
+    // never reach here, and the graph output/Inputs/Consts are never in
+    // release_after.
+    if (plan.memory_mode() == MemoryMode::kArena)
+      for (const NodeId dead : plan.memory_plan().release_after[i])
+        out[static_cast<std::size_t>(dead)] = tensor::Tensor{};
   }
   return out[static_cast<std::size_t>(g.output())];
 }

@@ -1,0 +1,62 @@
+// Tensor-lifetime memory planning — the compiler pass that stops arena
+// memory from scaling with graph size.
+//
+// A retain-all arena (the default, MemoryMode::kRetainAll) keeps every
+// node's output alive for the whole run because fault-injection campaigns
+// snapshot Arena::outputs() as golden activations.  Pure-inference
+// clients (accuracy sweeps, benches) don't need that: an activation is
+// dead the moment its last consumer has executed.  plan_memory() computes
+// each activation's lifetime [def, last_use] over the topological
+// schedule, simulates a greedy size-aware slot allocator that aliases
+// non-overlapping lifetimes onto shared arena slots, and reports
+//
+//  * peak_arena_bytes — activation bytes a slot-aliasing arena needs
+//    (sum of slot high-water sizes, plus the always-live Input and
+//    graph-output activations);
+//  * unplanned_bytes  — activation bytes a retain-all arena holds
+//    (every non-Const node's output, the seed behaviour);
+//  * release_after    — the runtime schedule: the node ids whose outputs
+//    die after each schedule step, which the executor drops in
+//    MemoryMode::kArena runs.
+//
+// Const outputs are weights: they live in the plan itself (pre-quantized,
+// shared across arenas), so they are excluded from both byte counts.
+// Bytes are elements * sizeof(float) — rangerpp stores every dtype's
+// values as quantised floats.
+//
+// Plans compiled with MemoryMode::kArena refuse partial re-execution
+// (Executor::run_from needs the full retained golden set) and their
+// Arena::outputs() keeps only Inputs and the graph output.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rangerpp::graph {
+
+enum class MemoryMode {
+  // Keep every node output for the whole run (golden-snapshot friendly).
+  kRetainAll,
+  // Drop each activation after its last consumer; alias arena slots.
+  kArena,
+};
+
+struct MemoryPlan {
+  // release_after[i] = node ids whose outputs die once node i has
+  // executed (empty vector for most i).  Indexed by NodeId; sized
+  // graph.size() when planned, empty for retain-all plans.
+  std::vector<std::vector<NodeId>> release_after;
+  std::size_t peak_arena_bytes = 0;
+  std::size_t unplanned_bytes = 0;
+  // Aliased slots the simulated allocator ended with (diagnostics).
+  std::size_t slots = 0;
+};
+
+// Pure lifetime analysis over a compiled schedule; `shapes` is the plan's
+// per-node shape vector (batched shapes under a batched plan).
+MemoryPlan plan_memory(const Graph& g,
+                       const std::vector<tensor::Shape>& shapes);
+
+}  // namespace rangerpp::graph

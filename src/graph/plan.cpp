@@ -2,11 +2,12 @@
 
 #include <atomic>
 #include <bit>
-#include <cmath>
 #include <cstring>
 #include <stdexcept>
 
+#include "graph/passes.hpp"
 #include "ops/basic_ops.hpp"
+#include "util/timer.hpp"
 
 namespace rangerpp::graph {
 
@@ -14,20 +15,6 @@ namespace {
 
 void quantize_all(const tensor::QScheme& s, tensor::Tensor& t) {
   tensor::q_quantize_span(s, t.mutable_values());
-}
-
-// A Const's calibration bound is its own value range — the weights are
-// right there, no profiling needed.
-tensor::FixedPointFormat const_int8_format(const tensor::Tensor& t) {
-  double lo = 0.0, hi = 0.0;
-  bool first = true;
-  for (const float v : t.values()) {
-    if (std::isnan(v)) continue;
-    if (first || v < lo) lo = v;
-    if (first || v > hi) hi = v;
-    first = false;
-  }
-  return tensor::int8_format_for_range(lo, hi);
 }
 
 // `shape` with its leading dimension replaced by `batch`.
@@ -108,73 +95,110 @@ bool plan_supports_batch(const Graph& g) {
   return true;
 }
 
+namespace {
+
+// The pass-pipeline configuration that reproduces the pre-compiler
+// constructor exactly: no rewrite may touch the graph (hook-driven
+// clients observe every node) and every activation is retained.
+CompileOptions legacy_options(tensor::DType dtype, PlanOptions options) {
+  CompileOptions o;
+  o.dtype = dtype;
+  o.backend = options.backend;
+  o.batch = options.batch;
+  o.int8_formats = std::move(options.int8_formats);
+  o.observe = Observe::kAll;
+  o.const_fold = false;
+  o.dce = false;
+  o.fuse = false;
+  o.memory = MemoryMode::kRetainAll;
+  return o;
+}
+
+}  // namespace
+
 ExecutionPlan::ExecutionPlan(Graph g, tensor::DType dtype,
                              PlanOptions options)
-    : graph_(std::move(g)), dtype_(dtype), options_(options) {
+    : ExecutionPlan(
+          compile(std::move(g), legacy_options(dtype, std::move(options)))) {}
+
+ExecutionPlan::ExecutionPlan(ForCompile, Graph g, tensor::DType dtype,
+                             PlanOptions options, CompileReport* report)
+    : graph_(std::move(g)), dtype_(dtype), options_(std::move(options)) {
   static std::atomic<std::uint64_t> next_serial{1};
   serial_ = next_serial.fetch_add(1, std::memory_order_relaxed);
-  const std::size_t n = graph_.size();
-  if (n == 0) throw std::invalid_argument("ExecutionPlan: empty graph");
+  if (graph_.size() == 0)
+    throw std::invalid_argument("ExecutionPlan: empty graph");
   if (options_.batch == 0)
     throw std::invalid_argument("ExecutionPlan: batch == 0");
-  shapes_ = options_.batch == 1 ? graph_.infer_shapes()
-                                : infer_batched_shapes(graph_, options_.batch);
+  lower(report);
+}
 
-  is_input_.assign(n, 0);
-  is_const_.assign(n, 0);
-  consts_.assign(n, tensor::Tensor{});
-  kernels_.assign(n, ops::CompiledKernel{});
-  // Per-node schemes: canonical everywhere except int8, where Consts
-  // self-calibrate from their values, profiled nodes take their
-  // calibrated format from options_.int8_formats, and everything else
-  // (restriction nodes the profiler never saw, shape ops, …) inherits its
-  // first input's scheme.  The walk is topological, so an inherited
-  // scheme is already final when read.
-  const bool int8 = dtype_ == tensor::DType::kInt8;
-  schemes_.assign(n, tensor::QScheme(dtype_));
-  for (const Node& node : graph_.nodes()) {
-    const auto i = static_cast<std::size_t>(node.id);
-    switch (node.op->kind()) {
-      case ops::OpKind::kInput:
-        is_input_[i] = 1;
-        if (int8) {
-          if (const auto it = options_.int8_formats.find(node.name);
-              it != options_.int8_formats.end())
-            schemes_[i] = {dtype_, it->second};
-        }
-        break;
-      case ops::OpKind::kConst:
-        is_const_[i] = 1;
-        consts_[i] = node.op->compute({});
-        if (int8) schemes_[i] = {dtype_, const_int8_format(consts_[i])};
-        quantize_all(schemes_[i], consts_[i]);
-        break;
-      default:
-        if (int8) {
-          if (const auto it = options_.int8_formats.find(node.name);
-              it != options_.int8_formats.end())
-            schemes_[i] = {dtype_, it->second};
-          else if (!node.inputs.empty())
-            schemes_[i] = schemes_[static_cast<std::size_t>(node.inputs[0])];
-        }
-        kernels_[i] =
-            ops::select_kernel(*node.op, schemes_[i], options_.backend);
-        break;
+void ExecutionPlan::lower(CompileReport* report) {
+  const std::size_t n = graph_.size();
+  const auto trace = [&](const char* name, const util::Timer& timer) {
+    if (report)
+      report->passes.push_back(PassTrace{name, timer.elapsed_ms(), n, n});
+  };
+
+  {
+    util::Timer timer;
+    shapes_ = options_.batch == 1
+                  ? graph_.infer_shapes()
+                  : infer_batched_shapes(graph_, options_.batch);
+    trace("infer_shapes", timer);
+  }
+
+  {
+    // Scheme rules live in graph/passes.cpp (assign_schemes), shared with
+    // the fusion pass so baked stage schemes always match the plan's.
+    util::Timer timer;
+    schemes_ = assign_schemes(graph_, dtype_, options_.int8_formats);
+    trace("assign_schemes", timer);
+  }
+
+  {
+    util::Timer timer;
+    is_input_.assign(n, 0);
+    is_const_.assign(n, 0);
+    consts_.assign(n, tensor::Tensor{});
+    kernels_.assign(n, ops::CompiledKernel{});
+    for (const Node& node : graph_.nodes()) {
+      const auto i = static_cast<std::size_t>(node.id);
+      switch (node.op->kind()) {
+        case ops::OpKind::kInput:
+          is_input_[i] = 1;
+          break;
+        case ops::OpKind::kConst:
+          is_const_[i] = 1;
+          consts_[i] = node.op->compute({});
+          quantize_all(schemes_[i], consts_[i]);
+          break;
+        default:
+          kernels_[i] =
+              ops::select_kernel(*node.op, schemes_[i], options_.backend);
+          break;
+      }
     }
+    trace("select_kernels", timer);
   }
 
   // Downstream reachability.  Nodes are in topological (append) order, so
   // walking ids downwards visits every consumer before its producers: when
   // node j is visited its row is final and can be ORed into each input's.
-  words_ = (n + 63) / 64;
-  reach_.assign(n * words_, 0);
-  for (std::size_t j = n; j-- > 0;) {
-    std::uint64_t* rj = reach_.data() + j * words_;
-    rj[j / 64] |= std::uint64_t{1} << (j % 64);
-    for (const NodeId in : graph_.node(static_cast<NodeId>(j)).inputs) {
-      std::uint64_t* ri = reach_.data() + static_cast<std::size_t>(in) * words_;
-      for (std::size_t w = 0; w < words_; ++w) ri[w] |= rj[w];
+  {
+    util::Timer timer;
+    words_ = (n + 63) / 64;
+    reach_.assign(n * words_, 0);
+    for (std::size_t j = n; j-- > 0;) {
+      std::uint64_t* rj = reach_.data() + j * words_;
+      rj[j / 64] |= std::uint64_t{1} << (j % 64);
+      for (const NodeId in : graph_.node(static_cast<NodeId>(j)).inputs) {
+        std::uint64_t* ri =
+            reach_.data() + static_cast<std::size_t>(in) * words_;
+        for (std::size_t w = 0; w < words_; ++w) ri[w] |= rj[w];
+      }
     }
+    trace("reachability", timer);
   }
 }
 

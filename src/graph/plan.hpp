@@ -53,6 +53,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -60,10 +61,18 @@
 
 #include "graph/graph.hpp"
 #include "graph/incremental.hpp"
+#include "graph/memory_plan.hpp"
 #include "ops/backend.hpp"
 #include "tensor/dtype.hpp"
 
 namespace rangerpp::graph {
+
+// The pass-based compiler entry point (graph/passes.hpp).  ExecutionPlan's
+// public constructor is a thin compatibility wrapper over it.
+struct CompileOptions;
+struct CompileReport;
+class ExecutionPlan;
+ExecutionPlan compile(Graph g, const CompileOptions& options);
 
 struct PlanOptions {
   // Kernel backend for every node's dense compute; defaults to
@@ -90,6 +99,12 @@ class ExecutionPlan {
   // Compiles `g` for execution under `dtype`.  Takes the graph by value:
   // pass a copy (cheap — ops are shared) or std::move a graph you no
   // longer need.
+  //
+  // Compatibility wrapper over graph::compile() with every rewrite pass
+  // disabled (Observe::kAll, no fold/DCE/fusion, retain-all memory) — the
+  // compiled plan is identical to what this constructor built before the
+  // pass pipeline existed.  New code should call graph::compile()
+  // directly.
   ExecutionPlan(Graph g, tensor::DType dtype, PlanOptions options = {});
 
   const Graph& graph() const { return graph_; }
@@ -148,7 +163,34 @@ class ExecutionPlan {
   // when a new plan is allocated at a recycled address.
   std::uint64_t serial() const { return serial_; }
 
+  // How the executor manages activation lifetimes for this plan.  kArena
+  // plans drop each activation after its last consumer (memory_plan())
+  // and refuse partial re-execution; only CompileOptions::memory produces
+  // them.
+  MemoryMode memory_mode() const { return memory_mode_; }
+  // The lifetime schedule backing kArena mode; empty release_after for
+  // retain-all plans.
+  const MemoryPlan& memory_plan() const { return memory_plan_; }
+
+  // The compile report (per-pass trace, warnings, arena sizing) of the
+  // compilation that produced this plan.  Never null: the legacy
+  // constructor routes through graph::compile() too.
+  const std::shared_ptr<const CompileReport>& report() const {
+    return report_;
+  }
+
  private:
+  friend ExecutionPlan compile(Graph g, const CompileOptions& options);
+
+  // Tag-dispatched constructor used by graph::compile(): lowers an
+  // already-rewritten graph without re-entering the pass pipeline.
+  struct ForCompile {};
+  ExecutionPlan(ForCompile, Graph g, tensor::DType dtype, PlanOptions options,
+                CompileReport* report);
+  // The lowering stages (shape inference, scheme assignment, kernel
+  // selection, reachability), traced into `report` when non-null.
+  void lower(CompileReport* report);
+
   std::span<const std::uint64_t> row(NodeId id) const;
   void check_id(NodeId id) const;
 
@@ -167,6 +209,9 @@ class ExecutionPlan {
   // n x words_ downstream-reachability bit matrix.
   std::size_t words_ = 0;
   std::vector<std::uint64_t> reach_;
+  MemoryMode memory_mode_ = MemoryMode::kRetainAll;
+  MemoryPlan memory_plan_;
+  std::shared_ptr<const CompileReport> report_;
 };
 
 // --- Const overrides ---------------------------------------------------------

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "graph/executor.hpp"
+#include "graph/passes.hpp"
 #include "models/head_calibration.hpp"
 #include "models/weights.hpp"
 #include "train/trainer.hpp"
@@ -176,7 +177,13 @@ Workload make_workload(ModelId id, const WorkloadOptions& options) {
   // analogue is confidence: pick the validation inputs with the largest
   // fault-free top-1 logit margin.  Steering models use any frames.
   const graph::Executor exec({tensor::DType::kFloat32});
-  const graph::ExecutionPlan plan(w.graph, tensor::DType::kFloat32);
+  // Pure inference (only the graph output is read): compile with every
+  // rewrite enabled and arena memory — exact by the compiler's
+  // determinism contract, so selection is unchanged.
+  const graph::ExecutionPlan plan =
+      graph::compile(w.graph, {.dtype = tensor::DType::kFloat32,
+                               .observe = graph::Observe::kNone,
+                               .memory = graph::MemoryMode::kArena});
   graph::Arena arena;
   std::vector<fi::Feeds> eval;
   if (!is_steering(id) && options.trained && !is_trainable(id)) {
@@ -251,7 +258,10 @@ std::vector<std::string> judge_labels(ModelId id) {
 double top1_accuracy(const graph::Graph& g, const std::string& input_name,
                      const data::Dataset& validation) {
   const graph::Executor exec({tensor::DType::kFloat32});
-  const graph::ExecutionPlan plan(g, tensor::DType::kFloat32);
+  const graph::ExecutionPlan plan =
+      graph::compile(g, {.dtype = tensor::DType::kFloat32,
+                         .observe = graph::Observe::kNone,
+                         .memory = graph::MemoryMode::kArena});
   graph::Arena arena;
   std::size_t correct = 0;
   for (const data::Sample& s : validation.samples) {
@@ -267,7 +277,10 @@ double top1_accuracy(const graph::Graph& g, const std::string& input_name,
 double top5_accuracy(const graph::Graph& g, const std::string& input_name,
                      const data::Dataset& validation) {
   const graph::Executor exec({tensor::DType::kFloat32});
-  const graph::ExecutionPlan plan(g, tensor::DType::kFloat32);
+  const graph::ExecutionPlan plan =
+      graph::compile(g, {.dtype = tensor::DType::kFloat32,
+                         .observe = graph::Observe::kNone,
+                         .memory = graph::MemoryMode::kArena});
   graph::Arena arena;
   std::size_t correct = 0;
   for (const data::Sample& s : validation.samples) {
@@ -286,7 +299,10 @@ SteeringMetrics steering_metrics(const graph::Graph& g,
                                  const data::Dataset& validation,
                                  bool radians) {
   const graph::Executor exec({tensor::DType::kFloat32});
-  const graph::ExecutionPlan plan(g, tensor::DType::kFloat32);
+  const graph::ExecutionPlan plan =
+      graph::compile(g, {.dtype = tensor::DType::kFloat32,
+                         .observe = graph::Observe::kNone,
+                         .memory = graph::MemoryMode::kArena});
   graph::Arena arena;
   std::vector<double> pred, target;
   for (const data::Sample& s : validation.samples) {

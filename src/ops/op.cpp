@@ -29,6 +29,7 @@ std::string_view op_kind_name(OpKind k) {
     case OpKind::kFlatten: return "Flatten";
     case OpKind::kDropout: return "Dropout";
     case OpKind::kClamp: return "Clamp";
+    case OpKind::kFused: return "Fused";
   }
   return "Unknown";
 }

@@ -1,0 +1,360 @@
+// Per-pass unit tests for the plan compiler (graph/passes.hpp): constant
+// folding, dead-node elimination, the fusion rewrite, Ranger insertion as
+// a pass, int8-format validation — plus the compiler's determinism
+// contract: compiled output bit-identical to the pass-free legacy plan.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <unordered_map>
+
+#include "core/ranger_transform.hpp"
+#include "fi/equivalence.hpp"
+#include "graph/builder.hpp"
+#include "graph/executor.hpp"
+#include "graph/passes.hpp"
+#include "ops/basic_ops.hpp"
+#include "ops/elementwise_ops.hpp"
+#include "ops/fused_op.hpp"
+#include "util/rng.hpp"
+
+namespace rangerpp::graph {
+namespace {
+
+using Feeds = std::unordered_map<std::string, tensor::Tensor>;
+
+tensor::Tensor random_tensor(tensor::Shape s, util::Rng& rng,
+                             float scale = 0.5f) {
+  std::vector<float> v(s.elements());
+  for (float& x : v) x = static_cast<float>(rng.uniform(-scale, scale));
+  return tensor::Tensor(std::move(s), std::move(v));
+}
+
+bool bits_equal(const tensor::Tensor& a, const tensor::Tensor& b) {
+  return a.elements() == b.elements() &&
+         std::memcmp(a.values().data(), b.values().data(),
+                     a.elements() * sizeof(float)) == 0;
+}
+
+// in -> (c1 + c2) * in : the add has only Const inputs and is foldable
+// whenever it is not observable.
+Graph const_expr_graph(bool add_injectable) {
+  Graph g;
+  const NodeId in =
+      g.add("in", std::make_shared<ops::InputOp>(tensor::Shape{1, 4}), {});
+  const NodeId c1 = g.add(
+      "c1",
+      std::make_shared<ops::ConstOp>(
+          tensor::Tensor(tensor::Shape{1, 4}, {0.5f, -1.0f, 2.0f, 0.25f})),
+      {});
+  const NodeId c2 = g.add(
+      "c2",
+      std::make_shared<ops::ConstOp>(
+          tensor::Tensor(tensor::Shape{1, 4}, {1.5f, 0.5f, -0.5f, 3.0f})),
+      {});
+  const NodeId sum = g.add("csum", std::make_shared<ops::AddOp>(), {c1, c2},
+                           add_injectable);
+  const NodeId out =
+      g.add("out", std::make_shared<ops::MulOp>(), {in, sum});
+  g.set_output(out);
+  return g;
+}
+
+// A small conv net with an injectable body and a non-injectable output
+// head (the zoo convention, paper §V-B).
+Graph conv_net(std::uint64_t seed) {
+  util::Rng rng(seed);
+  GraphBuilder b;
+  b.input("input", tensor::Shape{1, 8, 8, 2});
+  b.conv2d("conv1", random_tensor({3, 3, 2, 4}, rng),
+           random_tensor({4}, rng, 0.1f), {1, 1, ops::Padding::kSame});
+  b.activation("act1", ops::OpKind::kRelu);
+  b.max_pool("pool1", {2, 2, 2, 2, ops::Padding::kValid});
+  b.flatten("flatten");
+  b.dense("fc", random_tensor({4 * 4 * 4, 5}, rng, 0.2f),
+          random_tensor({5}, rng, 0.1f), /*injectable=*/false);
+  b.softmax("softmax", /*injectable=*/false);
+  return b.finish();
+}
+
+Feeds conv_feed(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return {{"input", random_tensor({1, 8, 8, 2}, rng, 1.0f)}};
+}
+
+// --- Constant folding --------------------------------------------------------
+
+TEST(ConstFoldPass, FoldsUnobservableConstOnlyNode) {
+  const ExecutionPlan legacy(const_expr_graph(false),
+                             tensor::DType::kFixed32);
+  const ExecutionPlan fused =
+      compile(const_expr_graph(false), {.dtype = tensor::DType::kFixed32});
+
+  // csum folded to a Const; its operand Consts then die in DCE.
+  const NodeId folded = fused.graph().find("csum");
+  ASSERT_NE(folded, kInvalidNode);
+  EXPECT_EQ(fused.graph().node(folded).op->kind(), ops::OpKind::kConst);
+  EXPECT_EQ(fused.graph().find("c1"), kInvalidNode);
+  EXPECT_EQ(fused.graph().find("c2"), kInvalidNode);
+  EXPECT_EQ(fused.size(), 3u);
+
+  const Feeds feeds{
+      {"in", tensor::Tensor(tensor::Shape{1, 4}, {1.f, 2.f, -3.f, 0.5f})}};
+  const Executor exec({tensor::DType::kFixed32});
+  Arena a1, a2;
+  EXPECT_TRUE(bits_equal(exec.run(legacy, feeds, a1),
+                         exec.run(fused, feeds, a2)));
+}
+
+TEST(ConstFoldPass, RespectsObservability) {
+  // Injectable csum under the default Observe::kInjectable: untouched.
+  const ExecutionPlan p1 =
+      compile(const_expr_graph(true), {.dtype = tensor::DType::kFixed32});
+  EXPECT_EQ(p1.graph().node(p1.graph().find("csum")).op->kind(),
+            ops::OpKind::kAdd);
+
+  // Observe::kAll: untouched even when non-injectable.
+  const ExecutionPlan p2 =
+      compile(const_expr_graph(false),
+              {.dtype = tensor::DType::kFixed32, .observe = Observe::kAll});
+  EXPECT_EQ(p2.graph().node(p2.graph().find("csum")).op->kind(),
+            ops::OpKind::kAdd);
+  EXPECT_EQ(p2.size(), 5u);
+}
+
+TEST(ConstFoldPass, SkippedUnderInt8) {
+  // An int8 folded Const would self-calibrate to a different scheme than
+  // the original node's — folding must not fire.
+  const ExecutionPlan p =
+      compile(const_expr_graph(false), {.dtype = tensor::DType::kInt8,
+                                        .observe = Observe::kNone});
+  const NodeId sum = p.graph().find("csum");
+  ASSERT_NE(sum, kInvalidNode);
+  EXPECT_EQ(p.graph().node(sum).op->kind(), ops::OpKind::kAdd);
+}
+
+// --- Dead-node elimination ---------------------------------------------------
+
+TEST(DcePass, RemovesDeadBranchUnlessObservable) {
+  const auto make = [](bool dead_injectable) {
+    Graph g;
+    const NodeId in = g.add(
+        "in", std::make_shared<ops::InputOp>(tensor::Shape{1, 4}), {});
+    g.add("dead", std::make_shared<ops::TanhOp>(), {in}, dead_injectable);
+    const NodeId out =
+        g.add("out", std::make_shared<ops::ReluOp>(), {in});
+    g.set_output(out);
+    return g;
+  };
+
+  // Non-injectable dead branch: erased under the default level.
+  const ExecutionPlan p1 =
+      compile(make(false), {.dtype = tensor::DType::kFixed32});
+  EXPECT_EQ(p1.graph().find("dead"), kInvalidNode);
+  EXPECT_EQ(p1.size(), 2u);
+
+  // Injectable: it is a fault site, it must survive.
+  const ExecutionPlan p2 =
+      compile(make(true), {.dtype = tensor::DType::kFixed32});
+  EXPECT_NE(p2.graph().find("dead"), kInvalidNode);
+
+  // Observe::kNone: even injectable dead nodes go.
+  const ExecutionPlan p3 = compile(
+      make(true),
+      {.dtype = tensor::DType::kFixed32, .observe = Observe::kNone});
+  EXPECT_EQ(p3.graph().find("dead"), kInvalidNode);
+}
+
+// --- Fusion ------------------------------------------------------------------
+
+TEST(FusionPass, FusesNonInjectableHeadOnly) {
+  const ExecutionPlan p =
+      compile(conv_net(7), {.dtype = tensor::DType::kFixed32});
+  // The injectable body survives untouched...
+  EXPECT_NE(p.graph().find("conv1"), kInvalidNode);
+  EXPECT_NE(p.graph().find("act1"), kInvalidNode);
+  // ...while the non-injectable fc matmul is absorbed into its bias_add.
+  EXPECT_EQ(p.graph().find("fc"), kInvalidNode);
+  const NodeId head = p.graph().find("fc/bias_add");
+  ASSERT_NE(head, kInvalidNode);
+  EXPECT_EQ(p.graph().node(head).op->kind(), ops::OpKind::kFused);
+  const auto& fused =
+      static_cast<const ops::FusedOp&>(*p.graph().node(head).op);
+  ASSERT_EQ(fused.stages().size(), 2u);
+  EXPECT_EQ(fused.stages()[0].name, "fc");
+  EXPECT_EQ(fused.stages()[1].name, "fc/bias_add");
+  // Softmax is not fusable: it stays, consuming the fused node.
+  EXPECT_NE(p.graph().find("softmax"), kInvalidNode);
+}
+
+TEST(FusionPass, ChainsThroughActivations) {
+  // Observe::kNone: conv1 + bias_add + relu collapse into one node named
+  // after the last stage.
+  const ExecutionPlan p = compile(
+      conv_net(7),
+      {.dtype = tensor::DType::kFixed32, .observe = Observe::kNone});
+  EXPECT_EQ(p.graph().find("conv1"), kInvalidNode);
+  EXPECT_EQ(p.graph().find("conv1/bias_add"), kInvalidNode);
+  const NodeId act = p.graph().find("act1");
+  ASSERT_NE(act, kInvalidNode);
+  const auto& fused =
+      static_cast<const ops::FusedOp&>(*p.graph().node(act).op);
+  ASSERT_EQ(fused.stages().size(), 3u);
+  EXPECT_EQ(fused.stages()[0].name, "conv1");
+  EXPECT_EQ(fused.stages()[2].name, "act1");
+  // Pool and Flatten never fuse (batched-plan shape special cases).
+  EXPECT_NE(p.graph().find("pool1"), kInvalidNode);
+  EXPECT_NE(p.graph().find("flatten"), kInvalidNode);
+}
+
+TEST(FusionPass, BitIdenticalToLegacyAcrossDtypes) {
+  const Feeds feeds = conv_feed(11);
+  for (const tensor::DType dtype :
+       {tensor::DType::kFloat32, tensor::DType::kFixed32,
+        tensor::DType::kFixed16, tensor::DType::kInt8}) {
+    const Executor exec({dtype});
+    const ExecutionPlan legacy(conv_net(7), dtype);
+    const ExecutionPlan fused = compile(
+        conv_net(7), {.dtype = dtype, .observe = Observe::kNone});
+    ASSERT_LT(fused.size(), legacy.size());
+    Arena a1, a2;
+    EXPECT_TRUE(bits_equal(exec.run(legacy, feeds, a1),
+                           exec.run(fused, feeds, a2)))
+        << "dtype " << static_cast<int>(dtype);
+  }
+}
+
+TEST(FusionPass, BitIdenticalUnderBlockedAndToleratedUnderSimd) {
+  const Feeds feeds = conv_feed(13);
+  const tensor::DType dtype = tensor::DType::kFixed32;
+  const Executor exec({dtype});
+  const ExecutionPlan reference(conv_net(7), dtype);  // scalar-equal
+  Arena a0;
+  const tensor::Tensor ref = exec.run(reference, feeds, a0);
+
+  const ExecutionPlan blocked = compile(
+      conv_net(7), {.dtype = dtype,
+                    .backend = ops::KernelBackend::kBlocked,
+                    .observe = Observe::kNone});
+  Arena a1;
+  EXPECT_TRUE(bits_equal(ref, exec.run(blocked, feeds, a1)));
+
+  const ExecutionPlan simd = compile(
+      conv_net(7), {.dtype = dtype,
+                    .backend = ops::KernelBackend::kSimd,
+                    .observe = Observe::kNone});
+  Arena a2;
+  const tensor::Tensor simd_out = exec.run(simd, feeds, a2);
+  const auto report = fi::compare_tensors(
+      ref, simd_out,
+      fi::ToleranceSpec::for_scheme(tensor::QScheme(dtype)));
+  EXPECT_TRUE(report.within)
+      << report.mismatched << " elements outside tolerance";
+}
+
+TEST(FusionPass, Int8SchemesMatchLegacyPlan) {
+  // The fused node's plan scheme must equal the erased last stage's —
+  // otherwise downstream inheritance (and hooks) would quantise under a
+  // different format than the unfused plan.
+  const ExecutionPlan legacy(conv_net(7), tensor::DType::kInt8);
+  const ExecutionPlan fused = compile(
+      conv_net(7),
+      {.dtype = tensor::DType::kInt8, .observe = Observe::kNone});
+  const NodeId l = legacy.graph().find("act1");
+  const NodeId f = fused.graph().find("act1");
+  ASSERT_NE(l, kInvalidNode);
+  ASSERT_NE(f, kInvalidNode);
+  EXPECT_EQ(legacy.qscheme(l).fmt.frac_bits, fused.qscheme(f).fmt.frac_bits);
+}
+
+// --- Ranger insertion as a pass ----------------------------------------------
+
+TEST(RangerPass, EquivalentToSeparateTransform) {
+  core::Bounds bounds;
+  bounds["act1"] = core::Bound{0.0f, 1.5f};
+  const Graph g = conv_net(7);
+
+  const Graph transformed = core::RangerTransform{}.apply(g, bounds);
+  const ExecutionPlan two_step(transformed, tensor::DType::kFixed32);
+  // kAll: the only pipeline difference is the ranger pass itself.
+  const ExecutionPlan one_step =
+      compile(g, {.dtype = tensor::DType::kFixed32,
+                  .observe = Observe::kAll,
+                  .ranger = core::ranger_pass(bounds)});
+
+  ASSERT_EQ(one_step.size(), two_step.size());
+  for (const Node& n : two_step.graph().nodes())
+    EXPECT_EQ(one_step.graph().find(n.name), n.id) << n.name;
+  EXPECT_NE(one_step.graph().find("act1/ranger"), kInvalidNode);
+
+  const Feeds feeds = conv_feed(17);
+  const Executor exec({tensor::DType::kFixed32});
+  Arena a1, a2;
+  EXPECT_TRUE(bits_equal(exec.run(two_step, feeds, a1),
+                         exec.run(one_step, feeds, a2)));
+}
+
+TEST(RangerPass, RestrictionOpsSurviveDefaultPipeline) {
+  core::Bounds bounds;
+  bounds["act1"] = core::Bound{0.0f, 1.5f};
+  // Default observe (kInjectable) with all rewrites on: the inserted
+  // clamp is injectable, so fold/dce/fuse must leave it alone.
+  const ExecutionPlan p =
+      compile(conv_net(7), {.dtype = tensor::DType::kFixed32,
+                            .ranger = core::ranger_pass(bounds)});
+  EXPECT_NE(p.graph().find("act1/ranger"), kInvalidNode);
+}
+
+// --- Validation --------------------------------------------------------------
+
+TEST(ValidatePass, WarnsOnUnknownInt8FormatKeys) {
+  CompileOptions options;
+  options.dtype = tensor::DType::kInt8;
+  options.int8_formats["act1"] = tensor::FixedPointFormat{4, 3};
+  options.int8_formats["no_such_node"] = tensor::FixedPointFormat{4, 3};
+  const ExecutionPlan p = compile(conv_net(7), options);
+  ASSERT_EQ(p.report()->warnings.size(), 1u);
+  EXPECT_NE(p.report()->warnings[0].find("no_such_node"),
+            std::string::npos);
+}
+
+// --- Entry point / report ----------------------------------------------------
+
+TEST(Compile, LegacyConstructorIsPassFree) {
+  const Graph g = conv_net(7);
+  const ExecutionPlan legacy(g, tensor::DType::kFixed32);
+  // No rewrite fired: every source node survives by name.
+  ASSERT_EQ(legacy.size(), g.size());
+  for (const Node& n : g.nodes())
+    EXPECT_EQ(legacy.graph().find(n.name), n.id);
+  EXPECT_EQ(legacy.memory_mode(), MemoryMode::kRetainAll);
+  ASSERT_NE(legacy.report(), nullptr);
+}
+
+TEST(Compile, ReportTracesPassesAndArenaBytes) {
+  const ExecutionPlan p = compile(
+      conv_net(7),
+      {.dtype = tensor::DType::kFixed32, .observe = Observe::kNone});
+  const auto& report = *p.report();
+  ASSERT_FALSE(report.passes.empty());
+  bool saw_fuse = false, saw_memory = false;
+  for (const PassTrace& t : report.passes) {
+    EXPECT_GE(t.ms, 0.0);
+    if (t.name == "fuse") {
+      saw_fuse = true;
+      EXPECT_LT(t.nodes_after, t.nodes_before);
+    }
+    if (t.name == "memory_plan") saw_memory = true;
+  }
+  EXPECT_TRUE(saw_fuse);
+  EXPECT_TRUE(saw_memory);
+  EXPECT_GT(report.peak_arena_bytes, 0u);
+  EXPECT_LT(report.peak_arena_bytes, report.unplanned_bytes);
+  EXPECT_FALSE(report.to_string().empty());
+}
+
+TEST(Compile, RejectsEmptyGraph) {
+  EXPECT_THROW(compile(Graph{}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rangerpp::graph

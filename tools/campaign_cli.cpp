@@ -42,6 +42,7 @@
 #include "core/calibration.hpp"
 #include "core/range_profiler.hpp"
 #include "core/ranger_transform.hpp"
+#include "graph/passes.hpp"
 #include "fi/report.hpp"
 #include "fi/runner.hpp"
 #include "fi/suite.hpp"
@@ -96,6 +97,8 @@ using util::env_size;
       "  --check-every N      batch size between checkpoint flushes and\n"
       "                       early-stop checks (default 256)\n"
       "  --max-new N          execute at most N new trials this run\n"
+      "  --dump-passes        print the compile pipeline (per-pass timing\n"
+      "                       + node counts) of the campaign's plan\n"
       "  --quiet              summary line only\n");
   std::exit(2);
 }
@@ -190,7 +193,8 @@ int main(int argc, char** argv) {
   std::string model_arg, dtype_arg = "fixed32", checkpoint, merge_out,
               golden;
   std::vector<std::string> merge_paths;
-  bool merge_mode = false, ranger = false, quiet = false;
+  bool merge_mode = false, ranger = false, quiet = false,
+       dump_passes = false;
 
   fi::RunnerConfig rc;
   rc.campaign.trials_per_input = env_size("RANGERPP_TRIALS", 1000);
@@ -262,6 +266,7 @@ int main(int argc, char** argv) {
       rc.check_every = size_flag(arg, value());
     else if (arg == "--max-new")
       rc.max_new_trials = size_flag(arg, value());
+    else if (arg == "--dump-passes") dump_passes = true;
     else if (arg == "--quiet") quiet = true;
     else if (arg == "--merge") {
       merge_mode = true;
@@ -320,6 +325,18 @@ int main(int argc, char** argv) {
       g = &protected_g;
     }
     rc.label = models::model_name(id) + std::string(ranger ? "+ranger" : "");
+
+    if (dump_passes) {
+      // Compile the same plan the campaign's TrialExecutor will build
+      // (same dtype/calibration/observability) and show its pipeline.
+      const graph::ExecutionPlan probe = graph::compile(
+          *g, {.dtype = rc.campaign.dtype,
+               .backend = rc.campaign.backend,
+               .int8_formats = rc.campaign.int8_formats,
+               .observe = graph::Observe::kInjectable});
+      std::printf("compile pipeline for %s:\n%s", rc.label.c_str(),
+                  probe.report()->to_string().c_str());
+    }
 
     const fi::CampaignRunner runner(rc);
     const fi::CampaignReport report =

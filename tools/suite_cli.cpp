@@ -28,6 +28,8 @@
 #include <vector>
 
 #include "fi/suite.hpp"
+#include "graph/passes.hpp"
+#include "models/zoo.hpp"
 #include "tools/cli_flags.hpp"
 #include "util/env.hpp"
 
@@ -89,6 +91,8 @@ using util::env_size;
       "                       skip the merged-manifest cmp gate)\n"
       "  --report MODE        cells | fig6 | fig7 | fig9 | int8 | fig11 |\n"
       "                       fig12 | table6 | all | none (default cells)\n"
+      "  --dump-passes        print each model's compile pipeline (per-pass\n"
+      "                       timing + node counts) and exit\n"
       "  --out FILE           manifest path (default:\n"
       "                       DIR/SUITE_<name>[.s<i>of<N>].json)\n"
       "  --quiet              manifest only, no tables\n");
@@ -130,7 +134,7 @@ int main(int argc, char** argv) {
   spec.techniques = {fi::Technique::kUnprotected, fi::Technique::kRanger};
 
   bool merge_mode = false, quiet = false, consecutive = false;
-  bool weight_kind_set = false, ecc_set = false;
+  bool weight_kind_set = false, ecc_set = false, dump_passes = false;
   std::vector<int> nbits = {1};
   fi::FaultClass fault_class = fi::FaultClass::kActivation;
   fi::WeightFaultKind weight_kind = fi::WeightFaultKind::kSingleBit;
@@ -232,6 +236,7 @@ int main(int argc, char** argv) {
       if (!ok) usage(("unknown report mode '" + report_mode + "'").c_str());
     } else if (arg == "--merge") merge_mode = true;
     else if (arg == "--out") out_path = value();
+    else if (arg == "--dump-passes") dump_passes = true;
     else if (arg == "--quiet") quiet = true;
     else if (arg == "--help" || arg == "-h") usage();
     else usage(("unknown flag " + arg).c_str());
@@ -267,6 +272,24 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (dump_passes) {
+      // Pipeline shape and pass cost depend on the architecture, not on
+      // trained weight values, so He-initialised weights (the zoo tests'
+      // pattern) keep this instant even for the ImageNet-scale models.
+      for (const models::ModelId id : spec.models) {
+        const ops::OpKind act = models::default_act(id);
+        const graph::ExecutionPlan probe = graph::compile(
+            models::build_model(id, act, models::init_weights(id, act, 99)),
+            {.dtype = spec.dtypes.empty() ? tensor::DType::kFixed32
+                                          : spec.dtypes.front(),
+             .observe = graph::Observe::kInjectable});
+        std::printf("compile pipeline for %s:\n%s\n",
+                    models::model_name(id).c_str(),
+                    probe.report()->to_string().c_str());
+      }
+      return 0;
+    }
+
     fi::Suite suite(spec);
     const fi::SuiteResult result =
         merge_mode ? suite.merge({spec.checkpoint_dir.empty()
