@@ -5,7 +5,9 @@
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
+#include <string_view>
 
+#include "fi/record_codec.hpp"
 #include "util/table.hpp"
 
 namespace rangerpp::fi {
@@ -156,33 +158,65 @@ std::string CheckpointHeader::fingerprint() const {
   return fp;
 }
 
-void write_checkpoint_header(std::FILE* f, const CheckpointHeader& h) {
-  std::fprintf(
-      f,
+std::string checkpoint_header_line(const CheckpointHeader& h) {
+  char buf[512];
+  const int n = std::snprintf(
+      buf, sizeof buf,
       "{\"type\":\"header\",\"label\":\"%s\",\"seed\":%" PRIu64
       ",\"dtype\":\"%s\",\"n_bits\":%d,\"consecutive\":%d,"
       "\"fault_class\":\"%s\",\"weight_kind\":\"%s\",\"ecc\":\"%s\","
       "\"trials_per_input\":%zu,\"inputs\":%zu,\"judges\":%zu,"
       "\"sampling\":\"%s\",\"bit_group\":%d,\"shard_index\":%zu,"
-      "\"shard_count\":%zu,\"strata\":\"%s\"}\n",
+      "\"shard_count\":%zu,\"strata\":\"",
       sanitise_label(h.label).c_str(), h.seed, h.dtype.c_str(), h.n_bits,
       h.consecutive_bits ? 1 : 0, h.fault_class.c_str(),
       h.weight_kind.c_str(), h.ecc.c_str(), h.trials_per_input, h.inputs,
       h.judges, h.sampling.c_str(), h.bit_group_size, h.shard_index,
-      h.shard_count, h.strata_weights.c_str());
+      h.shard_count);
+  // Strata weights can exceed any fixed buffer (one entry per stratum),
+  // so they are appended as a string instead of going through snprintf.
+  std::string line(buf, static_cast<std::size_t>(n));
+  line += h.strata_weights;
+  line += "\"}\n";
+  return line;
+}
+
+std::string trial_record_line(const TrialRecord& r) {
+  std::string line = "{\"type\":\"trial\",\"t\":" +
+                     std::to_string(r.trial) +
+                     ",\"input\":" + std::to_string(r.input) +
+                     ",\"faults\":\"" + encode_faults(r.faults) +
+                     "\",\"stratum\":\"" + r.stratum +
+                     "\",\"sdc\":" + std::to_string(r.sdc_mask) + "}\n";
+  return line;
+}
+
+void write_checkpoint_header(std::FILE* f, const CheckpointHeader& h) {
+  const std::string line = checkpoint_header_line(h);
+  std::fwrite(line.data(), 1, line.size(), f);
   std::fflush(f);
 }
 
 void append_trial_record(std::FILE* f, const TrialRecord& r) {
-  std::fprintf(f,
-               "{\"type\":\"trial\",\"t\":%" PRIu64
-               ",\"input\":%u,\"faults\":\"%s\",\"stratum\":\"%s\","
-               "\"sdc\":%u}\n",
-               r.trial, r.input, encode_faults(r.faults).c_str(),
-               r.stratum.c_str(), r.sdc_mask);
+  const std::string line = trial_record_line(r);
+  std::fwrite(line.data(), 1, line.size(), f);
 }
 
 Checkpoint load_checkpoint(const std::string& path) {
+  // Binary (checkpoint-v2) files announce themselves with the codec
+  // magic; route them to the binary decoder so every consumer of JSONL
+  // checkpoints — resume, --merge, --golden, Suite::merge — reads both
+  // formats transparently.
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe)
+      throw std::runtime_error("checkpoint: cannot open " + path);
+    char magic[4] = {};
+    probe.read(magic, sizeof magic);
+    if (probe.gcount() == sizeof magic &&
+        is_binary_checkpoint(std::string_view(magic, sizeof magic)))
+      return load_binary_checkpoint(path);
+  }
   std::ifstream in(path);
   if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
   std::vector<std::string> lines;

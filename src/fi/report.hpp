@@ -94,6 +94,14 @@ struct Checkpoint {
 void write_checkpoint_header(std::FILE* f, const CheckpointHeader& h);
 void append_trial_record(std::FILE* f, const TrialRecord& r);
 
+// The exact line (newline included) the corresponding writer above
+// emits — the single source of truth for the JSONL grammar, exposed so
+// record_codec's lossless export is byte-identical to a natively
+// written checkpoint by construction rather than by parallel printf
+// maintenance.
+std::string checkpoint_header_line(const CheckpointHeader& h);
+std::string trial_record_line(const TrialRecord& r);
+
 // Loads a checkpoint file; throws std::runtime_error on a missing file,
 // empty file, or malformed header.  Trial lines are self-contained, so a
 // torn or malformed line anywhere in the body only loses itself: a torn

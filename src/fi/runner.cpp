@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "fi/record_codec.hpp"
 #include "util/threadpool.hpp"
 
 namespace rangerpp::fi {
@@ -19,6 +20,38 @@ struct FileCloser {
   }
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+// Format-agnostic checkpoint appender: JSONL or the binary v2 codec,
+// chosen by the path suffix (see RunnerConfig::checkpoint_path).
+struct CheckpointWriter {
+  FilePtr file;
+  bool binary = false;
+
+  explicit operator bool() const { return file != nullptr; }
+
+  void header(const CheckpointHeader& h) {
+    if (binary) {
+      std::string bytes;
+      encode_stream_header(bytes, h);
+      std::fwrite(bytes.data(), 1, bytes.size(), file.get());
+      std::fflush(file.get());
+    } else {
+      write_checkpoint_header(file.get(), h);
+    }
+  }
+
+  void record(const TrialRecord& r) {
+    if (binary) {
+      std::string bytes;
+      encode_record(bytes, r);
+      std::fwrite(bytes.data(), 1, bytes.size(), file.get());
+    } else {
+      append_trial_record(file.get(), r);
+    }
+  }
+
+  void flush() { std::fflush(file.get()); }
+};
 
 }  // namespace
 
@@ -85,6 +118,11 @@ CampaignReport CampaignRunner::run(const RunContext& ctx,
   if (ctx.judge_golden && ctx.judge_golden->size() != inputs.size())
     throw std::invalid_argument(
         "CampaignRunner: judge_golden must hold one output per input");
+  if (ctx.worker_base != 0 &&
+      (!ctx.executor || ctx.worker_base >= ctx.executor->workers()))
+    throw std::invalid_argument(
+        "CampaignRunner: worker_base requires a shared executor with "
+        "arena slots above the base");
   const graph::Graph& exec_graph =
       ctx.exec_graph ? *ctx.exec_graph : *ctx.plan_graph;
 
@@ -150,24 +188,28 @@ CampaignReport CampaignRunner::run(const RunContext& ctx,
   // corrupt the file.  Re-serialising the parsed state makes the file
   // canonical again, and the rename keeps the old file intact if this
   // process dies mid-rewrite.
-  FilePtr file;
+  CheckpointWriter file;
+  file.binary = binary_checkpoint_path(config_.checkpoint_path);
   if (!config_.checkpoint_path.empty()) {
+    const char* write_mode = file.binary ? "wb" : "w";
     if (resuming) {
       const std::string tmp = config_.checkpoint_path + ".tmp";
-      FilePtr rewrite(std::fopen(tmp.c_str(), "w"));
+      CheckpointWriter rewrite{FilePtr(std::fopen(tmp.c_str(), write_mode)),
+                               file.binary};
       if (!rewrite)
         throw std::runtime_error("CampaignRunner: cannot write " + tmp);
-      write_checkpoint_header(rewrite.get(), header);
-      for (const TrialRecord& r : records)
-        append_trial_record(rewrite.get(), r);
-      rewrite.reset();
+      rewrite.header(header);
+      for (const TrialRecord& r : records) rewrite.record(r);
+      rewrite.file.reset();
       if (std::rename(tmp.c_str(), config_.checkpoint_path.c_str()) != 0)
         throw std::runtime_error("CampaignRunner: cannot replace " +
                                  config_.checkpoint_path);
-      file.reset(std::fopen(config_.checkpoint_path.c_str(), "a"));
+      file.file.reset(std::fopen(config_.checkpoint_path.c_str(),
+                                 file.binary ? "ab" : "a"));
     } else {
-      file.reset(std::fopen(config_.checkpoint_path.c_str(), "w"));
-      if (file) write_checkpoint_header(file.get(), header);
+      file.file.reset(
+          std::fopen(config_.checkpoint_path.c_str(), write_mode));
+      if (file) file.header(header);
     }
     if (!file)
       throw std::runtime_error("CampaignRunner: cannot open checkpoint " +
@@ -188,7 +230,9 @@ CampaignReport CampaignRunner::run(const RunContext& ctx,
     unsigned workers = util::worker_count(
         std::min(pending.size(), config_.check_every),
         config_.campaign.threads);
-    if (ctx.executor) workers = std::min(workers, ctx.executor->workers());
+    if (ctx.executor)
+      workers =
+          std::min(workers, ctx.executor->workers() - ctx.worker_base);
     std::optional<TrialExecutor> local_executor;
     if (!ctx.executor)
       local_executor.emplace(exec_graph, config_.campaign, inputs, workers);
@@ -251,7 +295,10 @@ CampaignReport CampaignRunner::run(const RunContext& ctx,
       };
       util::parallel_for_workers(
           groups.size(),
-          [&](unsigned worker, std::size_t gi) {
+          [&](unsigned local_worker, std::size_t gi) {
+            // Arena slot in the (possibly shared) executor; local
+            // workers start at the caller's base (RunContext).
+            const unsigned worker = ctx.worker_base + local_worker;
             const Group group = groups[gi];
             if (weight) {
               // One persistent fault, patched once, swept over the
@@ -303,10 +350,10 @@ CampaignReport CampaignRunner::run(const RunContext& ctx,
           },
           workers);
       for (TrialRecord& r : batch) {
-        if (file) append_trial_record(file.get(), r);
+        if (file) file.record(r);
         records.push_back(std::move(r));
       }
-      if (file) std::fflush(file.get());
+      if (file) file.flush();
     }
   }
 

@@ -49,8 +49,12 @@ struct RunnerConfig {
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
 
-  // JSONL checkpoint path; empty = in-memory only.  An existing file is
+  // Checkpoint path; empty = in-memory only.  An existing file is
   // resumed (its header must match this config, else the run throws).
+  // A ".rcp" suffix selects the compact binary checkpoint-v2 format
+  // (record_codec.hpp); anything else writes JSONL.  Resume reads
+  // either format regardless of suffix and rewrites in the configured
+  // one.
   std::string checkpoint_path;
 
   // Early stop: finish once the aggregate Wilson-95 half-width of judge 0
@@ -93,6 +97,13 @@ struct RunContext {
   const graph::Graph* exec_graph = nullptr;    // null = plan_graph
   const TrialExecutor* executor = nullptr;     // null = build internally
   const std::vector<tensor::Tensor>* judge_golden = nullptr;
+  // First arena slot of the shared executor this run may use: local
+  // worker w executes as executor worker (worker_base + w).  The
+  // scheduler runs many single-threaded runner invocations concurrently
+  // against one shared executor, each pinned to a private arena by its
+  // base; requires `executor` (a locally built one is already private)
+  // and caps this run's parallelism to the slots above the base.
+  unsigned worker_base = 0;
 };
 
 class CampaignRunner {

@@ -1,0 +1,790 @@
+#include "fi/scheduler.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "core/calibration.hpp"
+#include "core/range_profiler.hpp"
+#include "core/ranger_transform.hpp"
+#include "fi/record_codec.hpp"
+#include "util/parse.hpp"
+#include "util/threadpool.hpp"
+
+namespace rangerpp::fi {
+
+namespace {
+
+// kill_after_ sentinel: no kill scheduled for this worker.
+constexpr std::size_t kNoKill = static_cast<std::size_t>(-1);
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+
+}  // namespace
+
+std::string_view request_state_token(RequestState s) {
+  switch (s) {
+    case RequestState::kRunning: return "running";
+    case RequestState::kDone: return "done";
+    case RequestState::kCancelled: return "cancelled";
+    case RequestState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+// ---- Shared engine caches ---------------------------------------------------
+
+// Everything requests share, keyed by everything that determines it.
+// The map shape is guarded by `mu` (held only for find-or-insert); the
+// expensive builds run outside it under per-entry once_flags, so two
+// workers needing the same entry build it exactly once and entries for
+// different keys build in parallel.  Entries are heap-allocated and
+// never evicted, so returned references stay stable; built state is
+// immutable, so post-build reads need no synchronisation.
+//
+// Build chains nest strictly goldens → executor → ranger → workload —
+// a DAG in one direction — so nested call_once never deadlocks.
+struct Scheduler::Engine {
+  explicit Engine(models::WorkloadCache* external) : external_(external) {}
+
+  models::WorkloadCache& workloads(std::uint64_t seed, std::size_t inputs) {
+    if (external_ && external_->options().seed == seed &&
+        external_->options().eval_inputs == inputs)
+      return *external_;
+    std::lock_guard<std::mutex> lk(mu);
+    std::unique_ptr<models::WorkloadCache>& slot = caches_[{seed, inputs}];
+    if (!slot) {
+      models::WorkloadOptions wo;
+      wo.seed = seed;
+      wo.eval_inputs = inputs;
+      slot = std::make_unique<models::WorkloadCache>(wo);
+    }
+    return *slot;
+  }
+
+  struct RangerEntry {
+    std::once_flag built;
+    core::Bounds bounds;
+    graph::Graph protected_graph;
+  };
+
+  RangerEntry& ranger(const SuiteSpec& spec, models::ModelId model,
+                      ops::OpKind act) {
+    RangerEntry& e = *slot(ranger_, std::make_tuple(
+        spec.seed, spec.inputs, static_cast<int>(model),
+        static_cast<int>(act)));
+    std::call_once(e.built, [&] {
+      const models::Workload& w =
+          workloads(spec.seed, spec.inputs).get(model, act);
+      e.bounds = core::RangeProfiler{}.derive_bounds(w.graph,
+                                                     w.profile_feeds);
+      e.protected_graph = core::RangerTransform{}.apply(w.graph, e.bounds);
+    });
+    return e;
+  }
+
+  const TrialExecutor& executor(const SuiteSpec& spec, const SuiteCell& cell,
+                                const graph::Graph& g,
+                                const std::vector<Feeds>& inputs,
+                                bool is_protected, unsigned workers) {
+    ExecEntry& e = *slot(executors_, std::make_tuple(
+        spec.seed, spec.inputs, static_cast<int>(cell.model),
+        static_cast<int>(cell.act), is_protected ? 1 : 0,
+        static_cast<int>(cell.dtype)));
+    std::call_once(e.built, [&] {
+      // Only (graph, dtype, backend, batch) reach the executor — one
+      // compiled executor serves every cell and every request of this
+      // (seed, inputs, model, act, variant, dtype).  threads=1: arenas
+      // are pinned per scheduler worker via RunContext::worker_base, and
+      // construction already runs on a ScopedPoolWorker thread.
+      CampaignConfig ec;
+      ec.dtype = cell.dtype;
+      ec.threads = 1;
+      if (cell.dtype == tensor::DType::kInt8)
+        ec.int8_formats =
+            core::int8_calibration(ranger(spec, cell.model, cell.act).bounds);
+      e.exec = std::make_unique<TrialExecutor>(g, ec, inputs, workers);
+    });
+    return *e.exec;
+  }
+
+  const std::vector<tensor::Tensor>& unprotected_goldens(
+      const SuiteSpec& spec, const SuiteCell& cell,
+      const models::Workload& w, unsigned workers) {
+    GoldenEntry& e = *slot(goldens_, std::make_tuple(
+        spec.seed, spec.inputs, static_cast<int>(cell.model),
+        static_cast<int>(cell.act), static_cast<int>(cell.dtype)));
+    std::call_once(e.built, [&] {
+      const TrialExecutor& ex = executor(spec, cell, w.graph, w.eval_feeds,
+                                         /*is_protected=*/false, workers);
+      e.goldens.reserve(w.eval_feeds.size());
+      for (std::size_t i = 0; i < w.eval_feeds.size(); ++i)
+        e.goldens.push_back(ex.golden_output(i));
+    });
+    return e.goldens;
+  }
+
+  std::mutex mu;  // guards the maps' shape, never a build
+
+ private:
+  template <typename Map, typename Key>
+  typename Map::mapped_type::element_type* slot(Map& map, const Key& key) {
+    std::lock_guard<std::mutex> lk(mu);
+    typename Map::mapped_type& s = map[key];
+    if (!s) s = std::make_unique<typename Map::mapped_type::element_type>();
+    return s.get();
+  }
+
+  struct ExecEntry {
+    std::once_flag built;
+    std::unique_ptr<TrialExecutor> exec;
+  };
+  struct GoldenEntry {
+    std::once_flag built;
+    std::vector<tensor::Tensor> goldens;
+  };
+
+  models::WorkloadCache* external_ = nullptr;
+  std::map<std::pair<std::uint64_t, std::size_t>,
+           std::unique_ptr<models::WorkloadCache>>
+      caches_;
+  std::map<std::tuple<std::uint64_t, std::size_t, int, int>,
+           std::unique_ptr<RangerEntry>>
+      ranger_;
+  std::map<std::tuple<std::uint64_t, std::size_t, int, int, int, int>,
+           std::unique_ptr<ExecEntry>>
+      executors_;
+  std::map<std::tuple<std::uint64_t, std::size_t, int, int, int>,
+           std::unique_ptr<GoldenEntry>>
+      goldens_;
+};
+
+// ---- Per-request state ------------------------------------------------------
+
+struct Scheduler::Unit {
+  Request* req = nullptr;
+  std::size_t cell_index = 0;
+  std::size_t partition = 0;
+  // Records of this partition already delivered to the sink; records a
+  // dying worker executed but never streamed stay below this mark, so
+  // the adopting worker streams them straight from the checkpoint.
+  std::size_t streamed = 0;
+};
+
+struct Scheduler::Request {
+  std::uint64_t id = 0;
+  SuitePlan plan;
+  RecordSink sink;
+
+  std::mutex mu;  // guards everything below + serialises the sink
+  std::condition_variable cv;
+  // Atomic so readers that must not block on a request's sink (submit's
+  // duplicate-name check, status over many requests) can read it
+  // without `mu`; writers still settle it under `mu` + cv notify.
+  std::atomic<RequestState> state{RequestState::kRunning};
+  bool cancelled = false;  // also set on failure: pending units skip
+  std::string error;
+  std::size_t outstanding = 0;  // units not yet settled
+  std::size_t streamed = 0;     // records delivered across all cells
+
+  struct CellState {
+    std::once_flag header_once;
+    std::atomic<bool> header_ready{false};
+    CheckpointHeader header;  // export-form (shard 0/1)
+    std::vector<TrialRecord> records;  // streamed; unordered across units
+  };
+  std::vector<std::unique_ptr<CellState>> cells;
+  std::vector<std::unique_ptr<Unit>> units;
+};
+
+// ---- Scheduler --------------------------------------------------------------
+
+Scheduler::Scheduler(SchedulerConfig config,
+                     models::WorkloadCache* shared_workloads)
+    : config_(std::move(config)) {
+  if (config_.partitions_per_cell == 0) config_.partitions_per_cell = 1;
+  workers_ = config_.workers ? config_.workers
+                             : util::default_thread_count();
+  engine_ = std::make_unique<Engine>(shared_workloads);
+  queues_.resize(workers_);
+  kill_after_.reserve(workers_);
+  for (unsigned w = 0; w < workers_; ++w)
+    kill_after_.push_back(
+        std::make_unique<std::atomic<std::size_t>>(kNoKill));
+  threads_.reserve(workers_);
+  for (unsigned w = 0; w < workers_; ++w)
+    threads_.emplace_back([this, w] { worker_loop(w); });
+}
+
+Scheduler::~Scheduler() { shutdown(); }
+
+std::uint64_t Scheduler::submit(SuiteSpec spec, RecordSink sink) {
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    if (shutdown_)
+      throw std::runtime_error("Scheduler: submit after shutdown");
+  }
+  if (spec.shard_count != 1 || spec.shard_index != 0)
+    throw std::invalid_argument(
+        "Scheduler: submit unsharded specs (shard 0/1) — the scheduler "
+        "owns partitioning");
+  // Scheduler concerns, not request concerns: slices/checkpoints belong
+  // to the daemon config, and each slice runs single-threaded on its
+  // scheduler worker.
+  spec.checkpoint_dir.clear();
+  spec.max_new_trials = 0;
+
+  auto req = std::make_unique<Request>();
+  req->plan = compile_suite(spec);  // throws on a bad spec
+  req->sink = std::move(sink);
+  for (std::size_t ci = 0; ci < req->plan.cells.size(); ++ci) {
+    req->cells.push_back(std::make_unique<Request::CellState>());
+    for (std::size_t p = 0; p < config_.partitions_per_cell; ++p) {
+      auto u = std::make_unique<Unit>();
+      u->req = req.get();
+      u->cell_index = ci;
+      u->partition = p;
+      req->units.push_back(std::move(u));
+    }
+  }
+  req->outstanding = req->units.size();
+
+  Request* raw = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(requests_mu_);
+    for (auto& [id, other] : requests_)
+      if (other->state.load(std::memory_order_acquire) ==
+              RequestState::kRunning &&
+          other->plan.spec.name == req->plan.spec.name)
+        throw std::invalid_argument(
+            "Scheduler: a request named '" + req->plan.spec.name +
+            "' is already running (names key checkpoint files)");
+    req->id = next_id_++;
+    raw = req.get();
+    requests_[raw->id] = std::move(req);
+  }
+
+  if (!config_.checkpoint_dir.empty())
+    std::filesystem::create_directories(config_.checkpoint_dir);
+
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    // Round-robin the units across worker deques; stealing rebalances
+    // whatever this initial placement gets wrong.
+    std::size_t w = 0;
+    for (auto& u : raw->units)
+      queues_[w++ % workers_].push_back(u.get());
+  }
+  queue_cv_.notify_all();
+  return raw->id;
+}
+
+Scheduler::Request* Scheduler::find_request(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lk(requests_mu_);
+  const auto it = requests_.find(id);
+  return it == requests_.end() ? nullptr : it->second.get();
+}
+
+RequestStatus Scheduler::status_of(Request& req) const {
+  std::lock_guard<std::mutex> lk(req.mu);
+  RequestStatus s;
+  s.id = req.id;
+  s.name = req.plan.spec.name;
+  s.state = req.state;
+  s.cells = req.plan.cells.size();
+  s.planned_trials = req.plan.total_trials;
+  s.streamed_trials = req.streamed;
+  s.error = req.error;
+  return s;
+}
+
+std::optional<RequestStatus> Scheduler::status(std::uint64_t id) const {
+  Request* req = find_request(id);
+  if (!req) return std::nullopt;
+  return status_of(*req);
+}
+
+std::vector<RequestStatus> Scheduler::status_all() const {
+  std::vector<RequestStatus> out;
+  std::lock_guard<std::mutex> lk(requests_mu_);
+  out.reserve(requests_.size());
+  for (auto& [id, req] : requests_) out.push_back(status_of(*req));
+  return out;
+}
+
+bool Scheduler::cancel(std::uint64_t id) {
+  Request* req = find_request(id);
+  if (!req) return false;
+  std::lock_guard<std::mutex> lk(req->mu);
+  if (req->state != RequestState::kRunning || req->cancelled) return false;
+  req->cancelled = true;
+  return true;
+}
+
+SuiteResult Scheduler::wait(std::uint64_t id) {
+  Request* req = find_request(id);
+  if (!req) throw std::invalid_argument("Scheduler: unknown request id");
+  std::unique_lock<std::mutex> lk(req->mu);
+  req->cv.wait(lk, [&] { return req->state != RequestState::kRunning; });
+  if (req->state == RequestState::kFailed)
+    throw std::runtime_error("Scheduler: request '" + req->plan.spec.name +
+                             "' failed: " + req->error);
+  SuiteResult out;
+  out.plan = req->plan;
+  out.cells.reserve(req->plan.cells.size());
+  for (std::size_t ci = 0; ci < req->plan.cells.size(); ++ci) {
+    const SuiteCell& cell = req->plan.cells[ci];
+    Request::CellState& cs = *req->cells[ci];
+    // judge count from the model (identical to the header's) so a
+    // cancelled cell that never ran still builds an empty report.
+    out.cells.push_back(
+        {cell, build_report(cs.records,
+                            models::default_judges(cell.model).size(),
+                            cell.total_trials,
+                            parse_strata_weights(cs.header.strata_weights))});
+  }
+  return out;
+}
+
+CheckpointHeader Scheduler::cell_header(std::uint64_t id,
+                                        std::size_t cell_index) const {
+  Request* req = find_request(id);
+  if (!req) throw std::invalid_argument("Scheduler: unknown request id");
+  if (cell_index >= req->cells.size())
+    throw std::invalid_argument("Scheduler: cell index out of range");
+  const Request::CellState& cs = *req->cells[cell_index];
+  if (!cs.header_ready.load(std::memory_order_acquire))
+    throw std::runtime_error(
+        "Scheduler: cell has not run yet — header unavailable");
+  return cs.header;
+}
+
+std::vector<std::string> Scheduler::export_request_jsonl(
+    std::uint64_t id, const std::string& dir) {
+  Request* req = find_request(id);
+  if (!req) throw std::invalid_argument("Scheduler: unknown request id");
+  {
+    std::lock_guard<std::mutex> lk(req->mu);
+    if (req->state == RequestState::kRunning)
+      throw std::runtime_error(
+          "Scheduler: export requires a settled request (wait first)");
+  }
+  std::filesystem::create_directories(dir);
+  std::vector<std::string> paths;
+  paths.reserve(req->plan.cells.size());
+  for (std::size_t ci = 0; ci < req->plan.cells.size(); ++ci) {
+    const SuiteCell& cell = req->plan.cells[ci];
+    const CheckpointHeader& header = ensure_cell_header(*req, ci);
+    std::vector<TrialRecord> records;
+    {
+      std::lock_guard<std::mutex> lk(req->mu);
+      records = req->cells[ci]->records;
+    }
+    records = sort_unique_records(std::move(records));
+    const std::string text = to_jsonl(header, records);
+    const std::string path =
+        (std::filesystem::path(dir) /
+         (req->plan.spec.name + "." + cell.id + ".s0of1.jsonl"))
+            .string();
+    std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "w"));
+    if (!f || std::fwrite(text.data(), 1, text.size(), f.get()) !=
+                  text.size())
+      throw std::runtime_error("Scheduler: cannot write " + path);
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+void Scheduler::kill_worker_after(unsigned worker, std::size_t slices) {
+  if (worker >= workers_)
+    throw std::invalid_argument("Scheduler: worker index out of range");
+  if (slices == kNoKill) --slices;
+  kill_after_[worker]->store(slices, std::memory_order_relaxed);
+}
+
+void Scheduler::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    shutdown_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : threads_)
+    if (t.joinable()) t.join();
+  std::lock_guard<std::mutex> lk(requests_mu_);
+  for (auto& [id, req] : requests_) {
+    std::lock_guard<std::mutex> lk2(req->mu);
+    if (req->state != RequestState::kRunning) continue;
+    req->state = RequestState::kFailed;
+    if (req->error.empty())
+      req->error =
+          "scheduler shut down before the request completed (checkpoints "
+          "remain resumable)";
+    req->cv.notify_all();
+  }
+}
+
+// ---- Worker loop ------------------------------------------------------------
+
+Scheduler::Unit* Scheduler::next_unit(unsigned w) {
+  std::unique_lock<std::mutex> lk(queue_mu_);
+  for (;;) {
+    if (shutdown_) return nullptr;
+    if (!queues_[w].empty()) {
+      Unit* u = queues_[w].front();
+      queues_[w].pop_front();
+      return u;
+    }
+    // Steal from the tail of the first non-empty sibling deque — also
+    // how survivors drain a dead worker's queue.
+    for (unsigned i = 1; i < workers_; ++i) {
+      std::deque<Unit*>& q = queues_[(w + i) % workers_];
+      if (q.empty()) continue;
+      Unit* u = q.back();
+      q.pop_back();
+      return u;
+    }
+    queue_cv_.wait(lk);
+  }
+}
+
+void Scheduler::enqueue(Unit* u, unsigned hint) {
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    queues_[hint % workers_].push_back(u);
+  }
+  queue_cv_.notify_all();
+}
+
+void Scheduler::worker_loop(unsigned w) {
+  // Kernel-level parallel_for calls issued from runner slices run inline
+  // on this thread — the scheduler owns the cores.
+  util::ScopedPoolWorker pool_mark;
+  for (;;) {
+    Unit* u = next_unit(w);
+    if (!u) return;
+    Request& req = *u->req;
+
+    bool skip = false;
+    {
+      std::lock_guard<std::mutex> lk(req.mu);
+      skip = req.cancelled;
+    }
+    if (skip) {
+      // Dropped at pickup; the unit's checkpoint (if any) stays
+      // resumable for a future submission of the same spec.
+      settle_unit(u);
+      continue;
+    }
+
+    std::size_t kill = kill_after_[w]->load(std::memory_order_relaxed);
+    if (kill == 0) {  // die before touching the unit
+      enqueue(u, w + 1);
+      return;
+    }
+    const bool die = kill != kNoKill && kill == 1;
+    if (kill != kNoKill)
+      kill_after_[w]->store(kill - 1, std::memory_order_relaxed);
+
+    try {
+      const bool finished = run_unit_slice(w, *u, /*suppress_stream=*/die);
+      if (die) {
+        // The slice's records made it to the checkpoint but not to the
+        // stream — exactly a worker killed mid-handoff.  Hand the unit
+        // to the survivors; their resume streams past u->streamed.
+        enqueue(u, w + 1);
+        return;
+      }
+      if (finished)
+        settle_unit(u);
+      else
+        enqueue(u, w);
+    } catch (const std::exception& e) {
+      fail_request(req, e.what());
+      settle_unit(u);
+    }
+  }
+}
+
+void Scheduler::settle_unit(Unit* u) {
+  Request& req = *u->req;
+  std::lock_guard<std::mutex> lk(req.mu);
+  --req.outstanding;
+  if (req.outstanding == 0 && req.state == RequestState::kRunning) {
+    req.state = !req.error.empty() ? RequestState::kFailed
+                : req.cancelled   ? RequestState::kCancelled
+                                  : RequestState::kDone;
+    req.cv.notify_all();
+  }
+}
+
+void Scheduler::fail_request(Request& req, const std::string& error) {
+  std::lock_guard<std::mutex> lk(req.mu);
+  if (req.error.empty()) req.error = error;
+  req.cancelled = true;  // pending units skip at pickup
+}
+
+const CheckpointHeader& Scheduler::ensure_cell_header(Request& req,
+                                                      std::size_t ci) {
+  Request::CellState& cs = *req.cells[ci];
+  std::call_once(cs.header_once, [&] {
+    const SuiteSpec& spec = req.plan.spec;
+    const SuiteCell& cell = req.plan.cells[ci];
+    const models::Workload& w =
+        engine_->workloads(spec.seed, spec.inputs).get(cell.model, cell.act);
+    const graph::Graph* plan_g = &w.graph;
+    if (cell.technique == Technique::kRanger)
+      plan_g = &engine_->ranger(spec, cell.model, cell.act).protected_graph;
+    RunnerConfig hc = cell_runner_config(spec, cell);
+    hc.shard_index = 0;
+    hc.shard_count = 1;
+    CheckpointHeader h = CampaignRunner(hc).make_header(
+        spec.inputs, models::default_judges(cell.model).size());
+    const TrialPlanner planner(*plan_g, hc.campaign, spec.inputs,
+                               hc.stratified);
+    std::map<std::string, double> weights;
+    for (std::size_t s = 0; s < planner.strata_count(); ++s)
+      weights[planner.stratum_key(s)] = planner.stratum_weight(s);
+    h.strata_weights = format_strata_weights(weights);
+    cs.header = std::move(h);
+  });
+  cs.header_ready.store(true, std::memory_order_release);
+  return cs.header;
+}
+
+bool Scheduler::run_unit_slice(unsigned w, Unit& u, bool suppress_stream) {
+  Request& req = *u.req;
+  const SuiteSpec& spec = req.plan.spec;
+  const SuiteCell& cell = req.plan.cells[u.cell_index];
+  Engine& eng = *engine_;
+
+  const models::Workload& wl =
+      eng.workloads(spec.seed, spec.inputs).get(cell.model, cell.act);
+  if (wl.eval_feeds.size() != spec.inputs)
+    throw std::runtime_error(
+        "Scheduler: workload produced " +
+        std::to_string(wl.eval_feeds.size()) + " eval inputs for cell " +
+        cell.id + ", spec expects " + std::to_string(spec.inputs));
+
+  const bool is_protected = cell.technique != Technique::kUnprotected;
+  const graph::Graph* exec_g = &wl.graph;
+  const graph::Graph* plan_g = &wl.graph;
+  if (is_protected) {
+    exec_g = &eng.ranger(spec, cell.model, cell.act).protected_graph;
+    if (cell.technique == Technique::kRanger) plan_g = exec_g;
+  }
+
+  RunContext ctx;
+  ctx.plan_graph = plan_g;
+  ctx.exec_graph = exec_g;
+  ctx.executor =
+      &eng.executor(spec, cell, *exec_g, wl.eval_feeds, is_protected,
+                    workers_);
+  if (cell.technique == Technique::kRangerPaired)
+    ctx.judge_golden = &eng.unprotected_goldens(spec, cell, wl, workers_);
+  ctx.worker_base = w;  // pin this slice to this worker's arena
+
+  RunnerConfig rc = cell_runner_config(spec, cell);
+  rc.campaign.threads = 1;  // the scheduler pool IS the parallelism
+  rc.shard_index = u.partition;
+  rc.shard_count = config_.partitions_per_cell;
+  // In-memory units must run whole: a slice boundary without a
+  // checkpoint would forget its records (see SchedulerConfig).
+  rc.max_new_trials =
+      config_.checkpoint_dir.empty() ? 0 : config_.slice_trials;
+  if (!config_.checkpoint_dir.empty())
+    rc.checkpoint_path =
+        (std::filesystem::path(config_.checkpoint_dir) /
+         (spec.name + "." + cell.id + ".s" + std::to_string(u.partition) +
+          "of" + std::to_string(config_.partitions_per_cell) + ".rcp"))
+            .string();
+
+  const CampaignRunner runner(rc);
+  const CampaignReport report =
+      runner.run(ctx, wl.eval_feeds, models::default_judges(cell.model));
+
+  // Complete when every partition trial ran — or when a slice made no
+  // progress (early stop tripped, or a resumed checkpoint already
+  // covered everything new): requeueing such a unit would spin forever.
+  const std::size_t prev = u.streamed;
+  const bool finished =
+      report.executed() >= report.planned || report.records.size() == prev;
+  if (suppress_stream) return finished;
+
+  if (report.records.size() > prev) {
+    // report.records is ascending and every slice appends strictly later
+    // trials of this partition, so the already-streamed records are
+    // exactly the prefix [0, prev).
+    const CheckpointHeader& header = ensure_cell_header(req, u.cell_index);
+    std::vector<TrialRecord> fresh(
+        report.records.begin() + static_cast<std::ptrdiff_t>(prev),
+        report.records.end());
+    std::lock_guard<std::mutex> lk(req.mu);
+    if (req.sink) req.sink(u.cell_index, header, fresh);
+    Request::CellState& cs = *req.cells[u.cell_index];
+    cs.records.insert(cs.records.end(),
+                      std::make_move_iterator(fresh.begin()),
+                      std::make_move_iterator(fresh.end()));
+    req.streamed += fresh.size();
+  }
+  u.streamed = report.records.size();
+  return finished;
+}
+
+// ---- Request wire format ----------------------------------------------------
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& what) {
+  throw std::invalid_argument("parse_suite_spec: " + what);
+}
+
+template <typename T, typename TokenFn>
+std::string join_tokens(const std::vector<T>& values, TokenFn token) {
+  std::string out;
+  for (const T& v : values) {
+    if (!out.empty()) out += ',';
+    out += std::string(token(v));
+  }
+  return out;
+}
+
+// Splits a comma-separated axis; rejects empty items ("a,,b") so a
+// mangled request fails loudly instead of silently shrinking the grid.
+std::vector<std::string> split_axis(std::string_view value,
+                                    const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = value.find(',', start);
+    const std::string_view item =
+        value.substr(start, comma == std::string_view::npos
+                                ? std::string_view::npos
+                                : comma - start);
+    if (item.empty()) bad_spec("empty item in '" + line + "'");
+    out.emplace_back(item);
+    if (comma == std::string_view::npos) return out;
+    start = comma + 1;
+  }
+}
+
+std::uint64_t parse_spec_u64(std::string_view value,
+                             const std::string& line) {
+  std::uint64_t v = 0;
+  if (!util::parse_u64(std::string(value).c_str(), v))
+    bad_spec("bad number in '" + line + "'");
+  return v;
+}
+
+}  // namespace
+
+std::string serialize_suite_spec(const SuiteSpec& spec) {
+  std::string out;
+  const auto line = [&out](std::string_view key, std::string value) {
+    out += key;
+    out += '=';
+    out += value;
+    out += '\n';
+  };
+  line("name", spec.name);
+  line("models", join_tokens(spec.models, [](models::ModelId m) {
+         return models::model_token(m);
+       }));
+  line("acts", join_tokens(spec.acts, act_token));
+  line("dtypes", join_tokens(spec.dtypes, dtype_token));
+  line("faults", join_tokens(spec.faults, fault_spec_token));
+  line("techniques", join_tokens(spec.techniques, technique_token));
+  line("trials", std::to_string(spec.trials_small));
+  line("trials_divisor", std::to_string(spec.trials_divisor));
+  line("inputs", std::to_string(spec.inputs));
+  line("seed", std::to_string(spec.seed));
+  line("check_every", std::to_string(spec.check_every));
+  if (spec.target_half_width_pct != 0.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", spec.target_half_width_pct);
+    line("target_ci", buf);
+  }
+  return out;
+}
+
+SuiteSpec parse_suite_spec(std::string_view text) {
+  SuiteSpec spec;
+  spec.models.clear();
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string_view raw = text.substr(
+        pos, nl == std::string_view::npos ? std::string_view::npos
+                                          : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() : nl + 1;
+    if (raw.empty()) continue;
+    const std::string line(raw);
+    const std::size_t eq = raw.find('=');
+    if (eq == std::string_view::npos)
+      bad_spec("expected key=value, got '" + line + "'");
+    const std::string_view key = raw.substr(0, eq);
+    const std::string_view value = raw.substr(eq + 1);
+    if (key == "name") {
+      spec.name = std::string(value);
+    } else if (key == "models") {
+      spec.models.clear();
+      for (const std::string& item : split_axis(value, line)) {
+        const auto m = models::model_from_token(item);
+        if (!m) bad_spec("unknown model '" + item + "'");
+        spec.models.push_back(*m);
+      }
+    } else if (key == "acts") {
+      spec.acts.clear();
+      for (const std::string& item : split_axis(value, line)) {
+        const auto a = act_from_token(item);
+        if (!a) bad_spec("unknown act '" + item + "'");
+        spec.acts.push_back(*a);
+      }
+    } else if (key == "dtypes") {
+      spec.dtypes.clear();
+      for (const std::string& item : split_axis(value, line)) {
+        const auto d = dtype_from_token(item);
+        if (!d) bad_spec("unknown dtype '" + item + "'");
+        spec.dtypes.push_back(*d);
+      }
+    } else if (key == "faults") {
+      spec.faults.clear();
+      for (const std::string& item : split_axis(value, line)) {
+        const auto f = fault_spec_from_token(item);
+        if (!f) bad_spec("bad fault model '" + item + "'");
+        spec.faults.push_back(*f);
+      }
+    } else if (key == "techniques") {
+      spec.techniques.clear();
+      for (const std::string& item : split_axis(value, line)) {
+        const auto t = technique_from_token(item);
+        if (!t) bad_spec("unknown technique '" + item + "'");
+        spec.techniques.push_back(*t);
+      }
+    } else if (key == "trials") {
+      spec.trials_small = parse_spec_u64(value, line);
+    } else if (key == "trials_divisor") {
+      spec.trials_divisor = parse_spec_u64(value, line);
+    } else if (key == "inputs") {
+      spec.inputs = parse_spec_u64(value, line);
+    } else if (key == "seed") {
+      spec.seed = parse_spec_u64(value, line);
+    } else if (key == "check_every") {
+      spec.check_every = parse_spec_u64(value, line);
+    } else if (key == "target_ci") {
+      double v = 0.0;
+      if (!util::parse_f64(std::string(value).c_str(), v) || v < 0.0)
+        bad_spec("bad number in '" + line + "'");
+      spec.target_half_width_pct = v;
+    } else {
+      bad_spec("unknown key '" + std::string(key) + "'");
+    }
+  }
+  return spec;
+}
+
+}  // namespace rangerpp::fi

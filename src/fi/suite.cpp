@@ -13,6 +13,7 @@
 #include "core/range_profiler.hpp"
 #include "core/ranger_transform.hpp"
 #include "ops/backend.hpp"
+#include "util/parse.hpp"
 #include "util/table.hpp"
 #include "util/threadpool.hpp"
 
@@ -112,6 +113,71 @@ std::string fault_spec_token(const FaultModelSpec& f) {
   return fault_token(f);
 }
 
+std::optional<FaultModelSpec> fault_spec_from_token(std::string_view s) {
+  FaultModelSpec f;
+  if (s.starts_with("b")) {
+    // "b<N>[c]" — activation flips, optional consecutive-burst suffix.
+    s.remove_prefix(1);
+    if (s.ends_with("c")) {
+      f.consecutive = true;
+      s.remove_suffix(1);
+    }
+    std::uint64_t n = 0;
+    if (!util::parse_u64(std::string(s).c_str(), n) || n < 1 || n > 64)
+      return std::nullopt;
+    f.n_bits = static_cast<int>(n);
+    return f;
+  }
+  if (!s.starts_with("w")) return std::nullopt;
+  s.remove_prefix(1);
+  f.cls = FaultClass::kWeight;
+  // "<kind>[<n>][-<ecc>]".  Kind tokens never contain '-', ecc tokens
+  // never introduce one, so the first '-' splits the two parts.  The
+  // count digits abut the kind token ("multi3"), and two kinds end in a
+  // digit themselves ("stuck0"/"stuck1") — match known kind tokens as
+  // prefixes, longest first, and require the remainder to be a count
+  // exactly when the kind takes one.
+  std::string_view ecc_part;
+  if (const std::size_t dash = s.find('-'); dash != std::string_view::npos) {
+    ecc_part = s.substr(dash + 1);
+    s = s.substr(0, dash);
+  }
+  static constexpr WeightFaultKind kKinds[] = {
+      WeightFaultKind::kStuckAt0,         WeightFaultKind::kStuckAt1,
+      WeightFaultKind::kConsecutiveBurst, WeightFaultKind::kSingleBit,
+      WeightFaultKind::kMultiBit,         WeightFaultKind::kRowBurst,
+  };
+  bool matched = false;
+  for (const WeightFaultKind kind : kKinds) {
+    const std::string_view token = weight_fault_kind_token(kind);
+    if (!s.starts_with(token)) continue;
+    const std::string_view rest = s.substr(token.size());
+    if (weight_kind_uses_count(kind)) {
+      std::uint64_t n = 0;
+      if (!util::parse_u64(std::string(rest).c_str(), n) || n < 1 ||
+          n > 4096)
+        continue;
+      f.n_bits = static_cast<int>(n);
+    } else if (!rest.empty()) {
+      continue;
+    } else {
+      f.n_bits = 1;
+    }
+    f.wkind = kind;
+    matched = true;
+    break;
+  }
+  if (!matched) return std::nullopt;
+  if (!ecc_part.empty()) {
+    const auto ecc = ecc_from_token(ecc_part);
+    // A bare "none" never appears in printed tokens; reject it so the
+    // grammar stays one-to-one with fault_spec_token's output.
+    if (!ecc || ecc->kind == EccKind::kNone) return std::nullopt;
+    f.ecc = *ecc;
+  }
+  return f;
+}
+
 std::string_view technique_token(Technique t) {
   switch (t) {
     case Technique::kUnprotected: return "unprotected";
@@ -164,6 +230,29 @@ std::size_t cell_shard_index(std::size_t suite_shard_index,
   // stream is sharded at index (i - offset) mod N.
   return (suite_shard_index + shard_count - global_offset % shard_count) %
          shard_count;
+}
+
+RunnerConfig cell_runner_config(const SuiteSpec& spec,
+                                const SuiteCell& cell) {
+  RunnerConfig rc;
+  rc.campaign.dtype = cell.dtype;
+  rc.campaign.n_bits = cell.fault.n_bits;
+  rc.campaign.consecutive_bits = cell.fault.consecutive;
+  rc.campaign.fault_class = cell.fault.cls;
+  rc.campaign.weight_fault =
+      WeightFaultModel{cell.fault.wkind, cell.fault.n_bits};
+  rc.campaign.ecc = cell.fault.ecc;
+  rc.campaign.trials_per_input = cell.trials_per_input;
+  rc.campaign.seed = spec.seed;
+  rc.campaign.threads = spec.threads;
+  rc.check_every = spec.check_every;
+  rc.max_new_trials = spec.max_new_trials;
+  rc.target_half_width_pct = spec.target_half_width_pct;
+  rc.shard_count = spec.shard_count;
+  rc.shard_index = cell_shard_index(spec.shard_index, spec.shard_count,
+                                    cell.shard_offset);
+  rc.label = cell.label;
+  return rc;
 }
 
 SuitePlan compile_suite(const SuiteSpec& spec) {
@@ -390,24 +479,7 @@ SuiteResult Suite::run() {
     if (cell.technique == Technique::kRangerPaired)
       ctx.judge_golden = &unprotected_goldens(cell);
 
-    RunnerConfig rc;
-    rc.campaign.dtype = cell.dtype;
-    rc.campaign.n_bits = cell.fault.n_bits;
-    rc.campaign.consecutive_bits = cell.fault.consecutive;
-    rc.campaign.fault_class = cell.fault.cls;
-    rc.campaign.weight_fault =
-        WeightFaultModel{cell.fault.wkind, cell.fault.n_bits};
-    rc.campaign.ecc = cell.fault.ecc;
-    rc.campaign.trials_per_input = cell.trials_per_input;
-    rc.campaign.seed = spec.seed;
-    rc.campaign.threads = spec.threads;
-    rc.check_every = spec.check_every;
-    rc.max_new_trials = spec.max_new_trials;
-    rc.target_half_width_pct = spec.target_half_width_pct;
-    rc.shard_count = spec.shard_count;
-    rc.shard_index = cell_shard_index(spec.shard_index, spec.shard_count,
-                                      cell.shard_offset);
-    rc.label = cell.label;
+    RunnerConfig rc = cell_runner_config(spec, cell);
     if (!spec.checkpoint_dir.empty())
       rc.checkpoint_path = (std::filesystem::path(spec.checkpoint_dir) /
                             checkpoint_filename(spec, cell))

@@ -91,6 +91,10 @@ struct FaultModelSpec {
 // weight cells (e.g. "wsingle", "wmulti3-secded", "wrow4-cov0.5").
 std::string fault_spec_token(const FaultModelSpec& f);
 
+// Inverse of fault_spec_token (the scheduler wire format and CLIs parse
+// fault axes with it); round-trips every token the printer emits.
+std::optional<FaultModelSpec> fault_spec_from_token(std::string_view s);
+
 struct SuiteSpec {
   std::string name = "suite";
   std::vector<models::ModelId> models;
@@ -171,6 +175,15 @@ SuitePlan compile_suite(const SuiteSpec& spec);
 std::size_t cell_shard_index(std::size_t suite_shard_index,
                              std::size_t shard_count,
                              std::size_t global_offset);
+
+// The RunnerConfig Suite::run() executes `cell` under (campaign
+// scalars, shard mapping, batching, label — everything except the
+// checkpoint path, which depends on the caller's directory layout).
+// Exposed so the scheduler daemon compiles cells to the exact same
+// configs: the byte-identity contract between a scheduled request and a
+// one-shot suite run holds because both paths call this one function.
+RunnerConfig cell_runner_config(const SuiteSpec& spec,
+                                const SuiteCell& cell);
 
 struct SuiteCellResult {
   SuiteCell cell;

@@ -320,15 +320,27 @@ SteeringMetrics steering_metrics(const graph::Graph& g,
 const Workload& WorkloadCache::get(ModelId id, ops::OpKind act) {
   const auto key =
       std::make_pair(static_cast<int>(id), static_cast<int>(act));
-  auto it = cache_.find(key);
-  if (it == cache_.end()) {
+  Entry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<Entry>& slot = cache_[key];
+    if (!slot) slot = std::make_unique<Entry>();
+    entry = slot.get();
+  }
+  // Build outside the map lock: concurrent gets for different keys
+  // construct in parallel, and a second thread asking for this key
+  // blocks on the once_flag instead of the whole cache.
+  std::call_once(entry->built, [&] {
     WorkloadOptions wo = base_;
     wo.act = act;
-    it = cache_
-             .emplace(key, std::make_unique<Workload>(make_workload(id, wo)))
-             .first;
-  }
-  return *it->second;
+    entry->workload = std::make_unique<Workload>(make_workload(id, wo));
+  });
+  return *entry->workload;
+}
+
+std::size_t WorkloadCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
 }
 
 std::size_t scaled_trials(ModelId id, std::size_t trials_small) {

@@ -6,6 +6,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -48,8 +49,18 @@ Workload make_workload(ModelId id, const WorkloadOptions& options = {});
 // synthesising datasets) dominates small campaigns, and a suite of many
 // cells over the same models must not pay it per cell.  Options other
 // than `act` are fixed at cache construction so every cached workload is
-// comparable.  Not thread-safe; the orchestrators that own one build
-// cells sequentially.
+// comparable.
+//
+// Thread-safe: get() may be called concurrently from any number of
+// threads (the scheduler daemon shares one cache across concurrent
+// requests).  The map shape is guarded by a mutex held only for
+// find-or-insert; the expensive build runs outside it under a per-entry
+// once_flag, so two threads requesting the same key build it exactly
+// once (the second blocks until the first finishes) and requests for
+// different keys build in parallel.  Returned references stay stable
+// for the cache's lifetime (entries are heap-allocated and never
+// evicted), and a returned Workload is immutable, so post-build reads
+// need no further synchronisation.
 class WorkloadCache {
  public:
   explicit WorkloadCache(WorkloadOptions base = {}) : base_(base) {}
@@ -59,11 +70,17 @@ class WorkloadCache {
   const Workload& get(ModelId id, ops::OpKind act = ops::OpKind::kInput);
 
   const WorkloadOptions& options() const { return base_; }
-  std::size_t size() const { return cache_.size(); }
+  std::size_t size() const;
 
  private:
+  struct Entry {
+    std::once_flag built;
+    std::unique_ptr<Workload> workload;
+  };
+
   WorkloadOptions base_;
-  std::map<std::pair<int, int>, std::unique_ptr<Workload>> cache_;
+  mutable std::mutex mu_;  // guards cache_'s shape, never a build
+  std::map<std::pair<int, int>, std::unique_ptr<Entry>> cache_;
 };
 
 // The shared trial-count rule for campaign suites and benches: the

@@ -1,0 +1,226 @@
+#include "util/ipc.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace rangerpp::util::ipc {
+
+namespace {
+
+// Full-buffer send/recv loops: EINTR retried, short transfers resumed.
+// MSG_NOSIGNAL keeps a vanished peer from raising SIGPIPE.
+bool send_all(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool recv_all(int fd, void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  while (n > 0) {
+    const ssize_t r = ::recv(fd, p, n, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // EOF mid-frame (or before one: clean close)
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("ipc: " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Conn::Conn(Conn&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Conn& Conn::operator=(Conn&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Conn::~Conn() { close(); }
+
+void Conn::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Conn::send_frame(std::uint8_t type, std::string_view payload) {
+  if (fd_ < 0 || payload.size() > kMaxFramePayload) return false;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  unsigned char prefix[5] = {
+      static_cast<unsigned char>(len & 0xff),
+      static_cast<unsigned char>((len >> 8) & 0xff),
+      static_cast<unsigned char>((len >> 16) & 0xff),
+      static_cast<unsigned char>((len >> 24) & 0xff),
+      type,
+  };
+  if (!send_all(fd_, prefix, sizeof prefix)) return false;
+  return payload.empty() || send_all(fd_, payload.data(), payload.size());
+}
+
+bool Conn::recv_frame(std::uint8_t& type, std::string& payload) {
+  if (fd_ < 0) return false;
+  unsigned char prefix[5];
+  if (!recv_all(fd_, prefix, sizeof prefix)) return false;
+  const std::uint32_t len = static_cast<std::uint32_t>(prefix[0]) |
+                            (static_cast<std::uint32_t>(prefix[1]) << 8) |
+                            (static_cast<std::uint32_t>(prefix[2]) << 16) |
+                            (static_cast<std::uint32_t>(prefix[3]) << 24);
+  if (len > kMaxFramePayload) return false;
+  type = prefix[4];
+  payload.resize(len);
+  return len == 0 || recv_all(fd_, payload.data(), len);
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      port_(std::exchange(other.port_, 0)),
+      unlink_path_(std::move(other.unlink_path_)) {
+  other.unlink_path_.clear();
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+    unlink_path_ = std::move(other.unlink_path_);
+    other.unlink_path_.clear();
+  }
+  return *this;
+}
+
+Listener::~Listener() { close(); }
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    // shutdown() wakes a thread blocked in accept(); close() alone is
+    // not guaranteed to.
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!unlink_path_.empty()) {
+    ::unlink(unlink_path_.c_str());
+    unlink_path_.clear();
+  }
+}
+
+Listener Listener::listen_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof addr.sun_path)
+    throw std::runtime_error("ipc: socket path empty or too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_UNIX)");
+  ::unlink(path.c_str());  // stale socket from a killed daemon
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    throw_errno("bind " + path);
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    throw_errno("listen " + path);
+  }
+  Listener l;
+  l.fd_ = fd;
+  l.unlink_path_ = path;
+  return l;
+}
+
+Listener Listener::listen_tcp(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    throw_errno("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    throw_errno("listen 127.0.0.1:" + std::to_string(port));
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    throw_errno("getsockname");
+  }
+  Listener l;
+  l.fd_ = fd;
+  l.port_ = ntohs(addr.sin_port);
+  return l;
+}
+
+Conn Listener::accept() {
+  if (fd_ < 0) return Conn{};
+  for (;;) {
+    const int c = ::accept(fd_, nullptr, nullptr);
+    if (c >= 0) return Conn{c};
+    if (errno == EINTR) continue;
+    return Conn{};  // listener closed (shutdown path) or fatal error
+  }
+}
+
+Conn connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof addr.sun_path) return Conn{};
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Conn{};
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return Conn{};
+  }
+  return Conn{fd};
+}
+
+Conn connect_tcp(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Conn{};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return Conn{};
+  }
+  return Conn{fd};
+}
+
+}  // namespace rangerpp::util::ipc

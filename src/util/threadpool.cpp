@@ -12,6 +12,12 @@ thread_local bool g_in_pool_worker = false;
 
 }  // namespace
 
+ScopedPoolWorker::ScopedPoolWorker() : previous_(g_in_pool_worker) {
+  g_in_pool_worker = true;
+}
+
+ScopedPoolWorker::~ScopedPoolWorker() { g_in_pool_worker = previous_; }
+
 unsigned default_thread_count() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 4 : hw;

@@ -51,4 +51,20 @@ unsigned worker_count(std::size_t n, unsigned threads = 0);
 // Number of workers parallel_for will use by default.
 unsigned default_thread_count();
 
+// Marks the current thread as a pool worker for the scope's lifetime:
+// parallel_for calls issued from it run inline (the nesting rule
+// above).  Outer schedulers that own their worker threads use this so
+// per-operator kernel parallelism never oversubscribes their pool —
+// purely a scheduling decision, results are unchanged.
+class ScopedPoolWorker {
+ public:
+  ScopedPoolWorker();
+  ~ScopedPoolWorker();
+  ScopedPoolWorker(const ScopedPoolWorker&) = delete;
+  ScopedPoolWorker& operator=(const ScopedPoolWorker&) = delete;
+
+ private:
+  bool previous_;
+};
+
 }  // namespace rangerpp::util

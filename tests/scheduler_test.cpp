@@ -1,0 +1,433 @@
+// fi::Scheduler concurrency/crash gates: the merged record stream of a
+// scheduled request must be byte-identical to a one-shot suite_cli run
+// of the same spec — regardless of worker count, steal order, slice
+// boundaries, concurrent sibling requests, warm-vs-cold engine caches,
+// a worker killed mid-run, or a cancel followed by a resuming
+// resubmission.  Plus the strict request wire format and the
+// WorkloadCache concurrent-reader regression (run under TSan in CI).
+//
+// Everything runs on tiny LeNet campaigns; byte-identity is asserted
+// against per-cell checkpoints written by a one-shot unsharded Suite.
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "fi/record_codec.hpp"
+#include "fi/scheduler.hpp"
+
+namespace rangerpp::fi {
+namespace {
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// One workload cache for the whole binary: every spec below uses
+// (seed 2021, inputs 2), so LeNet trains/loads once, not per test.
+models::WorkloadCache& shared_cache() {
+  static models::WorkloadCache cache = [] {
+    models::WorkloadOptions wo;
+    wo.seed = 2021;
+    wo.eval_inputs = 2;
+    return models::WorkloadCache(wo);
+  }();
+  return cache;
+}
+
+SuiteSpec tiny_spec(const std::string& name) {
+  SuiteSpec spec;
+  spec.name = name;
+  spec.models = {models::ModelId::kLeNet};
+  spec.trials_small = 18;  // 36 trials per cell at 2 inputs
+  spec.inputs = 2;
+  spec.seed = 2021;
+  spec.check_every = 8;
+  return spec;
+}
+
+// The per-cell checkpoint bytes (filename → contents) of a one-shot
+// unsharded Suite run — the goldens every scheduler path must match.
+std::map<std::string, std::string> one_shot_goldens(SuiteSpec spec,
+                                                    const std::string& dir) {
+  spec.checkpoint_dir = temp_dir(dir);
+  Suite suite(spec, &shared_cache());
+  suite.run();
+  std::map<std::string, std::string> out;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(spec.checkpoint_dir))
+    out[entry.path().filename().string()] = slurp(entry.path().string());
+  return out;
+}
+
+void expect_matches_goldens(const std::vector<std::string>& paths,
+                            const std::map<std::string, std::string>& golden) {
+  ASSERT_EQ(paths.size(), golden.size());
+  for (const std::string& path : paths) {
+    const std::string name = std::filesystem::path(path).filename().string();
+    const auto it = golden.find(name);
+    ASSERT_NE(it, golden.end()) << "unexpected export " << name;
+    EXPECT_EQ(slurp(path), it->second) << name << " diverges from one-shot";
+  }
+}
+
+// Client-side record collector: what scheduler_cli reassembles from the
+// streamed frames.
+struct Collected {
+  std::mutex mu;
+  std::map<std::size_t, CheckpointHeader> headers;
+  std::map<std::size_t, std::vector<TrialRecord>> records;
+};
+
+RecordSink collector(Collected& c) {
+  return [&c](std::size_t ci, const CheckpointHeader& h,
+              const std::vector<TrialRecord>& rs) {
+    std::lock_guard<std::mutex> lk(c.mu);
+    c.headers.emplace(ci, h);
+    std::vector<TrialRecord>& v = c.records[ci];
+    v.insert(v.end(), rs.begin(), rs.end());
+  };
+}
+
+void expect_stream_matches_goldens(
+    const SuiteSpec& spec, Collected& c,
+    const std::map<std::string, std::string>& golden) {
+  const SuitePlan plan = compile_suite(spec);
+  std::lock_guard<std::mutex> lk(c.mu);
+  ASSERT_EQ(c.records.size(), plan.cells.size());
+  for (std::size_t ci = 0; ci < plan.cells.size(); ++ci) {
+    const std::string name =
+        spec.name + "." + plan.cells[ci].id + ".s0of1.jsonl";
+    const auto it = golden.find(name);
+    ASSERT_NE(it, golden.end());
+    const std::string jsonl = to_jsonl(
+        c.headers.at(ci), sort_unique_records(c.records.at(ci)));
+    EXPECT_EQ(jsonl, it->second) << "streamed " << name << " diverges";
+  }
+}
+
+TEST(SchedulerWire, SpecRoundTripsExactly) {
+  SuiteSpec spec = tiny_spec("wire");
+  spec.dtypes = {tensor::DType::kFixed32, tensor::DType::kInt8};
+  spec.faults = {{1, false}, {3, true}};
+  FaultModelSpec wf;
+  wf.cls = FaultClass::kWeight;
+  wf.wkind = WeightFaultKind::kStuckAt0;
+  spec.faults.push_back(wf);
+  spec.techniques = {Technique::kUnprotected, Technique::kRangerPaired};
+  spec.acts = {ops::OpKind::kInput, ops::OpKind::kTanh};
+  spec.target_half_width_pct = 1.5;
+
+  const std::string text = serialize_suite_spec(spec);
+  const SuiteSpec back = parse_suite_spec(text);
+  EXPECT_EQ(serialize_suite_spec(back), text);
+  // The grids compile to identical plans — the property submit cares
+  // about.
+  const SuitePlan a = compile_suite(spec);
+  const SuitePlan b = compile_suite(back);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].id, b.cells[i].id);
+    EXPECT_EQ(a.cells[i].total_trials, b.cells[i].total_trials);
+    EXPECT_EQ(a.cells[i].shard_offset, b.cells[i].shard_offset);
+  }
+  EXPECT_EQ(a.total_trials, b.total_trials);
+}
+
+TEST(SchedulerWire, ParserIsStrict) {
+  EXPECT_THROW(parse_suite_spec("models=notamodel\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_suite_spec("bogus_key=1\n"), std::invalid_argument);
+  EXPECT_THROW(parse_suite_spec("no equals sign"), std::invalid_argument);
+  EXPECT_THROW(parse_suite_spec("models=lenet,,lenet\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_suite_spec("trials=12abc\n"), std::invalid_argument);
+  EXPECT_THROW(parse_suite_spec("faults=b0\n"), std::invalid_argument);
+  EXPECT_THROW(parse_suite_spec("faults=wmulti\n"), std::invalid_argument);
+  EXPECT_THROW(parse_suite_spec("target_ci=-1\n"), std::invalid_argument);
+}
+
+TEST(SchedulerSubmit, RejectsShardedSpecsAndDuplicateNames) {
+  SchedulerConfig cfg;
+  cfg.workers = 2;
+  Scheduler sched(cfg, &shared_cache());
+
+  SuiteSpec sharded = tiny_spec("sharded");
+  sharded.shard_count = 2;
+  EXPECT_THROW(sched.submit(sharded), std::invalid_argument);
+
+  // Block the first request inside its sink so it is provably still
+  // running when the duplicate submit arrives (the sink must not call
+  // back into the scheduler; blocking on an external latch is fine).
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false, entered = false;
+  const std::uint64_t id = sched.submit(
+      tiny_spec("dup"), [&](std::size_t, const CheckpointHeader&,
+                            const std::vector<TrialRecord>&) {
+        std::unique_lock<std::mutex> lk(mu);
+        entered = true;
+        cv.notify_all();
+        cv.wait(lk, [&] { return release; });
+      });
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return entered; });
+  }
+  EXPECT_THROW(sched.submit(tiny_spec("dup")), std::invalid_argument);
+  EXPECT_FALSE(sched.cancel(9999));  // unknown id
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    release = true;
+  }
+  cv.notify_all();
+  sched.wait(id);
+  // Settled: the name is free again.
+  EXPECT_NO_THROW(sched.wait(sched.submit(tiny_spec("dup"))));
+}
+
+TEST(SchedulerIdentity, ConcurrentSubmittersMatchOneShotGoldens) {
+  // Two clients with different grids — activation flips under
+  // {unprotected, ranger}, and stuck-at-0 weight faults — share one
+  // daemon, its caches and its worker pool.
+  SuiteSpec spec_a = tiny_spec("conc_a");
+  SuiteSpec spec_b = tiny_spec("conc_b");
+  FaultModelSpec wf;
+  wf.cls = FaultClass::kWeight;
+  wf.wkind = WeightFaultKind::kStuckAt0;
+  spec_b.faults = {wf};
+  spec_b.techniques = {Technique::kUnprotected};
+
+  const auto golden_a = one_shot_goldens(spec_a, "conc_a_golden");
+  const auto golden_b = one_shot_goldens(spec_b, "conc_b_golden");
+
+  SchedulerConfig cfg;
+  cfg.workers = 3;
+  cfg.partitions_per_cell = 3;
+  cfg.slice_trials = 5;
+  cfg.checkpoint_dir = temp_dir("conc_ckpt");
+  Scheduler sched(cfg, &shared_cache());
+
+  Collected ca, cb;
+  std::uint64_t ida = 0, idb = 0;
+  std::thread ta([&] { ida = sched.submit(spec_a, collector(ca)); });
+  std::thread tb([&] { idb = sched.submit(spec_b, collector(cb)); });
+  ta.join();
+  tb.join();
+  sched.wait(ida);
+  sched.wait(idb);
+
+  // Server-side export and the client-side reassembly of the streamed
+  // frames must both match the one-shot bytes.
+  expect_matches_goldens(
+      sched.export_request_jsonl(ida, temp_dir("conc_a_out")), golden_a);
+  expect_matches_goldens(
+      sched.export_request_jsonl(idb, temp_dir("conc_b_out")), golden_b);
+  expect_stream_matches_goldens(spec_a, ca, golden_a);
+  expect_stream_matches_goldens(spec_b, cb, golden_b);
+
+  const auto st = sched.status(ida);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->state, RequestState::kDone);
+  EXPECT_EQ(st->streamed_trials, compile_suite(spec_a).total_trials);
+}
+
+TEST(SchedulerIdentity, WorkerCountSliceAndStealOrderAreInvisible) {
+  // Same grid (including a ranger-paired cell, which pins the
+  // shard_offset phasing and the shared-goldens judging path) under
+  // radically different scheduling: 1 worker × whole partitions
+  // vs 4 workers × 3-trial slices × 5 partitions.
+  SuiteSpec spec = tiny_spec("inv");
+  spec.techniques = {Technique::kUnprotected, Technique::kRanger,
+                     Technique::kRangerPaired};
+  const auto golden = one_shot_goldens(spec, "inv_golden");
+
+  SchedulerConfig serial;
+  serial.workers = 1;
+  serial.partitions_per_cell = 1;
+  Scheduler s1(serial, &shared_cache());
+  const std::uint64_t id1 = s1.submit(spec);
+  s1.wait(id1);
+  expect_matches_goldens(s1.export_request_jsonl(id1, temp_dir("inv_out1")),
+                         golden);
+
+  SchedulerConfig wide;
+  wide.workers = 4;
+  wide.partitions_per_cell = 5;
+  wide.slice_trials = 3;
+  wide.checkpoint_dir = temp_dir("inv_ckpt");
+  Scheduler s4(wide, &shared_cache());
+  const std::uint64_t id4 = s4.submit(spec);
+  s4.wait(id4);
+  expect_matches_goldens(s4.export_request_jsonl(id4, temp_dir("inv_out4")),
+                         golden);
+}
+
+TEST(SchedulerIdentity, WarmCachesChangeNothing) {
+  // Second request of the same grid hits every engine cache (workloads,
+  // bounds, executors, goldens) warm; records must not care.
+  SuiteSpec cold = tiny_spec("warm_a");
+  SuiteSpec warm = tiny_spec("warm_b");
+  const auto golden = one_shot_goldens(cold, "warm_golden");
+
+  SchedulerConfig cfg;
+  cfg.workers = 2;
+  cfg.partitions_per_cell = 2;
+  Scheduler sched(cfg, &shared_cache());
+  const std::uint64_t ca = sched.submit(cold);
+  sched.wait(ca);
+  const std::uint64_t wa = sched.submit(warm);
+  sched.wait(wa);
+
+  const auto cold_paths = sched.export_request_jsonl(ca, temp_dir("warm_o1"));
+  const auto warm_paths = sched.export_request_jsonl(wa, temp_dir("warm_o2"));
+  expect_matches_goldens(cold_paths, golden);
+  ASSERT_EQ(cold_paths.size(), warm_paths.size());
+  // Names differ (request name prefixes the file); bytes must not.
+  for (std::size_t i = 0; i < cold_paths.size(); ++i)
+    EXPECT_EQ(slurp(warm_paths[i]), slurp(cold_paths[i]));
+}
+
+TEST(SchedulerCrash, KilledWorkerLosesNoTrialsAndDuplicatesNone) {
+  SuiteSpec spec = tiny_spec("kill");
+  const auto golden = one_shot_goldens(spec, "kill_golden");
+
+  SchedulerConfig cfg;
+  cfg.workers = 2;
+  cfg.partitions_per_cell = 3;
+  cfg.slice_trials = 4;
+  cfg.checkpoint_dir = temp_dir("kill_ckpt");
+  Scheduler sched(cfg, &shared_cache());
+  // Worker 1's second slice checkpoints but never streams, then the
+  // worker exits — the kill-after-fsync crash window.  Worker 0 must
+  // adopt the orphaned unit and stream its records from the checkpoint.
+  sched.kill_worker_after(1, 2);
+
+  Collected c;
+  const std::uint64_t id = sched.submit(spec, collector(c));
+  sched.wait(id);
+
+  const auto st = sched.status(id);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->state, RequestState::kDone);
+  EXPECT_EQ(st->streamed_trials, compile_suite(spec).total_trials);
+  expect_matches_goldens(sched.export_request_jsonl(id, temp_dir("kill_out")),
+                         golden);
+  expect_stream_matches_goldens(spec, c, golden);
+}
+
+TEST(SchedulerCrash, CancelLeavesResumableCheckpointsThenResumeCompletes) {
+  SuiteSpec spec = tiny_spec("cxl");
+  spec.trials_small = 100;  // 200 trials/cell: cancel lands mid-run
+  const auto golden = one_shot_goldens(spec, "cxl_golden");
+  const std::string ckpt = temp_dir("cxl_ckpt");
+
+  std::size_t cancelled_streamed = 0;
+  {
+    SchedulerConfig cfg;
+    cfg.workers = 2;
+    cfg.partitions_per_cell = 2;
+    cfg.slice_trials = 4;
+    cfg.checkpoint_dir = ckpt;
+    Scheduler sched(cfg, &shared_cache());
+
+    std::mutex mu;
+    std::condition_variable cv;
+    bool streamed = false;
+    const std::uint64_t id = sched.submit(
+        spec, [&](std::size_t, const CheckpointHeader&,
+                  const std::vector<TrialRecord>&) {
+          std::lock_guard<std::mutex> lk(mu);
+          streamed = true;
+          cv.notify_all();
+        });
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [&] { return streamed; });
+    }
+    EXPECT_TRUE(sched.cancel(id));
+    const SuiteResult partial = sched.wait(id);
+    const auto st = sched.status(id);
+    ASSERT_TRUE(st.has_value());
+    EXPECT_EQ(st->state, RequestState::kCancelled);
+    cancelled_streamed = st->streamed_trials;
+    EXPECT_GT(cancelled_streamed, 0u);
+    EXPECT_LT(cancelled_streamed, compile_suite(spec).total_trials);
+    // Partial reports still build (prefix-consistent records).
+    EXPECT_EQ(partial.cells.size(), compile_suite(spec).cells.size());
+    EXPECT_FALSE(sched.cancel(id));  // already settled
+  }
+
+  // Fresh daemon, same checkpoint dir: resubmitting the spec resumes
+  // the surviving checkpoints and completes with one-shot bytes.
+  {
+    SchedulerConfig cfg;
+    cfg.workers = 2;
+    cfg.partitions_per_cell = 2;  // must match: partitions key filenames
+    cfg.slice_trials = 4;
+    cfg.checkpoint_dir = ckpt;
+    Scheduler sched(cfg, &shared_cache());
+    const std::uint64_t id = sched.submit(spec);
+    sched.wait(id);
+    expect_matches_goldens(
+        sched.export_request_jsonl(id, temp_dir("cxl_out")), golden);
+
+    // No-op resume: everything is already checkpointed, so a third run
+    // executes nothing new yet streams the full record set again and
+    // exports the same bytes.
+    Collected c;
+    const std::uint64_t noop = sched.submit(spec, collector(c));
+    sched.wait(noop);
+    const auto st = sched.status(noop);
+    ASSERT_TRUE(st.has_value());
+    EXPECT_EQ(st->state, RequestState::kDone);
+    EXPECT_EQ(st->streamed_trials, compile_suite(spec).total_trials);
+    expect_matches_goldens(
+        sched.export_request_jsonl(noop, temp_dir("cxl_out2")), golden);
+    expect_stream_matches_goldens(spec, c, golden);
+  }
+}
+
+TEST(SchedulerEngine, WorkloadCacheConcurrentGetIsSafe) {
+  // TSan regression for the find-or-insert + per-entry once_flag cache:
+  // concurrent get() for the same and different keys must race-free
+  // return one stable Workload instance per key.
+  models::WorkloadOptions wo;
+  wo.seed = 2021;
+  wo.eval_inputs = 2;
+  models::WorkloadCache cache(wo);
+  constexpr int kThreads = 8;
+  std::vector<const models::Workload*> seen(kThreads * 2, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&cache, &seen, t] {
+      seen[2 * t] = &cache.get(models::ModelId::kLeNet);
+      seen[2 * t + 1] =
+          &cache.get(models::ModelId::kLeNet, ops::OpKind::kTanh);
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(cache.size(), 2u);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[2 * t], seen[0]);
+    EXPECT_EQ(seen[2 * t + 1], seen[1]);
+  }
+}
+
+}  // namespace
+}  // namespace rangerpp::fi

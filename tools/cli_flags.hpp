@@ -93,6 +93,9 @@ inline void print_axes(std::FILE* f) {
        {fi::Technique::kUnprotected, fi::Technique::kRanger,
         fi::Technique::kRangerPaired})
     std::fprintf(f, " %s", std::string(fi::technique_token(t)).c_str());
+  std::fprintf(f,
+               "\nscheduler modes (scheduler_cli): serve submit status "
+               "cancel shutdown");
   std::fprintf(f, "\n");
 }
 
