@@ -200,6 +200,7 @@ struct Scheduler::Request {
   };
   std::vector<std::unique_ptr<CellState>> cells;
   std::vector<std::unique_ptr<Unit>> units;
+  bool released = false;  // release() dropped records/units (under mu)
 };
 
 // ---- Scheduler --------------------------------------------------------------
@@ -239,7 +240,7 @@ std::uint64_t Scheduler::submit(SuiteSpec spec, RecordSink sink) {
   spec.checkpoint_dir.clear();
   spec.max_new_trials = 0;
 
-  auto req = std::make_unique<Request>();
+  auto req = std::make_shared<Request>();
   req->plan = compile_suite(spec);  // throws on a bad spec
   req->sink = std::move(sink);
   for (std::size_t ci = 0; ci < req->plan.cells.size(); ++ci) {
@@ -267,6 +268,7 @@ std::uint64_t Scheduler::submit(SuiteSpec spec, RecordSink sink) {
     req->id = next_id_++;
     raw = req.get();
     requests_[raw->id] = std::move(req);
+    reap_settled_locked();
   }
 
   if (!config_.checkpoint_dir.empty())
@@ -284,10 +286,33 @@ std::uint64_t Scheduler::submit(SuiteSpec spec, RecordSink sink) {
   return raw->id;
 }
 
-Scheduler::Request* Scheduler::find_request(std::uint64_t id) const {
+std::shared_ptr<Scheduler::Request> Scheduler::find_request(
+    std::uint64_t id) const {
   std::lock_guard<std::mutex> lk(requests_mu_);
   const auto it = requests_.find(id);
-  return it == requests_.end() ? nullptr : it->second.get();
+  return it == requests_.end() ? nullptr : it->second;
+}
+
+// Oldest-first eviction of settled requests beyond the retention cap —
+// the bound on resident memory (and on the duplicate-name scan and
+// status_all walks).  Holders of the shared_ptr (a concurrent wait or
+// export) keep the request alive past the erase; a settled request has
+// no units left in any worker deque, so nothing dangles.
+void Scheduler::reap_settled_locked() {
+  std::size_t settled = 0;
+  for (const auto& [id, req] : requests_)
+    if (req->state.load(std::memory_order_acquire) != RequestState::kRunning)
+      ++settled;
+  for (auto it = requests_.begin();
+       settled > config_.settled_retention && it != requests_.end();) {
+    if (it->second->state.load(std::memory_order_acquire) ==
+        RequestState::kRunning) {
+      ++it;
+      continue;
+    }
+    it = requests_.erase(it);
+    --settled;
+  }
 }
 
 RequestStatus Scheduler::status_of(Request& req) const {
@@ -304,7 +329,7 @@ RequestStatus Scheduler::status_of(Request& req) const {
 }
 
 std::optional<RequestStatus> Scheduler::status(std::uint64_t id) const {
-  Request* req = find_request(id);
+  const std::shared_ptr<Request> req = find_request(id);
   if (!req) return std::nullopt;
   return status_of(*req);
 }
@@ -318,7 +343,7 @@ std::vector<RequestStatus> Scheduler::status_all() const {
 }
 
 bool Scheduler::cancel(std::uint64_t id) {
-  Request* req = find_request(id);
+  const std::shared_ptr<Request> req = find_request(id);
   if (!req) return false;
   std::lock_guard<std::mutex> lk(req->mu);
   if (req->state != RequestState::kRunning || req->cancelled) return false;
@@ -327,33 +352,41 @@ bool Scheduler::cancel(std::uint64_t id) {
 }
 
 SuiteResult Scheduler::wait(std::uint64_t id) {
-  Request* req = find_request(id);
+  const std::shared_ptr<Request> req = find_request(id);
   if (!req) throw std::invalid_argument("Scheduler: unknown request id");
-  std::unique_lock<std::mutex> lk(req->mu);
-  req->cv.wait(lk, [&] { return req->state != RequestState::kRunning; });
-  if (req->state == RequestState::kFailed)
-    throw std::runtime_error("Scheduler: request '" + req->plan.spec.name +
-                             "' failed: " + req->error);
+  {
+    std::unique_lock<std::mutex> lk(req->mu);
+    req->cv.wait(lk, [&] { return req->state != RequestState::kRunning; });
+    if (req->state == RequestState::kFailed)
+      throw std::runtime_error("Scheduler: request '" + req->plan.spec.name +
+                               "' failed: " + req->error);
+  }
   SuiteResult out;
   out.plan = req->plan;
   out.cells.reserve(req->plan.cells.size());
   for (std::size_t ci = 0; ci < req->plan.cells.size(); ++ci) {
     const SuiteCell& cell = req->plan.cells[ci];
-    Request::CellState& cs = *req->cells[ci];
-    // judge count from the model (identical to the header's) so a
-    // cancelled cell that never ran still builds an empty report.
+    // The header via ensure_cell_header, never cs.header directly: the
+    // call_once is the publication point, and a cell that never ran
+    // (cancel) gets its header built here — same as the export path.
+    const CheckpointHeader& header = ensure_cell_header(*req, ci);
+    std::vector<TrialRecord> records;
+    {
+      std::lock_guard<std::mutex> lk(req->mu);
+      records = req->cells[ci]->records;
+    }
     out.cells.push_back(
-        {cell, build_report(cs.records,
+        {cell, build_report(records,
                             models::default_judges(cell.model).size(),
                             cell.total_trials,
-                            parse_strata_weights(cs.header.strata_weights))});
+                            parse_strata_weights(header.strata_weights))});
   }
   return out;
 }
 
 CheckpointHeader Scheduler::cell_header(std::uint64_t id,
                                         std::size_t cell_index) const {
-  Request* req = find_request(id);
+  const std::shared_ptr<Request> req = find_request(id);
   if (!req) throw std::invalid_argument("Scheduler: unknown request id");
   if (cell_index >= req->cells.size())
     throw std::invalid_argument("Scheduler: cell index out of range");
@@ -366,13 +399,18 @@ CheckpointHeader Scheduler::cell_header(std::uint64_t id,
 
 std::vector<std::string> Scheduler::export_request_jsonl(
     std::uint64_t id, const std::string& dir) {
-  Request* req = find_request(id);
+  const std::shared_ptr<Request> req = find_request(id);
   if (!req) throw std::invalid_argument("Scheduler: unknown request id");
   {
     std::lock_guard<std::mutex> lk(req->mu);
     if (req->state == RequestState::kRunning)
       throw std::runtime_error(
           "Scheduler: export requires a settled request (wait first)");
+    if (req->released)
+      throw std::runtime_error(
+          "Scheduler: request '" + req->plan.spec.name +
+          "' was released — its records are gone (checkpoints, if "
+          "configured, remain resumable)");
   }
   std::filesystem::create_directories(dir);
   std::vector<std::string> paths;
@@ -398,6 +436,28 @@ std::vector<std::string> Scheduler::export_request_jsonl(
     paths.push_back(path);
   }
   return paths;
+}
+
+bool Scheduler::release(std::uint64_t id) {
+  const std::shared_ptr<Request> req = find_request(id);
+  if (!req) return false;
+  // Atomic state check before touching req->mu: a running request's mu
+  // may be held across a (possibly slow) sink call, and release must
+  // refuse, not block.  Settling is one-way, so a settled answer here
+  // stays settled under the lock below.
+  if (req->state.load(std::memory_order_acquire) == RequestState::kRunning)
+    return false;
+  std::lock_guard<std::mutex> lk(req->mu);
+  req->released = true;
+  // A settled request has settled every unit, so no worker deque still
+  // points into `units` — dropping them (and the buffered records) is
+  // safe.  Status counters stay behind for history queries.
+  for (auto& cs : req->cells) {
+    cs->records.clear();
+    cs->records.shrink_to_fit();
+  }
+  req->units.clear();
+  return true;
 }
 
 void Scheduler::kill_worker_after(unsigned worker, std::size_t slices) {

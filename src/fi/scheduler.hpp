@@ -73,6 +73,14 @@ struct SchedulerConfig {
   // recovery.  Requests resume from whatever matching checkpoints the
   // directory already holds — the daemon-restart recovery path.
   std::string checkpoint_dir;
+
+  // A resident daemon must not grow without bound: each submit() reaps
+  // the oldest *settled* requests beyond this many, dropping them (and
+  // their buffered records) entirely — their ids then read as unknown.
+  // Running requests are never reaped.  Size this above the number of
+  // settled requests whose records/status callers may still come back
+  // for; 0 keeps only running requests.
+  std::size_t settled_retention = 64;
 };
 
 enum class RequestState { kRunning, kDone, kCancelled, kFailed };
@@ -144,9 +152,17 @@ class Scheduler {
   // <dir>/<name>.<cell-id>.s0of1.jsonl — byte-identical to the
   // checkpoints a one-shot unsharded suite_cli run of the same spec
   // writes (the determinism gate's cmp target).  Returns the paths in
-  // cell order.
+  // cell order.  Throws after release() dropped the records.
   std::vector<std::string> export_request_jsonl(std::uint64_t id,
                                                 const std::string& dir);
+
+  // Drops a settled request's buffered records and work units, keeping
+  // its lightweight status (state/streamed counts) queryable until the
+  // retention reaper evicts it.  The daemon calls this once a client's
+  // stream is fully delivered — the client holds the records, and any
+  // on-disk checkpoints stay resumable.  False when the id is unknown
+  // or the request is still running.
+  bool release(std::uint64_t id);
 
   // Stops the workers after their current slices; queued units are
   // abandoned (checkpoints resumable) and unfinished requests settle as
@@ -179,8 +195,11 @@ class Scheduler {
   const CheckpointHeader& ensure_cell_header(Request& req, std::size_t ci);
   void settle_unit(Unit* u);
   void fail_request(Request& req, const std::string& error);
-  Request* find_request(std::uint64_t id) const;
+  // Shared ownership: the retention reaper may erase a settled request
+  // from the map while a concurrent status/wait/export still holds it.
+  std::shared_ptr<Request> find_request(std::uint64_t id) const;
   RequestStatus status_of(Request& req) const;
+  void reap_settled_locked();  // requests_mu_ held
 
   SchedulerConfig config_;
   unsigned workers_ = 1;
@@ -188,7 +207,7 @@ class Scheduler {
 
   mutable std::mutex requests_mu_;  // guards requests_ shape + next_id_
   std::uint64_t next_id_ = 1;
-  std::map<std::uint64_t, std::unique_ptr<Request>> requests_;
+  std::map<std::uint64_t, std::shared_ptr<Request>> requests_;
 
   std::mutex queue_mu_;  // guards queues_ and shutdown_
   std::condition_variable queue_cv_;

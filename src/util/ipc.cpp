@@ -1,7 +1,9 @@
 #include "util/ipc.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -48,6 +50,26 @@ bool recv_all(int fd, void* data, std::size_t n) {
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw std::runtime_error("ipc: " + what + ": " + std::strerror(errno));
+}
+
+// The listening fd is non-blocking (accept() polls first, but a
+// connection can vanish between poll and accept) and carries a
+// self-pipe so close() from another thread wakes the poll instead of
+// closing the descriptor under it.
+void setup_listener_fds(int fd, int& wake_r, int& wake_w,
+                        const std::string& what) {
+  if (::fcntl(fd, F_SETFL, O_NONBLOCK) != 0) {
+    ::close(fd);
+    throw_errno("fcntl(O_NONBLOCK) " + what);
+  }
+  int p[2];
+  if (::pipe(p) != 0) {
+    ::close(fd);
+    throw_errno("pipe " + what);
+  }
+  ::fcntl(p[1], F_SETFL, O_NONBLOCK);  // close() must never block
+  wake_r = p[0];
+  wake_w = p[1];
 }
 
 }  // namespace
@@ -101,6 +123,9 @@ bool Conn::recv_frame(std::uint8_t& type, std::string& payload) {
 
 Listener::Listener(Listener&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
+      wake_r_(std::exchange(other.wake_r_, -1)),
+      wake_w_(std::exchange(other.wake_w_, -1)),
+      stop_(other.stop_.load(std::memory_order_relaxed)),
       port_(std::exchange(other.port_, 0)),
       unlink_path_(std::move(other.unlink_path_)) {
   other.unlink_path_.clear();
@@ -108,8 +133,12 @@ Listener::Listener(Listener&& other) noexcept
 
 Listener& Listener::operator=(Listener&& other) noexcept {
   if (this != &other) {
-    close();
+    release_fds();
     fd_ = std::exchange(other.fd_, -1);
+    wake_r_ = std::exchange(other.wake_r_, -1);
+    wake_w_ = std::exchange(other.wake_w_, -1);
+    stop_.store(other.stop_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
     port_ = std::exchange(other.port_, 0);
     unlink_path_ = std::move(other.unlink_path_);
     other.unlink_path_.clear();
@@ -117,15 +146,31 @@ Listener& Listener::operator=(Listener&& other) noexcept {
   return *this;
 }
 
-Listener::~Listener() { close(); }
+Listener::~Listener() { release_fds(); }
 
 void Listener::close() {
+  stop_.store(true, std::memory_order_release);
+  if (wake_w_ >= 0) {
+    const char byte = 1;
+    // Best-effort: a full pipe already holds a wakeup byte, and the
+    // stop_ flag alone settles any race accept() loses.
+    while (::write(wake_w_, &byte, 1) < 0 && errno == EINTR) {
+    }
+  }
+}
+
+void Listener::release_fds() {
   if (fd_ >= 0) {
-    // shutdown() wakes a thread blocked in accept(); close() alone is
-    // not guaranteed to.
-    ::shutdown(fd_, SHUT_RDWR);
     ::close(fd_);
     fd_ = -1;
+  }
+  if (wake_r_ >= 0) {
+    ::close(wake_r_);
+    wake_r_ = -1;
+  }
+  if (wake_w_ >= 0) {
+    ::close(wake_w_);
+    wake_w_ = -1;
   }
   if (!unlink_path_.empty()) {
     ::unlink(unlink_path_.c_str());
@@ -152,6 +197,7 @@ Listener Listener::listen_unix(const std::string& path) {
     throw_errno("listen " + path);
   }
   Listener l;
+  setup_listener_fds(fd, l.wake_r_, l.wake_w_, path);
   l.fd_ = fd;
   l.unlink_path_ = path;
   return l;
@@ -180,6 +226,8 @@ Listener Listener::listen_tcp(std::uint16_t port) {
     throw_errno("getsockname");
   }
   Listener l;
+  setup_listener_fds(fd, l.wake_r_, l.wake_w_,
+                     "127.0.0.1:" + std::to_string(port));
   l.fd_ = fd;
   l.port_ = ntohs(addr.sin_port);
   return l;
@@ -188,10 +236,24 @@ Listener Listener::listen_tcp(std::uint16_t port) {
 Conn Listener::accept() {
   if (fd_ < 0) return Conn{};
   for (;;) {
+    if (stop_.load(std::memory_order_acquire)) return Conn{};
+    pollfd pfds[2] = {{fd_, POLLIN, 0}, {wake_r_, POLLIN, 0}};
+    const int n = ::poll(pfds, 2, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Conn{};
+    }
+    if (stop_.load(std::memory_order_acquire) || pfds[1].revents != 0)
+      return Conn{};  // close() signalled from another thread
+    if ((pfds[0].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
     const int c = ::accept(fd_, nullptr, nullptr);
     if (c >= 0) return Conn{c};
-    if (errno == EINTR) continue;
-    return Conn{};  // listener closed (shutdown path) or fatal error
+    // The connection can vanish between poll and accept (non-blocking
+    // fd): not fatal, poll again.
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+        errno == ECONNABORTED)
+      continue;
+    return Conn{};
   }
 }
 

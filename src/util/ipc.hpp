@@ -21,6 +21,7 @@
 // serialise externally or frames would interleave.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -58,9 +59,13 @@ class Conn {
   int fd_ = -1;
 };
 
-// A listening socket (move-only).  close() from another thread wakes a
-// blocked accept(), which then returns an invalid Conn — the daemon's
-// shutdown path.
+// A listening socket (move-only).  close() may be called from any
+// thread: it only *signals* shutdown (an atomic flag plus a self-pipe
+// byte that accept() polls alongside the listening fd), so a thread
+// blocked in accept() wakes and returns an invalid Conn without the
+// listening descriptor ever being closed under it — no stale-fd reuse
+// window.  The descriptors themselves (and the unix socket file) are
+// released by the destructor, once no thread can still be accepting.
 class Listener {
  public:
   Listener() = default;
@@ -79,15 +84,24 @@ class Listener {
   bool valid() const { return fd_ >= 0; }
   std::uint16_t port() const { return port_; }
 
-  // Blocks for the next connection; invalid Conn once closed.
+  // Blocks for the next connection; invalid Conn once close() was
+  // called (from this or any other thread).
   Conn accept();
 
+  // Signals shutdown and wakes a blocked accept().  Safe to call from
+  // any thread, idempotent; does NOT release the descriptors (the
+  // destructor does, after the accept loop has exited).
   void close();
 
  private:
+  void release_fds();  // destructor/move-assign teardown — never
+                       // concurrent with accept() by lifecycle
+
   int fd_ = -1;
+  int wake_r_ = -1, wake_w_ = -1;  // self-pipe: close() -> accept()
+  std::atomic<bool> stop_{false};
   std::uint16_t port_ = 0;
-  std::string unlink_path_;  // unix socket file removed on close
+  std::string unlink_path_;  // unix socket file removed on teardown
 };
 
 // Client-side connects; an invalid Conn means the endpoint is not

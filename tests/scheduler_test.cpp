@@ -403,6 +403,79 @@ TEST(SchedulerCrash, CancelLeavesResumableCheckpointsThenResumeCompletes) {
   }
 }
 
+TEST(SchedulerRetention, ReleaseDropsRecordsButKeepsStatus) {
+  SchedulerConfig cfg;
+  cfg.workers = 2;
+  Scheduler sched(cfg, &shared_cache());
+  const SuiteSpec spec = tiny_spec("rel");
+  const std::uint64_t id = sched.submit(spec);
+  sched.wait(id);
+
+  EXPECT_FALSE(sched.release(9999));  // unknown id
+  ASSERT_TRUE(sched.release(id));
+  // Lightweight status survives the release; the buffered records do
+  // not — export must refuse instead of writing empty files.
+  const auto st = sched.status(id);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->state, RequestState::kDone);
+  EXPECT_EQ(st->streamed_trials, compile_suite(spec).total_trials);
+  EXPECT_THROW(sched.export_request_jsonl(id, temp_dir("rel_out")),
+               std::runtime_error);
+}
+
+TEST(SchedulerRetention, ReleaseRefusesRunningRequests) {
+  SchedulerConfig cfg;
+  cfg.workers = 2;
+  Scheduler sched(cfg, &shared_cache());
+  std::mutex mu;
+  std::condition_variable cv;
+  bool unblock = false, entered = false;
+  // The sink blocks while the scheduler holds the request's internal
+  // lock — release() must still answer false immediately (the atomic
+  // state check), not wait out the stream.
+  const std::uint64_t id = sched.submit(
+      tiny_spec("rel_run"), [&](std::size_t, const CheckpointHeader&,
+                                const std::vector<TrialRecord>&) {
+        std::unique_lock<std::mutex> lk(mu);
+        entered = true;
+        cv.notify_all();
+        cv.wait(lk, [&] { return unblock; });
+      });
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return entered; });
+  }
+  EXPECT_FALSE(sched.release(id));
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    unblock = true;
+  }
+  cv.notify_all();
+  sched.wait(id);
+  EXPECT_TRUE(sched.release(id));
+}
+
+TEST(SchedulerRetention, SettledRequestsAreReapedBeyondTheCap) {
+  SchedulerConfig cfg;
+  cfg.workers = 2;
+  cfg.settled_retention = 1;
+  Scheduler sched(cfg, &shared_cache());
+
+  const std::uint64_t a = sched.submit(tiny_spec("reap_a"));
+  sched.wait(a);
+  // One settled request ≤ cap: submitting b keeps a around.
+  const std::uint64_t b = sched.submit(tiny_spec("reap_b"));
+  EXPECT_TRUE(sched.status(a).has_value());
+  sched.wait(b);
+  // Two settled > cap: submitting c evicts the oldest (a), keeps b.
+  const std::uint64_t c = sched.submit(tiny_spec("reap_c"));
+  EXPECT_FALSE(sched.status(a).has_value());
+  EXPECT_THROW(sched.wait(a), std::invalid_argument);
+  EXPECT_TRUE(sched.status(b).has_value());
+  sched.wait(c);
+  EXPECT_EQ(sched.status_all().size(), 2u);  // b (retained) + c
+}
+
 TEST(SchedulerEngine, WorkloadCacheConcurrentGetIsSafe) {
   // TSan regression for the find-or-insert + per-entry once_flag cache:
   // concurrent get() for the same and different keys must race-free

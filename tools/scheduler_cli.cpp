@@ -163,17 +163,27 @@ void handle_connection(util::ipc::Conn conn, fi::Scheduler& sched,
       case kSubmit: {
         const fi::SuiteSpec spec = fi::parse_suite_spec(payload);
         const fi::SuitePlan plan = fi::compile_suite(spec);
-        // The sink runs on worker threads but calls are serialised per
-        // request, and the terminal 'D' frame is only written after
-        // wait() — which returns strictly after the last sink call — so
-        // the connection has one writer at a time.  A vanished client
-        // (send failure) stops the stream but not the request: its
-        // checkpoints keep filling, and the records stay exportable.
+        // Sink calls are serialised per request by the scheduler, but
+        // they start racing this thread's 'P' plan ack the instant
+        // submit() returns (a warm-cache first slice can stream within
+        // microseconds), and send_frame writes prefix and payload as
+        // two send()s — concurrent writers would interleave frames.
+        // ipc.hpp requires external serialisation, so every send on
+        // this connection goes through one shared mutex.  A vanished
+        // client (send failure) stops the stream but not the request:
+        // its checkpoints keep filling, and the daemon keeps its
+        // records until the retention reaper evicts them.
+        auto send_mu = std::make_shared<std::mutex>();
+        const auto send = [&conn, send_mu](std::uint8_t t,
+                                           std::string_view p) {
+          std::lock_guard<std::mutex> lk(*send_mu);
+          return conn.send_frame(t, p);
+        };
         auto sent_header = std::make_shared<std::vector<bool>>(
             plan.cells.size(), false);
         auto client_gone = std::make_shared<std::atomic<bool>>(false);
         const std::uint64_t id = sched.submit(
-            spec, [&conn, sent_header, client_gone](
+            spec, [send, sent_header, client_gone](
                       std::size_t ci, const fi::CheckpointHeader& h,
                       const std::vector<fi::TrialRecord>& records) {
               if (client_gone->load(std::memory_order_relaxed)) return;
@@ -181,7 +191,7 @@ void handle_connection(util::ipc::Conn conn, fi::Scheduler& sched,
               if (!(*sent_header)[ci]) {
                 put_u32(frame, static_cast<std::uint32_t>(ci));
                 fi::encode_stream_header(frame, h);
-                if (!conn.send_frame(kHeader, frame)) {
+                if (!send(kHeader, frame)) {
                   client_gone->store(true, std::memory_order_relaxed);
                   return;
                 }
@@ -190,22 +200,28 @@ void handle_connection(util::ipc::Conn conn, fi::Scheduler& sched,
               }
               put_u32(frame, static_cast<std::uint32_t>(ci));
               frame += fi::encode_records(records);
-              if (!conn.send_frame(kRecords, frame))
+              if (!send(kRecords, frame))
                 client_gone->store(true, std::memory_order_relaxed);
             });
         std::string plan_ack = "id=" + std::to_string(id) +
                                "\ncells=" + std::to_string(plan.cells.size()) +
                                "\nplanned=" + std::to_string(plan.total_trials) +
                                "\n";
-        conn.send_frame(kPlan, plan_ack);
+        send(kPlan, plan_ack);
         try {
           sched.wait(id);
         } catch (const std::exception& e) {
-          conn.send_frame(kError, e.what());
+          send(kError, e.what());
           return;
         }
         const auto st = sched.status(id);
-        conn.send_frame(kDone, st ? status_line(*st) : "settled");
+        send(kDone, st ? status_line(*st) : "settled");
+        // The stream was fully delivered — the client owns the records
+        // now, so drop the daemon-side copy.  A vanished client keeps
+        // its buffered records until retention reaps them (the on-disk
+        // checkpoints stay resumable either way).
+        if (!client_gone->load(std::memory_order_relaxed))
+          sched.release(id);
         return;
       }
       case kStatusReq: {
