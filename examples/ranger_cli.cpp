@@ -1,7 +1,7 @@
 // Command-line driver: protect any zoo model with Ranger and run a
 // fault-injection campaign against it.
 //
-//   ranger_cli --model lenet --dtype fixed32 --trials 1000 --bits 1 \
+//   ranger_cli --model lenet --dtype fixed32 --trials 1000 --bits 1
 //              --percentile 100 --policy clamp [--dot out.dot]
 //
 // Prints the unprotected and protected SDC rates for the model's default

@@ -24,6 +24,25 @@ std::vector<graph::NodeId> fault_roots(const graph::Graph& g,
   return roots;
 }
 
+// Compile options for a campaign plan under `batch` images per run.
+// Observe::kInjectable: every injection site (and profiled ceiling) lives
+// on an injectable node, so rewrites only ever touch the non-injectable
+// output head — site replay and golden snapshots are unaffected, and the
+// fused plan stays bit-identical to the legacy one (the
+// campaign-throughput identity gate checks this).
+graph::CompileOptions campaign_compile_options(const CampaignConfig& config,
+                                               std::size_t batch) {
+  graph::CompileOptions opts;
+  opts.dtype = config.dtype;
+  opts.backend = config.backend;
+  opts.batch = batch;
+  opts.int8_formats = config.int8_formats;
+  opts.observe = graph::Observe::kInjectable;
+  // Debug builds already verify; verify_plan forces it in release too.
+  opts.verify = opts.verify || config.verify_plan;
+  return opts;
+}
+
 }  // namespace
 
 // ---- TrialPlanner -----------------------------------------------------------
@@ -192,16 +211,7 @@ TrialExecutor::TrialExecutor(const graph::Graph& g,
     : config_(config),
       inputs_(&inputs),
       exec_({config.dtype}),
-      // Observe::kInjectable: every injection site (and profiled ceiling)
-      // lives on an injectable node, so rewrites only ever touch the
-      // non-injectable output head — site replay and golden snapshots are
-      // unaffected, and the fused plan stays bit-identical to the legacy
-      // one (the campaign-throughput identity gate checks this).
-      plan_(graph::compile(
-          g, {.dtype = config.dtype,
-              .backend = config.backend,
-              .int8_formats = config.int8_formats,
-              .observe = graph::Observe::kInjectable})),
+      plan_(graph::compile(g, campaign_compile_options(config, 1))),
       arenas_(workers == 0 ? 1 : workers) {
   if (inputs.empty())
     throw std::invalid_argument("TrialExecutor: no inputs");
@@ -222,12 +232,8 @@ TrialExecutor::TrialExecutor(const graph::Graph& g,
     // Compiled with the same options (plus batch) as plan_: the rewrite
     // passes are deterministic and batch-independent, so node ids line up
     // between the two plans — which the tiled goldens below rely on.
-    batch_plan_ = std::make_unique<graph::ExecutionPlan>(graph::compile(
-        g, {.dtype = config.dtype,
-            .backend = config.backend,
-            .batch = config.batch,
-            .int8_formats = config.int8_formats,
-            .observe = graph::Observe::kInjectable}));
+    batch_plan_ = std::make_unique<graph::ExecutionPlan>(
+        graph::compile(g, campaign_compile_options(config, config.batch)));
     // Only the state the configured mode will read is materialised:
     // partial re-execution resumes from tiled goldens, full re-execution
     // re-runs from tiled feeds.

@@ -83,6 +83,14 @@ struct CampaignConfig {
   // Deterministic given (model, seed, inputs), so it needs no checkpoint
   // fingerprint entry of its own: `dtype` already covers it.
   std::unordered_map<std::string, tensor::FixedPointFormat> int8_formats;
+
+  // Run the static plan verifier (graph/verify.hpp) on every plan this
+  // campaign compiles, even in release builds where compilation skips it
+  // by default.  A violated invariant throws std::logic_error out of
+  // TrialExecutor construction instead of producing silently wrong trial
+  // records.  Pure diagnostics: verification never mutates the plan, so
+  // it is excluded from checkpoint fingerprints.
+  bool verify_plan = false;
 };
 
 using Feeds = std::unordered_map<std::string, tensor::Tensor>;

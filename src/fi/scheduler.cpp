@@ -50,13 +50,14 @@ std::string_view request_state_token(RequestState s) {
 // Build chains nest strictly goldens → executor → ranger → workload —
 // a DAG in one direction — so nested call_once never deadlocks.
 struct Scheduler::Engine {
-  explicit Engine(models::WorkloadCache* external) : external_(external) {}
+  Engine(models::WorkloadCache* external, bool verify_plans)
+      : verify_plans_(verify_plans), external_(external) {}
 
   models::WorkloadCache& workloads(std::uint64_t seed, std::size_t inputs) {
     if (external_ && external_->options().seed == seed &&
         external_->options().eval_inputs == inputs)
       return *external_;
-    std::lock_guard<std::mutex> lk(mu);
+    util::MutexLock lk(mu);
     std::unique_ptr<models::WorkloadCache>& slot = caches_[{seed, inputs}];
     if (!slot) {
       models::WorkloadOptions wo;
@@ -75,9 +76,14 @@ struct Scheduler::Engine {
 
   RangerEntry& ranger(const SuiteSpec& spec, models::ModelId model,
                       ops::OpKind act) {
-    RangerEntry& e = *slot(ranger_, std::make_tuple(
-        spec.seed, spec.inputs, static_cast<int>(model),
-        static_cast<int>(act)));
+    RangerEntry* ep;
+    {
+      util::MutexLock lk(mu);
+      ep = slot(ranger_, std::make_tuple(spec.seed, spec.inputs,
+                                         static_cast<int>(model),
+                                         static_cast<int>(act)));
+    }
+    RangerEntry& e = *ep;
     std::call_once(e.built, [&] {
       const models::Workload& w =
           workloads(spec.seed, spec.inputs).get(model, act);
@@ -92,10 +98,15 @@ struct Scheduler::Engine {
                                 const graph::Graph& g,
                                 const std::vector<Feeds>& inputs,
                                 bool is_protected, unsigned workers) {
-    ExecEntry& e = *slot(executors_, std::make_tuple(
-        spec.seed, spec.inputs, static_cast<int>(cell.model),
-        static_cast<int>(cell.act), is_protected ? 1 : 0,
-        static_cast<int>(cell.dtype)));
+    ExecEntry* ep;
+    {
+      util::MutexLock lk(mu);
+      ep = slot(executors_, std::make_tuple(
+          spec.seed, spec.inputs, static_cast<int>(cell.model),
+          static_cast<int>(cell.act), is_protected ? 1 : 0,
+          static_cast<int>(cell.dtype)));
+    }
+    ExecEntry& e = *ep;
     std::call_once(e.built, [&] {
       // Only (graph, dtype, backend, batch) reach the executor — one
       // compiled executor serves every cell and every request of this
@@ -105,6 +116,11 @@ struct Scheduler::Engine {
       CampaignConfig ec;
       ec.dtype = cell.dtype;
       ec.threads = 1;
+      // The per-cell static verification point: every distinct compiled
+      // plan is proven sound here, once, before any trial runs.  A
+      // VerifyReport failure throws out of the call_once; the slice's
+      // catch settles the request kFailed with the diagnostic.
+      ec.verify_plan = verify_plans_;
       if (cell.dtype == tensor::DType::kInt8)
         ec.int8_formats =
             core::int8_calibration(ranger(spec, cell.model, cell.act).bounds);
@@ -116,9 +132,14 @@ struct Scheduler::Engine {
   const std::vector<tensor::Tensor>& unprotected_goldens(
       const SuiteSpec& spec, const SuiteCell& cell,
       const models::Workload& w, unsigned workers) {
-    GoldenEntry& e = *slot(goldens_, std::make_tuple(
-        spec.seed, spec.inputs, static_cast<int>(cell.model),
-        static_cast<int>(cell.act), static_cast<int>(cell.dtype)));
+    GoldenEntry* ep;
+    {
+      util::MutexLock lk(mu);
+      ep = slot(goldens_, std::make_tuple(
+          spec.seed, spec.inputs, static_cast<int>(cell.model),
+          static_cast<int>(cell.act), static_cast<int>(cell.dtype)));
+    }
+    GoldenEntry& e = *ep;
     std::call_once(e.built, [&] {
       const TrialExecutor& ex = executor(spec, cell, w.graph, w.eval_feeds,
                                          /*is_protected=*/false, workers);
@@ -129,12 +150,16 @@ struct Scheduler::Engine {
     return e.goldens;
   }
 
-  std::mutex mu;  // guards the maps' shape, never a build
+  util::Mutex mu;  // guards the maps' shape, never a build
 
  private:
+  // Find-or-insert under `mu` (held by the caller so the guarded map
+  // can be named at the call site at all — passing it unlocked would
+  // itself be a thread-safety error).  Returned entries are stable:
+  // heap-allocated, never evicted.
   template <typename Map, typename Key>
-  typename Map::mapped_type::element_type* slot(Map& map, const Key& key) {
-    std::lock_guard<std::mutex> lk(mu);
+  typename Map::mapped_type::element_type* slot(Map& map, const Key& key)
+      RANGERPP_REQUIRES(mu) {
     typename Map::mapped_type& s = map[key];
     if (!s) s = std::make_unique<typename Map::mapped_type::element_type>();
     return s.get();
@@ -149,19 +174,20 @@ struct Scheduler::Engine {
     std::vector<tensor::Tensor> goldens;
   };
 
+  const bool verify_plans_;
   models::WorkloadCache* external_ = nullptr;
   std::map<std::pair<std::uint64_t, std::size_t>,
            std::unique_ptr<models::WorkloadCache>>
-      caches_;
+      caches_ RANGERPP_GUARDED_BY(mu);
   std::map<std::tuple<std::uint64_t, std::size_t, int, int>,
            std::unique_ptr<RangerEntry>>
-      ranger_;
+      ranger_ RANGERPP_GUARDED_BY(mu);
   std::map<std::tuple<std::uint64_t, std::size_t, int, int, int, int>,
            std::unique_ptr<ExecEntry>>
-      executors_;
+      executors_ RANGERPP_GUARDED_BY(mu);
   std::map<std::tuple<std::uint64_t, std::size_t, int, int, int>,
            std::unique_ptr<GoldenEntry>>
-      goldens_;
+      goldens_ RANGERPP_GUARDED_BY(mu);
 };
 
 // ---- Per-request state ------------------------------------------------------
@@ -177,30 +203,40 @@ struct Scheduler::Unit {
 };
 
 struct Scheduler::Request {
+  // Immutable after submit() publishes the request: id, plan, sink (the
+  // *field*; calls through it serialise under `mu`), and the shape of
+  // `cells` (its entries' mutable state is guarded individually).
   std::uint64_t id = 0;
   SuitePlan plan;
   RecordSink sink;
 
-  std::mutex mu;  // guards everything below + serialises the sink
-  std::condition_variable cv;
+  util::Mutex mu;  // also serialises the sink
+  util::CondVar cv;
   // Atomic so readers that must not block on a request's sink (submit's
   // duplicate-name check, status over many requests) can read it
   // without `mu`; writers still settle it under `mu` + cv notify.
   std::atomic<RequestState> state{RequestState::kRunning};
-  bool cancelled = false;  // also set on failure: pending units skip
-  std::string error;
-  std::size_t outstanding = 0;  // units not yet settled
-  std::size_t streamed = 0;     // records delivered across all cells
+  // cancelled is also set on failure: pending units skip at pickup.
+  bool cancelled RANGERPP_GUARDED_BY(mu) = false;
+  std::string error RANGERPP_GUARDED_BY(mu);
+  std::size_t outstanding RANGERPP_GUARDED_BY(mu) = 0;  // unsettled units
+  std::size_t streamed RANGERPP_GUARDED_BY(mu) = 0;  // across all cells
+  // Streamed records per cell (unordered across a cell's partitions).
+  // Lives here, not in CellState, so its guard is expressible: the
+  // analysis matches capability expressions syntactically and cannot
+  // equate an inner struct's back-pointer with `mu`.
+  std::vector<std::vector<TrialRecord>> cell_records RANGERPP_GUARDED_BY(mu);
+  std::vector<std::unique_ptr<Unit>> units RANGERPP_GUARDED_BY(mu);
+  bool released RANGERPP_GUARDED_BY(mu) = false;  // records/units dropped
 
   struct CellState {
+    // header is published by call_once, not `mu`: built at most once
+    // inside header_once, readable without locks after header_ready.
     std::once_flag header_once;
     std::atomic<bool> header_ready{false};
     CheckpointHeader header;  // export-form (shard 0/1)
-    std::vector<TrialRecord> records;  // streamed; unordered across units
   };
   std::vector<std::unique_ptr<CellState>> cells;
-  std::vector<std::unique_ptr<Unit>> units;
-  bool released = false;  // release() dropped records/units (under mu)
 };
 
 // ---- Scheduler --------------------------------------------------------------
@@ -211,7 +247,7 @@ Scheduler::Scheduler(SchedulerConfig config,
   if (config_.partitions_per_cell == 0) config_.partitions_per_cell = 1;
   workers_ = config_.workers ? config_.workers
                              : util::default_thread_count();
-  engine_ = std::make_unique<Engine>(shared_workloads);
+  engine_ = std::make_unique<Engine>(shared_workloads, config_.verify_plans);
   queues_.resize(workers_);
   kill_after_.reserve(workers_);
   for (unsigned w = 0; w < workers_; ++w)
@@ -226,7 +262,7 @@ Scheduler::~Scheduler() { shutdown(); }
 
 std::uint64_t Scheduler::submit(SuiteSpec spec, RecordSink sink) {
   {
-    std::lock_guard<std::mutex> lk(queue_mu_);
+    util::MutexLock lk(queue_mu_);
     if (shutdown_)
       throw std::runtime_error("Scheduler: submit after shutdown");
   }
@@ -243,21 +279,31 @@ std::uint64_t Scheduler::submit(SuiteSpec spec, RecordSink sink) {
   auto req = std::make_shared<Request>();
   req->plan = compile_suite(spec);  // throws on a bad spec
   req->sink = std::move(sink);
-  for (std::size_t ci = 0; ci < req->plan.cells.size(); ++ci) {
-    req->cells.push_back(std::make_unique<Request::CellState>());
-    for (std::size_t p = 0; p < config_.partitions_per_cell; ++p) {
-      auto u = std::make_unique<Unit>();
-      u->req = req.get();
-      u->cell_index = ci;
-      u->partition = p;
-      req->units.push_back(std::move(u));
+  // Nothing shares the request yet, but the guarded fields are guarded:
+  // populate them under the (uncontended) lock rather than poke a hole
+  // in the analysis for the pre-publication window.
+  std::vector<Unit*> unit_ptrs;
+  {
+    util::MutexLock lk(req->mu);
+    req->cell_records.resize(req->plan.cells.size());
+    for (std::size_t ci = 0; ci < req->plan.cells.size(); ++ci) {
+      req->cells.push_back(std::make_unique<Request::CellState>());
+      for (std::size_t p = 0; p < config_.partitions_per_cell; ++p) {
+        auto u = std::make_unique<Unit>();
+        u->req = req.get();
+        u->cell_index = ci;
+        u->partition = p;
+        req->units.push_back(std::move(u));
+      }
     }
+    req->outstanding = req->units.size();
+    unit_ptrs.reserve(req->units.size());
+    for (auto& u : req->units) unit_ptrs.push_back(u.get());
   }
-  req->outstanding = req->units.size();
 
   Request* raw = nullptr;
   {
-    std::lock_guard<std::mutex> lk(requests_mu_);
+    util::MutexLock lk(requests_mu_);
     for (auto& [id, other] : requests_)
       if (other->state.load(std::memory_order_acquire) ==
               RequestState::kRunning &&
@@ -268,19 +314,40 @@ std::uint64_t Scheduler::submit(SuiteSpec spec, RecordSink sink) {
     req->id = next_id_++;
     raw = req.get();
     requests_[raw->id] = std::move(req);
-    reap_settled_locked();
+    reap_settled();
   }
 
   if (!config_.checkpoint_dir.empty())
     std::filesystem::create_directories(config_.checkpoint_dir);
 
+  bool lost_shutdown_race = false;
   {
-    std::lock_guard<std::mutex> lk(queue_mu_);
-    // Round-robin the units across worker deques; stealing rebalances
-    // whatever this initial placement gets wrong.
-    std::size_t w = 0;
-    for (auto& u : raw->units)
-      queues_[w++ % workers_].push_back(u.get());
+    util::MutexLock lk(queue_mu_);
+    // shutdown() may have won the race since the entry check: the
+    // workers are gone (or going), so enqueued units would never settle
+    // and a wait() on this id would hang forever.  Refuse instead.
+    if (shutdown_) {
+      lost_shutdown_race = true;
+    } else {
+      // Round-robin the units across worker deques; stealing rebalances
+      // whatever this initial placement gets wrong.
+      std::size_t w = 0;
+      for (Unit* u : unit_ptrs) queues_[w++ % workers_].push_back(u);
+    }
+  }
+  if (lost_shutdown_race) {
+    // Settle the already-registered request ourselves: shutdown()'s own
+    // kFailed sweep may have run before the insert above, and a running
+    // request is never reaped.
+    {
+      util::MutexLock lk(raw->mu);
+      if (raw->state == RequestState::kRunning) {
+        raw->state = RequestState::kFailed;
+        raw->error = "scheduler shut down before the request started";
+        raw->cv.notify_all();
+      }
+    }
+    throw std::runtime_error("Scheduler: submit after shutdown");
   }
   queue_cv_.notify_all();
   return raw->id;
@@ -288,7 +355,7 @@ std::uint64_t Scheduler::submit(SuiteSpec spec, RecordSink sink) {
 
 std::shared_ptr<Scheduler::Request> Scheduler::find_request(
     std::uint64_t id) const {
-  std::lock_guard<std::mutex> lk(requests_mu_);
+  util::MutexLock lk(requests_mu_);
   const auto it = requests_.find(id);
   return it == requests_.end() ? nullptr : it->second;
 }
@@ -298,7 +365,7 @@ std::shared_ptr<Scheduler::Request> Scheduler::find_request(
 // status_all walks).  Holders of the shared_ptr (a concurrent wait or
 // export) keep the request alive past the erase; a settled request has
 // no units left in any worker deque, so nothing dangles.
-void Scheduler::reap_settled_locked() {
+void Scheduler::reap_settled() {
   std::size_t settled = 0;
   for (const auto& [id, req] : requests_)
     if (req->state.load(std::memory_order_acquire) != RequestState::kRunning)
@@ -316,7 +383,7 @@ void Scheduler::reap_settled_locked() {
 }
 
 RequestStatus Scheduler::status_of(Request& req) const {
-  std::lock_guard<std::mutex> lk(req.mu);
+  util::MutexLock lk(req.mu);
   RequestStatus s;
   s.id = req.id;
   s.name = req.plan.spec.name;
@@ -336,7 +403,7 @@ std::optional<RequestStatus> Scheduler::status(std::uint64_t id) const {
 
 std::vector<RequestStatus> Scheduler::status_all() const {
   std::vector<RequestStatus> out;
-  std::lock_guard<std::mutex> lk(requests_mu_);
+  util::MutexLock lk(requests_mu_);
   out.reserve(requests_.size());
   for (auto& [id, req] : requests_) out.push_back(status_of(*req));
   return out;
@@ -345,7 +412,7 @@ std::vector<RequestStatus> Scheduler::status_all() const {
 bool Scheduler::cancel(std::uint64_t id) {
   const std::shared_ptr<Request> req = find_request(id);
   if (!req) return false;
-  std::lock_guard<std::mutex> lk(req->mu);
+  util::MutexLock lk(req->mu);
   if (req->state != RequestState::kRunning || req->cancelled) return false;
   req->cancelled = true;
   return true;
@@ -355,8 +422,8 @@ SuiteResult Scheduler::wait(std::uint64_t id) {
   const std::shared_ptr<Request> req = find_request(id);
   if (!req) throw std::invalid_argument("Scheduler: unknown request id");
   {
-    std::unique_lock<std::mutex> lk(req->mu);
-    req->cv.wait(lk, [&] { return req->state != RequestState::kRunning; });
+    util::MutexLock lk(req->mu);
+    while (req->state == RequestState::kRunning) req->cv.wait(lk);
     if (req->state == RequestState::kFailed)
       throw std::runtime_error("Scheduler: request '" + req->plan.spec.name +
                                "' failed: " + req->error);
@@ -372,8 +439,8 @@ SuiteResult Scheduler::wait(std::uint64_t id) {
     const CheckpointHeader& header = ensure_cell_header(*req, ci);
     std::vector<TrialRecord> records;
     {
-      std::lock_guard<std::mutex> lk(req->mu);
-      records = req->cells[ci]->records;
+      util::MutexLock lk(req->mu);
+      records = req->cell_records[ci];
     }
     out.cells.push_back(
         {cell, build_report(records,
@@ -402,7 +469,7 @@ std::vector<std::string> Scheduler::export_request_jsonl(
   const std::shared_ptr<Request> req = find_request(id);
   if (!req) throw std::invalid_argument("Scheduler: unknown request id");
   {
-    std::lock_guard<std::mutex> lk(req->mu);
+    util::MutexLock lk(req->mu);
     if (req->state == RequestState::kRunning)
       throw std::runtime_error(
           "Scheduler: export requires a settled request (wait first)");
@@ -420,8 +487,15 @@ std::vector<std::string> Scheduler::export_request_jsonl(
     const CheckpointHeader& header = ensure_cell_header(*req, ci);
     std::vector<TrialRecord> records;
     {
-      std::lock_guard<std::mutex> lk(req->mu);
-      records = req->cells[ci]->records;
+      util::MutexLock lk(req->mu);
+      // Re-checked per cell: a concurrent release() between the entry
+      // check and this copy empties the buffers, and exporting those as
+      // if they were the records would silently write truncated files.
+      if (req->released)
+        throw std::runtime_error(
+            "Scheduler: request '" + req->plan.spec.name +
+            "' was released mid-export — its records are gone");
+      records = req->cell_records[ci];
     }
     records = sort_unique_records(std::move(records));
     const std::string text = to_jsonl(header, records);
@@ -447,14 +521,14 @@ bool Scheduler::release(std::uint64_t id) {
   // stays settled under the lock below.
   if (req->state.load(std::memory_order_acquire) == RequestState::kRunning)
     return false;
-  std::lock_guard<std::mutex> lk(req->mu);
+  util::MutexLock lk(req->mu);
   req->released = true;
   // A settled request has settled every unit, so no worker deque still
   // points into `units` — dropping them (and the buffered records) is
   // safe.  Status counters stay behind for history queries.
-  for (auto& cs : req->cells) {
-    cs->records.clear();
-    cs->records.shrink_to_fit();
+  for (auto& recs : req->cell_records) {
+    recs.clear();
+    recs.shrink_to_fit();
   }
   req->units.clear();
   return true;
@@ -469,15 +543,15 @@ void Scheduler::kill_worker_after(unsigned worker, std::size_t slices) {
 
 void Scheduler::shutdown() {
   {
-    std::lock_guard<std::mutex> lk(queue_mu_);
+    util::MutexLock lk(queue_mu_);
     shutdown_ = true;
   }
   queue_cv_.notify_all();
   for (std::thread& t : threads_)
     if (t.joinable()) t.join();
-  std::lock_guard<std::mutex> lk(requests_mu_);
+  util::MutexLock lk(requests_mu_);
   for (auto& [id, req] : requests_) {
-    std::lock_guard<std::mutex> lk2(req->mu);
+    util::MutexLock lk2(req->mu);
     if (req->state != RequestState::kRunning) continue;
     req->state = RequestState::kFailed;
     if (req->error.empty())
@@ -491,7 +565,7 @@ void Scheduler::shutdown() {
 // ---- Worker loop ------------------------------------------------------------
 
 Scheduler::Unit* Scheduler::next_unit(unsigned w) {
-  std::unique_lock<std::mutex> lk(queue_mu_);
+  util::MutexLock lk(queue_mu_);
   for (;;) {
     if (shutdown_) return nullptr;
     if (!queues_[w].empty()) {
@@ -514,7 +588,7 @@ Scheduler::Unit* Scheduler::next_unit(unsigned w) {
 
 void Scheduler::enqueue(Unit* u, unsigned hint) {
   {
-    std::lock_guard<std::mutex> lk(queue_mu_);
+    util::MutexLock lk(queue_mu_);
     queues_[hint % workers_].push_back(u);
   }
   queue_cv_.notify_all();
@@ -531,7 +605,7 @@ void Scheduler::worker_loop(unsigned w) {
 
     bool skip = false;
     {
-      std::lock_guard<std::mutex> lk(req.mu);
+      util::MutexLock lk(req.mu);
       skip = req.cancelled;
     }
     if (skip) {
@@ -572,7 +646,7 @@ void Scheduler::worker_loop(unsigned w) {
 
 void Scheduler::settle_unit(Unit* u) {
   Request& req = *u->req;
-  std::lock_guard<std::mutex> lk(req.mu);
+  util::MutexLock lk(req.mu);
   --req.outstanding;
   if (req.outstanding == 0 && req.state == RequestState::kRunning) {
     req.state = !req.error.empty() ? RequestState::kFailed
@@ -583,7 +657,7 @@ void Scheduler::settle_unit(Unit* u) {
 }
 
 void Scheduler::fail_request(Request& req, const std::string& error) {
-  std::lock_guard<std::mutex> lk(req.mu);
+  util::MutexLock lk(req.mu);
   if (req.error.empty()) req.error = error;
   req.cancelled = true;  // pending units skip at pickup
 }
@@ -683,12 +757,11 @@ bool Scheduler::run_unit_slice(unsigned w, Unit& u, bool suppress_stream) {
     std::vector<TrialRecord> fresh(
         report.records.begin() + static_cast<std::ptrdiff_t>(prev),
         report.records.end());
-    std::lock_guard<std::mutex> lk(req.mu);
+    util::MutexLock lk(req.mu);
     if (req.sink) req.sink(u.cell_index, header, fresh);
-    Request::CellState& cs = *req.cells[u.cell_index];
-    cs.records.insert(cs.records.end(),
-                      std::make_move_iterator(fresh.begin()),
-                      std::make_move_iterator(fresh.end()));
+    std::vector<TrialRecord>& recs = req.cell_records[u.cell_index];
+    recs.insert(recs.end(), std::make_move_iterator(fresh.begin()),
+                std::make_move_iterator(fresh.end()));
     req.streamed += fresh.size();
   }
   u.streamed = report.records.size();

@@ -35,13 +35,11 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -49,6 +47,8 @@
 #include <vector>
 
 #include "fi/suite.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rangerpp::fi {
 
@@ -73,6 +73,14 @@ struct SchedulerConfig {
   // recovery.  Requests resume from whatever matching checkpoints the
   // directory already holds — the daemon-restart recovery path.
   std::string checkpoint_dir;
+
+  // Statically verify every compiled cell plan (graph::verify_plan)
+  // when its executor is first built — one cheap check per cached
+  // executor, so a malformed grid submission is refused with a
+  // diagnostic (the request settles kFailed) instead of producing
+  // wrong records.  Debug builds verify regardless (the compiler's
+  // own debug-default); this knob forces it in release daemons.
+  bool verify_plans = false;
 
   // A resident daemon must not grow without bound: each submit() reaps
   // the oldest *settled* requests beyond this many, dropping them (and
@@ -197,22 +205,24 @@ class Scheduler {
   void fail_request(Request& req, const std::string& error);
   // Shared ownership: the retention reaper may erase a settled request
   // from the map while a concurrent status/wait/export still holds it.
-  std::shared_ptr<Request> find_request(std::uint64_t id) const;
+  std::shared_ptr<Request> find_request(std::uint64_t id) const
+      RANGERPP_EXCLUDES(requests_mu_);
   RequestStatus status_of(Request& req) const;
-  void reap_settled_locked();  // requests_mu_ held
+  void reap_settled() RANGERPP_REQUIRES(requests_mu_);
 
   SchedulerConfig config_;
   unsigned workers_ = 1;
   std::unique_ptr<Engine> engine_;
 
-  mutable std::mutex requests_mu_;  // guards requests_ shape + next_id_
-  std::uint64_t next_id_ = 1;
-  std::map<std::uint64_t, std::shared_ptr<Request>> requests_;
+  mutable util::Mutex requests_mu_;
+  std::uint64_t next_id_ RANGERPP_GUARDED_BY(requests_mu_) = 1;
+  std::map<std::uint64_t, std::shared_ptr<Request>> requests_
+      RANGERPP_GUARDED_BY(requests_mu_);
 
-  std::mutex queue_mu_;  // guards queues_ and shutdown_
-  std::condition_variable queue_cv_;
-  std::vector<std::deque<Unit*>> queues_;
-  bool shutdown_ = false;
+  util::Mutex queue_mu_;
+  util::CondVar queue_cv_;
+  std::vector<std::deque<Unit*>> queues_ RANGERPP_GUARDED_BY(queue_mu_);
+  bool shutdown_ RANGERPP_GUARDED_BY(queue_mu_) = false;
 
   std::vector<std::unique_ptr<std::atomic<std::size_t>>> kill_after_;
   std::vector<std::thread> threads_;

@@ -43,31 +43,51 @@ bool weight_kind_uses_count(WeightFaultKind k) {
          k == WeightFaultKind::kRowBurst;
 }
 
+// Appends are piecewise (no "lit" + std::string temporaries): gcc 12's
+// -Wrestrict misfires on the inlined operator+ chains under -O2, and the
+// CI legs build with -Werror.
 std::string fault_token(const FaultModelSpec& f) {
   if (f.cls == FaultClass::kWeight) {
     std::string t = "w";
     t += weight_fault_kind_token(f.wkind);
     if (weight_kind_uses_count(f.wkind)) t += std::to_string(f.n_bits);
-    if (f.ecc.kind != EccKind::kNone) t += "-" + ecc_token(f.ecc);
+    if (f.ecc.kind != EccKind::kNone) {
+      t += '-';
+      t += ecc_token(f.ecc);
+    }
     return t;
   }
-  return "b" + std::to_string(f.n_bits) + (f.consecutive ? "c" : "");
+  std::string t = "b";
+  t += std::to_string(f.n_bits);
+  if (f.consecutive) t += 'c';
+  return t;
 }
 
 
+// Appends are piecewise (no "lit" + std::string temporaries): gcc 12's
+// -Wrestrict misfires on the inlined operator+ chains under -O2, and the
+// CI legs build with -Werror.
 std::string cell_id_of(const SuiteCell& c) {
   std::string id = models::model_token(c.model);
-  if (c.act != ops::OpKind::kInput)
-    id += "+" + std::string(act_token_impl(c.act));
-  id += "." + std::string(dtype_token(c.dtype)) + "." +
-        fault_token(c.fault) + "." + std::string(technique_token(c.technique));
+  if (c.act != ops::OpKind::kInput) {
+    id += '+';
+    id += act_token_impl(c.act);
+  }
+  id += '.';
+  id += dtype_token(c.dtype);
+  id += '.';
+  id += fault_token(c.fault);
+  id += '.';
+  id += technique_token(c.technique);
   return id;
 }
 
 std::string cell_label_of(const SuiteCell& c) {
   std::string label = models::model_name(c.model);
-  if (c.act != ops::OpKind::kInput)
-    label += "+" + std::string(act_token_impl(c.act));
+  if (c.act != ops::OpKind::kInput) {
+    label += '+';
+    label += act_token_impl(c.act);
+  }
   if (c.technique == Technique::kRanger) label += "+ranger";
   else if (c.technique == Technique::kRangerPaired) label += "+ranger-paired";
   return label;
@@ -106,6 +126,17 @@ const SuiteCellResult* find_cell(const SuiteResult& r, models::ModelId id,
 std::string reduction_str(double orig, double prot) {
   return prot > 0.0 ? util::Table::fmt(orig / prot, 1) + "x" : "inf";
 }
+
+// The report printers' fault selectors, spelled as functions instead of
+// partial aggregate initialisers ({n, false} leaves cls/wkind/ecc to
+// their defaults, which -Wextra flags under the CI -Werror legs).
+FaultModelSpec activation_fault(int n_bits) {
+  FaultModelSpec f;
+  f.n_bits = n_bits;
+  return f;
+}
+
+FaultModelSpec single_bit_fault() { return activation_fault(1); }
 
 }  // namespace
 
@@ -245,6 +276,7 @@ RunnerConfig cell_runner_config(const SuiteSpec& spec,
   rc.campaign.trials_per_input = cell.trials_per_input;
   rc.campaign.seed = spec.seed;
   rc.campaign.threads = spec.threads;
+  rc.campaign.verify_plan = spec.verify_plan;
   rc.check_every = spec.check_every;
   rc.max_new_trials = spec.max_new_trials;
   rc.target_half_width_pct = spec.target_half_width_pct;
@@ -688,7 +720,7 @@ std::vector<CellPair> collect_pairs(const SuiteResult& r,
 
 void print_fig6(const SuiteResult& r) {
   const auto pairs =
-      collect_pairs(r, tensor::DType::kFixed32, {1, false}, false);
+      collect_pairs(r, tensor::DType::kFixed32, single_bit_fault(), false);
   if (pairs.empty()) {
     std::printf("fig6: grid has no classifier fixed32 single-bit "
                 "{unprotected, ranger} cells\n");
@@ -719,7 +751,7 @@ void print_fig6(const SuiteResult& r) {
 
 void print_fig7(const SuiteResult& r) {
   const auto pairs =
-      collect_pairs(r, tensor::DType::kFixed32, {1, false}, true);
+      collect_pairs(r, tensor::DType::kFixed32, single_bit_fault(), true);
   if (pairs.empty()) {
     std::printf("fig7: grid has no steering fixed32 single-bit "
                 "{unprotected, ranger} cells\n");
@@ -758,10 +790,10 @@ void print_reduced_precision(const SuiteResult& r, tensor::DType dtype,
   std::size_t rows = 0;
   for (const models::ModelId id : r.plan.spec.models) {
     const SuiteCellResult* plain =
-        find_cell(r, id, ops::OpKind::kInput, dtype, {1, false},
+        find_cell(r, id, ops::OpKind::kInput, dtype, single_bit_fault(),
                   Technique::kUnprotected);
     const SuiteCellResult* ranger =
-        find_cell(r, id, ops::OpKind::kInput, dtype, {1, false},
+        find_cell(r, id, ops::OpKind::kInput, dtype, single_bit_fault(),
                   Technique::kRanger);
     if (!plain || !ranger) continue;
     double so = 0.0, sr = 0.0;
@@ -816,10 +848,10 @@ void print_multibit(const SuiteResult& r, bool steering, bool per_judge,
     for (int bits = 2; bits <= 5; ++bits) {
       const SuiteCellResult* plain =
           find_cell(r, id, ops::OpKind::kInput, tensor::DType::kFixed32,
-                    {bits, false}, Technique::kUnprotected);
+                    activation_fault(bits), Technique::kUnprotected);
       const SuiteCellResult* ranger =
           find_cell(r, id, ops::OpKind::kInput, tensor::DType::kFixed32,
-                    {bits, false}, Technique::kRanger);
+                    activation_fault(bits), Technique::kRanger);
       if (!plain || !ranger) continue;
       if (per_judge) {
         const auto labels = models::judge_labels(id);

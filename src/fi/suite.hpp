@@ -134,6 +134,13 @@ struct SuiteSpec {
   // = in-memory only.  Files are named
   // <name>.<cell-id>.s<shard>of<count>.jsonl.
   std::string checkpoint_dir;
+
+  // Run the static plan verifier (graph/verify.hpp) on every cell's
+  // compiled plans, even in release builds (CampaignConfig::verify_plan).
+  // A local execution knob, not part of the request: it is excluded from
+  // the spec wire format — the scheduler daemon's equivalent is the
+  // serve-side SchedulerConfig::verify_plans.
+  bool verify_plan = false;
 };
 
 struct SuiteCell {

@@ -228,6 +228,7 @@ std::vector<graph::ConstOverride> make_const_overrides(
   }
   std::vector<graph::ConstOverride> out;
   out.reserve(by_node.size());
+  // lint:unordered-ok overrides are sorted by node id below
   for (const auto& [id, points] : by_node) {
     tensor::Tensor t = plan.const_output(id).clone();
     for (const FaultPoint* f : points) {

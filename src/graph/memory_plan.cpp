@@ -49,8 +49,9 @@ MemoryPlan plan_memory(const Graph& g,
     bool free = true;
   };
   std::vector<Slot> slot_pool;
-  constexpr std::size_t kNoSlot = std::numeric_limits<std::size_t>::max();
-  std::vector<std::size_t> slot_of(n, kNoSlot);
+  constexpr std::size_t kNoSlot = MemoryPlan::kNoSlot;
+  std::vector<std::size_t>& slot_of = mp.slot_of;
+  slot_of.assign(n, kNoSlot);
 
   for (std::size_t i = 0; i < n; ++i) {
     const bool is_const = g.node(static_cast<NodeId>(i)).op->kind() ==
@@ -88,6 +89,8 @@ MemoryPlan plan_memory(const Graph& g,
   }
 
   for (const Slot& s : slot_pool) mp.peak_arena_bytes += s.bytes;
+  mp.slot_bytes.reserve(slot_pool.size());
+  for (const Slot& s : slot_pool) mp.slot_bytes.push_back(s.bytes);
   mp.slots = slot_pool.size();
   return mp;
 }

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -44,12 +45,25 @@ enum class MemoryMode {
 };
 
 struct MemoryPlan {
+  // slot_of[i] == kNoSlot: node i's output is not slot-aliased (Inputs,
+  // Consts, the graph output — the always-retained residents).
+  static constexpr std::size_t kNoSlot =
+      std::numeric_limits<std::size_t>::max();
+
   // release_after[i] = node ids whose outputs die once node i has
   // executed (empty vector for most i).  Indexed by NodeId; sized
   // graph.size() when planned, empty for retain-all plans.
   std::vector<std::vector<NodeId>> release_after;
   std::size_t peak_arena_bytes = 0;
   std::size_t unplanned_bytes = 0;
+  // The allocator's slot assignment, indexed by NodeId, and each slot's
+  // final high-water byte size.  Laying the slots out back to back
+  // (offset = prefix sum of slot_bytes) gives every slot a disjoint
+  // arena byte range, so two activations share bytes iff they share a
+  // slot — the fact graph/verify.cpp checks aliasing soundness against
+  // (same slot => provably disjoint [def, last_use] lifetimes).
+  std::vector<std::size_t> slot_of;
+  std::vector<std::size_t> slot_bytes;
   // Aliased slots the simulated allocator ended with (diagnostics).
   std::size_t slots = 0;
 };

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "graph/verify.hpp"
 #include "ops/basic_ops.hpp"
 #include "ops/fused_op.hpp"
 #include "util/timer.hpp"
@@ -447,6 +448,39 @@ std::string CompileReport::to_string() const {
 
 // --- compile -----------------------------------------------------------------
 
+namespace {
+
+// Pre-rewrite observability snapshot: every op node a hook may fire at
+// under `observe`, plus every Const feeding an injectable node (the
+// weight-fault targets).  Taken from the input graph before any pass
+// runs, so the verifier's survival check is against ground truth no
+// rewrite has touched.
+std::vector<ObservableFact> snapshot_observables(const Graph& g,
+                                                 Observe observe) {
+  std::vector<ObservableFact> facts;
+  if (observe == Observe::kNone) return facts;
+  const std::vector<tensor::Shape> shapes = g.infer_shapes();
+  std::vector<std::uint8_t> feeds_injectable(g.size(), 0);
+  for (const Node& n : g.nodes()) {
+    const ops::OpKind k = n.op->kind();
+    if (k == ops::OpKind::kInput || k == ops::OpKind::kConst) continue;
+    if (n.injectable)
+      for (const NodeId in : n.inputs)
+        feeds_injectable[static_cast<std::size_t>(in)] = 1;
+    if (observe == Observe::kAll || n.injectable)
+      facts.push_back(ObservableFact{n.name, n.injectable, false, 0});
+  }
+  for (const Node& n : g.nodes())
+    if (n.op->kind() == ops::OpKind::kConst &&
+        feeds_injectable[static_cast<std::size_t>(n.id)])
+      facts.push_back(ObservableFact{
+          n.name, false, true,
+          shapes[static_cast<std::size_t>(n.id)].elements()});
+  return facts;
+}
+
+}  // namespace
+
 ExecutionPlan compile(Graph g, const CompileOptions& options) {
   if (g.size() == 0)
     throw std::invalid_argument("graph::compile: empty graph");
@@ -454,6 +488,7 @@ ExecutionPlan compile(Graph g, const CompileOptions& options) {
     throw std::invalid_argument("graph::compile: batch == 0");
   auto report = std::make_shared<CompileReport>();
   util::Timer total;
+  report->observables = snapshot_observables(g, options.observe);
 
   const PassManager pm = PassManager::standard(options);
   Graph lowered = pm.run(std::move(g), options, *report);
@@ -477,10 +512,30 @@ ExecutionPlan compile(Graph g, const CompileOptions& options) {
     }
   }
 
+  // The plan needs its report attached before the verifier runs (the
+  // observability check reads report()->observables); `report` stays a
+  // mutable handle to the same object for the trace/total below.
+  plan.report_ = report;
+
+  if (options.verify) {
+    // Terminal verification stage: prove the compiled plan's invariants
+    // (graph/verify.hpp) before anything can execute it.  A violation
+    // is a compiler bug or a corrupted pipeline, never a user error —
+    // hence logic_error.
+    util::Timer timer;
+    const VerifyReport vr = verify_plan(plan);
+    const std::size_t n = plan.size();
+    report->passes.push_back(
+        PassTrace{"verify_plan", timer.elapsed_ms(), n, n});
+    if (!vr.ok())
+      throw std::logic_error(
+          "graph::compile: plan failed static verification\n" +
+          vr.to_string());
+  }
+
   report->total_ms = total.elapsed_ms();
   for (const std::string& w : report->warnings)
     std::fprintf(stderr, "rangerpp: compile: %s\n", w.c_str());
-  plan.report_ = std::move(report);
   return plan;
 }
 

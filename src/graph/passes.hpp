@@ -154,6 +154,19 @@ struct CompileOptions {
   // behaviour campaigns need.
   MemoryMode memory = MemoryMode::kRetainAll;
 
+  // Run the static plan verifier (graph/verify.hpp) as the terminal
+  // compilation stage and throw std::logic_error on any violated
+  // invariant — shapes, schemes, schedule, reachability exactness,
+  // arena aliasing, observability.  On by default in debug builds
+  // (assert-like cost: one extra pass over a compiled plan); release
+  // clients opt in per plan (--verify-plan in the CLIs,
+  // CampaignConfig::verify_plan, SchedulerConfig::verify_plans).
+#ifdef NDEBUG
+  bool verify = false;
+#else
+  bool verify = true;
+#endif
+
   // Ranger insertion as pipeline configuration: set to
   // core::ranger_pass(bounds) to compile a protected plan directly from
   // the unprotected graph — no separate RangerTransform step.  Runs
@@ -172,9 +185,25 @@ struct PassTrace {
   std::size_t nodes_after = 0;
 };
 
+// What one observable node (or a Const feeding an injectable node — a
+// weight-fault target) must still look like after every rewrite ran:
+// present under the same name, with its injectable flag and Const
+// element count intact.  compile() snapshots these from the *input*
+// graph, before the pass pipeline, so the verifier's observability
+// check is against ground truth the rewrites never saw.
+struct ObservableFact {
+  std::string name;
+  bool injectable = false;  // op node a hook may fire at / replay against
+  bool is_const = false;    // Const feeding an injectable consumer
+  std::size_t const_elements = 0;  // single-image identity for Consts
+};
+
 struct CompileReport {
   std::vector<PassTrace> passes;
   std::vector<std::string> warnings;
+  // Pre-rewrite observability snapshot (see ObservableFact); what
+  // graph/verify.cpp proves the compiled graph still honours.
+  std::vector<ObservableFact> observables;
   // From the memory-planning pass (regardless of MemoryMode, so benches
   // can report the reduction without compiling twice).
   std::size_t peak_arena_bytes = 0;

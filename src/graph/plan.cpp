@@ -84,6 +84,11 @@ std::vector<tensor::Shape> infer_batched_shapes(const Graph& g,
 
 }  // namespace
 
+std::vector<tensor::Shape> infer_plan_shapes(const Graph& g,
+                                             std::size_t batch) {
+  return batch == 1 ? g.infer_shapes() : infer_batched_shapes(g, batch);
+}
+
 bool plan_supports_batch(const Graph& g) {
   for (const Node& n : g.nodes()) {
     if (n.op->kind() == ops::OpKind::kReshape) return false;
@@ -142,9 +147,7 @@ void ExecutionPlan::lower(CompileReport* report) {
 
   {
     util::Timer timer;
-    shapes_ = options_.batch == 1
-                  ? graph_.infer_shapes()
-                  : infer_batched_shapes(graph_, options_.batch);
+    shapes_ = infer_plan_shapes(graph_, options_.batch);
     trace("infer_shapes", timer);
   }
 

@@ -94,6 +94,14 @@ struct PlanOptions {
 // with a leading dimension of 1, and no node is a Reshape.
 bool plan_supports_batch(const Graph& g);
 
+// Per-node output shapes under `batch` — exactly the shape-inference the
+// plan lowering runs (Graph::infer_shapes for batch 1; otherwise Input
+// leading dimensions widen to `batch`, Flatten keeps the batch axis,
+// Reshape refuses).  Shared with graph/verify.cpp so the verifier's
+// recomputation can never drift from the compiler's.
+std::vector<tensor::Shape> infer_plan_shapes(const Graph& g,
+                                             std::size_t batch);
+
 class ExecutionPlan {
  public:
   // Compiles `g` for execution under `dtype`.  Takes the graph by value:
@@ -120,6 +128,14 @@ class ExecutionPlan {
   ops::KernelBackend backend() const { return options_.backend; }
   std::size_t batch() const { return options_.batch; }
   std::size_t size() const { return graph_.size(); }
+
+  // The per-node int8 calibration the plan was compiled with (empty for
+  // non-int8 plans); graph/verify.cpp recomputes scheme assignment from
+  // it when proving scheme consistency.
+  const std::unordered_map<std::string, tensor::FixedPointFormat>&
+  int8_formats() const {
+    return options_.int8_formats;
+  }
 
   // Output shape of every node (indexed by NodeId), under the plan's
   // batch size.

@@ -103,6 +103,16 @@ train::FitOptions fit_options(ModelId id) {
   return o;
 }
 
+// Pure float32 inference (only the graph output is read): every rewrite
+// enabled, arena memory — exact by the compiler's determinism contract.
+graph::CompileOptions inference_compile_options() {
+  graph::CompileOptions opts;
+  opts.dtype = tensor::DType::kFloat32;
+  opts.observe = graph::Observe::kNone;
+  opts.memory = graph::MemoryMode::kArena;
+  return opts;
+}
+
 }  // namespace
 
 Workload make_workload(ModelId id, const WorkloadOptions& options) {
@@ -181,9 +191,7 @@ Workload make_workload(ModelId id, const WorkloadOptions& options) {
   // rewrite enabled and arena memory — exact by the compiler's
   // determinism contract, so selection is unchanged.
   const graph::ExecutionPlan plan =
-      graph::compile(w.graph, {.dtype = tensor::DType::kFloat32,
-                               .observe = graph::Observe::kNone,
-                               .memory = graph::MemoryMode::kArena});
+      graph::compile(w.graph, inference_compile_options());
   graph::Arena arena;
   std::vector<fi::Feeds> eval;
   if (!is_steering(id) && options.trained && !is_trainable(id)) {
@@ -259,9 +267,7 @@ double top1_accuracy(const graph::Graph& g, const std::string& input_name,
                      const data::Dataset& validation) {
   const graph::Executor exec({tensor::DType::kFloat32});
   const graph::ExecutionPlan plan =
-      graph::compile(g, {.dtype = tensor::DType::kFloat32,
-                         .observe = graph::Observe::kNone,
-                         .memory = graph::MemoryMode::kArena});
+      graph::compile(g, inference_compile_options());
   graph::Arena arena;
   std::size_t correct = 0;
   for (const data::Sample& s : validation.samples) {
@@ -278,9 +284,7 @@ double top5_accuracy(const graph::Graph& g, const std::string& input_name,
                      const data::Dataset& validation) {
   const graph::Executor exec({tensor::DType::kFloat32});
   const graph::ExecutionPlan plan =
-      graph::compile(g, {.dtype = tensor::DType::kFloat32,
-                         .observe = graph::Observe::kNone,
-                         .memory = graph::MemoryMode::kArena});
+      graph::compile(g, inference_compile_options());
   graph::Arena arena;
   std::size_t correct = 0;
   for (const data::Sample& s : validation.samples) {
@@ -300,9 +304,7 @@ SteeringMetrics steering_metrics(const graph::Graph& g,
                                  bool radians) {
   const graph::Executor exec({tensor::DType::kFloat32});
   const graph::ExecutionPlan plan =
-      graph::compile(g, {.dtype = tensor::DType::kFloat32,
-                         .observe = graph::Observe::kNone,
-                         .memory = graph::MemoryMode::kArena});
+      graph::compile(g, inference_compile_options());
   graph::Arena arena;
   std::vector<double> pred, target;
   for (const data::Sample& s : validation.samples) {
@@ -322,7 +324,7 @@ const Workload& WorkloadCache::get(ModelId id, ops::OpKind act) {
       std::make_pair(static_cast<int>(id), static_cast<int>(act));
   Entry* entry = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     std::unique_ptr<Entry>& slot = cache_[key];
     if (!slot) slot = std::make_unique<Entry>();
     entry = slot.get();
@@ -339,7 +341,7 @@ const Workload& WorkloadCache::get(ModelId id, ops::OpKind act) {
 }
 
 std::size_t WorkloadCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return cache_.size();
 }
 

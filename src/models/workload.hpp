@@ -13,6 +13,8 @@
 #include "data/synthetic.hpp"
 #include "fi/sdc.hpp"
 #include "models/zoo.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rangerpp::models {
 
@@ -79,8 +81,9 @@ class WorkloadCache {
   };
 
   WorkloadOptions base_;
-  mutable std::mutex mu_;  // guards cache_'s shape, never a build
-  std::map<std::pair<int, int>, std::unique_ptr<Entry>> cache_;
+  mutable util::Mutex mu_;  // held only for find-or-insert, never a build
+  std::map<std::pair<int, int>, std::unique_ptr<Entry>> cache_
+      RANGERPP_GUARDED_BY(mu_);
 };
 
 // The shared trial-count rule for campaign suites and benches: the

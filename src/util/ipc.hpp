@@ -18,7 +18,15 @@
 // Thread-safety: a Conn may be used by one reader and one writer thread
 // concurrently (send_frame and recv_frame each serialise internally via
 // full-frame writev/read loops), but two concurrent writers must
-// serialise externally or frames would interleave.
+// serialise externally or frames would interleave — scheduler_cli's
+// daemon guards each connection's writer side with a util::Mutex, where
+// clang's thread-safety analysis (util/thread_annotations.hpp) checks
+// the discipline.  This header itself defines no capabilities: Conn's
+// one-reader/one-writer split and Listener's close()-from-any-thread
+// contract (an atomic stop flag plus a self-pipe wakeup, with fd
+// teardown deferred to the destructor) are ownership and publication
+// protocols, which the analysis cannot express — they are documented
+// here and exercised under the TSan CI leg instead.
 #pragma once
 
 #include <atomic>

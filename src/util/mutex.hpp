@@ -1,0 +1,87 @@
+// Annotated mutex/condvar wrappers for Clang Thread Safety Analysis
+// (thread_annotations.hpp).  std::mutex carries no capability
+// attributes, so code holding one is invisible to the analysis; these
+// wrappers are drop-in replacements that make lock state checkable:
+//
+//   util::Mutex mu;
+//   int count RANGERPP_GUARDED_BY(mu);
+//   {
+//     util::MutexLock lk(mu);   // scoped acquire
+//     ++count;                  // OK; without lk, a -Wthread-safety error
+//     while (count == 0) cv.wait(lk);
+//   }
+//
+// CondVar wraps std::condition_variable_any so it can wait on a
+// util::MutexLock directly (which is BasicLockable); wait() reacquires
+// before returning, so guarded accesses in the predicate and after the
+// wait both check out.  Off clang everything compiles to the std
+// primitives with zero overhead beyond condition_variable_any.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace rangerpp::util {
+
+class RANGERPP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RANGERPP_ACQUIRE() { mu_.lock(); }
+  void unlock() RANGERPP_RELEASE() { mu_.unlock(); }
+  bool try_lock() RANGERPP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// Scoped holder (std::lock_guard/std::unique_lock replacement).  Also
+// BasicLockable itself — the unlock/relock done inside CondVar::wait
+// happens through these passthroughs, keeping the capability's
+// acquire/release balanced at every analysed call site.
+class RANGERPP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) RANGERPP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RANGERPP_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // For condition_variable_any only (system-header code the analysis
+  // does not check); analysed code must not call these — the scope's
+  // capability state would go out of sync with reality.
+  void lock() RANGERPP_NO_THREAD_SAFETY_ANALYSIS { mu_.lock(); }
+  void unlock() RANGERPP_NO_THREAD_SAFETY_ANALYSIS { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases lk's mutex and blocks; the mutex is held again
+  // when wait returns, so guarded accesses before and after the call
+  // both check out in the caller's body.  No predicate overload on
+  // purpose: a predicate lambda is analysed as a standalone function
+  // that provably holds nothing, so guarded reads inside it would be
+  // (spuriously) rejected — write `while (!cond) cv.wait(lk);` instead,
+  // which the analysis sees under the lock.
+  void wait(MutexLock& lk) RANGERPP_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(lk);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace rangerpp::util

@@ -1,0 +1,66 @@
+// Clang Thread Safety Analysis attribute macros — the static
+// counterpart to the TSan CI leg.  Lock-discipline contracts that the
+// scheduler stack previously stated only in comments ("guards X",
+// "requests_mu_ held") become compiler-checked:
+//
+//   util::Mutex mu;                       // a capability
+//   int hits RANGERPP_GUARDED_BY(mu);     // reads/writes need mu held
+//   void reap() RANGERPP_REQUIRES(mu);    // callers must hold mu
+//
+// The annotations are enforced by clang's -Wthread-safety family (the
+// CI `clang-thread-safety` leg promotes them to errors with
+// -Werror=thread-safety -Werror=thread-safety-beta) and compile to
+// nothing elsewhere: every macro is gated on __has_attribute, so gcc —
+// which has no thread-safety analysis — sees plain declarations.
+//
+// Conventions (see ARCHITECTURE.md "Static verification"):
+//  * Fields name their guard with RANGERPP_GUARDED_BY; a comment
+//    restating the guard is redundant and omitted.
+//  * Functions called with a lock already held take
+//    RANGERPP_REQUIRES(mu) instead of the `_locked` naming suffix.
+//  * Data published by construction-before-sharing or std::call_once
+//    (not by a mutex) is NOT annotated; the publication protocol is
+//    documented at the field instead.
+//  * RANGERPP_NO_THREAD_SAFETY_ANALYSIS is a last resort for protocols
+//    the analysis cannot express (e.g. exclusive unit ownership handed
+//    through a queue); each use documents the manual argument.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define RANGERPP_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef RANGERPP_THREAD_ANNOTATION_
+#define RANGERPP_THREAD_ANNOTATION_(x)  // no-op off clang
+#endif
+
+// A type that is a lockable capability ("mutex" names the capability
+// kind in diagnostics) / a scoped RAII holder of one.
+#define RANGERPP_CAPABILITY(x) RANGERPP_THREAD_ANNOTATION_(capability(x))
+#define RANGERPP_SCOPED_CAPABILITY RANGERPP_THREAD_ANNOTATION_(scoped_lockable)
+
+// Data guarded by a mutex (the pointee, for pointer fields).
+#define RANGERPP_GUARDED_BY(x) RANGERPP_THREAD_ANNOTATION_(guarded_by(x))
+#define RANGERPP_PT_GUARDED_BY(x) RANGERPP_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Function-level contracts: must hold / acquires / releases / must NOT
+// hold the named capabilities.
+#define RANGERPP_REQUIRES(...) \
+  RANGERPP_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define RANGERPP_ACQUIRE(...) \
+  RANGERPP_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define RANGERPP_RELEASE(...) \
+  RANGERPP_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RANGERPP_TRY_ACQUIRE(...) \
+  RANGERPP_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define RANGERPP_EXCLUDES(...) \
+  RANGERPP_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// A function returning a reference to the mutex guarding its object.
+#define RANGERPP_RETURN_CAPABILITY(x) \
+  RANGERPP_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch — suppresses analysis for one function body.
+#define RANGERPP_NO_THREAD_SAFETY_ANALYSIS \
+  RANGERPP_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -3,6 +3,14 @@
 // pool guarantees every index is executed exactly once; results are written
 // by the caller into pre-sized buffers, so no synchronisation beyond the
 // atomic cursor is needed.
+//
+// Thread-safety analysis (util/thread_annotations.hpp): this file holds
+// no lockable capabilities on purpose — the only shared state is the
+// task cursor (an atomic claimed with fetch_add, so each index runs
+// exactly once) and the thread-local nesting mark, neither of which a
+// mutex annotation can describe.  The join at the end of
+// parallel_for_workers is the publication point for everything the
+// workers wrote.
 #pragma once
 
 #include <atomic>

@@ -69,9 +69,11 @@ void check_backend_equivalence(graph::Graph g,
     // the test it needs.
     const auto sv = a_scalar.outputs()[i].values();
     const auto bv = a_blocked.outputs()[i].values();
-    for (std::size_t e = 0; e < sv.size(); ++e)
-      if (!std::isnan(sv[e]))
+    for (std::size_t e = 0; e < sv.size(); ++e) {
+      if (!std::isnan(sv[e])) {
         ASSERT_NEAR(sv[e], bv[e], 1e-5) << what;
+      }
+    }
   }
   expect_bit_identical(out_s, out_b, what + " output");
 }

@@ -52,8 +52,9 @@ TEST(Graph, InputAndConstNeverInjectable) {
   const Graph g = tiny_graph();
   for (const Node& n : g.nodes()) {
     if (n.op->kind() == ops::OpKind::kInput ||
-        n.op->kind() == ops::OpKind::kConst)
+        n.op->kind() == ops::OpKind::kConst) {
       EXPECT_FALSE(n.injectable) << n.name;
+    }
   }
 }
 

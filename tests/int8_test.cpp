@@ -122,9 +122,10 @@ TEST(Int8CalibrationTest, FormatCoversTheBoundAtFinestResolution) {
       EXPECT_GE(f.max_value(), c.hi) << c.lo << ".." << c.hi;
       // ...at the finest admissible resolution (one more frac bit would
       // overflow the raw span), unless already at the f = 24 cap.
-      if (f.frac_bits < 24)
+      if (f.frac_bits < 24) {
         EXPECT_GT((c.hi - c.lo) * std::exp2(f.frac_bits + 1), 254.0)
             << c.lo << ".." << c.hi;
+      }
     }
   }
   // Degenerate and non-finite bounds fall back to canonical Q4.3.

@@ -10,6 +10,7 @@
 // against per-cell checkpoints written by a one-shot unsharded Suite.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <condition_variable>
 #include <filesystem>
 #include <fstream>
@@ -474,6 +475,103 @@ TEST(SchedulerRetention, SettledRequestsAreReapedBeyondTheCap) {
   EXPECT_TRUE(sched.status(b).has_value());
   sched.wait(c);
   EXPECT_EQ(sched.status_all().size(), 2u);  // b (retained) + c
+}
+
+TEST(SchedulerShutdownRace, SubmitRacingShutdownAlwaysSettles) {
+  // TSan regression for the submit-vs-shutdown TOCTOU: shutdown_ used to
+  // be checked only at submit entry, so a submit that lost the race
+  // enqueued units no worker would ever run — its wait() hung forever.
+  // Now the enqueue section rechecks under the queue lock, settles the
+  // already-registered request kFailed and throws.  Either way every
+  // submit must end in a settled request or a throw, never a hang.
+  for (int round = 0; round < 4; ++round) {
+    SchedulerConfig cfg;
+    cfg.workers = 2;
+    Scheduler sched(cfg, &shared_cache());
+    constexpr int kSubmitters = 4;
+    std::atomic<bool> go{false};
+    std::vector<std::uint64_t> ids(kSubmitters, 0);
+    std::vector<std::thread> threads;
+    threads.reserve(kSubmitters);
+    for (int t = 0; t < kSubmitters; ++t)
+      threads.emplace_back([&sched, &go, &ids, round, t] {
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        try {
+          ids[static_cast<std::size_t>(t)] = sched.submit(tiny_spec(
+              "race" + std::to_string(round) + "_" + std::to_string(t)));
+        } catch (const std::runtime_error&) {
+          // Lost to shutdown — the documented refusal.
+        }
+      });
+    go.store(true, std::memory_order_release);
+    sched.shutdown();
+    for (std::thread& t : threads) t.join();
+    for (const std::uint64_t id : ids) {
+      if (id == 0) continue;  // the submit threw before registration
+      // A registered request must have settled (shutdown fails running
+      // requests; a completed one is kDone) — and wait() must return,
+      // not hang on never-scheduled units.
+      const auto st = sched.status(id);
+      if (st.has_value()) {
+        EXPECT_NE(st->state, RequestState::kRunning);
+      }
+      try {
+        sched.wait(id);
+      } catch (const std::runtime_error&) {
+        // kFailed ("shut down before ...") surfaces here; fine.
+      } catch (const std::invalid_argument&) {
+        // Reaped by a concurrent submit's retention sweep; fine.
+      }
+    }
+  }
+}
+
+TEST(SchedulerRetention, ExportRacingReleaseIsAllOrNothing) {
+  // TSan regression for the export-vs-release TOCTOU: `released` used to
+  // be checked once at export entry, so a concurrent release() emptied
+  // the record buffers mid-export and the remaining cells were written
+  // as silently truncated files.  Export now rechecks per cell and
+  // throws — a racing export either delivers byte-complete files or
+  // fails loudly.
+  SchedulerConfig cfg;
+  cfg.workers = 2;
+  Scheduler sched(cfg, &shared_cache());
+  std::map<std::string, std::string> golden;
+  for (int round = 0; round < 4; ++round) {
+    const std::string tag = "expreal" + std::to_string(round);
+    const std::uint64_t id = sched.submit(tiny_spec(tag));
+    sched.wait(id);
+    if (golden.empty()) {
+      // Reference bytes from an uncontended export (records and headers
+      // are identical across rounds: same spec, same seed).
+      const std::string dir = temp_dir("exp_ref");
+      for (const std::string& path : sched.export_request_jsonl(id, dir))
+        golden[std::filesystem::path(path).filename().string().substr(
+            tag.size())] = slurp(path);
+    }
+    const std::string out = temp_dir("exp_race" + std::to_string(round));
+    std::vector<std::string> paths;
+    bool export_threw = false;
+    std::thread exporter([&] {
+      try {
+        paths = sched.export_request_jsonl(id, out);
+      } catch (const std::runtime_error&) {
+        export_threw = true;
+      }
+    });
+    std::thread releaser([&] { sched.release(id); });
+    exporter.join();
+    releaser.join();
+    if (export_threw) continue;  // release won; the throw is the contract
+    for (const std::string& path : paths) {
+      const std::string key =
+          std::filesystem::path(path).filename().string().substr(tag.size());
+      const auto it = golden.find(key);
+      ASSERT_NE(it, golden.end()) << "unexpected export " << path;
+      EXPECT_EQ(slurp(path), it->second)
+          << path << " truncated by a concurrent release";
+    }
+  }
 }
 
 TEST(SchedulerEngine, WorkloadCacheConcurrentGetIsSafe) {

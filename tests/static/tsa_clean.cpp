@@ -1,0 +1,32 @@
+// Compile-PASS fixture for the thread-safety harness (see CMakeLists.txt
+// in this directory): disciplined locking through util::MutexLock.  This
+// TU must compile cleanly under -Werror=thread-safety; if it stops
+// compiling, the annotations on util::Mutex/MutexLock themselves broke.
+#include "util/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    rangerpp::util::MutexLock lk(mu_);
+    ++value_;
+  }
+
+  int read() {
+    rangerpp::util::MutexLock lk(mu_);
+    return value_;
+  }
+
+ private:
+  rangerpp::util::Mutex mu_;
+  int value_ RANGERPP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.read() == 1 ? 0 : 1;
+}

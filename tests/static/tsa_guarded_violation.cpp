@@ -1,0 +1,25 @@
+// Compile-FAIL fixture for the thread-safety harness (see CMakeLists.txt
+// in this directory): reads a RANGERPP_GUARDED_BY field without holding
+// its mutex.  Under clang with -Werror=thread-safety this TU must NOT
+// compile; if it ever does, the annotation macros have silently become
+// no-ops and the clang-thread-safety CI leg is checking nothing.
+#include "util/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  // No lock held: the analysis must reject this read.
+  int read_unlocked() { return value_; }
+
+ private:
+  rangerpp::util::Mutex mu_;
+  int value_ RANGERPP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.read_unlocked();
+}

@@ -1,0 +1,27 @@
+// Compile-FAIL fixture for the thread-safety harness (see CMakeLists.txt
+// in this directory): calls a RANGERPP_REQUIRES(mu_) function without
+// holding mu_.  Under clang with -Werror=thread-safety this TU must NOT
+// compile; if it ever does, the function-contract half of the annotation
+// machinery has become a no-op.
+#include "util/mutex.hpp"
+
+namespace {
+
+class Queue {
+ public:
+  // mu_ is not held here: the analysis must reject the reap() call.
+  void push() { reap(); }
+
+ private:
+  void reap() RANGERPP_REQUIRES(mu_) {}
+
+  rangerpp::util::Mutex mu_;
+};
+
+}  // namespace
+
+int main() {
+  Queue q;
+  q.push();
+  return 0;
+}

@@ -142,8 +142,9 @@ TEST(WeightSiteSpace, RowBurstStaysWithinOneInnermostRow) {
           << "burst crossed a row boundary";
     }
     // A burst shorter than n_bits must end exactly at the row boundary.
-    if (f.size() < 4)
+    if (f.size() < 4) {
       EXPECT_EQ((f.back().element + 1) % row, 0u);
+    }
   }
 }
 

@@ -154,6 +154,7 @@ INSTANTIATE_TEST_SUITE_P(
         case tensor::DType::kFloat32: n += "_float32"; break;
         case tensor::DType::kFixed32: n += "_fixed32"; break;
         case tensor::DType::kFixed16: n += "_fixed16"; break;
+        case tensor::DType::kInt8: n += "_int8"; break;
       }
       return n;
     });

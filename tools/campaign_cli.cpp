@@ -99,6 +99,9 @@ using util::env_size;
       "  --max-new N          execute at most N new trials this run\n"
       "  --dump-passes        print the compile pipeline (per-pass timing\n"
       "                       + node counts) of the campaign's plan\n"
+      "  --verify-plan        run the static plan verifier (graph/verify)\n"
+      "                       on every compiled plan; refuse to run on any\n"
+      "                       violated invariant\n"
       "  --quiet              summary line only\n");
   std::exit(2);
 }
@@ -267,6 +270,7 @@ int main(int argc, char** argv) {
     else if (arg == "--max-new")
       rc.max_new_trials = size_flag(arg, value());
     else if (arg == "--dump-passes") dump_passes = true;
+    else if (arg == "--verify-plan") rc.campaign.verify_plan = true;
     else if (arg == "--quiet") quiet = true;
     else if (arg == "--merge") {
       merge_mode = true;

@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Fail on nondeterminism hazards the determinism contract forbids.
+
+rangerpp's reproducibility story (checkpoint byte-identity, the
+merged-vs-unsharded cmp gates, cross-run record streams) only holds if
+no code path lets incidental runtime state leak into emitted records.
+Three hazard classes are linted, each with a single sanctioned home:
+
+1. entropy/wall-clock — `rand()`, `std::random_device`, `time()`,
+   `std::chrono::{system,steady,high_resolution}_clock` anywhere
+   outside src/util/rng.* (the seeded SplitMix64 generators) and
+   src/util/timer.* (the perf-trace timer, whose readings are traces,
+   never record bytes).
+2. unordered-container iteration in src/fi/ — a range-for over a
+   `std::unordered_{map,set}` has an unspecified, libstdc++-version-
+   dependent order; in the fault-injection layer such loops sit one
+   step away from record emission, so they must iterate a sorted view
+   (or a std::map) instead.  Loops that are provably order-insensitive
+   carry a `// lint:unordered-ok <why>` suppression on the loop line or
+   the line above.
+3. locale-dependent text — `setlocale`, `std::locale`, `imbue`,
+   `stod`/`stof`/`atof`: a record stream written under de_DE must not
+   differ from one written under C.  Number parsing/printing goes
+   through util (parse_u64/parse_f64) or snprintf with %g on the
+   C-locale-stable paths.
+
+Usage: tools/lint_determinism.py [repo_root]
+Exit status: 0 = clean, 1 = at least one hazard.
+"""
+
+import os
+import re
+import sys
+
+# (regex, allowed path prefixes, message) per hazard token.
+ENTROPY_RULES = [
+    (re.compile(r"\b(?:std::)?s?rand\s*\("),
+     ("src/util/rng.",),
+     "rand()/srand() — use util::Rng (seeded, SplitMix64)"),
+    (re.compile(r"\bstd::random_device\b"),
+     ("src/util/rng.",),
+     "std::random_device — nondeterministic entropy; use util::Rng"),
+    (re.compile(r"\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"),
+     ("src/util/timer.",),
+     "time() — wall clock; records must not depend on when they ran"),
+    (re.compile(r"\bstd::chrono::(?:system|steady|high_resolution)_clock\b"),
+     ("src/util/timer.",),
+     "chrono clock — wrap timing in util::Timer (trace-only output)"),
+]
+
+LOCALE_RULES = [
+    (re.compile(r"\bsetlocale\s*\("), (),
+     "setlocale — record bytes must be locale-independent"),
+    (re.compile(r"\bstd::locale\b"), (),
+     "std::locale — record bytes must be locale-independent"),
+    (re.compile(r"\.imbue\s*\("), (),
+     "imbue — record bytes must be locale-independent"),
+    (re.compile(r"\bstd::sto[dfl]d?\b|\batof\s*\("), (),
+     "locale-dependent numeric parse — use util::parse_u64/parse_f64"),
+]
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set)\s*<[^;{]*>\s+(\w+)")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:\s*([A-Za-z_][\w.\->]*)\s*\)")
+SUPPRESS_RE = re.compile(r"//\s*lint:unordered-ok\b")
+
+CXX_EXTS = (".cpp", ".hpp", ".cc", ".h")
+LINT_DIRS = ("src", "tools", "bench", "examples")
+
+
+def strip_comments_keep_lines(text):
+    """Blank out // and /* */ comments and string literals, preserving
+    line structure so reported line numbers stay exact."""
+    out = []
+    i, n = 0, len(text)
+    state = None  # None | 'line' | 'block' | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state is None:
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c in "\"'":
+                state = c
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = None
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = None
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # string/char literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == state:
+                state = None
+            out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def lint_file(rel, text, findings):
+    code = strip_comments_keep_lines(text)
+    code_lines = code.splitlines()
+    raw_lines = text.splitlines()
+
+    rules = list(LOCALE_RULES)
+    if not rel.startswith("tools/"):  # CLIs may read the wall clock for UX
+        rules += ENTROPY_RULES
+    for regex, allowed, message in rules:
+        if any(rel.startswith(p) for p in allowed):
+            continue
+        for lineno, line in enumerate(code_lines, 1):
+            if regex.search(line):
+                findings.append((rel, lineno, message))
+
+    # Unordered-iteration hazard: only the fault-injection layer, where
+    # loops feed record/report emission.
+    if not rel.startswith("src/fi/"):
+        return
+    unordered_names = set(UNORDERED_DECL_RE.findall(code))
+    if not unordered_names:
+        return
+    for lineno, line in enumerate(code_lines, 1):
+        m = RANGE_FOR_RE.search(line)
+        if not m:
+            continue
+        target = m.group(1).split(".")[-1].split("->")[-1]
+        if target not in unordered_names:
+            continue
+        here = raw_lines[lineno - 1] if lineno - 1 < len(raw_lines) else ""
+        above = raw_lines[lineno - 2] if lineno - 2 >= 0 else ""
+        if SUPPRESS_RE.search(here) or SUPPRESS_RE.search(above):
+            continue
+        findings.append(
+            (rel, lineno,
+             "range-for over std::unordered_* '%s' in src/fi/ — iteration "
+             "order is unspecified and this layer emits records; iterate a "
+             "sorted view or suppress with '// lint:unordered-ok <why>'"
+             % target))
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    findings = []
+    for d in LINT_DIRS:
+        base = os.path.join(root, d)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, files in os.walk(base):
+            for name in sorted(files):
+                if not name.endswith(CXX_EXTS):
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, root).replace(os.sep, "/")
+                with open(path, encoding="utf-8") as f:
+                    lint_file(rel, f.read(), findings)
+    for rel, lineno, message in sorted(findings):
+        print("%s:%d: %s" % (rel, lineno, message))
+    if findings:
+        print("\n%d determinism hazard(s)." % len(findings), file=sys.stderr)
+        return 1
+    print("determinism lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,14 +2,14 @@
 // client, over the local-socket framing in util/ipc.hpp.
 //
 // Serve (a resident engine; AF_UNIX socket or 127.0.0.1 TCP):
-//   scheduler_cli serve --socket /tmp/rangerpp.sock --workers 4 \
+//   scheduler_cli serve --socket /tmp/rangerpp.sock --workers 4
 //                       --dir build/sched [--partitions 4] [--slice 256]
 //
 // Submit a grid and stream its records back (the spec grammar is the
 // suite_cli grid; --spec FILE holds the key=value wire form, inline
 // flags compose the same lines):
-//   scheduler_cli submit --socket /tmp/rangerpp.sock \
-//                        --name smoke --models lenet --faults b1 \
+//   scheduler_cli submit --socket /tmp/rangerpp.sock
+//                        --name smoke --models lenet --faults b1
 //                        --trials 100 --inputs 2 --out build/sched_out
 //
 // The client re-exports each cell as <name>.<cell-id>.s0of1.jsonl —
@@ -71,6 +71,9 @@ namespace {
       "                       (the work-stealing grain; default 4)\n"
       "  --slice N            trials per scheduling slice (default 256;\n"
       "                       0 = run whole partitions)\n"
+      "  --verify-plan        statically verify every compiled cell plan\n"
+      "                       (graph/verify); a malformed grid request is\n"
+      "                       refused with a diagnostic instead of running\n"
       "  --dir DIR            binary checkpoint directory (crash/cancel\n"
       "                       recovery; default: in-memory only)\n"
       "  --crash-worker W:S   fault drill: worker W dies after S slices\n"
@@ -173,10 +176,10 @@ void handle_connection(util::ipc::Conn conn, fi::Scheduler& sched,
         // client (send failure) stops the stream but not the request:
         // its checkpoints keep filling, and the daemon keeps its
         // records until the retention reaper evicts them.
-        auto send_mu = std::make_shared<std::mutex>();
+        auto send_mu = std::make_shared<util::Mutex>();
         const auto send = [&conn, send_mu](std::uint8_t t,
                                            std::string_view p) {
-          std::lock_guard<std::mutex> lk(*send_mu);
+          util::MutexLock lk(*send_mu);
           return conn.send_frame(t, p);
         };
         auto sent_header = std::make_shared<std::vector<bool>>(
@@ -510,6 +513,8 @@ int main(int argc, char** argv) {
       so.sched.slice_trials = size_flag(arg, value());
     } else if (serve && arg == "--dir") {
       so.sched.checkpoint_dir = value();
+    } else if (serve && arg == "--verify-plan") {
+      so.sched.verify_plans = true;
     } else if (serve && arg == "--crash-worker") {
       const std::string v = value();
       const std::size_t colon = v.find(':');

@@ -93,6 +93,8 @@ using util::env_size;
       "                       fig12 | table6 | all | none (default cells)\n"
       "  --dump-passes        print each model's compile pipeline (per-pass\n"
       "                       timing + node counts) and exit\n"
+      "  --verify-plan        run the static plan verifier (graph/verify)\n"
+      "                       on every cell's compiled plans\n"
       "  --out FILE           manifest path (default:\n"
       "                       DIR/SUITE_<name>[.s<i>of<N>].json)\n"
       "  --quiet              manifest only, no tables\n");
@@ -237,6 +239,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--merge") merge_mode = true;
     else if (arg == "--out") out_path = value();
     else if (arg == "--dump-passes") dump_passes = true;
+    else if (arg == "--verify-plan") spec.verify_plan = true;
     else if (arg == "--quiet") quiet = true;
     else if (arg == "--help" || arg == "-h") usage();
     else usage(("unknown flag " + arg).c_str());
