@@ -28,6 +28,7 @@
 #include "models/workload.hpp"
 #include "ops/backend.hpp"
 #include "util/env.hpp"
+#include "util/metrics.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -44,6 +45,11 @@ struct BenchConfig {
   std::size_t shard_count = 1;
 
   BenchConfig() {
+    // Benches always run with the metrics registry live so
+    // emit_bench_json can embed the run's counters (cache hit rates,
+    // kernel dispatch counts) next to its timing numbers.  Telemetry is
+    // a pure observer: campaign results are unaffected.
+    util::metrics::set_enabled(true);
     if (const char* s = std::getenv("RANGERPP_SHARD")) {
       if (const auto spec = util::parse_shard_spec(s)) {
         shard_index = spec->index;
@@ -211,6 +217,15 @@ inline void emit_bench_json(
                std::string(ops::backend_name(ops::default_backend())).c_str(),
                static_cast<unsigned long long>(cfg.seed), cfg.trials_small,
                cfg.inputs, cfg.shard_index, cfg.shard_count);
+  // The run's metrics-registry snapshot (cache hit/build counts, kernel
+  // dispatch counters, latency histograms) rides along next to the host
+  // block, so a regression in, say, cache hit rate is visible in the
+  // same artifact as the timing it explains.
+  {
+    std::string snap = util::metrics::snapshot_json();
+    while (!snap.empty() && snap.back() == '\n') snap.pop_back();
+    std::fprintf(f, ",\n  \"runtime_metrics\": %s", snap.c_str());
+  }
   for (const auto& [key, value] : metrics)
     std::fprintf(f, ",\n  \"%s\": %.17g", key.c_str(), value);
   std::fprintf(f, "\n}\n");

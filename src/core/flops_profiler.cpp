@@ -1,9 +1,16 @@
 #include "core/flops_profiler.hpp"
 
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/metrics.hpp"
+
 namespace rangerpp::core {
 
 FlopsReport profile_flops(const graph::Graph& g) {
   FlopsReport report;
+  std::map<std::string, std::uint64_t> by_kind;
   const std::vector<tensor::Shape> shapes = g.infer_shapes();
   std::vector<tensor::Shape> in_shapes;
   for (const graph::Node& n : g.nodes()) {
@@ -12,7 +19,12 @@ FlopsReport profile_flops(const graph::Graph& g) {
       in_shapes.push_back(shapes[static_cast<std::size_t>(in)]);
     const std::uint64_t f = n.op->flops(in_shapes);
     report.total += f;
-    report.by_kind[std::string(n.op->kind_name())] += f;
+    by_kind[std::string(n.op->kind_name())] += f;
+  }
+  if (util::metrics::enabled()) {
+    util::metrics::counter_add("flops.total", report.total);
+    for (const auto& [kind, f] : by_kind)
+      util::metrics::counter_add("flops." + kind, f);
   }
   return report;
 }

@@ -1,11 +1,15 @@
 // FLOPs profiler: the platform-independent overhead metric of Table IV.
 // Mirrors the TensorFlow profiler the paper used: per-op FLOP counts are
 // summed over the graph given the declared input shapes.
+//
+// Per-kind accounting lives in the metrics registry (util/metrics.hpp),
+// not in a bespoke side channel: when metrics are enabled, each call
+// adds `flops.total` and `flops.<KindName>` (e.g. "flops.Conv2D")
+// counters, so ablations read the same registry every other subsystem
+// publishes to.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <string>
 
 #include "graph/graph.hpp"
 
@@ -13,8 +17,6 @@ namespace rangerpp::core {
 
 struct FlopsReport {
   std::uint64_t total = 0;
-  // Per op-kind totals, e.g. "Conv2D" -> FLOPs; useful for ablations.
-  std::map<std::string, std::uint64_t> by_kind;
 };
 
 FlopsReport profile_flops(const graph::Graph& g);

@@ -8,7 +8,10 @@
 #include <unordered_set>
 
 #include "fi/record_codec.hpp"
+#include "util/metrics.hpp"
 #include "util/threadpool.hpp"
+#include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace rangerpp::fi {
 
@@ -181,6 +184,9 @@ CampaignReport CampaignRunner::run(const RunContext& ctx,
   if (config_.max_new_trials != 0 &&
       pending.size() > config_.max_new_trials)
     pending.resize(config_.max_new_trials);
+  util::metrics::counter_add("campaign.trials_planned", pending.size());
+  if (!done.empty())
+    util::metrics::counter_add("campaign.trials_resumed", done.size());
 
   // On resume the checkpoint is rewritten (via temp + rename), not
   // appended: a killed writer can leave a torn, newline-less final line
@@ -249,6 +255,9 @@ CampaignReport CampaignRunner::run(const RunContext& ctx,
         break;
       const std::size_t batch_n =
           std::min(config_.check_every, pending.size() - offset);
+      util::trace::Span batch_span("campaign.batch");
+      batch_span.arg("trials", batch_n);
+      util::Timer batch_timer;
       std::vector<TrialRecord> batch(batch_n);
       // Consecutive pending trials of the same input ride one batched
       // plan run (pending is ascending, so same-input runs are already
@@ -349,6 +358,12 @@ CampaignReport CampaignRunner::run(const RunContext& ctx,
               record_trial(group.offset + i, specs[i], outs[i]);
           },
           workers);
+      util::metrics::counter_add("campaign.batches");
+      util::metrics::counter_add("campaign.trials", batch_n);
+      util::metrics::observe_ms("campaign.batch_ms",
+                                batch_timer.elapsed_ms());
+      util::trace::Span write_span("checkpoint.write");
+      write_span.arg("records", batch_n);
       for (TrialRecord& r : batch) {
         if (file) file.record(r);
         records.push_back(std::move(r));

@@ -1,5 +1,6 @@
 #include "fi/scheduler.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <stdexcept>
@@ -9,8 +10,10 @@
 #include "core/range_profiler.hpp"
 #include "core/ranger_transform.hpp"
 #include "fi/record_codec.hpp"
+#include "util/metrics.hpp"
 #include "util/parse.hpp"
 #include "util/threadpool.hpp"
+#include "util/trace.hpp"
 
 namespace rangerpp::fi {
 
@@ -228,6 +231,7 @@ struct Scheduler::Request {
   std::vector<std::vector<TrialRecord>> cell_records RANGERPP_GUARDED_BY(mu);
   std::vector<std::unique_ptr<Unit>> units RANGERPP_GUARDED_BY(mu);
   bool released RANGERPP_GUARDED_BY(mu) = false;  // records/units dropped
+  util::Timer submitted;  // settle latency (sched.settle_ms histogram)
 
   struct CellState {
     // header is published by call_once, not `mu`: built at most once
@@ -250,9 +254,12 @@ Scheduler::Scheduler(SchedulerConfig config,
   engine_ = std::make_unique<Engine>(shared_workloads, config_.verify_plans);
   queues_.resize(workers_);
   kill_after_.reserve(workers_);
-  for (unsigned w = 0; w < workers_; ++w)
+  busy_us_.reserve(workers_);
+  for (unsigned w = 0; w < workers_; ++w) {
     kill_after_.push_back(
         std::make_unique<std::atomic<std::size_t>>(kNoKill));
+    busy_us_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  }
   threads_.reserve(workers_);
   for (unsigned w = 0; w < workers_; ++w)
     threads_.emplace_back([this, w] { worker_loop(w); });
@@ -580,6 +587,8 @@ Scheduler::Unit* Scheduler::next_unit(unsigned w) {
       if (q.empty()) continue;
       Unit* u = q.back();
       q.pop_back();
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      util::metrics::counter_add("sched.steals");
       return u;
     }
     queue_cv_.wait(lk);
@@ -598,6 +607,7 @@ void Scheduler::worker_loop(unsigned w) {
   // Kernel-level parallel_for calls issued from runner slices run inline
   // on this thread — the scheduler owns the cores.
   util::ScopedPoolWorker pool_mark;
+  util::trace::set_thread_name("sched.worker." + std::to_string(w));
   for (;;) {
     Unit* u = next_unit(w);
     if (!u) return;
@@ -625,7 +635,13 @@ void Scheduler::worker_loop(unsigned w) {
       kill_after_[w]->store(kill - 1, std::memory_order_relaxed);
 
     try {
+      util::Timer busy;
       const bool finished = run_unit_slice(w, *u, /*suppress_stream=*/die);
+      busy_us_[w]->fetch_add(
+          static_cast<std::uint64_t>(busy.elapsed_seconds() * 1e6),
+          std::memory_order_relaxed);
+      slices_.fetch_add(1, std::memory_order_relaxed);
+      util::metrics::counter_add("sched.slices");
       if (die) {
         // The slice's records made it to the checkpoint but not to the
         // stream — exactly a worker killed mid-handoff.  Hand the unit
@@ -652,6 +668,7 @@ void Scheduler::settle_unit(Unit* u) {
     req.state = !req.error.empty() ? RequestState::kFailed
                 : req.cancelled   ? RequestState::kCancelled
                                   : RequestState::kDone;
+    util::metrics::observe_ms("sched.settle_ms", req.submitted.elapsed_ms());
     req.cv.notify_all();
   }
 }
@@ -695,6 +712,11 @@ bool Scheduler::run_unit_slice(unsigned w, Unit& u, bool suppress_stream) {
   const SuiteSpec& spec = req.plan.spec;
   const SuiteCell& cell = req.plan.cells[u.cell_index];
   Engine& eng = *engine_;
+
+  util::trace::Span span("sched.slice");
+  span.arg("request", req.id);
+  span.arg("cell", u.cell_index);
+  span.arg("partition", u.partition);
 
   const models::Workload& wl =
       eng.workloads(spec.seed, spec.inputs).get(cell.model, cell.act);
@@ -763,9 +785,81 @@ bool Scheduler::run_unit_slice(unsigned w, Unit& u, bool suppress_stream) {
     recs.insert(recs.end(), std::make_move_iterator(fresh.begin()),
                 std::make_move_iterator(fresh.end()));
     req.streamed += fresh.size();
+    // Streamed position, not raw execution: a suppressed (dying) slice's
+    // records are counted when the adopting worker re-streams them, so
+    // the figure stays monotone and matches the client-visible stream.
+    trials_executed_.fetch_add(fresh.size(), std::memory_order_relaxed);
   }
   u.streamed = report.records.size();
   return finished;
+}
+
+// ---- Live statistics --------------------------------------------------------
+
+std::string Scheduler::stats_json() {
+  const auto num = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return std::string(buf);
+  };
+  const double up_s = uptime_.elapsed_seconds();
+  const double up_us = up_s * 1e6;
+  const std::uint64_t trials =
+      trials_executed_.load(std::memory_order_relaxed);
+
+  std::string out = "{";
+  out += "\"workers\": " + std::to_string(workers_);
+  out += ", \"uptime_s\": " + num(up_s);
+  out += ", \"slices\": " +
+         std::to_string(slices_.load(std::memory_order_relaxed));
+  out += ", \"steals\": " +
+         std::to_string(steals_.load(std::memory_order_relaxed));
+  out += ", \"trials_streamed\": " + std::to_string(trials);
+  out += ", \"trials_per_sec\": " +
+         num(up_s > 0.0 ? static_cast<double>(trials) / up_s : 0.0);
+  out += ", \"worker_busy_fraction\": [";
+  for (unsigned w = 0; w < workers_; ++w) {
+    if (w) out += ", ";
+    const double busy =
+        static_cast<double>(busy_us_[w]->load(std::memory_order_relaxed));
+    out += num(up_us > 0.0 ? std::min(1.0, busy / up_us) : 0.0);
+  }
+  out += "]";
+  {
+    util::MutexLock lk(queue_mu_);
+    out += ", \"queue_depths\": [";
+    for (unsigned w = 0; w < workers_; ++w) {
+      if (w) out += ", ";
+      out += std::to_string(queues_[w].size());
+    }
+    out += "]";
+  }
+  std::size_t running = 0, done = 0, cancelled = 0, failed = 0;
+  {
+    // requests_mu_ → req->mu is the established order (see shutdown()).
+    util::MutexLock lk(requests_mu_);
+    for (const auto& [id, req] : requests_) {
+      switch (req->state.load(std::memory_order_acquire)) {
+        case RequestState::kRunning: ++running; break;
+        case RequestState::kDone: ++done; break;
+        case RequestState::kCancelled: ++cancelled; break;
+        case RequestState::kFailed: ++failed; break;
+      }
+    }
+  }
+  out += ", \"requests\": {\"running\": " + std::to_string(running) +
+         ", \"done\": " + std::to_string(done) +
+         ", \"cancelled\": " + std::to_string(cancelled) +
+         ", \"failed\": " + std::to_string(failed) + "}";
+  if (util::metrics::enabled()) {
+    std::string m = util::metrics::snapshot_json();
+    while (!m.empty() && m.back() == '\n') m.pop_back();
+    out += ", \"metrics\": " + m;
+  } else {
+    out += ", \"metrics\": null";
+  }
+  out += "}\n";
+  return out;
 }
 
 // ---- Request wire format ----------------------------------------------------

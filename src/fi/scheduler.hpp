@@ -49,6 +49,7 @@
 #include "fi/suite.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
+#include "util/timer.hpp"
 
 namespace rangerpp::fi {
 
@@ -187,6 +188,14 @@ class Scheduler {
   unsigned worker_count() const { return workers_; }
   const SchedulerConfig& config() const { return config_; }
 
+  // Live engine statistics as one JSON object: worker count and uptime,
+  // slices/steals/trials executed (with trials/sec), per-worker busy
+  // fractions, queue depths and request-state counts — plus the global
+  // util/metrics snapshot when metrics are enabled.  Counters are
+  // scheduler-owned atomics, so the figures are live regardless of the
+  // metrics flag; the `stats` IPC verb returns exactly this string.
+  std::string stats_json();
+
  private:
   struct Engine;   // shared cross-request caches (scheduler.cpp)
   struct Request;  // per-request state (scheduler.cpp)
@@ -226,6 +235,14 @@ class Scheduler {
 
   std::vector<std::unique_ptr<std::atomic<std::size_t>>> kill_after_;
   std::vector<std::thread> threads_;
+
+  // Telemetry (stats_json): pure observers of the scheduling loop —
+  // never read by any scheduling decision.
+  util::Timer uptime_;
+  std::atomic<std::uint64_t> slices_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> trials_executed_{0};
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> busy_us_;
 };
 
 // ---- Request wire format ----------------------------------------------------

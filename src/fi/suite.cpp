@@ -13,9 +13,11 @@
 #include "core/range_profiler.hpp"
 #include "core/ranger_transform.hpp"
 #include "ops/backend.hpp"
+#include "util/metrics.hpp"
 #include "util/parse.hpp"
 #include "util/table.hpp"
 #include "util/threadpool.hpp"
+#include "util/trace.hpp"
 
 namespace rangerpp::fi {
 
@@ -403,11 +405,15 @@ const core::Bounds& Suite::bounds(models::ModelId id, ops::OpKind act) {
                                   static_cast<int>(act));
   auto it = bounds_.find(key);
   if (it == bounds_.end()) {
+    util::metrics::counter_add("cache.bounds.build");
+    util::trace::Span span("cache.bounds.build");
     const models::Workload& w = workloads().get(id, act);
     it = bounds_
              .emplace(key, core::RangeProfiler{}.derive_bounds(
                                w.graph, w.profile_feeds))
              .first;
+  } else {
+    util::metrics::counter_add("cache.bounds.hit");
   }
   return it->second;
 }
@@ -418,11 +424,15 @@ const graph::Graph& Suite::protected_graph(models::ModelId id,
                                   static_cast<int>(act));
   auto it = protected_.find(key);
   if (it == protected_.end()) {
+    util::metrics::counter_add("cache.protected.build");
+    util::trace::Span span("cache.protected.build");
     const models::Workload& w = workloads().get(id, act);
     it = protected_
              .emplace(key, core::RangerTransform{}.apply(w.graph,
                                                          bounds(id, act)))
              .first;
+  } else {
+    util::metrics::counter_add("cache.protected.hit");
   }
   return it->second;
 }
@@ -435,7 +445,11 @@ const TrialExecutor& Suite::executor(const SuiteCell& cell,
       static_cast<int>(cell.model), static_cast<int>(cell.act),
       is_protected ? 1 : 0, static_cast<int>(cell.dtype));
   auto it = executors_.find(key);
-  if (it == executors_.end()) {
+  if (it != executors_.end()) {
+    util::metrics::counter_add("cache.executor.hit");
+  } else {
+    util::metrics::counter_add("cache.executor.build");
+    util::trace::Span span("cache.executor.build");
     // The fault model, trial count and seed never reach the executor —
     // only (graph, dtype, backend, batch) do — so one compiled executor
     // serves every cell of this (model, act, variant, dtype).
@@ -468,6 +482,8 @@ const std::vector<tensor::Tensor>& Suite::unprotected_goldens(
                                    static_cast<int>(cell.dtype));
   auto it = goldens_.find(key);
   if (it == goldens_.end()) {
+    util::metrics::counter_add("cache.golden.build");
+    util::trace::Span span("cache.golden.build");
     const models::Workload& w = workloads().get(cell.model, cell.act);
     const TrialExecutor& ex =
         executor(cell, w.graph, w.eval_feeds, /*is_protected=*/false);
@@ -476,6 +492,8 @@ const std::vector<tensor::Tensor>& Suite::unprotected_goldens(
     for (std::size_t i = 0; i < w.eval_feeds.size(); ++i)
       golds.push_back(ex.golden_output(i));
     it = goldens_.emplace(key, std::move(golds)).first;
+  } else {
+    util::metrics::counter_add("cache.golden.hit");
   }
   return it->second;
 }
@@ -488,7 +506,11 @@ SuiteResult Suite::run() {
   SuiteResult out;
   out.plan = plan_;
   out.cells.reserve(plan_.cells.size());
+  util::metrics::gauge_set("suite.cells_total", plan_.cells.size());
+  util::metrics::counter_add("suite.trials_planned", plan_.total_trials);
   for (const SuiteCell& cell : plan_.cells) {
+    util::trace::Span cell_span("suite.cell");
+    cell_span.arg("trials", cell.total_trials);
     const models::Workload& w = workloads().get(cell.model, cell.act);
     if (w.eval_feeds.size() != spec.inputs)
       throw std::runtime_error(
@@ -521,6 +543,7 @@ SuiteResult Suite::run() {
     out.cells.push_back(
         {cell, runner.run(ctx, w.eval_feeds,
                           models::default_judges(cell.model))});
+    util::metrics::counter_add("suite.cells_done");
   }
   return out;
 }

@@ -5,7 +5,10 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "ops/backend.hpp"
 #include "ops/cpu_features.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace rangerpp::graph {
 
@@ -118,6 +121,14 @@ tensor::Tensor Executor::execute(
       plan.backend() != ops::KernelBackend::kSimd ||
       ops::simd_level() != ops::SimdLevel::kAvx2;
 
+  // Telemetry accumulates locally (one increment per node) and flushes a
+  // handful of counter_adds after the node walk — the registry mutex is
+  // never touched inside the hot loop, and nothing below branches on any
+  // of these values (pure-observer contract).
+  util::trace::Span span(partial ? "exec.run_from" : "exec.run");
+  std::size_t t_kernels = 0, t_pruned = 0, t_sparse = 0, t_elements = 0;
+  std::size_t t_feed_hits = 0, t_feed_builds = 0;
+
   for (const Node& n : g.nodes()) {
     const auto i = static_cast<std::size_t>(n.id);
     if (partial) {
@@ -141,6 +152,7 @@ tensor::Tensor Executor::execute(
           out[i] = ch.clean() ? (*golden)[i] : ov->value;
         } else {
           out[i] = (*golden)[i];
+          ++t_pruned;
         }
         continue;
       }
@@ -158,6 +170,7 @@ tensor::Tensor Executor::execute(
         // a root naming an Input node reproduces the golden value (Const
         // nodes were handled above: only an override perturbs them).
         out[i] = (*golden)[i];
+        ++t_pruned;
         continue;
       }
       ChangeSet& ch = arena.change_[i];
@@ -185,10 +198,13 @@ tensor::Tensor Executor::execute(
           incremental_recompute(*n.op, plan.qscheme(n.id), scratch,
                                 in_changes, (*golden)[i], value, ch)) {
         if (2 * ch.idx.size() >= (*golden)[i].elements()) ch.mark_dense();
+        ++t_sparse;
+        t_elements += ch.idx.size();
         out[i] = std::move(value);
         continue;
       }
       value = compute_node(plan, n, scratch);
+      ++t_kernels;
       // Hooks fire at injection roots only: sites outside the roots are
       // not observed in a partial run (see run_from's contract).
       if (is_root && hook) hook(n, value);
@@ -213,7 +229,10 @@ tensor::Tensor Executor::execute(
                                     it->second.shape().to_string() + ")");
       Arena::FeedSlot& slot = arena.feeds_[i];
       auto key = it->second.storage();
-      if (slot.key != key) {
+      if (slot.key == key) {
+        ++t_feed_hits;
+      } else {
+        ++t_feed_builds;
         slot.key = std::move(key);
         if (options_.dtype == tensor::DType::kFloat32) {
           slot.quantized = it->second;  // shares storage, no copy
@@ -234,6 +253,7 @@ tensor::Tensor Executor::execute(
       for (const NodeId in : n.inputs)
         scratch.push_back(out[static_cast<std::size_t>(in)]);
       tensor::Tensor value = compute_node(plan, n, scratch);
+      ++t_kernels;
       if (hook) hook(n, value);
       out[i] = std::move(value);
     }
@@ -244,6 +264,25 @@ tensor::Tensor Executor::execute(
     if (plan.memory_mode() == MemoryMode::kArena)
       for (const NodeId dead : plan.memory_plan().release_after[i])
         out[static_cast<std::size_t>(dead)] = tensor::Tensor{};
+  }
+
+  span.arg("kernels", t_kernels);
+  if (partial) {
+    span.arg("nodes_pruned", t_pruned);
+    span.arg("elements_touched", t_elements);
+  }
+  if (util::metrics::enabled()) {
+    namespace m = util::metrics;
+    m::counter_add(partial ? "exec.partial_runs" : "exec.full_runs");
+    if (t_kernels)
+      m::counter_add(
+          "kernel." + std::string(ops::backend_name(plan.backend())),
+          t_kernels);
+    if (t_pruned) m::counter_add("exec.nodes_pruned", t_pruned);
+    if (t_sparse) m::counter_add("exec.sparse_nodes", t_sparse);
+    if (t_elements) m::counter_add("exec.elements_touched", t_elements);
+    if (t_feed_hits) m::counter_add("cache.feed.hit", t_feed_hits);
+    if (t_feed_builds) m::counter_add("cache.feed.build", t_feed_builds);
   }
   return out[static_cast<std::size_t>(g.output())];
 }

@@ -8,7 +8,9 @@
 #include "graph/verify.hpp"
 #include "ops/basic_ops.hpp"
 #include "ops/fused_op.hpp"
+#include "util/metrics.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace rangerpp::graph {
 
@@ -411,9 +413,12 @@ Graph PassManager::run(Graph g, const CompileOptions& options,
   OpModel m = OpModel::from_graph(g);
   PassContext ctx{&options, &report};
   for (const PassPtr& pass : passes_) {
+    util::trace::Span span("compile." + std::string(pass->name()));
     util::Timer timer;
     const std::size_t before = m.live_count();
     pass->run(m, ctx);
+    span.arg("nodes_before", before);
+    span.arg("nodes_after", m.live_count());
     report.passes.push_back(PassTrace{std::string(pass->name()),
                                       timer.elapsed_ms(), before,
                                       m.live_count()});
@@ -499,8 +504,10 @@ ExecutionPlan compile(Graph g, const CompileOptions& options) {
       report.get());
 
   {
+    util::trace::Span span("compile.memory_plan");
     util::Timer timer;
     MemoryPlan mp = plan_memory(plan.graph(), plan.shapes());
+    util::metrics::gauge_max("arena.peak_bytes", mp.peak_arena_bytes);
     report->peak_arena_bytes = mp.peak_arena_bytes;
     report->unplanned_bytes = mp.unplanned_bytes;
     const std::size_t n = plan.size();
@@ -522,6 +529,7 @@ ExecutionPlan compile(Graph g, const CompileOptions& options) {
     // (graph/verify.hpp) before anything can execute it.  A violation
     // is a compiler bug or a corrupted pipeline, never a user error —
     // hence logic_error.
+    util::trace::Span span("compile.verify_plan");
     util::Timer timer;
     const VerifyReport vr = verify_plan(plan);
     const std::size_t n = plan.size();

@@ -10,7 +10,9 @@
 #include "models/head_calibration.hpp"
 #include "models/weights.hpp"
 #include "train/trainer.hpp"
+#include "util/metrics.hpp"
 #include "util/stats.hpp"
+#include "util/trace.hpp"
 
 namespace rangerpp::models {
 
@@ -332,11 +334,16 @@ const Workload& WorkloadCache::get(ModelId id, ops::OpKind act) {
   // Build outside the map lock: concurrent gets for different keys
   // construct in parallel, and a second thread asking for this key
   // blocks on the once_flag instead of the whole cache.
+  bool built_now = false;
   std::call_once(entry->built, [&] {
+    util::trace::Span span("cache.workload.build");
     WorkloadOptions wo = base_;
     wo.act = act;
     entry->workload = std::make_unique<Workload>(make_workload(id, wo));
+    built_now = true;
   });
+  util::metrics::counter_add(built_now ? "cache.workload.build"
+                                       : "cache.workload.hit");
   return *entry->workload;
 }
 

@@ -1,0 +1,155 @@
+#include "util/metrics.hpp"
+
+#include <array>
+#include <cstdio>
+#include <map>
+
+#include "util/mutex.hpp"
+
+namespace rangerpp::util::metrics {
+
+namespace {
+
+// Upper bounds (ms) of the fixed histogram buckets; the last bucket is
+// +inf.  Decades from 10µs to 1s cover everything from a kernel
+// dispatch to a full campaign batch.
+constexpr std::array<double, 6> kBucketUpperMs = {0.01, 0.1,   1.0,
+                                                  10.0, 100.0, 1000.0};
+
+struct Histogram {
+  std::uint64_t count = 0;
+  double sum_ms = 0.0;
+  std::array<std::uint64_t, kBucketUpperMs.size() + 1> buckets{};
+};
+
+struct Registry {
+  util::Mutex mu;
+  std::map<std::string, std::uint64_t> counters RANGERPP_GUARDED_BY(mu);
+  std::map<std::string, std::uint64_t> gauges RANGERPP_GUARDED_BY(mu);
+  std::map<std::string, Histogram> histograms RANGERPP_GUARDED_BY(mu);
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+// Shortest round-trippable-enough formatting for the snapshot's doubles
+// (telemetry output only; never feeds back into execution).
+std::string fmt_ms(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+void set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void counter_add(const std::string& name, std::uint64_t delta) {
+  if (!enabled()) return;
+  Registry& r = registry();
+  util::MutexLock lock(r.mu);
+  r.counters[name] += delta;
+}
+
+void gauge_set(const std::string& name, std::uint64_t value) {
+  if (!enabled()) return;
+  Registry& r = registry();
+  util::MutexLock lock(r.mu);
+  r.gauges[name] = value;
+}
+
+void gauge_max(const std::string& name, std::uint64_t value) {
+  if (!enabled()) return;
+  Registry& r = registry();
+  util::MutexLock lock(r.mu);
+  std::uint64_t& slot = r.gauges[name];
+  if (value > slot) slot = value;
+}
+
+void observe_ms(const std::string& name, double ms) {
+  if (!enabled()) return;
+  Registry& r = registry();
+  util::MutexLock lock(r.mu);
+  Histogram& h = r.histograms[name];
+  ++h.count;
+  h.sum_ms += ms;
+  std::size_t b = 0;
+  while (b < kBucketUpperMs.size() && ms > kBucketUpperMs[b]) ++b;
+  ++h.buckets[b];
+}
+
+std::uint64_t counter_value(const std::string& name) {
+  Registry& r = registry();
+  util::MutexLock lock(r.mu);
+  const auto it = r.counters.find(name);
+  return it == r.counters.end() ? 0 : it->second;
+}
+
+std::uint64_t gauge_value(const std::string& name) {
+  Registry& r = registry();
+  util::MutexLock lock(r.mu);
+  const auto it = r.gauges.find(name);
+  return it == r.gauges.end() ? 0 : it->second;
+}
+
+std::string snapshot_json() {
+  Registry& r = registry();
+  util::MutexLock lock(r.mu);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : r.counters) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": " + std::to_string(v);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : r.gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": " + std::to_string(v);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : r.histograms) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": {\"count\": " + std::to_string(h.count) +
+           ", \"sum_ms\": " + fmt_ms(h.sum_ms) + ", \"le_ms\": [";
+    for (std::size_t b = 0; b < kBucketUpperMs.size(); ++b)
+      out += (b ? ", " : "") + fmt_ms(kBucketUpperMs[b]);
+    out += "], \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b)
+      out += (b ? ", " : "") + std::to_string(h.buckets[b]);
+    out += "]}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+bool write_snapshot(const std::string& path) {
+  const std::string json = snapshot_json();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = n == json.size() && std::fclose(f) == 0;
+  if (n != json.size()) std::fclose(f);
+  return ok;
+}
+
+void reset() {
+  Registry& r = registry();
+  util::MutexLock lock(r.mu);
+  r.counters.clear();
+  r.gauges.clear();
+  r.histograms.clear();
+}
+
+}  // namespace rangerpp::util::metrics

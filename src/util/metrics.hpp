@@ -1,0 +1,60 @@
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// latency histograms, snapshottable to JSON.  The observability half of
+// the telemetry layer (the other half is util/trace.hpp's spans).
+//
+// Contract: metrics are a *pure observer*.  Recording is disabled by
+// default; every mutator is a single relaxed atomic load when off, and
+// nothing in the execution/record path may ever branch on a metric
+// value.  Campaign/suite/scheduler record streams are byte-identical
+// with metrics on vs off — CI gates on exactly that.
+//
+// Naming scheme (ARCHITECTURE.md "Observability"): dot-separated
+// lower-case paths, subsystem first — `cache.workload.hit`,
+// `kernel.simd`, `exec.nodes_pruned`, `campaign.trials`, `sched.steals`.
+// Counters count events, gauges hold last/max values (`arena.peak_bytes`,
+// `suite.cells_total`), histograms hold millisecond latencies
+// (`sched.settle_ms`).
+//
+// Thread safety: one registry mutex (util::Mutex, annotated) guards the
+// name→value maps.  Mutators are expected to be called at batch/run
+// granularity, not per graph node — hot loops accumulate locally and
+// flush one counter_add at the end (see graph/executor.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace rangerpp::util::metrics {
+
+// Global on/off switch.  Off (the default) every mutator returns after
+// one relaxed atomic load and the registry is never touched.
+inline std::atomic<bool> g_enabled{false};
+inline bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on);
+
+// Mutators (no-ops while disabled).  Names must be stable literals —
+// they are the snapshot's JSON keys.
+void counter_add(const std::string& name, std::uint64_t delta = 1);
+void gauge_set(const std::string& name, std::uint64_t value);
+// Keeps the maximum of every reported value (peak tracking).
+void gauge_max(const std::string& name, std::uint64_t value);
+// Fixed-bucket latency histogram; bucket upper bounds in ms are
+// {0.01, 0.1, 1, 10, 100, 1000, +inf}.
+void observe_ms(const std::string& name, double ms);
+
+// Reads (work regardless of the enabled flag; absent names read 0).
+std::uint64_t counter_value(const std::string& name);
+std::uint64_t gauge_value(const std::string& name);
+
+// JSON snapshot: {"counters":{...},"gauges":{...},"histograms":{...}},
+// keys sorted (std::map order) so equal registries serialise equally.
+std::string snapshot_json();
+
+// Writes snapshot_json() to `path`; returns false on IO failure.
+bool write_snapshot(const std::string& path);
+
+// Clears every registered metric (tests; does not change the flag).
+void reset();
+
+}  // namespace rangerpp::util::metrics

@@ -8,6 +8,7 @@
 #include "core/restrict_op.hpp"
 #include "fi/campaign.hpp"
 #include "graph/builder.hpp"
+#include "util/metrics.hpp"
 
 namespace rangerpp::core {
 namespace {
@@ -234,13 +235,21 @@ TEST(RestrictionPolicies, TransformHonoursPolicyChoice) {
 // ---- FLOPs profiler -----------------------------------------------------------
 
 TEST(FlopsProfiler, CountsPerKindAndTotal) {
+  // Per-kind accounting goes through the metrics registry, not a
+  // bespoke report field.
+  util::metrics::set_enabled(true);
+  util::metrics::reset();
   const graph::Graph g = relu_pool_net();
   const FlopsReport r = profile_flops(g);
+  util::metrics::set_enabled(false);
   EXPECT_GT(r.total, 0u);
-  EXPECT_TRUE(r.by_kind.contains("Conv2D"));
-  EXPECT_TRUE(r.by_kind.contains("Relu"));
+  EXPECT_EQ(util::metrics::counter_value("flops.total"), r.total);
+  EXPECT_GT(util::metrics::counter_value("flops.Conv2D"), 0u);
+  EXPECT_GT(util::metrics::counter_value("flops.Relu"), 0u);
   // Conv dominates this net.
-  EXPECT_GT(r.by_kind.at("Conv2D"), r.by_kind.at("Relu"));
+  EXPECT_GT(util::metrics::counter_value("flops.Conv2D"),
+            util::metrics::counter_value("flops.Relu"));
+  util::metrics::reset();
 }
 
 TEST(FlopsProfiler, RangerOverheadIsSmallAndPositive) {

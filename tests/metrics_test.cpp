@@ -1,0 +1,134 @@
+// util/metrics: the process-wide registry behind the telemetry layer.
+// Covers the enabled/disabled contract, counter/gauge/histogram
+// semantics, snapshot shape, and — the reason this test is on the TSan
+// CI leg — concurrent mutation from many threads.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/metrics.hpp"
+
+namespace rangerpp::util::metrics {
+namespace {
+
+// Every test owns the whole registry: serialise via a fixture that
+// starts and ends from a clean, enabled state.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    reset();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset();
+  }
+};
+
+TEST_F(MetricsTest, DisabledMutatorsAreNoOps) {
+  set_enabled(false);
+  counter_add("c");
+  gauge_set("g", 7);
+  gauge_max("g", 9);
+  observe_ms("h", 1.0);
+  EXPECT_EQ(counter_value("c"), 0u);
+  EXPECT_EQ(gauge_value("g"), 0u);
+  EXPECT_EQ(snapshot_json(),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n"
+            "  \"histograms\": {}\n}\n");
+}
+
+TEST_F(MetricsTest, CounterAndGaugeSemantics) {
+  counter_add("c");
+  counter_add("c", 41);
+  EXPECT_EQ(counter_value("c"), 42u);
+  EXPECT_EQ(counter_value("absent"), 0u);
+
+  gauge_set("g", 10);
+  gauge_set("g", 3);  // last write wins
+  EXPECT_EQ(gauge_value("g"), 3u);
+  gauge_max("peak", 5);
+  gauge_max("peak", 9);
+  gauge_max("peak", 2);  // max wins
+  EXPECT_EQ(gauge_value("peak"), 9u);
+}
+
+TEST_F(MetricsTest, SnapshotContainsAllThreeSections) {
+  counter_add("cache.hit", 3);
+  gauge_set("arena.peak_bytes", 1024);
+  observe_ms("batch_ms", 0.5);    // second bucket (<= 1 ms)
+  observe_ms("batch_ms", 50.0);   // fifth bucket (<= 100 ms)
+  observe_ms("batch_ms", 5000.0); // overflow bucket
+  const std::string json = snapshot_json();
+  EXPECT_NE(json.find("\"cache.hit\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"arena.peak_bytes\": 1024"), std::string::npos);
+  EXPECT_NE(json.find("\"batch_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 3"), std::string::npos);
+  // Bucket upper bounds are part of the schema.
+  EXPECT_NE(json.find("\"le_ms\""), std::string::npos);
+}
+
+TEST_F(MetricsTest, WriteSnapshotRoundTrips) {
+  counter_add("c", 7);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rangerpp_metrics_test.json")
+          .string();
+  ASSERT_TRUE(write_snapshot(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  std::filesystem::remove(path);
+  EXPECT_EQ(content, snapshot_json());
+}
+
+TEST_F(MetricsTest, ResetClearsEverything) {
+  counter_add("c", 5);
+  gauge_set("g", 5);
+  observe_ms("h", 5.0);
+  reset();
+  EXPECT_EQ(counter_value("c"), 0u);
+  EXPECT_EQ(gauge_value("g"), 0u);
+  EXPECT_EQ(snapshot_json(),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n"
+            "  \"histograms\": {}\n}\n");
+}
+
+// The TSan gate: hammer one counter, one gauge and one histogram from
+// many threads while a reader snapshots concurrently.  Counter totals
+// must be exact (mutex-guarded registry, no lost updates).
+TEST_F(MetricsTest, ConcurrentMutationIsExactAndRaceFree) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kIters; ++i) {
+        counter_add("concurrent.counter");
+        gauge_max("concurrent.peak",
+                  static_cast<std::uint64_t>(t * kIters + i));
+        observe_ms("concurrent.ms", 0.05 * (i % 100));
+      }
+    });
+  }
+  // A concurrent reader must not race the writers.
+  threads.emplace_back([] {
+    for (int i = 0; i < 50; ++i) (void)snapshot_json();
+  });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter_value("concurrent.counter"),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(gauge_value("concurrent.peak"),
+            static_cast<std::uint64_t>(kThreads) * kIters - 1);
+}
+
+}  // namespace
+}  // namespace rangerpp::util::metrics

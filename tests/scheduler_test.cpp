@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -22,6 +23,7 @@
 
 #include "fi/record_codec.hpp"
 #include "fi/scheduler.hpp"
+#include "util/metrics.hpp"
 
 namespace rangerpp::fi {
 namespace {
@@ -475,6 +477,63 @@ TEST(SchedulerRetention, SettledRequestsAreReapedBeyondTheCap) {
   EXPECT_TRUE(sched.status(b).has_value());
   sched.wait(c);
   EXPECT_EQ(sched.status_all().size(), 2u);  // b (retained) + c
+}
+
+// Extracts the integer following `"key": ` — enough JSON parsing for the
+// structural assertions below (CI's scheduler-smoke runs a real parser).
+std::uint64_t json_uint(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t pos = json.find(needle);
+  EXPECT_NE(pos, std::string::npos) << key << " missing in " << json;
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(json.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+TEST(SchedulerStats, StatsJsonReportsLiveFigures) {
+  SchedulerConfig cfg;
+  cfg.workers = 2;
+  Scheduler sched(cfg, &shared_cache());
+
+  // Before any work: structure present, counters at zero.
+  const std::string idle = sched.stats_json();
+  EXPECT_EQ(json_uint(idle, "workers"), 2u);
+  EXPECT_EQ(json_uint(idle, "trials_streamed"), 0u);
+  EXPECT_EQ(json_uint(idle, "slices"), 0u);
+  EXPECT_NE(idle.find("\"queue_depths\""), std::string::npos);
+  EXPECT_NE(idle.find("\"worker_busy_fraction\""), std::string::npos);
+  EXPECT_NE(idle.find("\"requests\""), std::string::npos);
+  // The registry is off in this test binary, so the embedded snapshot is
+  // explicitly null — the scheduler-owned figures above stay live anyway.
+  ASSERT_FALSE(util::metrics::enabled());
+  EXPECT_NE(idle.find("\"metrics\": null"), std::string::npos);
+
+  const SuiteSpec spec = tiny_spec("stats");
+  const std::uint64_t id = sched.submit(spec);
+  sched.wait(id);
+
+  const std::string busy = sched.stats_json();
+  EXPECT_EQ(json_uint(busy, "trials_streamed"),
+            compile_suite(spec).total_trials);
+  EXPECT_GT(json_uint(busy, "slices"), 0u);
+  EXPECT_EQ(json_uint(busy, "done"), 1u);
+  EXPECT_EQ(json_uint(busy, "running"), 0u);
+
+  // Monotone across calls: a second request only grows the figures.
+  const std::uint64_t id2 = sched.submit(tiny_spec("stats2"));
+  sched.wait(id2);
+  const std::string later = sched.stats_json();
+  EXPECT_GE(json_uint(later, "trials_streamed"),
+            json_uint(busy, "trials_streamed"));
+  EXPECT_GE(json_uint(later, "slices"), json_uint(busy, "slices"));
+  EXPECT_EQ(json_uint(later, "done"), 2u);
+
+  // With the registry enabled the snapshot rides along as an object.
+  util::metrics::set_enabled(true);
+  const std::string with_metrics = sched.stats_json();
+  util::metrics::set_enabled(false);
+  util::metrics::reset();
+  EXPECT_EQ(with_metrics.find("\"metrics\": null"), std::string::npos);
+  EXPECT_NE(with_metrics.find("\"metrics\": {"), std::string::npos);
 }
 
 TEST(SchedulerShutdownRace, SubmitRacingShutdownAlwaysSettles) {

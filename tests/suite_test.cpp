@@ -16,7 +16,10 @@
 #include "core/range_profiler.hpp"
 #include "core/ranger_transform.hpp"
 #include "fi/suite.hpp"
+#include "ops/backend.hpp"
+#include "util/metrics.hpp"
 #include "util/threadpool.hpp"
+#include "util/trace.hpp"
 
 namespace rangerpp::fi {
 namespace {
@@ -181,6 +184,53 @@ TEST(Suite, ShardedRunsMergeBitIdenticalToUnsharded) {
   write_suite_manifest(a, golden);
   write_suite_manifest(b, merged);
   EXPECT_EQ(slurp(a), slurp(b));
+}
+
+// The telemetry contract: metrics + tracing on vs off changes no record
+// byte (CI gates the same way on the suite-smoke checkpoints), while the
+// instrumented run actually observes cache traffic and kernel dispatch.
+TEST(Suite, TelemetryIsAPureObserver) {
+  const std::string dir_off = temp_dir("suite_telemetry_off");
+  const std::string dir_on = temp_dir("suite_telemetry_on");
+
+  SuiteSpec spec = tiny_spec("telemetry");
+  spec.checkpoint_dir = dir_off;
+  Suite(spec).run();
+
+  util::metrics::set_enabled(true);
+  util::metrics::reset();
+  const std::string trace_path =
+      testing::TempDir() + "/suite_telemetry_trace.json";
+  ASSERT_TRUE(util::trace::start(trace_path));
+  SuiteSpec spec_on = tiny_spec("telemetry");
+  spec_on.checkpoint_dir = dir_on;
+  Suite(spec_on).run();
+  ASSERT_TRUE(util::trace::stop_and_flush());
+  util::metrics::set_enabled(false);
+
+  // The instrumented run saw real work...
+  EXPECT_GT(util::metrics::counter_value("campaign.trials"), 0u);
+  EXPECT_GT(util::metrics::counter_value("suite.cells_done"), 0u);
+  EXPECT_GT(util::metrics::counter_value("cache.workload.build"), 0u);
+  EXPECT_GT(
+      util::metrics::counter_value(
+          "kernel." + std::string(ops::backend_name(ops::default_backend()))),
+      0u);
+  util::metrics::reset();
+  const std::string trace_json = slurp(trace_path);
+  std::filesystem::remove(trace_path);
+  EXPECT_NE(trace_json.find("\"suite.cell\""), std::string::npos);
+  EXPECT_NE(trace_json.find("\"campaign.batch\""), std::string::npos);
+
+  // ...and every checkpoint byte is identical to the untraced run's.
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_off)) {
+    const std::string name = entry.path().filename().string();
+    ++files;
+    EXPECT_EQ(slurp(entry.path().string()), slurp(dir_on + "/" + name))
+        << name;
+  }
+  EXPECT_GT(files, 0u);
 }
 
 TEST(Suite, KillAndResumeProducesBitIdenticalManifest) {

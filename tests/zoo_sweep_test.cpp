@@ -13,6 +13,7 @@
 #include "graph/executor.hpp"
 #include "models/workload.hpp"
 #include "models/zoo.hpp"
+#include "util/metrics.hpp"
 
 namespace rangerpp::models {
 namespace {
@@ -58,11 +59,18 @@ TEST_P(ZooSweepTest, EveryNodeNameIsUnique) {
 
 TEST_P(ZooSweepTest, FlopsArePositiveAndConvDominatedForConvNets) {
   const graph::Graph g = he_graph(GetParam());
+  // Per-kind FLOP accounting is published to the metrics registry.
+  util::metrics::set_enabled(true);
+  util::metrics::reset();
   const core::FlopsReport r = core::profile_flops(g);
+  util::metrics::set_enabled(false);
   EXPECT_GT(r.total, 0u);
-  ASSERT_TRUE(r.by_kind.contains("Conv2D"));
+  EXPECT_EQ(util::metrics::counter_value("flops.total"), r.total);
+  const std::uint64_t conv = util::metrics::counter_value("flops.Conv2D");
+  util::metrics::reset();
+  ASSERT_GT(conv, 0u);
   // Every model in the zoo is a CNN: convolution is the dominant cost.
-  EXPECT_GT(r.by_kind.at("Conv2D"), r.total / 2);
+  EXPECT_GT(conv, r.total / 2);
 }
 
 TEST_P(ZooSweepTest, SiteSpaceExcludesWeightsAndOutputHead) {

@@ -36,6 +36,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,8 @@
 #include "models/workload.hpp"
 #include "tools/cli_flags.hpp"
 #include "util/env.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 using namespace rangerpp;
 
@@ -102,6 +105,12 @@ using util::env_size;
       "  --verify-plan        run the static plan verifier (graph/verify)\n"
       "                       on every compiled plan; refuse to run on any\n"
       "                       violated invariant\n"
+      "  --trace FILE         write a Chrome trace-event JSON of the\n"
+      "                       compile/exec/campaign spans on exit\n"
+      "                       (RANGERPP_TRACE=FILE does the same); a pure\n"
+      "                       observer — checkpoints stay byte-identical\n"
+      "  --progress           1 Hz stderr heartbeat: trials done,\n"
+      "                       trials/sec, ETA\n"
       "  --quiet              summary line only\n");
   std::exit(2);
 }
@@ -197,7 +206,8 @@ int main(int argc, char** argv) {
               golden;
   std::vector<std::string> merge_paths;
   bool merge_mode = false, ranger = false, quiet = false,
-       dump_passes = false;
+       dump_passes = false, progress = false;
+  std::string trace_path;
 
   fi::RunnerConfig rc;
   rc.campaign.trials_per_input = env_size("RANGERPP_TRIALS", 1000);
@@ -271,6 +281,8 @@ int main(int argc, char** argv) {
       rc.max_new_trials = size_flag(arg, value());
     else if (arg == "--dump-passes") dump_passes = true;
     else if (arg == "--verify-plan") rc.campaign.verify_plan = true;
+    else if (arg == "--trace") trace_path = value();
+    else if (arg == "--progress") progress = true;
     else if (arg == "--quiet") quiet = true;
     else if (arg == "--merge") {
       merge_mode = true;
@@ -291,6 +303,14 @@ int main(int argc, char** argv) {
       rc.campaign.consecutive_bits)
     usage("--consecutive is the activation burst model; use "
           "--weight-kind burst for weight faults");
+
+  // Telemetry is a pure observer: nothing below branches on it, so the
+  // checkpoint this run writes is byte-identical with it on or off.
+  if (progress) util::metrics::set_enabled(true);
+  if (!trace_path.empty())
+    util::trace::start(trace_path);
+  else
+    util::trace::start_from_env();
 
   try {
     if (merge_mode) {
@@ -343,8 +363,16 @@ int main(int argc, char** argv) {
     }
 
     const fi::CampaignRunner runner(rc);
+    std::unique_ptr<cli::ProgressReporter> reporter;
+    if (progress)
+      reporter = std::make_unique<cli::ProgressReporter>(
+          "campaign",
+          rc.campaign.trials_per_input * n_inputs /
+              (rc.shard_count ? rc.shard_count : 1),
+          /*with_cells=*/false);
     const fi::CampaignReport report =
         runner.run(*g, w.eval_feeds, models::default_judges(id));
+    reporter.reset();
     if (!quiet) {
       std::printf("%s  shard %zu/%zu  %s sampling\n", rc.label.c_str(),
                   rc.shard_index, rc.shard_count,
@@ -361,8 +389,10 @@ int main(int argc, char** argv) {
       fi::print_report(report, models::judge_labels(id));
     }
     print_totals(report);
+    util::trace::stop_and_flush();
     return 0;
   } catch (const std::exception& e) {
+    util::trace::stop_and_flush();
     std::fprintf(stderr, "campaign_cli: %s\n", e.what());
     return 2;
   }

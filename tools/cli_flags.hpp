@@ -5,13 +5,18 @@
 // and corrupt a campaign config.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "fi/suite.hpp"
+#include "util/metrics.hpp"
 #include "util/parse.hpp"
+#include "util/timer.hpp"
 
 namespace rangerpp::cli {
 
@@ -44,6 +49,57 @@ inline double double_flag(UsageFn usage, const std::string& flag,
     usage((flag + " wants a non-negative number, got '" + v + "'").c_str());
   return out;
 }
+
+// --progress: a 1 Hz stderr heartbeat read entirely off the metrics
+// registry — the counters the suite/runner layers already publish are
+// the single source of truth, so the reporter never reaches into run
+// internals (and can't perturb the records).  `planned` is the
+// CLI-side estimate of trials this process will execute; `with_cells`
+// adds the suite's cells-done/cells-total figures.
+class ProgressReporter {
+ public:
+  ProgressReporter(const char* label, std::size_t planned, bool with_cells) {
+    th_ = std::thread([this, label, planned, with_cells] {
+      const util::Timer t;
+      while (!done_.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::seconds(1));
+        const std::uint64_t trials =
+            util::metrics::counter_value("campaign.trials");
+        const double secs = t.elapsed_seconds();
+        const double rate =
+            secs > 0.0 ? static_cast<double>(trials) / secs : 0.0;
+        const double eta = rate > 0.0 && planned > trials
+                               ? static_cast<double>(planned - trials) / rate
+                               : 0.0;
+        std::string cells;
+        if (with_cells) {
+          cells = std::to_string(
+                      util::metrics::counter_value("suite.cells_done")) +
+                  "/" +
+                  std::to_string(
+                      util::metrics::gauge_value("suite.cells_total")) +
+                  " cells  ";
+        }
+        std::fprintf(stderr, "\r%s: %s%llu/%zu trials  %.0f trials/s  "
+                             "eta %.0fs   ",
+                     label, cells.c_str(),
+                     static_cast<unsigned long long>(trials), planned, rate,
+                     eta);
+      }
+      std::fprintf(stderr, "\n");
+    });
+  }
+  ~ProgressReporter() {
+    done_.store(true, std::memory_order_relaxed);
+    if (th_.joinable()) th_.join();
+  }
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+ private:
+  std::atomic<bool> done_{false};
+  std::thread th_;
+};
 
 // `--list` discovery output shared by campaign_cli and suite_cli: every
 // grid-axis token a flag accepts, printed from the same token tables the
@@ -95,7 +151,7 @@ inline void print_axes(std::FILE* f) {
     std::fprintf(f, " %s", std::string(fi::technique_token(t)).c_str());
   std::fprintf(f,
                "\nscheduler modes (scheduler_cli): serve submit status "
-               "cancel shutdown");
+               "stats cancel shutdown");
   std::fprintf(f, "\n");
 }
 

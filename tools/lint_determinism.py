@@ -8,9 +8,12 @@ Three hazard classes are linted, each with a single sanctioned home:
 
 1. entropy/wall-clock — `rand()`, `std::random_device`, `time()`,
    `std::chrono::{system,steady,high_resolution}_clock` anywhere
-   outside src/util/rng.* (the seeded SplitMix64 generators) and
-   src/util/timer.* (the perf-trace timer, whose readings are traces,
-   never record bytes).
+   outside src/util/rng.* (the seeded SplitMix64 generators),
+   src/util/timer.* (the perf-trace timer), src/util/trace.* (span
+   timestamps) and src/util/metrics.* (latency histograms).  The
+   latter three read clocks whose output is telemetry only — spans,
+   snapshots and trace files, never record bytes (the byte-identity
+   CI gates prove telemetry on vs off changes nothing).
 2. unordered-container iteration in src/fi/ — a range-for over a
    `std::unordered_{map,set}` has an unspecified, libstdc++-version-
    dependent order; in the fault-injection layer such loops sit one
@@ -44,7 +47,7 @@ ENTROPY_RULES = [
      ("src/util/timer.",),
      "time() — wall clock; records must not depend on when they ran"),
     (re.compile(r"\bstd::chrono::(?:system|steady|high_resolution)_clock\b"),
-     ("src/util/timer.",),
+     ("src/util/timer.", "src/util/trace.", "src/util/metrics."),
      "chrono clock — wrap timing in util::Timer (trace-only output)"),
 ]
 

@@ -20,18 +20,21 @@
 //
 // Inspect / cancel / stop:
 //   scheduler_cli status --socket S [--id N]
+//   scheduler_cli stats  --socket S [--watch N]   (live engine JSON)
 //   scheduler_cli cancel --socket S --id N
 //   scheduler_cli shutdown --socket S
 //
 // Protocol frames (type byte; see util/ipc.hpp for the framing):
 //   client→server  'S' submit (spec text)   'Q' status ("" or id)
 //                  'C' cancel (id)          'K' shutdown
+//                  'M' stats (empty payload)
 //   server→client  'P' plan ack (id/cells/planned)
 //                  'H' cell header (u32 LE cell index + codec header)
 //                  'R' records    (u32 LE cell index + codec frames)
-//                  'D' done (final status)  'T' status text
+//                  'D' done (final status)  'T' status/stats text
 //                  'A' ack                  'E' error (message)
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -44,6 +47,8 @@
 #include "fi/scheduler.hpp"
 #include "tools/cli_flags.hpp"
 #include "util/ipc.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 using namespace rangerpp;
 
@@ -57,6 +62,7 @@ namespace {
       "       scheduler_cli submit   (--socket PATH | --port N) "
       "(--spec FILE | grid flags) [--out DIR]\n"
       "       scheduler_cli status   (--socket PATH | --port N) [--id N]\n"
+      "       scheduler_cli stats    (--socket PATH | --port N) [--watch N]\n"
       "       scheduler_cli cancel   (--socket PATH | --port N) --id N\n"
       "       scheduler_cli shutdown (--socket PATH | --port N)\n"
       "       scheduler_cli --list\n"
@@ -79,6 +85,11 @@ namespace {
       "  --crash-worker W:S   fault drill: worker W dies after S slices\n"
       "                       (its last slice checkpoints but does not\n"
       "                       stream — survivors must adopt and resume)\n"
+      "  --trace FILE         write a Chrome trace-event JSON of the\n"
+      "                       daemon's spans on shutdown (RANGERPP_TRACE\n"
+      "                       does the same without the flag)\n"
+      "stats options:\n"
+      "  --watch N            re-poll every N seconds until interrupted\n"
       "submit options:\n"
       "  --spec FILE          key=value spec ('-' = stdin); inline grid\n"
       "                       flags below override/compose the same keys\n"
@@ -110,7 +121,7 @@ std::size_t size_flag(const std::string& flag, const std::string& v) {
 constexpr std::uint8_t kSubmit = 'S', kPlan = 'P', kHeader = 'H',
                        kRecords = 'R', kDone = 'D', kStatusReq = 'Q',
                        kStatusText = 'T', kCancel = 'C', kAck = 'A',
-                       kShutdown = 'K', kError = 'E';
+                       kShutdown = 'K', kError = 'E', kStats = 'M';
 
 void put_u32(std::string& out, std::uint32_t v) {
   out.push_back(static_cast<char>(v & 0xff));
@@ -150,6 +161,7 @@ struct ServeOptions {
   bool crash_set = false;
   unsigned crash_worker = 0;
   std::size_t crash_slices = 0;
+  std::string trace_path;
 };
 
 // One client command per connection.  A submit connection stays open for
@@ -257,6 +269,10 @@ void handle_connection(util::ipc::Conn conn, fi::Scheduler& sched,
         conn.send_frame(kAck, sched.cancel(id) ? "ok" : "no");
         return;
       }
+      case kStats: {
+        conn.send_frame(kStatusText, sched.stats_json());
+        return;
+      }
       case kShutdown: {
         conn.send_frame(kAck, "ok");
         stopping.store(true, std::memory_order_relaxed);
@@ -273,6 +289,15 @@ void handle_connection(util::ipc::Conn conn, fi::Scheduler& sched,
 }
 
 int run_serve(const ServeOptions& opt) {
+  // The daemon always keeps the metrics registry live — the `stats`
+  // verb should answer with real figures without pre-arrangement.
+  // Telemetry observes the engine; it never feeds back into it, so the
+  // record streams stay byte-identical either way (the CI cmp gate).
+  util::metrics::set_enabled(true);
+  if (!opt.trace_path.empty())
+    util::trace::start(opt.trace_path);
+  else
+    util::trace::start_from_env();
   util::ipc::Listener listener =
       opt.use_tcp ? util::ipc::Listener::listen_tcp(opt.port)
                   : util::ipc::Listener::listen_unix(opt.socket_path);
@@ -301,6 +326,7 @@ int run_serve(const ServeOptions& opt) {
   for (std::thread& t : handlers)
     if (t.joinable()) t.join();
   sched.shutdown();
+  util::trace::stop_and_flush();
   std::printf("scheduler_cli: stopped\n");
   return 0;
 }
@@ -437,6 +463,17 @@ int run_simple(const ClientOptions& opt, std::uint8_t type,
   return (rtype == kAck && reply == "no") ? 1 : 0;
 }
 
+// `stats` polls: one fresh connection per sample (the daemon serves one
+// command per connection), re-printing the JSON every watch_s seconds.
+int run_stats(const ClientOptions& opt, int watch_s) {
+  for (;;) {
+    const int rc = run_simple(opt, kStats, "");
+    if (rc != 0 || watch_s <= 0) return rc;
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(watch_s));
+  }
+}
+
 std::string slurp_file(const std::string& path) {
   if (path == "-") {
     std::string out;
@@ -468,10 +505,10 @@ int main(int argc, char** argv) {
   if (mode == "--help" || mode == "-h") usage();
   const bool serve = mode == "serve", submit = mode == "submit",
              status = mode == "status", cancel = mode == "cancel",
-             shutdown = mode == "shutdown";
-  if (!serve && !submit && !status && !cancel && !shutdown)
+             shutdown = mode == "shutdown", stats = mode == "stats";
+  if (!serve && !submit && !status && !cancel && !shutdown && !stats)
     usage(("unknown mode '" + mode +
-           "' (serve|submit|status|cancel|shutdown)")
+           "' (serve|submit|status|stats|cancel|shutdown)")
               .c_str());
 
   ServeOptions so;
@@ -479,6 +516,7 @@ int main(int argc, char** argv) {
   bool transport_set = false;
   std::string spec_file, out_dir, id_arg;
   bool quiet = false;
+  int watch_s = 0;
   // Inline grid flags compose the same key=value lines --spec holds, so
   // the strict wire parser is the only spec grammar.
   std::string inline_spec;
@@ -515,6 +553,9 @@ int main(int argc, char** argv) {
       so.sched.checkpoint_dir = value();
     } else if (serve && arg == "--verify-plan") {
       so.sched.verify_plans = true;
+    } else if (serve && arg == "--trace") {
+      so.trace_path = value();
+      if (so.trace_path.empty()) usage("--trace wants a path");
     } else if (serve && arg == "--crash-worker") {
       const std::string v = value();
       const std::size_t colon = v.find(':');
@@ -546,6 +587,8 @@ int main(int argc, char** argv) {
       spec_line("target_ci", value());
     else if (submit && arg == "--out") out_dir = value();
     else if (submit && arg == "--quiet") quiet = true;
+    else if (stats && arg == "--watch")
+      watch_s = cli::int_flag(&usage, arg, value(), 1, 86400);
     else if ((status || cancel) && arg == "--id") {
       id_arg = value();
       std::uint64_t id = 0;
@@ -568,6 +611,7 @@ int main(int argc, char** argv) {
       return run_submit(co, fi::parse_suite_spec(text), out_dir, quiet);
     }
     if (status) return run_simple(co, kStatusReq, id_arg);
+    if (stats) return run_stats(co, watch_s);
     if (cancel) return run_simple(co, kCancel, id_arg);
     return run_simple(co, kShutdown, "");
   } catch (const std::exception& e) {

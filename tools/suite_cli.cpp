@@ -21,10 +21,14 @@
 //
 // Environment fallbacks (shared with the benches): RANGERPP_TRIALS,
 // RANGERPP_INPUTS, RANGERPP_SEED, RANGERPP_SHARD (overridden by --shard).
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fi/suite.hpp"
@@ -32,6 +36,9 @@
 #include "models/zoo.hpp"
 #include "tools/cli_flags.hpp"
 #include "util/env.hpp"
+#include "util/metrics.hpp"
+#include "util/timer.hpp"
+#include "util/trace.hpp"
 
 using namespace rangerpp;
 
@@ -97,7 +104,16 @@ using util::env_size;
       "                       on every cell's compiled plans\n"
       "  --out FILE           manifest path (default:\n"
       "                       DIR/SUITE_<name>[.s<i>of<N>].json)\n"
-      "  --quiet              manifest only, no tables\n");
+      "  --quiet              manifest only, no tables\n"
+      "telemetry (pure observers: checkpoints and manifests are\n"
+      "byte-identical with these on or off):\n"
+      "  --trace FILE         write a Chrome trace-event JSON of the\n"
+      "                       compile/exec/campaign spans on exit\n"
+      "                       (RANGERPP_TRACE=FILE does the same)\n"
+      "  --metrics FILE       write a metrics-registry snapshot JSON\n"
+      "                       (counters/gauges/histograms) on exit\n"
+      "  --progress           1 Hz stderr heartbeat: cells and trials\n"
+      "                       done, trials/sec, ETA\n");
   std::exit(2);
 }
 
@@ -142,6 +158,8 @@ int main(int argc, char** argv) {
   fi::WeightFaultKind weight_kind = fi::WeightFaultKind::kSingleBit;
   std::vector<fi::EccModel> eccs = {fi::EccModel{}};
   std::string report_mode = "cells", out_path;
+  std::string trace_path, metrics_path;
+  bool progress = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -240,6 +258,9 @@ int main(int argc, char** argv) {
     else if (arg == "--out") out_path = value();
     else if (arg == "--dump-passes") dump_passes = true;
     else if (arg == "--verify-plan") spec.verify_plan = true;
+    else if (arg == "--trace") trace_path = value();
+    else if (arg == "--metrics") metrics_path = value();
+    else if (arg == "--progress") progress = true;
     else if (arg == "--quiet") quiet = true;
     else if (arg == "--help" || arg == "-h") usage();
     else usage(("unknown flag " + arg).c_str());
@@ -274,6 +295,15 @@ int main(int argc, char** argv) {
     spec.faults.push_back(f);
   }
 
+  // Telemetry is a pure observer: nothing below branches on it, so the
+  // checkpoints/manifests this run writes are byte-identical with it on
+  // or off (the CI suite-smoke cmp gate).
+  if (!metrics_path.empty() || progress) util::metrics::set_enabled(true);
+  if (!trace_path.empty())
+    util::trace::start(trace_path);
+  else
+    util::trace::start_from_env();
+
   try {
     if (dump_passes) {
       // Pipeline shape and pass cost depend on the architecture, not on
@@ -294,11 +324,19 @@ int main(int argc, char** argv) {
     }
 
     fi::Suite suite(spec);
+    std::unique_ptr<cli::ProgressReporter> reporter;
+    if (progress && !merge_mode)
+      reporter = std::make_unique<cli::ProgressReporter>(
+          "suite",
+          fi::compile_suite(spec).total_trials /
+              (spec.shard_count ? spec.shard_count : 1),
+          /*with_cells=*/true);
     const fi::SuiteResult result =
         merge_mode ? suite.merge({spec.checkpoint_dir.empty()
                                       ? std::string(".")
                                       : spec.checkpoint_dir})
                    : suite.run();
+    reporter.reset();
 
     if (out_path.empty()) {
       std::string name = "SUITE_" + spec.name;
@@ -333,8 +371,16 @@ int main(int argc, char** argv) {
     std::printf("wrote %s (%zu cells, %zu trials planned)\n",
                 out_path.c_str(), result.plan.cells.size(),
                 result.plan.total_trials);
+    util::trace::stop_and_flush();
+    if (!metrics_path.empty() &&
+        !util::metrics::write_snapshot(metrics_path)) {
+      std::fprintf(stderr, "suite_cli: cannot write %s\n",
+                   metrics_path.c_str());
+      return 2;
+    }
     return 0;
   } catch (const std::exception& e) {
+    util::trace::stop_and_flush();
     std::fprintf(stderr, "suite_cli: %s\n", e.what());
     return 2;
   }
